@@ -1,0 +1,37 @@
+//! Bench D1 (paper §III-A): deriving the exact degree and triangle
+//! distributions of a huge product from factor histograms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kron::distributions::{ccdf, degree_histogram, triangle_histogram};
+use kron::KronProduct;
+use kron_bench::web_factor;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degree_distributions");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [10_000usize, 40_000] {
+        let a = web_factor(n);
+        let prod = KronProduct::new(a.clone(), a.clone());
+        group.bench_with_input(
+            BenchmarkId::new("degree_histogram", n),
+            &prod,
+            |b, prod| {
+                b.iter(|| {
+                    let h = degree_histogram(prod);
+                    black_box(ccdf(&h).len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("triangle_histogram", n),
+            &prod,
+            |b, prod| b.iter(|| black_box(triangle_histogram(prod).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_degree);
+criterion_main!(benches);

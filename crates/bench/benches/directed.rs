@@ -1,0 +1,43 @@
+//! Bench F4/F5: the fifteen-type directed triangle census — enumeration vs
+//! Def. 10/11 matrix formulas on the factor, and the Thm. 4 product query
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kron::KronDirectedProduct;
+use kron_bench::{directed_web_factor, web_factor};
+use kron_triangles::directed::{
+    directed_vertex_participation, directed_vertex_participation_formula, DirVertexType,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_directed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directed");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [500usize, 2_000] {
+        let a = directed_web_factor(n, 0.4, 1);
+        group.bench_with_input(BenchmarkId::new("census_enumeration", n), &a, |b, a| {
+            b.iter(|| black_box(directed_vertex_participation(a).grand_total()))
+        });
+        group.bench_with_input(BenchmarkId::new("census_matrix_formulas", n), &a, |b, a| {
+            b.iter(|| black_box(directed_vertex_participation_formula(a).grand_total()))
+        });
+    }
+    // Thm. 4 on the product: per-vertex type queries are O(1)
+    let a = directed_web_factor(3_000, 0.4, 2);
+    let bg = web_factor(2_000);
+    let prod = KronDirectedProduct::new(a, bg).unwrap();
+    group.bench_function("thm4_query_10k_vertices", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for p in (0..prod.num_vertices()).step_by(601).take(10_000) {
+                acc = acc.wrapping_add(prod.vertex_type_count(p, DirVertexType::UUo));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_directed);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Bench F7 (paper Fig. 7 methodology): implicit egonet extraction and
+//! O(1) statistic queries on a product with billions of edges.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kron::KronProduct;
+use kron_bench::web_factor;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_egonet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egonet");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let a = web_factor(50_000);
+    let prod = KronProduct::new(a.clone(), a.clone());
+    // billions of edges, never materialized
+    assert!(prod.num_edges() > 10_000_000_000u128);
+
+    group.bench_function("vertex_triangles_100k_queries", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            let step = (prod.num_vertices() / 100_000).max(1);
+            for p in (0..prod.num_vertices()).step_by(step as usize).take(100_000) {
+                acc = acc.wrapping_add(prod.vertex_triangles(p));
+            }
+            black_box(acc)
+        })
+    });
+
+    // pre-select 100 modest-degree vertices (hub egonets are quadratic in
+    // degree; the Fig. 7 methodology validates at low-degree vertices)
+    // stride chosen coprime to n_B so samples sweep both coordinates
+    let stride = prod.num_vertices() / 10_000 + 1;
+    let picks: Vec<u64> = (0..10_000u64)
+        .map(|j| (j * stride) % prod.num_vertices())
+        .filter(|&p| prod.row_len(p) <= 2_000)
+        .take(100)
+        .collect();
+    assert_eq!(picks.len(), 100);
+    group.bench_function("egonet_extraction_100", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for &p in &picks {
+                let ego = prod.egonet(p);
+                acc = acc.wrapping_add(ego.triangles_at_center());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("spot_check_20_egonets", |bch| {
+        bch.iter(|| {
+            kron::validate::spot_check(&prod, 20, 3).expect("formulas hold");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_egonet);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Bench G1 (paper §I generation claims): communication-free edge
+//! streaming throughput of the implicit product, sequential vs rayon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kron::KronProduct;
+use kron_bench::web_factor;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [300usize, 800] {
+        let a = web_factor(n);
+        let prod = KronProduct::new(a.clone(), a.clone());
+        group.throughput(Throughput::Elements(prod.nnz() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("stream_serial", prod.nnz()),
+            &prod,
+            |bch, prod| {
+                bch.iter(|| {
+                    let mut acc = 0u64;
+                    for (p, q) in prod.adjacency_entries() {
+                        acc = acc.wrapping_add(p ^ q);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stream_rayon_fold", prod.nnz()),
+            &prod,
+            |bch, prod| {
+                bch.iter(|| {
+                    // per-task accumulators; nothing shared on the hot path
+                    black_box(prod.fold_adjacency_entries(
+                        || 0u64,
+                        |acc, p, q| acc.wrapping_add(p ^ q),
+                        |a, b| a.wrapping_add(b),
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stream_rayon_shared_atomic", prod.nnz()),
+            &prod,
+            |bch, prod| {
+                bch.iter(|| {
+                    // anti-pattern baseline: a single shared counter
+                    // serializes the stream (kept as the ablation)
+                    let acc = AtomicU64::new(0);
+                    prod.for_each_adjacency_entry(|p, q| {
+                        acc.fetch_add(p ^ q, Ordering::Relaxed);
+                    });
+                    black_box(acc.into_inner())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench F6: labeled triangle census — enumeration vs the Def. 13/14
+//! filtered matrix products, and the Thm. 6 product query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kron::KronLabeledProduct;
+use kron_bench::{labeled_web_factor, web_factor};
+use kron_triangles::labeled::{
+    labeled_vertex_participation, labeled_vertex_participation_formula,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_labeled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labeled");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [500usize, 2_000] {
+        let a = labeled_web_factor(n, 3, 1);
+        group.bench_with_input(BenchmarkId::new("census_enumeration", n), &a, |b, a| {
+            b.iter(|| black_box(labeled_vertex_participation(a).grand_total()))
+        });
+        group.bench_with_input(BenchmarkId::new("census_matrix_formulas", n), &a, |b, a| {
+            b.iter(|| black_box(labeled_vertex_participation_formula(a).grand_total()))
+        });
+    }
+    // Thm. 6 product queries
+    let a = labeled_web_factor(3_000, 3, 2);
+    let bg = web_factor(2_000);
+    let prod = KronLabeledProduct::new(a, bg).unwrap();
+    group.bench_function("thm6_query_10k_vertices", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for p in (0..prod.num_vertices()).step_by(601).take(10_000) {
+                acc = acc.wrapping_add(prod.vertex_type_count(p, 0, 1, 2));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_labeled);
+criterion_main!(benches);

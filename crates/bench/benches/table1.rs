@@ -1,0 +1,51 @@
+//! Bench T1 (paper §VI table): the cost of producing the exact
+//! vertex/edge/triangle table for billion-edge Kronecker products —
+//! triangle counting on the factor plus the Kronecker formulas — versus
+//! the factor's own triangle count. The paper reports ~10.5 s on a laptop
+//! for its 111-trillion-triangle product; the point is that product-table
+//! cost ≈ factor-count cost (sublinear in |E_C|).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kron::KronProduct;
+use kron_bench::web_factor;
+use kron_triangles::count_triangles;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [20_000usize, 80_000] {
+        let a = web_factor(n);
+        let b = a.with_all_self_loops();
+        group.bench_with_input(
+            BenchmarkId::new("factor_triangle_count", n),
+            &a,
+            |bch, a| bch.iter(|| black_box(count_triangles(black_box(a)).triangles)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("product_table_AxA", n),
+            &a,
+            |bch, a| {
+                bch.iter(|| {
+                    let c = KronProduct::new(a.clone(), a.clone());
+                    black_box(c.stats())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("product_table_AxB_loops", n),
+            &(&a, &b),
+            |bch, (a, b)| {
+                bch.iter(|| {
+                    let c = KronProduct::new((*a).clone(), (*b).clone());
+                    black_box(c.stats())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

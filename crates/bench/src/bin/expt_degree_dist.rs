@@ -1,0 +1,68 @@
+//! **Experiment D1** — the paper's §III-A degree-distribution
+//! implications: `d_C = d_A ⊗ d_B`, heavy tails survive the product, and
+//! the max-degree/n ratio *squares*.
+
+use kron::distributions::{ccdf, degree_histogram, max_degree_ratio, triangle_histogram};
+use kron::KronProduct;
+use kron_bench::web_factor;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let a = web_factor(n);
+    let c = KronProduct::new(a.clone(), a.clone());
+    println!(
+        "A: n = {}, max degree = {}; C = A (x) A: n = {}, max degree = {}",
+        a.num_vertices(),
+        a.max_degree(),
+        c.num_vertices(),
+        c.max_degree()
+    );
+
+    // the squaring identity
+    let ra = a.max_degree() as f64 / a.num_vertices() as f64;
+    let rc = max_degree_ratio(&c);
+    println!(
+        "\nmax-degree ratio: ‖d_A‖∞/n_A = {ra:.3e}; ‖d_C‖∞/n_C = {rc:.3e} = ({ra:.3e})² ✓ \
+         [off by {:.1e}]",
+        (rc - ra * ra).abs()
+    );
+
+    // exact degree CCDF of the (10^10-vertex-scale) product, derived from
+    // factor histograms — print log-spaced rows
+    let dh = degree_histogram(&c);
+    assert_eq!(dh.values().sum::<u128>(), c.num_vertices() as u128);
+    let cc = ccdf(&dh);
+    println!("\nexact degree CCDF of C (log-spaced sample of {} distinct degrees):", dh.len());
+    println!("  degree ≥ d      #vertices");
+    let mut next = 1u64;
+    for &(d, cnt) in &cc {
+        if d >= next {
+            println!("  {d:<14} {cnt}");
+            next = (next * 4).max(d + 1);
+        }
+    }
+
+    // triangle participation distribution (heavy-tailed too)
+    let th = triangle_histogram(&c);
+    let tc = ccdf(&th);
+    println!(
+        "\nexact triangle-participation CCDF of C ({} distinct values):",
+        th.len()
+    );
+    println!("  t_C ≥ x        #vertices");
+    let mut next = 1u64;
+    for &(x, cnt) in &tc {
+        if x >= next {
+            println!("  {x:<14} {cnt}");
+            next = (next * 8).max(x + 1);
+        }
+    }
+    println!(
+        "\n(tail spans {} orders of magnitude in degree — heavy tail preserved, \
+         as §III-A argues for multinomials of heavy-tailed factors)",
+        (c.max_degree() as f64).log10().ceil()
+    );
+}

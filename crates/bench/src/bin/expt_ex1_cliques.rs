@@ -1,0 +1,75 @@
+//! **Experiment E1** — the paper's Ex. 1(a)–(c) clique closed forms,
+//! verified against both the implicit Kronecker formulas and full
+//! materialization, across a size sweep.
+
+use kron::{validate, KronProduct};
+use kron_gen::deterministic::{clique, clique_with_loops};
+
+fn main() {
+    println!("Ex. 1(a): C = K_nA (x) K_nB (no loops)");
+    println!("  nA nB | degree  t_vertex  Δ_edge (closed form = measured)");
+    for (na, nb) in [(3u64, 4u64), (4, 5), (5, 6), (6, 7)] {
+        let c = KronProduct::new(clique(na as usize), clique(nb as usize));
+        let nm = na * nb;
+        let deg = nm + 1 - na - nb;
+        let t = deg * (nm + 4 - 2 * na - 2 * nb) / 2;
+        let de = nm + 4 - 2 * na - 2 * nb;
+        assert!((0..c.num_vertices()).all(|p| c.degree(p) == deg));
+        assert!((0..c.num_vertices()).all(|p| c.vertex_triangles(p) == t));
+        let ix = c.indexer();
+        let measured_de = c
+            .edge_triangles(ix.compose(0, 0), ix.compose(1, 1))
+            .unwrap();
+        assert_eq!(measured_de, de);
+        validate::validate_undirected(&c, 1 << 24).unwrap();
+        println!("  {na:<2} {nb:<2} | {deg:<7} {t:<9} {de} ✓ (also validated vs materialization)");
+    }
+
+    println!("\nEx. 1(b): C = K_nA (x) J_nB (loops in the second factor)");
+    println!("  [paper erratum: its degree line says nA·nB−nA; the §III-A formula");
+    println!("   and materialization give nA·nB−nB, consistent with its t and Δ]");
+    println!("  nA nB | degree  t_vertex  Δ_edge");
+    for (na, nb) in [(3u64, 4u64), (4, 5), (5, 3)] {
+        let c = KronProduct::new(clique(na as usize), clique_with_loops(nb as usize));
+        let nm = na * nb;
+        let deg = nm - nb;
+        let t = (nm - nb) * (nm - 2 * nb) / 2;
+        let de = nm - 2 * nb;
+        assert!((0..c.num_vertices()).all(|p| c.degree(p) == deg));
+        assert!((0..c.num_vertices()).all(|p| c.vertex_triangles(p) == t));
+        let ix = c.indexer();
+        assert_eq!(
+            c.edge_triangles(ix.compose(0, 0), ix.compose(1, 0)).unwrap(),
+            de
+        );
+        validate::validate_undirected(&c, 1 << 24).unwrap();
+        println!("  {na:<2} {nb:<2} | {deg:<7} {t:<9} {de} ✓");
+    }
+
+    println!("\nEx. 1(c): C = (J_nA (x) J_nB) − I = K_(nA·nB) (loops in both)");
+    println!("  nA nB | degree  t_vertex  Δ_edge");
+    for (na, nb) in [(3u64, 4u64), (4, 4), (5, 3)] {
+        let c = KronProduct::new(
+            clique_with_loops(na as usize),
+            clique_with_loops(nb as usize),
+        );
+        let nm = na * nb;
+        // general §III-B/C formulas must give the K_nm values
+        assert!((0..c.num_vertices()).all(|p| c.degree(p) == nm - 1));
+        assert!((0..c.num_vertices())
+            .all(|p| c.vertex_triangles(p) == (nm - 1) * (nm - 2) / 2));
+        let ix = c.indexer();
+        assert_eq!(
+            c.edge_triangles(ix.compose(0, 0), ix.compose(1, 1)).unwrap(),
+            nm - 2
+        );
+        validate::validate_undirected(&c, 1 << 24).unwrap();
+        println!(
+            "  {na:<2} {nb:<2} | {:<7} {:<9} {} ✓ (= K_{nm} exactly)",
+            nm - 1,
+            (nm - 1) * (nm - 2) / 2,
+            nm - 2
+        );
+    }
+    println!("\nall Ex. 1 closed forms reproduced exactly");
+}

@@ -1,0 +1,80 @@
+//! **Experiment F6** — the paper's Fig. 6: vertex-labeled triangle types
+//! with |L| = 3 ("red/green/blue"): C(|L|+1, 2) = 6 types per center color
+//! at vertices, |L| types per edge; Def. 13/14 formulas as oracle and
+//! Thms. 6–7 on the product.
+
+use kron::KronLabeledProduct;
+use kron_bench::{labeled_web_factor, web_factor};
+use kron_triangles::labeled::{
+    labeled_vertex_participation, labeled_vertex_participation_formula,
+};
+
+const COLOR: [&str; 3] = ["r", "g", "b"];
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+    let a = labeled_web_factor(n, 3, 11);
+    println!(
+        "labeled factor A: {} vertices ({:?} per color), {} edges",
+        n,
+        a.label_histogram(),
+        a.graph().num_edges()
+    );
+
+    let census = labeled_vertex_participation(&a);
+    let formula = labeled_vertex_participation_formula(&a);
+    println!("\nFig. 6 vertex-type census of A (center; other two), enumeration vs Def. 13:");
+    println!("  type       total    agree");
+    let mut grand = 0u64;
+    for q1 in 0..3u16 {
+        for q2 in 0..3u16 {
+            for q3 in q2..3u16 {
+                assert_eq!(census.get(q1, q2, q3), formula.get(q1, q2, q3));
+                let total: u64 = census.get(q1, q2, q3).iter().sum();
+                grand += total;
+                println!(
+                    "  R{}({}{})   {:<8} ✓",
+                    COLOR[q1 as usize].to_uppercase(),
+                    COLOR[q2 as usize],
+                    COLOR[q3 as usize],
+                    total
+                );
+            }
+        }
+    }
+    let tau = kron_triangles::count_triangles(a.graph()).triangles;
+    assert_eq!(grand, 3 * tau);
+    println!("  grand total = {grand} = 3·τ(A) ✓");
+
+    // Thm. 6 on the product
+    let b = web_factor(2_000).with_all_self_loops();
+    let c = KronLabeledProduct::new(a, b).unwrap();
+    println!(
+        "\nC = A (x) B: {} vertices, labels inherited blockwise (Thm. 6 queries):",
+        c.num_vertices()
+    );
+    for p in [0u64, c.num_vertices() / 2, c.num_vertices() - 1] {
+        let q1 = c.label(p);
+        let profile: Vec<String> = (0..3u16)
+            .flat_map(|q2| (q2..3).map(move |q3| (q2, q3)))
+            .filter_map(|(q2, q3)| {
+                let cnt = c.vertex_type_count(p, q1, q2, q3);
+                (cnt > 0).then(|| {
+                    format!("({}{}):{}", COLOR[q2 as usize], COLOR[q3 as usize], cnt)
+                })
+            })
+            .collect();
+        println!(
+            "  p={p} color={}: {}",
+            COLOR[q1 as usize],
+            if profile.is_empty() {
+                "no triangles".to_string()
+            } else {
+                profile.join(" ")
+            }
+        );
+    }
+}

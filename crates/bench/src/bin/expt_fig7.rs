@@ -1,0 +1,62 @@
+//! **Experiment F7** — the paper's Fig. 7 egonet validation.
+//!
+//! Paper: from web-NotreDame pick three degree-3 vertices with 1, 2, and 3
+//! triangles; the nine corresponding vertices of A ⊗ A all have degree 9
+//! and t_p ∈ {2,4,6; 4,8,12; 6,12,18}; in A ⊗ B (B = A + I) they have
+//! degree 12 and t_p = t_i × {2t_k + 3d_k + 1} = {12,14,16; 24,28,32;
+//! 36,42,48}. We reproduce the selection and print both 3×3 grids, then
+//! extract each egonet implicitly and confirm the counted statistics.
+
+use kron::KronProduct;
+use kron_bench::web_factor;
+use kron_triangles::vertex_participation;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(325_729);
+    println!("factor: web-NotreDame stand-in, n = {n}");
+    let a = web_factor(n);
+    let t = vertex_participation(&a);
+
+    // three degree-3 vertices with 1, 2, 3 triangles (the paper picked
+    // original ids {76, 231, 85})
+    let mut picks = Vec::new();
+    for want in 1..=3u64 {
+        let v = (0..a.num_vertices() as u32)
+            .find(|&v| a.degree(v) == 3 && t[v as usize] == want)
+            .expect("factor contains a degree-3 vertex with this triangle count");
+        picks.push(v);
+        println!("  picked factor vertex {v}: degree 3, {want} triangle(s)");
+    }
+
+    let b = a.with_all_self_loops();
+    for (name, c, expected_deg) in [
+        ("A (x) A", KronProduct::new(a.clone(), a.clone()), 9u64),
+        ("A (x) B", KronProduct::new(a.clone(), b.clone()), 12u64),
+    ] {
+        println!("\n=== {name}: egonets of the 9 product vertices ===");
+        let ix = c.indexer();
+        for &i in &picks {
+            let mut row = String::new();
+            for &k in &picks {
+                let p = ix.compose(i, k);
+                let ego = c.egonet(p);
+                assert_eq!(ego.center_degree(), expected_deg);
+                assert_eq!(ego.triangles_at_center(), c.vertex_triangles(p));
+                row.push_str(&format!(
+                    "p={p:<14} deg={} tp={:<4}  ",
+                    ego.center_degree(),
+                    ego.triangles_at_center()
+                ));
+            }
+            println!("{row}");
+        }
+    }
+    println!(
+        "\nall 18 egonets matched the Kronecker formulas exactly \
+         (paper: 'agrees with the degree distribution formulas' and \
+         'matches the theory exactly')"
+    );
+}

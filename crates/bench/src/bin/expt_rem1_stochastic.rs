@@ -1,0 +1,80 @@
+//! **Experiment R1** — the paper's Rem. 1: stochastic Kronecker graphs
+//! have relatively few triangles (independent edges, tiny triple
+//! probabilities), while nonstochastic Kronecker products can be tuned
+//! triangle-rich. We match vertex/edge scale and compare triangle density.
+
+use kron::KronProduct;
+use kron_bench::web_factor;
+use kron_gen::{rmat, stochastic_kronecker, RmatParams};
+use kron_triangles::{clustering::transitivity, count_triangles};
+
+fn main() {
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "graph", "vertices", "edges", "triangles", "tri/edge", "transit."
+    );
+
+    // Bernoulli SKG with Leskovec-style fitted initiator
+    let skg = stochastic_kronecker([[0.99, 0.54], [0.54, 0.13]], 13, 3);
+    let skg_tau = count_triangles(&skg).triangles;
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>10.3} {:>8.4}",
+        "stochastic Kronecker (13)",
+        skg.num_vertices(),
+        skg.num_edges(),
+        skg_tau,
+        skg_tau as f64 / skg.num_edges() as f64,
+        transitivity(&skg)
+    );
+
+    // R-MAT at similar scale
+    let rm = rmat(13, 8, RmatParams::graph500(), 4);
+    let rm_tau = count_triangles(&rm).triangles;
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>10.3} {:>8.4}",
+        "R-MAT (scale 13, ef 8)",
+        rm.num_vertices(),
+        rm.num_edges(),
+        rm_tau,
+        rm_tau as f64 / rm.num_edges() as f64,
+        transitivity(&rm)
+    );
+
+    // web-like factor alone (what real graphs look like)
+    let a = web_factor(8_192);
+    let a_tau = count_triangles(&a).triangles;
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>10.3} {:>8.4}",
+        "web-like factor A",
+        a.num_vertices(),
+        a.num_edges(),
+        a_tau,
+        a_tau as f64 / a.num_edges() as f64,
+        transitivity(&a)
+    );
+
+    // nonstochastic Kronecker product of the web-like factor with a small
+    // triangle-rich factor (loops boost triangles, Rem. 3)
+    let b = kron_gen::deterministic::clique(8).with_all_self_loops();
+    let c = KronProduct::new(a.clone(), b);
+    let c_tau = c.total_triangles();
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>10.3} {:>8}",
+        "nonstochastic A (x) J8",
+        c.num_vertices(),
+        c.num_edges(),
+        c_tau,
+        c_tau as f64 / c.num_edges() as f64,
+        "-"
+    );
+
+    let skg_density = skg_tau as f64 / skg.num_edges() as f64;
+    let ns_density = c_tau as f64 / c.num_edges() as f64;
+    println!(
+        "\ntriangles-per-edge: nonstochastic product = {ns_density:.2}, stochastic \
+         Kronecker = {skg_density:.4} ({}x richer)\n\
+         → Rem. 1 reproduced: the nonstochastic construction does not suffer \
+         the stochastic model's triangle poverty, and loops tune it upward.",
+        (ns_density / skg_density.max(1e-9)) as u64
+    );
+}

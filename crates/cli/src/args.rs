@@ -1,0 +1,130 @@
+//! Minimal hand-rolled argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    pub command: String,
+    pub positional: Vec<String>,
+    pub options: HashMap<String, String>,
+    pub flags: Vec<String>,
+}
+
+/// Parse `argv[1..]`. Tokens starting with `--` are options; an option
+/// consumes the next token as its value unless it is followed by another
+/// option or nothing (then it is a bare flag).
+pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut it = args.iter().peekable();
+    let command = it
+        .next()
+        .cloned()
+        .ok_or_else(|| "missing subcommand".to_string())?;
+    if command.starts_with("--") {
+        return Err(format!("expected subcommand, got option {command}"));
+    }
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    let mut flags = Vec::new();
+    while let Some(tok) = it.next() {
+        if let Some(name) = tok.strip_prefix("--") {
+            if name.is_empty() {
+                return Err("empty option name".into());
+            }
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    options.insert(name.to_string(), it.next().unwrap().clone());
+                }
+                _ => flags.push(name.to_string()),
+            }
+        } else {
+            positional.push(tok.clone());
+        }
+    }
+    Ok(ParsedArgs {
+        command,
+        positional,
+        options,
+        flags,
+    })
+}
+
+impl ParsedArgs {
+    /// The `i`-th positional argument or an error naming it.
+    pub fn pos(&self, i: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required argument <{name}>"))
+    }
+
+    /// Typed option with a default.
+    pub fn opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn basic_parse() {
+        let p = parse(&split("gen clique --n 10 -o"))
+            .unwrap();
+        assert_eq!(p.command, "gen");
+        assert_eq!(p.positional, vec!["clique", "-o"]);
+        assert_eq!(p.options["n"], "10");
+    }
+
+    #[test]
+    fn flags_vs_options() {
+        let p = parse(&split("stats a.tsv b.tsv --loops-b --name test")).unwrap();
+        assert!(p.flag("loops-b"));
+        assert_eq!(p.options["name"], "test");
+        assert_eq!(p.positional.len(), 2);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let p = parse(&split("validate a b --full")).unwrap();
+        assert!(p.flag("full"));
+    }
+
+    #[test]
+    fn typed_options_and_defaults() {
+        let p = parse(&split("gen er --n 100 --p 0.5")).unwrap();
+        assert_eq!(p.opt("n", 0usize).unwrap(), 100);
+        assert_eq!(p.opt("p", 0.0f64).unwrap(), 0.5);
+        assert_eq!(p.opt("seed", 7u64).unwrap(), 7);
+        assert!(p.opt::<usize>("p", 0).is_err());
+    }
+
+    #[test]
+    fn missing_command_is_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&split("--help")).is_err());
+    }
+
+    #[test]
+    fn positional_accessor() {
+        let p = parse(&split("egonet a.tsv b.tsv 42")).unwrap();
+        assert_eq!(p.pos(2, "vertex").unwrap(), "42");
+        assert!(p.pos(3, "missing").is_err());
+    }
+}

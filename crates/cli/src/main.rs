@@ -1,0 +1,34 @@
+//! `kron` — command-line interface to the nonstochastic Kronecker graph
+//! generator with exact triangle statistics (Sanders et al., IPDPS 2018).
+//!
+//! ```text
+//! kron gen <family> [--n N] [--m M] [--p P] [--seed S] [--out FILE]
+//! kron triangles <graph.tsv>
+//! kron stats <a.tsv> <b.tsv> [--loops-b]
+//! kron query <a.tsv> <b.tsv> <p> [<q>]
+//! kron egonet <a.tsv> <b.tsv> <p>
+//! kron truss <a.tsv> <b.tsv>
+//! kron validate <a.tsv> <b.tsv> [--samples N] [--full]
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args::parse(&argv) {
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", commands::USAGE);
+            2
+        }
+        Ok(parsed) => match commands::run(&parsed) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+    };
+    std::process::exit(code);
+}

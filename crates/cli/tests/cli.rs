@@ -1,0 +1,142 @@
+//! End-to-end tests of the `kron` binary (spawned as a real process).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn kron(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_kron"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kron_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = kron(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let out = kron(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn missing_args_exit_nonzero() {
+    let out = kron(&["stats"]);
+    assert!(!out.status.success());
+    let out = kron(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn gen_writes_parseable_edge_lists() {
+    let dir = tmpdir();
+    let a = dir.join("gen_a.tsv");
+    let out = kron(&[
+        "gen",
+        "holme-kim",
+        "--n",
+        "200",
+        "--m",
+        "2",
+        "--seed",
+        "1",
+        "--out",
+        a.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let g = kron_graph::read_edge_list_path(&a).unwrap();
+    assert_eq!(g.num_edges(), 2 + (200 - 3) * 2);
+}
+
+#[test]
+fn gen_to_stdout() {
+    let out = kron(&["gen", "clique", "--n", "4"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 6); // C(4,2) edges
+}
+
+#[test]
+fn full_pipeline_stats_truss_query_validate() {
+    let dir = tmpdir();
+    let a = dir.join("pipe_a.tsv");
+    let b = dir.join("pipe_b.tsv");
+    assert!(kron(&["gen", "ba", "--n", "120", "--m", "3", "--seed", "3", "--out", a.to_str().unwrap()]).status.success());
+    assert!(kron(&["gen", "one-triangle", "--n", "80", "--seed", "4", "--out", b.to_str().unwrap()]).status.success());
+
+    let out = kron(&["stats", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("A (x) B"));
+    assert!(text.contains("Vertices"));
+
+    let out = kron(&["truss", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("max trussness"));
+
+    let out = kron(&["query", a.to_str().unwrap(), b.to_str().unwrap(), "777"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("triangles t_C"));
+
+    let out = kron(&["egonet", a.to_str().unwrap(), b.to_str().unwrap(), "777"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("egonet of 777"));
+
+    let out = kron(&[
+        "validate",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--samples",
+        "5",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("spot check passed"));
+}
+
+#[test]
+fn truss_refuses_bad_factor() {
+    let dir = tmpdir();
+    let a = dir.join("bad_a.tsv");
+    // a clique has edges in many triangles: Δ_B > 1
+    assert!(kron(&["gen", "clique", "--n", "6", "--out", a.to_str().unwrap()])
+        .status
+        .success());
+    let out = kron(&["truss", a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at most one triangle"));
+}
+
+#[test]
+fn query_out_of_range_vertex() {
+    let dir = tmpdir();
+    let a = dir.join("range_a.tsv");
+    assert!(kron(&["gen", "cycle", "--n", "5", "--out", a.to_str().unwrap()])
+        .status
+        .success());
+    let out = kron(&["query", a.to_str().unwrap(), a.to_str().unwrap(), "999999"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}
+
+#[test]
+fn triangles_single_graph() {
+    let dir = tmpdir();
+    let a = dir.join("tri_a.tsv");
+    assert!(kron(&["gen", "clique", "--n", "5", "--out", a.to_str().unwrap()])
+        .status
+        .success());
+    let out = kron(&["triangles", a.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("10 triangles"));
+}

@@ -1,0 +1,192 @@
+//! Degree and triangle distributions of the product, derived from factor
+//! histograms (§III-A of the paper).
+//!
+//! `d_C = d_A ⊗ d_B` means the degree *histogram* of `C` is the
+//! multiplicative convolution of the factor histograms — computable in
+//! `O(#distinct_A · #distinct_B)` without touching the `n_A·n_B` product.
+//! The same trick applies to the triangle participation histogram via the
+//! four-term general formula. The paper's observations follow: products of
+//! heavy-tailed factors are heavy-tailed, and the max-degree/n ratio
+//! *squares* (`‖d_C‖_∞/n_C = (‖d_A‖_∞/n_A)·(‖d_B‖_∞/n_B)` for loop-free
+//! factors).
+
+use crate::KronProduct;
+use std::collections::{BTreeMap, HashMap};
+
+/// The exact degree histogram of `C` (`degree → vertex count`), from
+/// factor joint histograms over `(rowlen, loop)` pairs.
+pub fn degree_histogram(c: &KronProduct) -> BTreeMap<u64, u128> {
+    let (a, b) = c.factors();
+    let joint = |g: &kron_graph::Graph| -> HashMap<(u64, u64), u128> {
+        let mut h = HashMap::new();
+        for v in 0..g.num_vertices() as u32 {
+            let s = u64::from(g.has_self_loop(v));
+            *h.entry((g.degree(v) + s, s)).or_insert(0u128) += 1;
+        }
+        h
+    };
+    let (ha, hb) = (joint(a), joint(b));
+    let mut out = BTreeMap::new();
+    for (&(ra, sa), &ca) in &ha {
+        for (&(rb, sb), &cb) in &hb {
+            let d = ra * rb - sa * sb;
+            *out.entry(d).or_insert(0) += ca * cb;
+        }
+    }
+    out
+}
+
+/// The exact triangle-participation histogram of `C` (`t → vertex count`),
+/// from factor joint histograms over the general-formula term tuples.
+pub fn triangle_histogram(c: &KronProduct) -> BTreeMap<u64, u128> {
+    let (a, b) = c.factors();
+    let ix = c.indexer();
+    // t_C(p) depends only on the factor vertices' statistic tuples, so
+    // group each factor's vertices into equivalence classes keyed by that
+    // tuple, evaluate the formula once per class pair, and weight by the
+    // class sizes.
+    let a_classes = vertex_classes(a);
+    let b_classes = vertex_classes(b);
+    let mut out = BTreeMap::new();
+    for (ia, ca) in &a_classes {
+        for (kb, cb) in &b_classes {
+            let p = ix.compose(*ia, *kb);
+            let t = c.vertex_triangles(p);
+            *out.entry(t).or_insert(0u128) += (*ca as u128) * (*cb as u128);
+        }
+    }
+    out
+}
+
+/// Group vertices of a factor by their full local-statistic signature
+/// `(diag(X³), rowlen, loopy-neighbor count, loop)`, returning one
+/// representative and the class size. The signature is exactly the tuple
+/// the general vertex formula consumes, so members are interchangeable.
+fn vertex_classes(g: &kron_graph::Graph) -> Vec<(u32, u64)> {
+    let mut classes: HashMap<(u64, u64, u64, bool), (u32, u64)> = HashMap::new();
+    for v in 0..g.num_vertices() as u32 {
+        let row = g.adj_row(v);
+        let diag3: u64 = row
+            .iter()
+            .map(|&j| {
+                let rj = g.adj_row(j);
+                let (mut p, mut q, mut c) = (0, 0, 0u64);
+                while p < row.len() && q < rj.len() {
+                    match row[p].cmp(&rj[q]) {
+                        std::cmp::Ordering::Less => p += 1,
+                        std::cmp::Ordering::Greater => q += 1,
+                        std::cmp::Ordering::Equal => {
+                            c += 1;
+                            p += 1;
+                            q += 1;
+                        }
+                    }
+                }
+                c
+            })
+            .sum();
+        let loopy_nbrs = row.iter().filter(|&&j| g.has_self_loop(j)).count() as u64;
+        let key = (
+            diag3,
+            row.len() as u64,
+            loopy_nbrs,
+            g.has_self_loop(v),
+        );
+        classes
+            .entry(key)
+            .and_modify(|e| e.1 += 1)
+            .or_insert((v, 1));
+    }
+    classes.into_values().collect()
+}
+
+/// Complementary cumulative counts: entries `(x, #vertices with value ≥ x)`
+/// in increasing `x` — the standard heavy-tail plot.
+pub fn ccdf(hist: &BTreeMap<u64, u128>) -> Vec<(u64, u128)> {
+    let mut out: Vec<(u64, u128)> = Vec::with_capacity(hist.len());
+    let mut acc = 0u128;
+    for (&x, &c) in hist.iter().rev() {
+        acc += c;
+        out.push((x, acc));
+    }
+    out.reverse();
+    out
+}
+
+/// The paper's "squaring" observation:
+/// `‖d_C‖_∞ / n_C` (exact, from the factors).
+pub fn max_degree_ratio(c: &KronProduct) -> f64 {
+    c.max_degree() as f64 / c.num_vertices() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_gen::deterministic::clique;
+    use kron_graph::Graph;
+    use rand::prelude::*;
+
+    fn random_graph(rng: &mut StdRng, n: usize, p: f64, loop_p: f64) -> Graph {
+        let mut edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .filter(|_| rng.gen_bool(p))
+            .collect();
+        for v in 0..n as u32 {
+            if rng.gen_bool(loop_p) {
+                edges.push((v, v));
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn histograms_match_direct_scan() {
+        let mut rng = StdRng::seed_from_u64(111);
+        for _ in 0..4 {
+            let a = random_graph(&mut rng, 7, 0.5, 0.3);
+            let b = random_graph(&mut rng, 6, 0.5, 0.3);
+            let c = KronProduct::new(a, b);
+            // direct per-vertex scan of the (small) product
+            let mut dh = BTreeMap::new();
+            let mut th = BTreeMap::new();
+            for p in 0..c.num_vertices() {
+                *dh.entry(c.degree(p)).or_insert(0u128) += 1;
+                *th.entry(c.vertex_triangles(p)).or_insert(0u128) += 1;
+            }
+            assert_eq!(degree_histogram(&c), dh);
+            assert_eq!(triangle_histogram(&c), th);
+        }
+    }
+
+    #[test]
+    fn histogram_mass_is_vertex_count() {
+        let c = KronProduct::new(clique(5), clique(7));
+        let h = degree_histogram(&c);
+        assert_eq!(h.values().sum::<u128>(), c.num_vertices() as u128);
+        let t = triangle_histogram(&c);
+        assert_eq!(t.values().sum::<u128>(), c.num_vertices() as u128);
+    }
+
+    #[test]
+    fn max_ratio_squares_for_loop_free() {
+        let mut rng = StdRng::seed_from_u64(112);
+        let a = random_graph(&mut rng, 9, 0.4, 0.0);
+        let b = random_graph(&mut rng, 8, 0.4, 0.0);
+        let ra = a.max_degree() as f64 / a.num_vertices() as f64;
+        let rb = b.max_degree() as f64 / b.num_vertices() as f64;
+        let c = KronProduct::new(a, b);
+        assert!((max_degree_ratio(&c) - ra * rb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_anchored() {
+        let c = KronProduct::new(clique(4), clique(5));
+        let h = degree_histogram(&c);
+        let cc = ccdf(&h);
+        assert_eq!(cc.first().unwrap().1, c.num_vertices() as u128);
+        for w in cc.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for assumption violations and size guards.
+
+/// Errors surfaced by the `kron` core crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KronError {
+    /// A theorem's hypothesis requires a loop-free factor.
+    SelfLoopsPresent {
+        /// Which factor ("A" or "B") violated the assumption.
+        factor: &'static str,
+        /// Number of offending self loops.
+        count: u64,
+    },
+    /// The truss theorem (Thm. 3) requires `Δ_B ≤ 1`.
+    DeltaBoundViolated {
+        /// The maximum per-edge triangle count observed in `B`.
+        max_delta: u64,
+    },
+    /// A materialization was requested beyond the configured guard.
+    TooLargeToMaterialize {
+        /// Adjacency entries the materialization would produce.
+        entries: u128,
+        /// The guard limit.
+        limit: u128,
+    },
+    /// A validation comparison failed (formula vs direct computation).
+    ValidationMismatch(String),
+}
+
+impl std::fmt::Display for KronError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SelfLoopsPresent { factor, count } => write!(
+                f,
+                "factor {factor} has {count} self loop(s); this construction \
+                 requires diag({factor}) = 0"
+            ),
+            Self::DeltaBoundViolated { max_delta } => write!(
+                f,
+                "Thm. 3 requires every edge of B to participate in at most \
+                 one triangle, but max Δ_B = {max_delta}; sparsify B first \
+                 (kron_gen::triangle_sparsify) or generate it with \
+                 kron_gen::one_triangle_per_edge"
+            ),
+            Self::TooLargeToMaterialize { entries, limit } => write!(
+                f,
+                "materializing this product needs {entries} adjacency \
+                 entries (limit {limit}); use the implicit API instead"
+            ),
+            Self::ValidationMismatch(msg) => write!(f, "validation mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KronError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KronError::SelfLoopsPresent {
+            factor: "A",
+            count: 3,
+        };
+        assert!(e.to_string().contains("factor A"));
+        let e = KronError::DeltaBoundViolated { max_delta: 7 };
+        assert!(e.to_string().contains("Δ_B = 7"));
+        let e = KronError::TooLargeToMaterialize {
+            entries: 1 << 40,
+            limit: 1 << 24,
+        };
+        assert!(e.to_string().contains("implicit"));
+    }
+}

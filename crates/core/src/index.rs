@@ -1,0 +1,131 @@
+//! Index maps between product vertices and factor-vertex pairs.
+//!
+//! The paper (§II) works 1-based: `α_n(i) = ⌊(i−1)/n⌋ + 1`,
+//! `β_n(i) = ((i−1) mod n) + 1`, `γ_n(x, y) = (x−1)·n + y`. The whole
+//! workspace is 0-based, where the same maps collapse to plain division:
+//! `p = i·n_B + k`, `i = p / n_B`, `k = p mod n_B`.
+
+/// Maps between product-vertex ids `p ∈ [0, n_A·n_B)` and factor pairs
+/// `(i, k)` with `i ∈ [0, n_A)`, `k ∈ [0, n_B)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProductIndexer {
+    n_a: u64,
+    n_b: u64,
+}
+
+impl ProductIndexer {
+    /// An indexer for `C = A ⊗ B` with the given factor orders.
+    pub fn new(n_a: usize, n_b: usize) -> Self {
+        Self {
+            n_a: n_a as u64,
+            n_b: n_b as u64,
+        }
+    }
+
+    /// Number of product vertices `n_C = n_A·n_B`.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.n_a * self.n_b
+    }
+
+    /// Left-factor order `n_A`.
+    #[inline]
+    pub fn n_a(&self) -> u64 {
+        self.n_a
+    }
+
+    /// Right-factor order `n_B`.
+    #[inline]
+    pub fn n_b(&self) -> u64 {
+        self.n_b
+    }
+
+    /// `γ`: compose a factor pair into a product vertex: `p = i·n_B + k`.
+    ///
+    /// # Panics
+    /// Debug-asserts the factor indices are in range.
+    #[inline]
+    pub fn compose(&self, i: u32, k: u32) -> u64 {
+        debug_assert!((i as u64) < self.n_a, "left index out of range");
+        debug_assert!((k as u64) < self.n_b, "right index out of range");
+        i as u64 * self.n_b + k as u64
+    }
+
+    /// `(α, β)`: split a product vertex into its factor pair `(i, k)`.
+    ///
+    /// # Panics
+    /// Debug-asserts `p < n_C`.
+    #[inline]
+    pub fn split(&self, p: u64) -> (u32, u32) {
+        debug_assert!(p < self.num_vertices(), "product index out of range");
+        ((p / self.n_b) as u32, (p % self.n_b) as u32)
+    }
+
+    /// The left-factor coordinate `α(p)` alone.
+    #[inline]
+    pub fn left(&self, p: u64) -> u32 {
+        (p / self.n_b) as u32
+    }
+
+    /// The right-factor coordinate `β(p)` alone.
+    #[inline]
+    pub fn right(&self, p: u64) -> u32 {
+        (p % self.n_b) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_small() {
+        let ix = ProductIndexer::new(5, 7);
+        assert_eq!(ix.num_vertices(), 35);
+        for i in 0..5u32 {
+            for k in 0..7u32 {
+                let p = ix.compose(i, k);
+                assert_eq!(ix.split(p), (i, k));
+                assert_eq!(ix.left(p), i);
+                assert_eq!(ix.right(p), k);
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_row_major_in_left_factor() {
+        // the paper's block structure: block i spans [i·n_B, (i+1)·n_B)
+        let ix = ProductIndexer::new(3, 4);
+        assert_eq!(ix.compose(0, 0), 0);
+        assert_eq!(ix.compose(0, 3), 3);
+        assert_eq!(ix.compose(1, 0), 4);
+        assert_eq!(ix.compose(2, 3), 11);
+    }
+
+    #[test]
+    fn matches_paper_one_based_maps() {
+        // 1-based paper maps: α_n(i) = ⌊(i−1)/n⌋+1, β_n(i) = ((i−1)%n)+1,
+        // γ_n(x,y) = (x−1)n+y. Shifting everything by 1 must agree.
+        let n_b = 6u64;
+        let ix = ProductIndexer::new(9, n_b as usize);
+        for p1 in 1..=(9 * n_b) {
+            let alpha = (p1 - 1) / n_b + 1;
+            let beta = (p1 - 1) % n_b + 1;
+            let (i0, k0) = ix.split(p1 - 1);
+            assert_eq!(i0 as u64 + 1, alpha);
+            assert_eq!(k0 as u64 + 1, beta);
+            let gamma = (alpha - 1) * n_b + beta;
+            assert_eq!(ix.compose(i0, k0) + 1, gamma);
+        }
+    }
+
+    #[test]
+    fn large_products_fit_u64() {
+        // the §VI experiment scale: (325,729)² vertices
+        let ix = ProductIndexer::new(325_729, 325_729);
+        assert_eq!(ix.num_vertices(), 106_099_381_441);
+        let p = ix.compose(325_728, 325_728);
+        assert_eq!(p, ix.num_vertices() - 1);
+        assert_eq!(ix.split(p), (325_728, 325_728));
+    }
+}

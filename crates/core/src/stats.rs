@@ -1,0 +1,96 @@
+//! Summary statistics and the paper's human-readable table format.
+
+/// The per-graph row of the paper's §VI table:
+/// `Matrix | Vertices | Edges | Triangles`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProductStats {
+    /// Number of vertices.
+    pub vertices: u128,
+    /// Number of undirected non-loop edges (each counted once).
+    pub edges: u128,
+    /// Number of self loops.
+    pub self_loops: u128,
+    /// Number of triangles.
+    pub triangles: u128,
+}
+
+impl ProductStats {
+    /// Format as a table row: name, then humanized vertex/edge/triangle
+    /// counts (the paper's `325.7K / 1.1M / 4.3M` style).
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{:<12} {:>10} {:>10} {:>10}",
+            name,
+            human_count(self.vertices),
+            human_count(self.edges),
+            human_count(self.triangles)
+        )
+    }
+}
+
+impl std::fmt::Display for ProductStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} vertices, {} edges, {} self loops, {} triangles",
+            self.vertices, self.edges, self.self_loops, self.triangles
+        )
+    }
+}
+
+/// Humanize a count the way the paper's table does: `325.7K`, `1.1M`,
+/// `106.1B`, `2.38T` (one decimal below T, two at T and above).
+pub fn human_count(x: u128) -> String {
+    const UNITS: [(u128, &str); 5] = [
+        (1_000_000_000_000_000, "Q"),
+        (1_000_000_000_000, "T"),
+        (1_000_000_000, "B"),
+        (1_000_000, "M"),
+        (1_000, "K"),
+    ];
+    for (scale, suffix) in UNITS {
+        if x >= scale {
+            let whole = x / scale;
+            let frac2 = (x % scale) * 100 / scale;
+            return if scale >= 1_000_000_000_000 {
+                format!("{whole}.{frac2:02}{suffix}")
+            } else {
+                format!("{whole}.{}{suffix}", frac2 / 10)
+            };
+        }
+    }
+    x.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn humanize_matches_paper_style() {
+        assert_eq!(human_count(325_729), "325.7K");
+        assert_eq!(human_count(1_090_108), "1.0M");
+        assert_eq!(human_count(4_308_495), "4.3M");
+        assert_eq!(human_count(106_099_381_441), "106.0B");
+        assert_eq!(human_count(2_376_670_903_328), "2.37T");
+        assert_eq!(human_count(111_378_774_990_150), "111.37T");
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(0), "0");
+    }
+
+    #[test]
+    fn table_row_contains_fields() {
+        let s = ProductStats {
+            vertices: 1_000,
+            edges: 2_000_000,
+            self_loops: 0,
+            triangles: 3,
+        };
+        let row = s.table_row("AxB");
+        assert!(row.contains("AxB"));
+        assert!(row.contains("1.0K"));
+        assert!(row.contains("2.0M"));
+        assert!(row.contains('3'));
+        assert!(s.to_string().contains("self loops"));
+    }
+}

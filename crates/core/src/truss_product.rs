@@ -1,0 +1,202 @@
+//! Truss decomposition of a Kronecker product (Thm. 3).
+//!
+//! Ex. 2 of the paper shows the truss decomposition of `C = A ⊗ B` does
+//! *not* factorize in general. Thm. 3 gives the tractable case: when `B`
+//! is loop-free and **every edge of `B` participates in at most one
+//! triangle** (`Δ_B ≤ 1`), then
+//!
+//! > `(p, q) ∈ T^(κ)_C  ⇔  (i, j) ∈ T^(κ)_A  and  (k, l) ∈ T^(3)_B`.
+//!
+//! Factors satisfying the hypothesis come from
+//! `kron_gen::one_triangle_per_edge` (§III-D strategy (b)) or
+//! `kron_gen::triangle_sparsify` (strategy (a)).
+
+use crate::{KronError, ProductIndexer};
+use kron_graph::Graph;
+use kron_triangles::edge_participation;
+use kron_truss::{truss_decomposition, TrussDecomposition};
+
+/// The truss decomposition of `C = A ⊗ B`, held implicitly: `A`'s full
+/// decomposition plus the triangle indicator of `B`'s edges.
+pub struct KronTruss {
+    a_truss: TrussDecomposition,
+    /// slot-aligned indicator on `B`: edge is in a triangle (`Δ_B = 1`).
+    b_in_triangle: Vec<bool>,
+    a: Graph,
+    b: Graph,
+    ix: ProductIndexer,
+}
+
+/// Derive the truss decomposition of `C = A ⊗ B` from the factors
+/// (Thm. 3).
+///
+/// # Errors
+/// * [`KronError::SelfLoopsPresent`] if either factor has self loops;
+/// * [`KronError::DeltaBoundViolated`] if some edge of `B` participates in
+///   more than one triangle (Ex. 2 shows the formula then fails).
+pub fn product_truss(a: &Graph, b: &Graph) -> Result<KronTruss, KronError> {
+    for (g, name) in [(a, "A"), (b, "B")] {
+        if g.num_self_loops() > 0 {
+            return Err(KronError::SelfLoopsPresent {
+                factor: name,
+                count: g.num_self_loops(),
+            });
+        }
+    }
+    let delta_b = edge_participation(b);
+    if let Some(&max) = delta_b.iter().max() {
+        if max > 1 {
+            return Err(KronError::DeltaBoundViolated { max_delta: max });
+        }
+    }
+    Ok(KronTruss {
+        a_truss: truss_decomposition(a),
+        b_in_triangle: delta_b.iter().map(|&d| d == 1).collect(),
+        a: a.clone(),
+        b: b.clone(),
+        ix: ProductIndexer::new(a.num_vertices(), b.num_vertices()),
+    })
+}
+
+impl KronTruss {
+    /// The trussness of the product edge `{p, q}` (max `κ` with
+    /// `(p,q) ∈ T^(κ)_C`), or `None` if `{p, q}` is not an edge of `C`.
+    ///
+    /// Edges whose `B`-coordinate edge is triangle-free are in no 3-truss
+    /// and report trussness 2.
+    pub fn trussness(&self, p: u64, q: u64) -> Option<u32> {
+        let (i, k) = self.ix.split(p);
+        let (j, l) = self.ix.split(q);
+        let a_truss = self.a_truss.trussness_of(i, j)?;
+        let b_slot = self.b.edge_slot(k, l)?;
+        Some(if self.b_in_triangle[b_slot] {
+            a_truss
+        } else {
+            2
+        })
+    }
+
+    /// `|T^(κ)_C|`: the number of product edges in the `κ`-truss, in
+    /// closed form (`κ ≥ 3`): adjacency entries of `A` with trussness ≥ κ
+    /// times triangle-carrying adjacency entries of `B`, halved.
+    pub fn truss_size(&self, kappa: u32) -> u128 {
+        if kappa <= 2 {
+            return (self.a.nnz() as u128) * (self.b.nnz() as u128) / 2;
+        }
+        let a_entries: u128 = self
+            .a_truss
+            .edges_in_truss(kappa)
+            .count() as u128
+            * 2;
+        let b_entries: u128 = self.b_in_triangle.iter().filter(|&&x| x).count() as u128;
+        a_entries * b_entries / 2
+    }
+
+    /// The largest `κ` with a non-empty `κ`-truss in `C`.
+    pub fn max_trussness(&self) -> u32 {
+        if self.b_in_triangle.iter().any(|&x| x) {
+            self.a_truss.max_trussness()
+        } else if self.a.num_edges() > 0 && self.b.num_edges() > 0 {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// The underlying decomposition of the left factor.
+    pub fn left_truss(&self) -> &TrussDecomposition {
+        &self.a_truss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KronProduct;
+    use kron_gen::deterministic::{clique, hub_cycle};
+    use kron_gen::one_triangle_per_edge;
+    use rand::prelude::*;
+
+    /// Materialize C and compare the Thm. 3 trussness against the direct
+    /// peeling decomposition for every edge.
+    fn check(a: Graph, b: Graph) {
+        let kt = product_truss(&a, &b).unwrap();
+        let c = KronProduct::new(a, b);
+        let g = c.materialize(1 << 24).unwrap();
+        let direct = truss_decomposition(&g);
+        for (u, v) in g.edges() {
+            assert_eq!(
+                direct.trussness_of(u, v),
+                kt.trussness(u as u64, v as u64),
+                "edge ({u},{v})"
+            );
+        }
+        // truss sizes in closed form
+        for kappa in 2..=direct.max_trussness() + 1 {
+            assert_eq!(
+                direct.edges_in_truss(kappa).count() as u128,
+                kt.truss_size(kappa),
+                "|T({kappa})|"
+            );
+        }
+        assert_eq!(direct.max_trussness(), kt.max_trussness());
+    }
+
+    #[test]
+    fn thm3_with_generated_b() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for trial in 0..4 {
+            let n = rng.gen_range(4..9);
+            let edges: Vec<(u32, u32)> = (0..n as u32)
+                .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+                .filter(|_| rng.gen_bool(0.5))
+                .collect();
+            let a = Graph::from_edges(n, edges);
+            let b = one_triangle_per_edge(7, trial);
+            check(a, b);
+        }
+    }
+
+    #[test]
+    fn thm3_with_clique_a() {
+        // A = K5 (trussness 5 everywhere), B with Δ ≤ 1
+        let a = clique(5);
+        let b = one_triangle_per_edge(6, 3);
+        check(a, b);
+    }
+
+    #[test]
+    fn thm3_with_triangle_free_b() {
+        // B a path: no triangles at all, so nothing in C is in a 3-truss
+        let a = clique(4);
+        let b = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let kt = product_truss(&a, &b).unwrap();
+        assert_eq!(kt.max_trussness(), 2);
+        check(a, b);
+    }
+
+    #[test]
+    fn example_2_violates_hypothesis() {
+        // Ex. 2's point: B = hub-cycle has hub edges with Δ = 2, so Thm. 3
+        // does not apply — and the API refuses.
+        let a = hub_cycle();
+        assert!(matches!(
+            product_truss(&a, &hub_cycle()),
+            Err(KronError::DeltaBoundViolated { max_delta: 2 })
+        ));
+    }
+
+    #[test]
+    fn loops_rejected() {
+        let a = clique(3).with_all_self_loops();
+        let b = one_triangle_per_edge(5, 0);
+        assert!(matches!(
+            product_truss(&a, &b),
+            Err(KronError::SelfLoopsPresent { factor: "A", .. })
+        ));
+        assert!(matches!(
+            product_truss(&b, &a),
+            Err(KronError::SelfLoopsPresent { factor: "B", .. })
+        ));
+    }
+}

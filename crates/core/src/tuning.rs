@@ -1,0 +1,144 @@
+//! Triangle-count tuning (the paper's Rem. 1): "our formulas allow tuning
+//! of local triangle counts by adding/deleting triangles and self-loops
+//! from the input factors."
+//!
+//! This module quantifies the knobs *at the product level*: what happens
+//! to `τ(C)`, a vertex's `t_C`, and the edge counts when loops are added
+//! to factor vertices (Rem. 3 boosting) or triangles are added/removed in
+//! a factor (`kron_gen::close_wedges` / `kron_gen::triangle_sparsify`).
+
+use crate::{KronProduct, ProductStats};
+use kron_graph::Graph;
+
+/// Before/after summary of a factor edit's effect on the product.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TuningReport {
+    /// Product statistics before the edit.
+    pub before: ProductStats,
+    /// Product statistics after the edit.
+    pub after: ProductStats,
+}
+
+impl TuningReport {
+    /// Multiplicative triangle boost `τ_after / τ_before` (`None` when the
+    /// baseline has no triangles).
+    pub fn triangle_boost(&self) -> Option<f64> {
+        (self.before.triangles > 0)
+            .then(|| self.after.triangles as f64 / self.before.triangles as f64)
+    }
+}
+
+impl std::fmt::Display for TuningReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "edges {} → {}, triangles {} → {}",
+            self.before.edges, self.after.edges, self.before.triangles, self.after.triangles
+        )?;
+        if let Some(x) = self.triangle_boost() {
+            write!(f, " ({x:.2}×)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Report the product-level effect of adding self loops at `vertices` of
+/// the right factor `B` (Rem. 3: loops in a factor boost triangles in the
+/// product — Cor. 1's `diag(B³)` grows by the loop walks).
+pub fn loop_boost_report(a: &Graph, b: &Graph, vertices: &[u32]) -> TuningReport {
+    let before = KronProduct::new(a.clone(), b.clone()).stats();
+    let after = KronProduct::new(a.clone(), b.with_self_loops_at(vertices)).stats();
+    TuningReport { before, after }
+}
+
+/// Report the product-level effect of replacing the right factor outright
+/// (e.g. after `kron_gen::close_wedges` or `kron_gen::triangle_sparsify`).
+pub fn factor_swap_report(a: &Graph, b_before: &Graph, b_after: &Graph) -> TuningReport {
+    TuningReport {
+        before: KronProduct::new(a.clone(), b_before.clone()).stats(),
+        after: KronProduct::new(a.clone(), b_after.clone()).stats(),
+    }
+}
+
+/// The exact `t_C` gain at one product vertex `(i, k)` from adding a self
+/// loop at factor-B vertex `k`, without rebuilding anything:
+/// `Δt_C = t_A-terms × [diag(B'³)_k − diag(B³)_k]`, where for a loop-free
+/// `B` the bracket is `3·d_B(k) + 1` plus one per loopy neighbor pair —
+/// here computed exactly by differencing the two products.
+pub fn vertex_gain_from_loop(a: &Graph, b: &Graph, i: u32, k: u32) -> u64 {
+    let before = KronProduct::new(a.clone(), b.clone());
+    let after = KronProduct::new(a.clone(), b.with_self_loops_at(&[k]));
+    let p = before.indexer().compose(i, k);
+    after.vertex_triangles(p) - before.vertex_triangles(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_gen::deterministic::clique;
+    use kron_gen::{close_wedges, holme_kim, triangle_sparsify};
+    use kron_triangles::vertex_participation;
+
+    #[test]
+    fn loops_strictly_boost_triangle_rich_products() {
+        let a = holme_kim(80, 3, 0.8, 1);
+        let b = holme_kim(60, 3, 0.8, 2);
+        let all: Vec<u32> = (0..60).collect();
+        let report = loop_boost_report(&a, &b, &all);
+        assert!(report.after.triangles > report.before.triangles);
+        assert!(report.triangle_boost().unwrap() > 1.0);
+        // B-loops pair with A-edges to create new product edges
+        assert!(report.after.edges > report.before.edges);
+        let shown = report.to_string();
+        assert!(shown.contains("triangles"));
+    }
+
+    #[test]
+    fn single_loop_gain_matches_closed_form() {
+        // For loop-free A and B, t_C(i,k) = t_A(i)·diag(B³)_k. Adding an
+        // *isolated* loop at k contributes the loop walks ℓℓℓ (1) and
+        // ℓ(k,l)(l,k) / (k,l)(l,k)ℓ (2 per neighbor), so
+        // Δt_C = t_A(i)·(2·d_B(k) + 1). (The paper's 3d + 1 figure after
+        // Cor. 1 includes the (k,l)(l,l)(l,k) walks, which need loops at
+        // the *neighbors* too — as in B = A + I.)
+        let a = holme_kim(40, 2, 0.8, 3);
+        let b = holme_kim(30, 2, 0.8, 4);
+        let ta = vertex_participation(&a);
+        let (i, k) = (5u32, 7u32);
+        let gain = vertex_gain_from_loop(&a, &b, i, k);
+        assert_eq!(gain, ta[i as usize] * (2 * b.degree(k) + 1));
+        // and with loops at the whole closed neighborhood, the paper's
+        // 2t + 3d + 1 form appears:
+        let mut hood: Vec<u32> = b.neighbors(k).collect();
+        hood.push(k);
+        let before = KronProduct::new(a.clone(), b.clone());
+        let after = KronProduct::new(a.clone(), b.with_self_loops_at(&hood));
+        let p = before.indexer().compose(i, k);
+        let tb = vertex_participation(&b);
+        assert_eq!(
+            after.vertex_triangles(p),
+            ta[i as usize] * (2 * tb[k as usize] + 3 * b.degree(k) + 1)
+        );
+    }
+
+    #[test]
+    fn wedge_closure_boost_flows_through() {
+        let a = clique(5);
+        let b = holme_kim(100, 2, 0.3, 5);
+        let boosted = close_wedges(&b, 50, 6);
+        let report = factor_swap_report(&a, &b, &boosted);
+        assert!(report.after.triangles > report.before.triangles);
+        // 50 new B-edges × nnz(A)=20 entries each, halved: 1000 new C-edges
+        assert_eq!(report.after.edges - report.before.edges, 1000);
+    }
+
+    #[test]
+    fn sparsify_reduces() {
+        let a = clique(4);
+        let b = holme_kim(80, 3, 0.9, 7);
+        let thinned = triangle_sparsify(&b, 8);
+        let report = factor_swap_report(&a, &b, &thinned);
+        assert!(report.after.triangles < report.before.triangles);
+        assert!(report.after.edges < report.before.edges);
+    }
+}

@@ -1,0 +1,81 @@
+//! Barabási–Albert preferential attachment.
+
+use kron_graph::{Graph, GraphBuilder};
+use rand::prelude::*;
+
+/// Barabási–Albert scale-free graph: start from a star on `m + 1` vertices,
+/// then attach each new vertex to `m` distinct existing vertices chosen
+/// with probability proportional to degree (implemented with the classic
+/// repeated-endpoints pool, so attachment is exactly degree-proportional).
+///
+/// # Panics
+/// Panics unless `1 ≤ m < n`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && m < n, "need 1 <= m < n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    // pool of edge endpoints: sampling uniformly from it is sampling
+    // vertices proportionally to degree
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for v in 1..=m as u32 {
+        b.add_edge(0, v);
+        pool.push(0);
+        pool.push(v);
+    }
+    let mut targets: Vec<u32> = Vec::with_capacity(m);
+    for u in (m + 1) as u32..n as u32 {
+        targets.clear();
+        while targets.len() < m {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(u, t);
+            pool.push(u);
+            pool.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_graph::is_connected;
+
+    #[test]
+    fn edge_count_and_connectivity() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, 11);
+        // m initial edges + m per additional vertex
+        assert_eq!(g.num_edges() as usize, m + (n - m - 1) * m);
+        assert!(is_connected(&g));
+        assert_eq!(g.num_self_loops(), 0);
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let g = barabasi_albert(2000, 2, 5);
+        let max_d = g.max_degree();
+        let mean_d = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_d as f64 > 8.0 * mean_d,
+            "max degree {max_d} should dominate mean {mean_d}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(barabasi_albert(100, 2, 9), barabasi_albert(100, 2, 9));
+    }
+
+    #[test]
+    fn m_one_is_a_tree() {
+        let g = barabasi_albert(64, 1, 4);
+        assert_eq!(g.num_edges(), 63);
+        assert!(is_connected(&g));
+    }
+}

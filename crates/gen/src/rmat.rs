@@ -1,0 +1,129 @@
+//! R-MAT recursive matrix generator (Chakrabarti–Zhan–Faloutsos), one of
+//! the stochastic baselines the paper's Rem. 1 contrasts against.
+
+use kron_graph::{Graph, GraphBuilder};
+use rand::prelude::*;
+
+/// R-MAT quadrant probabilities. Must sum to 1 (within 1e-9).
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (the "home" quadrant; > 0.25 yields
+    /// skewed degrees).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 parameterization `(0.57, 0.19, 0.19, 0.05)`.
+    pub fn graph500() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self::graph500()
+    }
+}
+
+/// Generate an undirected R-MAT graph with `2^scale` vertices by dropping
+/// `edge_factor · 2^scale` edges (duplicates and self loops are discarded,
+/// so the final count is somewhat lower — as in the Graph500 benchmark).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Graph {
+    let sum = params.a + params.b + params.c + params.d;
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "quadrant probabilities must sum to 1, got {sum}"
+    );
+    assert!(scale >= 1 && scale < 32, "scale out of range");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (mut lo_r, mut lo_c) = (0u32, 0u32);
+        let mut half = (n / 2) as u32;
+        while half > 0 {
+            let x: f64 = rng.gen();
+            let (dr, dc) = if x < params.a {
+                (0, 0)
+            } else if x < params.a + params.b {
+                (0, 1)
+            } else if x < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            lo_r += dr * half;
+            lo_c += dc * half;
+            half /= 2;
+        }
+        if lo_r != lo_c {
+            b.add_edge(lo_r, lo_c);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_no_loops() {
+        let g = rmat(10, 8, RmatParams::graph500(), 1);
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_self_loops(), 0);
+        // duplicates removed, so strictly fewer than 8·n but in the ballpark
+        assert!(g.num_edges() > 2 * 1024 && g.num_edges() <= 8 * 1024);
+    }
+
+    #[test]
+    fn skewed_parameters_give_heavy_tail() {
+        let skewed = rmat(11, 8, RmatParams::graph500(), 5);
+        let uniform = rmat(
+            11,
+            8,
+            RmatParams {
+                a: 0.25,
+                b: 0.25,
+                c: 0.25,
+                d: 0.25,
+            },
+            5,
+        );
+        assert!(skewed.max_degree() > 2 * uniform.max_degree());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = RmatParams::graph500();
+        assert_eq!(rmat(8, 4, p, 2), rmat(8, 4, p, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_params_rejected() {
+        let _ = rmat(
+            5,
+            2,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            0,
+        );
+    }
+}

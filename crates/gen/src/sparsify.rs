@@ -1,0 +1,120 @@
+//! The paper's §III-D strategy (a): make a real-world factor satisfy the
+//! truss theorem's hypothesis by deleting edges until every edge
+//! participates in at most one triangle, "while maintaining connectivity
+//! (with any spanning tree)".
+
+use kron_graph::{spanning_tree, Graph};
+use kron_triangles::edge_participation;
+use rand::prelude::*;
+use std::collections::HashSet;
+
+/// Delete edges of `g` until `Δ ≤ 1` everywhere, never touching a spanning
+/// forest (so connectivity — per component — is preserved). Deletion order
+/// is randomized by `seed`.
+///
+/// Per round, every non-protected edge with `Δ ≥ 2` is removed, then `Δ`
+/// is recomputed; when only protected edges exceed the bound (a triangle
+/// whose non-tree edges were already gone), one incident non-protected
+/// triangle edge is removed instead. Self loops are dropped up front (they
+/// never join triangles and are irrelevant to connectivity).
+pub fn triangle_sparsify(g: &Graph, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = g.without_self_loops();
+    let protected: HashSet<(u32, u32)> = spanning_tree(&cur)
+        .into_iter()
+        .map(|(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    loop {
+        let delta = edge_participation(&cur);
+        let over: Vec<(u32, u32)> = cur
+            .edges()
+            .filter(|&(u, v)| delta[cur.edge_slot(u, v).unwrap()] >= 2)
+            .collect();
+        if over.is_empty() {
+            return cur;
+        }
+        let mut doomed: Vec<(u32, u32)> = over
+            .iter()
+            .copied()
+            .filter(|e| !protected.contains(e))
+            .collect();
+        if doomed.is_empty() {
+            // all over-saturated edges are tree edges; break one of their
+            // triangles through a non-protected side edge
+            let &(u, v) = over.first().expect("nonempty");
+            let side = cur
+                .neighbors(u)
+                .filter(|&w| w != v && cur.has_edge(v, w))
+                .find_map(|w| {
+                    [(u, w), (v, w)]
+                        .into_iter()
+                        .map(|(a, b)| (a.min(b), a.max(b)))
+                        .find(|e| !protected.contains(e))
+                })
+                .expect("a triangle cannot consist of three tree edges");
+            doomed.push(side);
+        } else {
+            doomed.shuffle(&mut rng);
+        }
+        cur = cur.without_edges(&doomed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deterministic::clique;
+    use crate::holme_kim;
+    use kron_graph::connected_components;
+
+    #[test]
+    fn output_satisfies_delta_bound() {
+        let g = holme_kim(400, 3, 0.8, 1);
+        let s = triangle_sparsify(&g, 7);
+        let delta = edge_participation(&s);
+        assert!(delta.iter().all(|&d| d <= 1));
+    }
+
+    #[test]
+    fn connectivity_preserved() {
+        let g = holme_kim(400, 3, 0.8, 2);
+        assert_eq!(connected_components(&g).0, 1);
+        let s = triangle_sparsify(&g, 8);
+        assert_eq!(connected_components(&s).0, 1);
+    }
+
+    #[test]
+    fn component_count_preserved_on_disconnected_input() {
+        // two disjoint cliques
+        let mut edges: Vec<(u32, u32)> = clique(5).edges().collect();
+        edges.extend(clique(5).edges().map(|(u, v)| (u + 5, v + 5)));
+        let g = Graph::from_edges(10, edges);
+        assert_eq!(connected_components(&g).0, 2);
+        let s = triangle_sparsify(&g, 3);
+        assert_eq!(connected_components(&s).0, 2);
+        assert!(edge_participation(&s).iter().all(|&d| d <= 1));
+    }
+
+    #[test]
+    fn already_sparse_graph_unchanged() {
+        let g = crate::one_triangle_per_edge(300, 4);
+        let s = triangle_sparsify(&g, 5);
+        assert_eq!(s.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn clique_collapses_but_stays_connected() {
+        let g = clique(8);
+        let s = triangle_sparsify(&g, 6);
+        assert!(edge_participation(&s).iter().all(|&d| d <= 1));
+        assert_eq!(connected_components(&s).0, 1);
+        assert!(s.num_edges() >= 7); // at least the spanning tree
+    }
+
+    #[test]
+    fn loops_removed() {
+        let g = Graph::from_edges(4, [(0, 0), (0, 1), (1, 2), (2, 0), (1, 3)]);
+        let s = triangle_sparsify(&g, 0);
+        assert_eq!(s.num_self_loops(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Triangle boosting by wedge closure — the "adding triangles" half of the
+//! paper's Rem. 1 tuning claim ("our formulas allow tuning of local
+//! triangle counts by adding/deleting triangles and self-loops from the
+//! input factors").
+//!
+//! Each round samples an open wedge `u–v–w` (two incident edges with
+//! `{u, w}` absent) and closes it, creating at least one new triangle.
+//! Closing wedges at high-degree centers mimics the triadic closure that
+//! makes real webgraphs triangle-rich.
+
+use kron_graph::Graph;
+use rand::prelude::*;
+
+/// Add up to `count` wedge-closing edges to `g` (self loops left
+/// untouched). Returns the new graph; fewer edges may be added if the
+/// graph runs out of open wedges reachable by sampling.
+pub fn close_wedges(g: &Graph, count: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices();
+    let mut adj: Vec<Vec<u32>> = (0..n as u32)
+        .map(|v| g.neighbors(v).collect())
+        .collect();
+    // sample wedge centers proportionally to degree via the edge list
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * g.num_edges() as usize);
+    for (u, v) in g.edges() {
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    if endpoints.is_empty() {
+        return g.clone();
+    }
+    let mut added: Vec<(u32, u32)> = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while added.len() < count && attempts < 50 * count + 100 {
+        attempts += 1;
+        let center = endpoints[rng.gen_range(0..endpoints.len())];
+        let row = &adj[center as usize];
+        if row.len() < 2 {
+            continue;
+        }
+        let u = row[rng.gen_range(0..row.len())];
+        let w = row[rng.gen_range(0..row.len())];
+        if u == w || adj[u as usize].contains(&w) {
+            continue;
+        }
+        adj[u as usize].push(w);
+        adj[w as usize].push(u);
+        endpoints.push(u);
+        endpoints.push(w);
+        added.push((u, w));
+    }
+    let all_edges = g
+        .edges()
+        .chain(g.self_loops().map(|v| (v, v)))
+        .chain(added);
+    Graph::from_edges(n, all_edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barabasi_albert;
+    use kron_triangles::count_triangles;
+
+    #[test]
+    fn boosts_triangles() {
+        let g = barabasi_albert(500, 2, 1);
+        let before = count_triangles(&g).triangles;
+        let boosted = close_wedges(&g, 300, 2);
+        let after = count_triangles(&boosted).triangles;
+        assert!(after >= before + 300, "each closure adds ≥1 triangle: {before} → {after}");
+        assert_eq!(boosted.num_edges(), g.num_edges() + 300);
+    }
+
+    #[test]
+    fn preserves_vertices_and_loops() {
+        let g = kron_graph::Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (1, 1)]);
+        let b = close_wedges(&g, 2, 3);
+        assert_eq!(b.num_vertices(), 5);
+        assert!(b.has_self_loop(1));
+        assert!(b.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn runs_out_gracefully_on_cliques() {
+        let g = crate::deterministic::clique(5);
+        let b = close_wedges(&g, 100, 4);
+        assert_eq!(b, g); // no open wedges in a clique
+    }
+
+    #[test]
+    fn empty_graph_unchanged() {
+        let g = kron_graph::Graph::empty(4);
+        assert_eq!(close_wedges(&g, 10, 5), g);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = barabasi_albert(200, 2, 6);
+        assert_eq!(close_wedges(&g, 50, 7), close_wedges(&g, 50, 7));
+    }
+}

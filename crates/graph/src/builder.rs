@@ -1,0 +1,133 @@
+//! Incremental construction of undirected graphs with deduplication.
+
+use crate::Graph;
+
+/// Accumulates edges and produces a well-formed [`Graph`].
+///
+/// Both orientations of each edge are generated automatically; duplicates
+/// (in any orientation) collapse at [`GraphBuilder::build`] time. Self loops
+/// are stored once.
+pub struct GraphBuilder {
+    n: usize,
+    /// Directed half-edges; loops appear once.
+    pairs: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            pairs: Vec::new(),
+        }
+    }
+
+    /// A builder expecting roughly `m` edges (preallocates).
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self {
+            n,
+            pairs: Vec::with_capacity(2 * m),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Add the undirected edge `{u, v}` (a loop if `u == v`).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of bounds.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of bounds for {} vertices",
+            self.n
+        );
+        self.pairs.push((u, v));
+        if u != v {
+            self.pairs.push((v, u));
+        }
+    }
+
+    /// Current number of accumulated half-edges (before dedup).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Sort, deduplicate, and produce the CSR graph.
+    pub fn build(mut self) -> Graph {
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, _) in &self.pairs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut loops = 0u64;
+        let neighbors: Vec<u32> = self
+            .pairs
+            .iter()
+            .map(|&(u, v)| {
+                if u == v {
+                    loops += 1;
+                }
+                v
+            })
+            .collect();
+        let nnz = neighbors.len() as u64;
+        Graph::from_sorted_parts(offsets, neighbors, (nnz - loops) / 2, loops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_symmetry() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(2, 1);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0) && g.has_edge(0, 1));
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn loops_stored_once() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+        b.add_edge(1, 1);
+        let g = b.build();
+        assert_eq!(g.num_self_loops(), 1);
+        assert_eq!(g.adj_row(1), &[1]);
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut b = GraphBuilder::with_capacity(4, 10);
+        assert!(b.is_empty());
+        b.add_edge(0, 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.num_vertices(), 4);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

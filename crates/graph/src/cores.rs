@@ -1,0 +1,141 @@
+//! k-core decomposition (Matula–Beck bucket peeling).
+//!
+//! The vertex analogue of the truss decomposition of §III-D, and the
+//! standard companion ordering for triangle kernels (several of the
+//! paper's cited HPEC implementations orient edges by core number). Self
+//! loops are ignored.
+
+use crate::Graph;
+
+/// Core numbers of every vertex: `core[v]` is the largest `k` such that
+/// `v` belongs to a subgraph of minimum degree `k`. `O(n + m)`.
+pub fn core_decomposition(g: &Graph) -> Vec<u32> {
+    let g = g.without_self_loops();
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<u32> = (0..n as u32).map(|v| g.degree(v) as u32).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+    // bucket sort vertices by degree
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 0..=max_deg {
+        bin[i + 1] += bin[i];
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0u32; n];
+    {
+        let mut next = bin.clone();
+        for v in 0..n {
+            let d = deg[v] as usize;
+            order[next[d]] = v as u32;
+            pos[v] = next[d];
+            next[d] += 1;
+        }
+    }
+    let mut core = vec![0u32; n];
+    let mut level = 0u32;
+    for idx in 0..n {
+        let v = order[idx] as usize;
+        level = level.max(deg[v]);
+        core[v] = level;
+        for u in g.neighbors(v as u32) {
+            let u = u as usize;
+            if deg[u] > deg[v] {
+                // move u one bucket down
+                let du = deg[u] as usize;
+                let first = bin[du];
+                let moved = order[first] as usize;
+                let pu = pos[u];
+                order.swap(first, pu);
+                pos[u] = first;
+                pos[moved] = pu;
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The degeneracy of the graph: the maximum core number.
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_decomposition(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: usize) -> Graph {
+        Graph::from_edges(
+            n,
+            (0..n as u32).flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j))),
+        )
+    }
+
+    #[test]
+    fn clique_core_is_n_minus_1() {
+        for n in 2..=6 {
+            let core = core_decomposition(&clique(n));
+            assert!(core.iter().all(|&c| c == (n - 1) as u32));
+        }
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let p = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(core_decomposition(&p), vec![1, 1, 1, 1]);
+        let c = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(core_decomposition(&c), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn pendant_peels_first() {
+        // triangle with a tail: tail vertex core 1, triangle core 2
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(core_decomposition(&g), vec![2, 2, 2, 1]);
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn core_is_monotone_under_edge_removal() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20;
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .filter(|_| rng.gen_bool(0.4))
+            .collect();
+        let g = Graph::from_edges(n, edges.clone());
+        let core = core_decomposition(&g);
+        // drop a random edge: no core number may increase
+        if let Some(&e) = edges.first() {
+            let h = g.without_edges(&[e]);
+            let core2 = core_decomposition(&h);
+            for v in 0..n {
+                assert!(core2[v] <= core[v]);
+            }
+        }
+        // definition check: the k-core subgraph has min degree ≥ k
+        let k = degeneracy(&g);
+        let keep: Vec<u32> = (0..n as u32).filter(|&v| core[v as usize] >= k).collect();
+        let (sub, _) = crate::induced_subgraph(&g, &keep);
+        assert!((0..sub.num_vertices() as u32).all(|v| sub.degree(v) >= k as u64));
+    }
+
+    #[test]
+    fn loops_ignored() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0), (1, 1)]);
+        assert_eq!(core_decomposition(&g), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(core_decomposition(&Graph::empty(0)).is_empty());
+        assert_eq!(core_decomposition(&Graph::empty(3)), vec![0, 0, 0]);
+    }
+}

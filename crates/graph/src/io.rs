@@ -1,0 +1,149 @@
+//! Plain-text edge-list I/O (SNAP-compatible).
+//!
+//! The paper's §VI uses the SNAP `web-NotreDame` graph; this reader accepts
+//! that format (whitespace-separated endpoint pairs, `#` comment lines) so
+//! the real dataset can be dropped in where the experiments default to a
+//! synthetic stand-in (see DESIGN.md §4).
+
+use crate::{Graph, GraphBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Read an undirected graph from a whitespace-separated edge list.
+///
+/// Lines starting with `#` or `%` are comments; blank lines are skipped.
+/// Vertex ids may be arbitrary `u64`s — they are compacted to `0..n` in
+/// first-appearance order of the sorted id set. Directions are ignored
+/// (the paper's experiment uses "the undirected version" of the input).
+///
+/// Returns the graph; self loops in the input are preserved (callers that
+/// need the loop-free version apply [`Graph::without_self_loops`], matching
+/// the paper's preprocessing).
+pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<Graph> {
+    let mut raw_edges: Vec<(u64, u64)> = Vec::new();
+    let mut line = String::new();
+    let mut r = BufReader::new(reader);
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('#') || s.starts_with('%') {
+            continue;
+        }
+        let mut it = s.split_whitespace();
+        let parse = |tok: Option<&str>| -> std::io::Result<u64> {
+            tok.and_then(|t| t.parse().ok()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed edge on line {lineno}: {s:?}"),
+                )
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        raw_edges.push((u, v));
+    }
+    // Compact ids.
+    let mut ids: Vec<u64> = raw_edges
+        .iter()
+        .flat_map(|&(u, v)| [u, v])
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let index = |x: u64| ids.binary_search(&x).unwrap() as u32;
+    let mut b = GraphBuilder::with_capacity(ids.len(), raw_edges.len());
+    for (u, v) in raw_edges {
+        b.add_edge(index(u), index(v));
+    }
+    Ok(b.build())
+}
+
+/// [`read_edge_list`] from a filesystem path.
+pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> std::io::Result<Graph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write a graph as a tab-separated edge list (each undirected edge once,
+/// loops as `v\tv`), with a header comment.
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# kron edge list: {} vertices, {} edges, {} self loops",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_self_loops()
+    )?;
+    for v in g.self_loops() {
+        writeln!(writer, "{v}\t{v}")?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+/// [`write_edge_list`] to a filesystem path.
+pub fn write_edge_list_path<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    write_edge_list(g, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = "# SNAP-style header\n% matrix-market style\n\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn sparse_ids_compacted() {
+        let text = "100 2000\n2000 30\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        // sorted id order: 30 -> 0, 100 -> 1, 2000 -> 2
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn directed_duplicates_collapse() {
+        let text = "0 1\n1 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        assert!(read_edge_list("0 not-a-number\n".as_bytes()).is_err());
+        assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let dir = std::env::temp_dir().join("kron_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.tsv");
+        write_edge_list_path(&g, &path).unwrap();
+        let h = read_edge_list_path(&path).unwrap();
+        assert_eq!(g, h);
+    }
+}

@@ -1,0 +1,506 @@
+//! The undirected graph type: CSR adjacency with sorted neighbor rows.
+
+use crate::GraphBuilder;
+
+/// An undirected graph (possibly with self loops) stored as a symmetric CSR
+/// adjacency structure.
+///
+/// Invariants:
+/// * each neighbor row is sorted and duplicate-free;
+/// * adjacency is symmetric: `v ∈ N(u) ⇔ u ∈ N(v)`;
+/// * a self loop appears exactly once in its own row.
+///
+/// Terminology follows the paper: the **degree** of `v` is the number of
+/// non-loop incident edges (`d_A = (A − I∘A)·1`), [`Graph::num_edges`] is the
+/// number of undirected non-loop edges (each counted once), and
+/// [`Graph::nnz`] is the number of adjacency-matrix non-zeros
+/// (`2·num_edges + num_self_loops`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) neighbors: Vec<u32>,
+    pub(crate) num_edges: u64,
+    pub(crate) num_self_loops: u64,
+}
+
+impl Graph {
+    /// A graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+            num_edges: 0,
+            num_self_loops: 0,
+        }
+    }
+
+    /// Build from an edge iterator; duplicates (in either orientation) are
+    /// merged, both orientations are stored, self loops are allowed.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    pub(crate) fn from_sorted_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<u32>,
+        num_edges: u64,
+        num_self_loops: u64,
+    ) -> Self {
+        let g = Self {
+            offsets,
+            neighbors,
+            num_edges,
+            num_self_loops,
+        };
+        debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+        g
+    }
+
+    /// Verify the structural invariants documented on the type.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if self.offsets.len() != n + 1 || self.offsets[0] != 0 {
+            return Err("bad offsets header".into());
+        }
+        if *self.offsets.last().unwrap() != self.neighbors.len() {
+            return Err("offsets[last] != neighbors.len()".into());
+        }
+        let mut loops = 0u64;
+        for v in 0..n {
+            let row = self.adj_row(v as u32);
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {v} not strictly increasing"));
+                }
+            }
+            for &u in row {
+                if u as usize >= n {
+                    return Err(format!("row {v} neighbor {u} out of bounds"));
+                }
+                if u == v as u32 {
+                    loops += 1;
+                } else if !self.has_edge(u, v as u32) {
+                    return Err(format!("asymmetric edge ({v},{u})"));
+                }
+            }
+        }
+        if loops != self.num_self_loops {
+            return Err(format!(
+                "self-loop count mismatch: stored {} actual {loops}",
+                self.num_self_loops
+            ));
+        }
+        let nnz = self.neighbors.len() as u64;
+        if nnz != 2 * self.num_edges + self.num_self_loops {
+            return Err(format!(
+                "edge count mismatch: nnz {nnz} != 2*{} + {}",
+                self.num_edges, self.num_self_loops
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected non-loop edges, each counted once (`|E_A|` for a
+    /// loop-free graph).
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Number of self loops.
+    #[inline]
+    pub fn num_self_loops(&self) -> u64 {
+        self.num_self_loops
+    }
+
+    /// Number of adjacency-matrix non-zeros: `2·num_edges + num_self_loops`.
+    #[inline]
+    pub fn nnz(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// The full adjacency row of `v` (sorted; includes `v` itself if `v` has
+    /// a self loop).
+    #[inline]
+    pub fn adj_row(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Neighbors of `v` excluding a self loop, as an iterator.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.adj_row(v).iter().copied().filter(move |&u| u != v)
+    }
+
+    /// Degree of `v` in the paper's sense: incident non-loop edges.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u64 {
+        (self.adj_row(v).len() - usize::from(self.has_self_loop(v))) as u64
+    }
+
+    /// Length of the adjacency row (degree plus one if there is a loop).
+    #[inline]
+    pub fn row_len(&self, v: u32) -> u64 {
+        self.adj_row(v).len() as u64
+    }
+
+    /// Whether the undirected edge `{u, v}` (or the loop if `u == v`) exists.
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj_row(u).binary_search(&v).is_ok()
+    }
+
+    /// Whether `v` has a self loop.
+    #[inline]
+    pub fn has_self_loop(&self, v: u32) -> bool {
+        self.has_edge(v, v)
+    }
+
+    /// Position of `v` within `u`'s adjacency row, if the edge exists.
+    ///
+    /// The returned value is a *global slot* into the flat neighbor array,
+    /// usable to index per-adjacency-entry statistic arrays (e.g. the edge
+    /// triangle participation `Δ` values).
+    #[inline]
+    pub fn edge_slot(&self, u: u32, v: u32) -> Option<usize> {
+        self.adj_row(u)
+            .binary_search(&v)
+            .ok()
+            .map(|pos| self.offsets[u as usize] + pos)
+    }
+
+    /// The CSR row-offset array (length `n + 1`), for slot arithmetic.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat neighbor array, parallel to any per-slot statistic vector.
+    #[inline]
+    pub fn neighbor_array(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// Iterate over undirected non-loop edges, each once, as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices() as u32).flat_map(move |u| {
+            self.adj_row(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterate over all adjacency entries `(u, v)` — both orientations of
+    /// every edge plus each self loop once. This is the non-zero pattern of
+    /// the adjacency matrix, the unit the Kronecker generator streams over.
+    pub fn adjacency_entries(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices() as u32).flat_map(move |u| {
+            self.adj_row(u).iter().copied().map(move |v| (u, v))
+        })
+    }
+
+    /// Vertices that have a self loop.
+    pub fn self_loops(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.num_vertices() as u32).filter(move |&v| self.has_self_loop(v))
+    }
+
+    /// The degree vector `d_A` (loops excluded, per the paper).
+    pub fn degree_vector(&self) -> Vec<u64> {
+        (0..self.num_vertices() as u32)
+            .map(|v| self.degree(v))
+            .collect()
+    }
+
+    /// Maximum degree `‖d_A‖_∞`.
+    pub fn max_degree(&self) -> u64 {
+        (0..self.num_vertices() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Degree histogram: `degree → vertex count` (the factor-side input to
+    /// the §III-A product-distribution derivations).
+    pub fn degree_histogram(&self) -> std::collections::BTreeMap<u64, u64> {
+        let mut h = std::collections::BTreeMap::new();
+        for v in 0..self.num_vertices() as u32 {
+            *h.entry(self.degree(v)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// A copy with a self loop added at every vertex: `B = A + I` (the
+    /// construction used in the paper's §VI experiment).
+    pub fn with_all_self_loops(&self) -> Self {
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(self.neighbors.len() + n);
+        offsets.push(0);
+        for v in 0..n as u32 {
+            let row = self.adj_row(v);
+            match row.binary_search(&v) {
+                Ok(_) => neighbors.extend_from_slice(row),
+                Err(pos) => {
+                    neighbors.extend_from_slice(&row[..pos]);
+                    neighbors.push(v);
+                    neighbors.extend_from_slice(&row[pos..]);
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        Self::from_sorted_parts(offsets, neighbors, self.num_edges, n as u64)
+    }
+
+    /// A copy with self loops added at the listed vertices (duplicates and
+    /// existing loops are fine) — the per-vertex triangle *tuning* knob of
+    /// the paper's Rem. 1/Rem. 3: a loop at `k` in factor `B` boosts
+    /// `t_C` at every product vertex pairing with `k`.
+    pub fn with_self_loops_at(&self, vertices: &[u32]) -> Self {
+        let n = self.num_vertices();
+        let mut want = vec![false; n];
+        for &v in vertices {
+            assert!((v as usize) < n, "vertex {v} out of bounds");
+            want[v as usize] = true;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(self.neighbors.len() + vertices.len());
+        let mut loops = 0u64;
+        offsets.push(0);
+        for v in 0..n as u32 {
+            let row = self.adj_row(v);
+            match row.binary_search(&v) {
+                Ok(_) => {
+                    neighbors.extend_from_slice(row);
+                    loops += 1;
+                }
+                Err(pos) if want[v as usize] => {
+                    neighbors.extend_from_slice(&row[..pos]);
+                    neighbors.push(v);
+                    neighbors.extend_from_slice(&row[pos..]);
+                    loops += 1;
+                }
+                Err(_) => neighbors.extend_from_slice(row),
+            }
+            offsets.push(neighbors.len());
+        }
+        Self::from_sorted_parts(offsets, neighbors, self.num_edges, loops)
+    }
+
+    /// A copy with every self loop removed (`A − I ∘ A`, Rem. 3).
+    pub fn without_self_loops(&self) -> Self {
+        if self.num_self_loops == 0 {
+            return self.clone();
+        }
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(self.neighbors.len());
+        offsets.push(0);
+        for v in 0..n as u32 {
+            neighbors.extend(self.adj_row(v).iter().copied().filter(|&u| u != v));
+            offsets.push(neighbors.len());
+        }
+        Self::from_sorted_parts(offsets, neighbors, self.num_edges, 0)
+    }
+
+    /// A copy without the listed edges (given in either orientation; loops
+    /// allowed). Unknown edges are ignored.
+    pub fn without_edges(&self, remove: &[(u32, u32)]) -> Self {
+        use std::collections::HashSet;
+        let mut kill: HashSet<(u32, u32)> = HashSet::with_capacity(remove.len() * 2);
+        for &(u, v) in remove {
+            kill.insert((u, v));
+            kill.insert((v, u));
+        }
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(self.neighbors.len());
+        let mut edges = 0u64;
+        let mut loops = 0u64;
+        offsets.push(0);
+        for v in 0..n as u32 {
+            for &u in self.adj_row(v) {
+                if !kill.contains(&(v, u)) {
+                    neighbors.push(u);
+                    if u == v {
+                        loops += 1;
+                    } else if v < u {
+                        edges += 1;
+                    }
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        Self::from_sorted_parts(offsets, neighbors, edges, loops)
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, loops={})",
+            self.num_vertices(),
+            self.num_edges,
+            self.num_self_loops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_self_loops(), 0);
+        assert_eq!(g.nnz(), 8);
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn degrees_and_rows() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.degree_vector(), vec![2, 2, 3, 1]);
+        assert_eq!(g.adj_row(2), &[0, 1, 3]);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_merge() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loops_tracked_and_excluded_from_degree() {
+        let g = Graph::from_edges(3, [(0, 0), (0, 1), (1, 1), (1, 1)]);
+        assert_eq!(g.num_self_loops(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.row_len(1), 2);
+        assert!(g.has_self_loop(0));
+        assert!(!g.has_self_loop(2));
+    }
+
+    #[test]
+    fn edges_iterator_each_once() {
+        let g = triangle_plus_tail();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn adjacency_entries_count() {
+        let g = Graph::from_edges(3, [(0, 0), (0, 1)]);
+        let entries: Vec<_> = g.adjacency_entries().collect();
+        assert_eq!(entries, vec![(0, 0), (0, 1), (1, 0)]);
+        assert_eq!(entries.len() as u64, g.nnz());
+    }
+
+    #[test]
+    fn with_and_without_loops_roundtrip() {
+        let g = triangle_plus_tail();
+        let b = g.with_all_self_loops();
+        assert_eq!(b.num_self_loops(), 4);
+        assert_eq!(b.num_edges(), g.num_edges());
+        assert_eq!(b.degree_vector(), g.degree_vector());
+        assert_eq!(b.without_self_loops(), g);
+        assert!(b.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn degree_histogram_masses() {
+        let g = triangle_plus_tail();
+        let h = g.degree_histogram();
+        assert_eq!(h[&2], 2);
+        assert_eq!(h[&3], 1);
+        assert_eq!(h[&1], 1);
+        assert_eq!(h.values().sum::<u64>() as usize, g.num_vertices());
+    }
+
+    #[test]
+    fn selective_loops() {
+        let g = triangle_plus_tail();
+        let h = g.with_self_loops_at(&[1, 3, 3]);
+        assert_eq!(h.num_self_loops(), 2);
+        assert!(h.has_self_loop(1) && h.has_self_loop(3));
+        assert!(!h.has_self_loop(0));
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert!(h.check_invariants().is_ok());
+        // idempotent on existing loops
+        assert_eq!(h.with_self_loops_at(&[1]), h);
+        // all vertices = with_all_self_loops
+        let all: Vec<u32> = (0..4).collect();
+        assert_eq!(g.with_self_loops_at(&all), g.with_all_self_loops());
+    }
+
+    #[test]
+    fn edge_slots_are_symmetric_pairs() {
+        let g = triangle_plus_tail();
+        let s1 = g.edge_slot(0, 2).unwrap();
+        let s2 = g.edge_slot(2, 0).unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(g.neighbor_array()[s1], 2);
+        assert_eq!(g.neighbor_array()[s2], 0);
+        assert_eq!(g.edge_slot(0, 3), None);
+    }
+
+    #[test]
+    fn without_edges_removes_both_orientations() {
+        let g = triangle_plus_tail();
+        let h = g.without_edges(&[(2, 0)]);
+        assert_eq!(h.num_edges(), 3);
+        assert!(!h.has_edge(0, 2));
+        assert!(!h.has_edge(2, 0));
+        assert!(h.check_invariants().is_ok());
+        // removing a loop works too
+        let l = Graph::from_edges(2, [(0, 0), (0, 1)]);
+        let l2 = l.without_edges(&[(0, 0)]);
+        assert_eq!(l2.num_self_loops(), 0);
+        assert_eq!(l2.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let _ = Graph::from_edges(2, [(0, 5)]);
+    }
+}

@@ -1,0 +1,90 @@
+//! The minimal numeric trait the sparse kernels are generic over.
+
+/// A scalar usable as a sparse-matrix value.
+///
+/// This is intentionally tiny: the workspace only ever needs addition and
+/// multiplication (plus a zero to drop and a one for adjacency matrices).
+/// Subtraction is *not* part of the trait — the self-loop correction
+/// formulas of the paper's §III are evaluated on signed scalars (`i64` /
+/// `i128`) where `checked_neg`-style concerns vanish, and structural
+/// operations (diagonal removal) are preferred over numeric cancellation.
+pub trait Scalar:
+    Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static
+{
+    /// Additive identity. Entries equal to `ZERO` are dropped from storage.
+    const ZERO: Self;
+    /// Multiplicative identity, the value of an adjacency-matrix entry.
+    const ONE: Self;
+    /// Addition. Panics on overflow in debug builds, like native `+`.
+    fn add(self, other: Self) -> Self;
+    /// Multiplication. Panics on overflow in debug builds, like native `*`.
+    fn mul(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            #[inline]
+            fn add(self, other: Self) -> Self { self + other }
+            #[inline]
+            fn mul(self, other: Self) -> Self { self * other }
+        }
+    )*};
+}
+
+impl_scalar_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        self * other
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        self * other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_identities() {
+        assert_eq!(u64::ZERO, 0);
+        assert_eq!(u64::ONE, 1);
+        assert_eq!(Scalar::add(2u64, 3), 5);
+        assert_eq!(Scalar::mul(2u64, 3), 6);
+    }
+
+    #[test]
+    fn signed_identities() {
+        assert_eq!(i64::ZERO, 0);
+        assert_eq!(Scalar::add(-2i64, 3), 1);
+        assert_eq!(Scalar::mul(-2i64, 3), -6);
+    }
+
+    #[test]
+    fn float_identities() {
+        assert_eq!(f64::ZERO, 0.0);
+        assert_eq!(Scalar::add(0.5f64, 0.25), 0.75);
+        assert_eq!(Scalar::mul(0.5f64, 4.0), 2.0);
+    }
+}

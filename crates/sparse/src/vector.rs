@@ -1,0 +1,81 @@
+//! Dense-vector helpers for the Kronecker statistic formulas.
+//!
+//! The headline results of the paper are *vector* identities (`t_C = 2·t_A ⊗
+//! t_B`, `d_C = d_A ⊗ d_B`, …); these helpers implement the right-hand
+//! sides.
+
+use crate::Scalar;
+
+/// The Kronecker product of two dense vectors:
+/// `(x ⊗ y)[i·|y| + k] = x[i] · y[k]`.
+pub fn kron_vec<T: Scalar>(x: &[T], y: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(x.len() * y.len());
+    for &xi in x {
+        for &yk in y {
+            out.push(xi.mul(yk));
+        }
+    }
+    out
+}
+
+/// Elementwise sum. Panics on length mismatch.
+pub fn add_vec<T: Scalar>(x: &[T], y: &[T]) -> Vec<T> {
+    assert_eq!(x.len(), y.len(), "add_vec length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a.add(b)).collect()
+}
+
+/// Elementwise difference (signed scalars). Panics on length mismatch.
+pub fn sub_vec(x: &[i128], y: &[i128]) -> Vec<i128> {
+    assert_eq!(x.len(), y.len(), "sub_vec length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a - b).collect()
+}
+
+/// Elementwise (Hadamard) product. Panics on length mismatch.
+pub fn hadamard_vec<T: Scalar>(x: &[T], y: &[T]) -> Vec<T> {
+    assert_eq!(x.len(), y.len(), "hadamard_vec length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a.mul(b)).collect()
+}
+
+/// Scale a vector by a scalar.
+pub fn scale_vec<T: Scalar>(x: &[T], alpha: T) -> Vec<T> {
+    x.iter().map(|&a| a.mul(alpha)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_vec_matches_definition() {
+        let x = [2u64, 3];
+        let y = [5u64, 7, 11];
+        let z = kron_vec(&x, &y);
+        assert_eq!(z, vec![10, 14, 22, 15, 21, 33]);
+        // index map: z[i*|y| + k] = x[i]*y[k]
+        for i in 0..x.len() {
+            for k in 0..y.len() {
+                assert_eq!(z[i * y.len() + k], x[i] * y[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn kron_vec_empty() {
+        assert!(kron_vec::<u64>(&[], &[1, 2]).is_empty());
+        assert!(kron_vec::<u64>(&[1, 2], &[]).is_empty());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        assert_eq!(add_vec(&[1u64, 2], &[3, 4]), vec![4, 6]);
+        assert_eq!(sub_vec(&[5i128, 2], &[3, 4]), vec![2, -2]);
+        assert_eq!(hadamard_vec(&[2u64, 3], &[4, 5]), vec![8, 15]);
+        assert_eq!(scale_vec(&[2u64, 3], 10), vec![20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        let _ = add_vec(&[1u64], &[1, 2]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Global triangle counting via the degree-ordered forward algorithm.
+//!
+//! The paper's §VI computes a hundred-trillion-triangle ground truth "in
+//! about 10.5 seconds on a commodity laptop by applying the algorithm from
+//! [Chiba–Nishizeki] to A, utilizing 7,734,429 wedge checks". This module is
+//! that kernel: orient every edge from lower to higher degree-rank, then for
+//! each oriented edge intersect the two out-neighborhoods. The degree
+//! ordering bounds work by `O(m^{3/2})` and in practice by `O(m·α)` for
+//! arboricity `α`, matching the paper's "nearly square root" observation.
+
+use kron_graph::Graph;
+use rayon::prelude::*;
+
+/// Result of a triangle count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TriangleCount {
+    /// Number of triangles `τ(A)` (self loops never count, per Def. 5).
+    pub triangles: u64,
+    /// Number of wedge checks performed: comparisons made by the sorted
+    /// out-neighborhood intersections. Comparable to the paper's §VI
+    /// accounting of the Chiba–Nishizeki sweep.
+    pub wedge_checks: u64,
+}
+
+/// The degree-ordered DAG: `rank` is a permutation position (by ascending
+/// degree, ties by id); `out[v]` holds the neighbors of `v` of higher rank,
+/// sorted by rank so intersections can merge.
+pub(crate) struct DegreeDag {
+    pub offsets: Vec<usize>,
+    pub targets: Vec<u32>, // target vertex ids, rows sorted by rank
+    pub rank: Vec<u32>,
+}
+
+pub(crate) fn build_dag(g: &Graph) -> DegreeDag {
+    let n = g.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (g.degree(v), v));
+    let mut rank = vec![0u32; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets = Vec::with_capacity(g.num_edges() as usize);
+    offsets.push(0);
+    let mut row: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        row.clear();
+        row.extend(g.neighbors(v).filter(|&u| rank[u as usize] > rank[v as usize]));
+        row.sort_unstable_by_key(|&u| rank[u as usize]);
+        targets.extend_from_slice(&row);
+        offsets.push(targets.len());
+    }
+    DegreeDag {
+        offsets,
+        targets,
+        rank,
+    }
+}
+
+impl DegreeDag {
+    #[inline]
+    pub fn out(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+}
+
+/// Merge-intersect two rank-sorted neighbor lists, invoking `hit` for every
+/// common vertex; returns the number of comparisons (wedge checks).
+#[inline]
+pub(crate) fn intersect_ranked<F: FnMut(u32)>(
+    rank: &[u32],
+    a: &[u32],
+    b: &[u32],
+    mut hit: F,
+) -> u64 {
+    let (mut p, mut q) = (0, 0);
+    let mut checks = 0u64;
+    while p < a.len() && q < b.len() {
+        checks += 1;
+        let (ra, rb) = (rank[a[p] as usize], rank[b[q] as usize]);
+        match ra.cmp(&rb) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                hit(a[p]);
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    checks
+}
+
+/// Count the triangles of `g` in parallel (rayon over source vertices).
+pub fn count_triangles(g: &Graph) -> TriangleCount {
+    let dag = build_dag(g);
+    let (triangles, wedge_checks) = (0..g.num_vertices() as u32)
+        .into_par_iter()
+        .map(|u| {
+            let mut tris = 0u64;
+            let mut checks = 0u64;
+            let ou = dag.out(u);
+            for (i, &v) in ou.iter().enumerate() {
+                checks += intersect_ranked(&dag.rank, &ou[i + 1..], dag.out(v), |_| {
+                    tris += 1;
+                });
+            }
+            (tris, checks)
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    TriangleCount {
+        triangles,
+        wedge_checks,
+    }
+}
+
+/// Single-threaded [`count_triangles`] — ablation baseline and a
+/// deterministic oracle for tests.
+pub fn count_triangles_serial(g: &Graph) -> TriangleCount {
+    let dag = build_dag(g);
+    let mut triangles = 0u64;
+    let mut wedge_checks = 0u64;
+    for u in 0..g.num_vertices() as u32 {
+        let ou = dag.out(u);
+        for (i, &v) in ou.iter().enumerate() {
+            wedge_checks += intersect_ranked(&dag.rank, &ou[i + 1..], dag.out(v), |_| {
+                triangles += 1;
+            });
+        }
+    }
+    TriangleCount {
+        triangles,
+        wedge_checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(g: &Graph) -> u64 {
+        let n = g.num_vertices() as u32;
+        let mut count = 0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) {
+                    continue;
+                }
+                for w in (v + 1)..n {
+                    if g.has_edge(u, w) && g.has_edge(v, w) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    fn clique(n: usize) -> Graph {
+        Graph::from_edges(
+            n,
+            (0..n as u32).flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j))),
+        )
+    }
+
+    #[test]
+    fn cliques_have_binomial_triangles() {
+        for n in 3..=8usize {
+            let g = clique(n);
+            let expect = (n * (n - 1) * (n - 2) / 6) as u64;
+            assert_eq!(count_triangles(&g).triangles, expect, "K{n}");
+            assert_eq!(count_triangles_serial(&g).triangles, expect, "K{n} serial");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs() {
+        let path = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(count_triangles(&path).triangles, 0);
+        let star = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(count_triangles(&star).triangles, 0);
+        let c4 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_triangles(&c4).triangles, 0);
+    }
+
+    #[test]
+    fn self_loops_do_not_create_triangles() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0), (0, 0), (1, 1)]);
+        assert_eq!(count_triangles(&g).triangles, 1);
+    }
+
+    #[test]
+    fn matches_brute_force_randomized() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(1234);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..20);
+            let p = rng.gen_range(0.05..0.6);
+            let edges: Vec<(u32, u32)> = (0..n as u32)
+                .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+                .filter(|_| rng.gen_bool(p))
+                .collect();
+            let g = Graph::from_edges(n, edges);
+            let expect = brute_force(&g);
+            assert_eq!(
+                count_triangles(&g).triangles,
+                expect,
+                "trial {trial} parallel"
+            );
+            assert_eq!(
+                count_triangles_serial(&g).triangles,
+                expect,
+                "trial {trial} serial"
+            );
+        }
+    }
+
+    #[test]
+    fn wedge_checks_reported_and_bounded() {
+        let g = clique(10);
+        let c = count_triangles_serial(&g);
+        assert!(c.wedge_checks > 0);
+        // coarse upper bound: m^{3/2} comparisons for the oriented sweep
+        let m = g.num_edges() as f64;
+        assert!((c.wedge_checks as f64) <= 3.0 * m.powf(1.5) + 10.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_wedges() {
+        let g = clique(12);
+        assert_eq!(count_triangles(&g), count_triangles_serial(&g));
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(count_triangles(&Graph::empty(0)).triangles, 0);
+        assert_eq!(count_triangles(&Graph::empty(10)).triangles, 0);
+        let single = Graph::from_edges(2, [(0, 1)]);
+        assert_eq!(count_triangles(&single).triangles, 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Linear-algebraic oracle implementations of the triangle statistics.
+//!
+//! These evaluate the paper's *definitions* verbatim with `kron-sparse`
+//! kernels — `t_A = ½·diag((A − D_A)³)` (Def. 5), `Δ_A = (A − D_A) ∘
+//! (A − D_A)²` (Def. 6) — independently of the enumeration algorithms in
+//! this crate. Tests assert exact agreement; the `kron` core crate uses the
+//! same functions to assemble its Kronecker formulas (e.g. `diag(B³)` in
+//! Cor. 1 and Thms. 4/6).
+
+use kron_graph::Graph;
+use kron_sparse::{masked_spgemm, CsrMatrix};
+
+/// `t_A = ½·diag((A − I∘A)³)` — Def. 5 evaluated by sparse matrix algebra.
+pub fn vertex_participation_formula(g: &Graph) -> Vec<u64> {
+    let a = g.to_csr().drop_diagonal();
+    let a3 = a.spgemm(&a).spgemm(&a);
+    a3.diag().into_iter().map(|x| x / 2).collect()
+}
+
+/// `Δ_A = (A − I∘A) ∘ (A − I∘A)²` — Def. 6 via masked SpGEMM, so the dense
+/// square is never formed.
+pub fn edge_participation_formula(g: &Graph) -> CsrMatrix<u64> {
+    let a = g.to_csr().drop_diagonal();
+    masked_spgemm(&a, &a, &a)
+}
+
+/// `diag(B³)` *with* self-loop walks included — the per-vertex quantity the
+/// paper's Cor. 1, Thm. 4, and Thm. 6 pair with the left factor's counts.
+///
+/// For a loop-free vertex this is `2·t_B[k]`; a self loop at `k` (and at
+/// neighbors `l`) adds the loop-walk terms the paper enumerates after
+/// Cor. 1: `diag(B³)_k = 2·t_k + 3·d_k + 1` when every relevant vertex has a
+/// loop (e.g. `B = A + I`).
+pub fn diag_cubed(g: &Graph) -> Vec<u64> {
+    let b = g.to_csr();
+    b.spgemm(&b).spgemm(&b).diag()
+}
+
+/// `B ∘ B²` with self loops included — the per-edge quantity of Cor. 2,
+/// Thm. 5, and Thm. 7.
+pub fn hadamard_squared(g: &Graph) -> CsrMatrix<u64> {
+    let b = g.to_csr();
+    masked_spgemm(&b, &b, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{edge_participation_csr, vertex_participation};
+    use rand::prelude::*;
+
+    fn random_graph(rng: &mut StdRng, n: usize, p: f64, loops: bool) -> Graph {
+        let mut edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .filter(|_| rng.gen_bool(p))
+            .collect();
+        if loops {
+            for v in 0..n as u32 {
+                if rng.gen_bool(0.3) {
+                    edges.push((v, v));
+                }
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn vertex_formula_matches_enumeration() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..20);
+            let g = random_graph(&mut rng, n, 0.35, true);
+            assert_eq!(vertex_participation_formula(&g), vertex_participation(&g));
+        }
+    }
+
+    #[test]
+    fn edge_formula_matches_enumeration() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..20);
+            let g = random_graph(&mut rng, n, 0.35, true);
+            assert_eq!(edge_participation_formula(&g), edge_participation_csr(&g));
+        }
+    }
+
+    #[test]
+    fn diag_cubed_loop_free_is_twice_t() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..20);
+            let g = random_graph(&mut rng, n, 0.35, false);
+            let d3 = diag_cubed(&g);
+            let t = vertex_participation(&g);
+            for (a, b) in d3.iter().zip(&t) {
+                assert_eq!(*a, 2 * b);
+            }
+        }
+    }
+
+    #[test]
+    fn diag_cubed_with_all_loops_closed_form() {
+        // For B = A + I with A loop-free: diag(B³)_k = 2·t_k + 3·d_k + 1.
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..20);
+            let a = random_graph(&mut rng, n, 0.35, false);
+            let b = a.with_all_self_loops();
+            let d3 = diag_cubed(&b);
+            let t = vertex_participation(&a);
+            let d = a.degree_vector();
+            for k in 0..a.num_vertices() {
+                assert_eq!(d3[k], 2 * t[k] + 3 * d[k] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_squared_loop_free_is_delta() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..20);
+            let g = random_graph(&mut rng, n, 0.35, false);
+            assert_eq!(hadamard_squared(&g), edge_participation_csr(&g));
+        }
+    }
+
+    #[test]
+    fn clique_with_loops_jn() {
+        // J_n: diag(J³) = n² (used to validate Ex. 1(b) in the paper).
+        let n = 5;
+        let jn = Graph::from_edges(
+            n,
+            (0..n as u32).flat_map(|i| (i..n as u32).map(move |j| (i, j))),
+        );
+        assert!(diag_cubed(&jn).iter().all(|&x| x == (n * n) as u64));
+    }
+}

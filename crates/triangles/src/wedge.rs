@@ -1,0 +1,90 @@
+//! Wedge (2-path) statistics — the denominator side of every clustering
+//! coefficient, and the unit the paper's §VI "wedge checks" count.
+
+use kron_graph::Graph;
+
+/// Wedges centered at each vertex: `w(v) = C(d(v), 2)` (loops excluded).
+pub fn vertex_wedges(g: &Graph) -> Vec<u64> {
+    (0..g.num_vertices() as u32)
+        .map(|v| {
+            let d = g.degree(v);
+            d * d.saturating_sub(1) / 2
+        })
+        .collect()
+}
+
+/// Total wedges `Σ_v C(d(v), 2)`.
+pub fn total_wedges(g: &Graph) -> u64 {
+    vertex_wedges(g).into_iter().sum()
+}
+
+/// Iterate every wedge `(u, v, w)` with center `v` and `u < w`, invoking
+/// `f` once per wedge. Cost `Σ_v d(v)²/2` — use only on factor-sized
+/// graphs.
+pub fn for_each_wedge<F: FnMut(u32, u32, u32)>(g: &Graph, mut f: F) {
+    for v in 0..g.num_vertices() as u32 {
+        let nbrs: Vec<u32> = g.neighbors(v).collect();
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                f(u, v, w);
+            }
+        }
+    }
+}
+
+/// Count closed wedges directly — equals `3·τ` and cross-checks both the
+/// triangle count and the transitivity denominator.
+pub fn closed_wedges(g: &Graph) -> u64 {
+    let mut closed = 0u64;
+    for_each_wedge(g, |u, _, w| {
+        if g.has_edge(u, w) {
+            closed += 1;
+        }
+    });
+    closed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_triangles;
+
+    #[test]
+    fn clique_wedges() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(vertex_wedges(&g).iter().all(|&w| w == 3)); // C(3,2)
+        assert_eq!(total_wedges(&g), 12);
+        assert_eq!(closed_wedges(&g), 3 * count_triangles(&g).triangles);
+    }
+
+    #[test]
+    fn star_wedges_all_open() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(total_wedges(&g), 6); // C(4,2) at the hub
+        assert_eq!(closed_wedges(&g), 0);
+    }
+
+    #[test]
+    fn iteration_count_matches_formula() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..20);
+            let edges: Vec<(u32, u32)> = (0..n as u32)
+                .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+                .filter(|_| rng.gen_bool(0.4))
+                .collect();
+            let g = Graph::from_edges(n, edges);
+            let mut seen = 0u64;
+            for_each_wedge(&g, |_, _, _| seen += 1);
+            assert_eq!(seen, total_wedges(&g));
+            assert_eq!(closed_wedges(&g), 3 * count_triangles(&g).triangles);
+        }
+    }
+
+    #[test]
+    fn loops_do_not_make_wedges() {
+        let with = Graph::from_edges(3, [(0, 1), (1, 2), (1, 1)]);
+        assert_eq!(total_wedges(&with), 1);
+    }
+}

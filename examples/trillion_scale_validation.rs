@@ -1,0 +1,102 @@
+//! The paper's §VI experiment end to end: build a web-graph-like factor
+//! `A`, form `B = A + I`, and compute the exact vertex/edge/triangle table
+//! for the Kronecker products `A ⊗ A` and `A ⊗ B` — graphs with billions of
+//! vertices and trillions of edges — on one machine, in seconds, then
+//! validate sampled egonets against the formulas (Fig. 7's methodology).
+//!
+//! ```sh
+//! cargo run --release -p kron --example trillion_scale_validation [n]
+//! ```
+//!
+//! `n` is the factor size (default 100_000; the paper's web-NotreDame had
+//! 325_729 — pass that for full scale). The real SNAP file can be swapped
+//! in via `kron_graph::read_edge_list_path`; the default is the Holme–Kim
+//! stand-in documented in DESIGN.md §4.
+
+use kron::{validate, KronProduct};
+use kron_gen::holme_kim;
+use kron_triangles::count_triangles;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    println!("generating web-like factor A (Holme–Kim, n = {n}, m = 3, p_t = 0.75)…");
+    let t0 = Instant::now();
+    let a = holme_kim(n, 3, 0.75, 2018);
+    println!("  done in {:.2?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let ca = count_triangles(&a);
+    println!(
+        "A: {} vertices, {} edges, {} triangles ({} wedge checks, {:.2?})",
+        a.num_vertices(),
+        a.num_edges(),
+        ca.triangles,
+        ca.wedge_checks,
+        t0.elapsed()
+    );
+
+    let b = a.with_all_self_loops();
+    println!(
+        "B = A + I: {} vertices, {} edges + {} self loops\n",
+        b.num_vertices(),
+        b.num_edges(),
+        b.num_self_loops()
+    );
+
+    // The §VI table. All four rows are exact; the two product rows are
+    // computed from factor statistics alone (Thm. 1 / Cor. 1).
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "Matrix", "Vertices", "Edges", "Triangles"
+    );
+    let t_table = Instant::now();
+    let rows = [
+        ("A", {
+            let c = KronProduct::new(a.clone(), a.clone());
+            let _ = c; // A's own row comes from direct counts:
+            kron::ProductStats {
+                vertices: a.num_vertices() as u128,
+                edges: a.num_edges() as u128,
+                self_loops: 0,
+                triangles: ca.triangles as u128,
+            }
+        }),
+        ("B = A + I", kron::ProductStats {
+            vertices: b.num_vertices() as u128,
+            edges: b.num_edges() as u128,
+            self_loops: b.num_self_loops() as u128,
+            triangles: ca.triangles as u128,
+        }),
+        ("A (x) A", KronProduct::new(a.clone(), a.clone()).stats()),
+        ("A (x) B", KronProduct::new(a.clone(), b.clone()).stats()),
+    ];
+    for (name, stats) in rows {
+        println!("{}", stats.table_row(name));
+    }
+    println!(
+        "\n(product rows computed via Kronecker formulas in {:.2?} total —\n \
+         the paper reports ~10.5 s for its 111-trillion-triangle count)",
+        t_table.elapsed()
+    );
+
+    // Exact (non-humanized) numbers for EXPERIMENTS.md.
+    let caa = KronProduct::new(a.clone(), a.clone());
+    let cab = KronProduct::new(a.clone(), b.clone());
+    println!("\nexact: A(x)A = {}", caa.stats());
+    println!("exact: A(x)B = {}", cab.stats());
+
+    // Fig. 7-style egonet validation on the trillion-edge graphs.
+    let t0 = Instant::now();
+    validate::spot_check(&caa, 25, 1).expect("A (x) A egonets match formulas");
+    validate::spot_check(&cab, 25, 2).expect("A (x) B egonets match formulas");
+    println!(
+        "\nvalidated 50 sampled egonets across both products in {:.2?} — \
+         every degree, t_C, and Δ_C matched the formulas exactly",
+        t0.elapsed()
+    );
+}

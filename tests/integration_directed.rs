@@ -1,0 +1,130 @@
+//! Integration tests for the directed Kronecker product (§IV, Thms. 4–5):
+//! realistic directed factors against full materialization.
+
+use kron::KronDirectedProduct;
+use kron_gen::deterministic::{clique, cycle, star};
+use kron_graph::{DiGraph, Graph};
+use kron_triangles::directed::{
+    directed_edge_participation, directed_vertex_participation, DirEdgeType, DirVertexType,
+};
+use rand::prelude::*;
+
+/// A directed graph mixing reciprocal and one-way arcs.
+fn mixed_digraph(n: usize, p_arc: f64, p_recip: f64, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arcs = Vec::new();
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen_bool(p_arc) {
+                if rng.gen_bool(p_recip) {
+                    arcs.push((i, j));
+                    arcs.push((j, i));
+                } else if rng.gen_bool(0.5) {
+                    arcs.push((i, j));
+                } else {
+                    arcs.push((j, i));
+                }
+            }
+        }
+    }
+    DiGraph::from_arcs(n, arcs)
+}
+
+#[test]
+fn full_validation_against_materialized() {
+    let a = mixed_digraph(8, 0.5, 0.4, 1);
+    for b in [clique(4), cycle(5), star(4), clique(3).with_all_self_loops()] {
+        let c = KronDirectedProduct::new(a.clone(), b).unwrap();
+        let g = c.materialize(1 << 22).unwrap();
+        let dv = directed_vertex_participation(&g);
+        for ty in DirVertexType::ALL {
+            for p in 0..c.num_vertices() {
+                assert_eq!(
+                    dv.get(ty)[p as usize],
+                    c.vertex_type_count(p, ty),
+                    "{ty:?} at {p}"
+                );
+            }
+        }
+        let de = directed_edge_participation(&g);
+        for ty in DirEdgeType::ALL {
+            for (p, q, v) in de.get(ty).iter() {
+                assert_eq!(v, c.edge_type_count(p as u64, q as u64, ty));
+            }
+        }
+    }
+}
+
+#[test]
+fn type_diversity_survives_the_product() {
+    // a factor exhibiting many types must produce a product exhibiting the
+    // same set of types (scaled by diag(B³) > 0 everywhere)
+    let a = mixed_digraph(12, 0.6, 0.5, 7);
+    let b = clique(4); // diag(B³) = 2·t = 6 > 0 at every vertex
+    let ta = directed_vertex_participation(&a);
+    let c = KronDirectedProduct::new(a, b).unwrap();
+    for ty in DirVertexType::ALL {
+        let factor_total = ta.total(ty) as u128;
+        let product_total = c.vertex_type_total(ty);
+        assert_eq!(
+            product_total,
+            factor_total * 6 * 4, // Σ diag(B³) = 6·n_B = 24 for K4
+            "{ty:?}"
+        );
+        assert_eq!(factor_total == 0, product_total == 0, "{ty:?}");
+    }
+}
+
+#[test]
+fn degrees_factorize() {
+    let a = mixed_digraph(9, 0.5, 0.3, 11);
+    let b = clique(4).with_all_self_loops();
+    let c = KronDirectedProduct::new(a.clone(), b.clone()).unwrap();
+    let g = c.materialize(1 << 22).unwrap();
+    for p in 0..c.num_vertices() {
+        assert_eq!(g.out_degree(p as u32), c.out_degree(p));
+        assert_eq!(g.in_degree(p as u32), c.in_degree(p));
+    }
+    // §IV-B: d_out/d_in of C factor through A and B row sums
+    let ix = c.indexer();
+    for i in 0..a.num_vertices() as u32 {
+        for k in 0..b.num_vertices() as u32 {
+            let p = ix.compose(i, k);
+            assert_eq!(c.out_degree(p), a.out_degree(i) * b.row_len(k));
+            assert_eq!(c.in_degree(p), a.in_degree(i) * b.row_len(k));
+        }
+    }
+}
+
+#[test]
+fn purely_directed_factor_makes_purely_directed_product() {
+    // A = directed 4-cycle (no reciprocal arcs, no triangles in A_u of
+    // directed type other than none — the 4-cycle is triangle-free), so C
+    // has no triangles at all.
+    let a = DiGraph::from_arcs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let c = KronDirectedProduct::new(a, clique(4)).unwrap();
+    for ty in DirVertexType::ALL {
+        assert_eq!(c.vertex_type_total(ty), 0, "{ty:?}");
+    }
+}
+
+#[test]
+fn reciprocal_factor_reduces_to_undirected_theorem() {
+    // If A is fully reciprocal, the only nonzero type is uuo and its count
+    // matches the undirected Thm. 1 / Cor. 1 numbers.
+    let ug = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+    let a = DiGraph::from_undirected(&ug);
+    let b = clique(3).with_all_self_loops(); // J_3, diag(B³) = 9
+    let c = KronDirectedProduct::new(a, b).unwrap();
+    let t_a = kron_triangles::vertex_participation(&ug);
+    let ix = c.indexer();
+    for i in 0..5u32 {
+        for k in 0..3u32 {
+            let p = ix.compose(i, k);
+            assert_eq!(
+                c.vertex_type_count(p, DirVertexType::UUo),
+                t_a[i as usize] * 9
+            );
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests: every theorem of the paper checked on
+//! proptest-generated factors against brute-force materialization.
+
+use kron::{product_truss, KronDirectedProduct, KronLabeledProduct, KronProduct};
+use kron_gen::one_triangle_per_edge;
+use kron_graph::{DiGraph, Graph, Label, LabeledGraph};
+use kron_triangles::directed::{
+    directed_edge_participation, directed_vertex_participation, DirEdgeType, DirVertexType,
+};
+use kron_triangles::labeled::labeled_vertex_participation;
+use kron_triangles::{count_triangles, edge_participation, vertex_participation};
+use kron_truss::{truss_decomposition, truss_decomposition_simple};
+use proptest::prelude::*;
+
+/// An arbitrary undirected graph on 2..=7 vertices, optionally with loops.
+fn arb_graph(allow_loops: bool) -> impl Strategy<Value = Graph> {
+    (2usize..=7).prop_flat_map(move |n| {
+        let pair = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(pair, 0..=(n * n / 2)).prop_map(move |edges| {
+            Graph::from_edges(
+                n,
+                edges
+                    .into_iter()
+                    .filter(|&(u, v)| allow_loops || u != v),
+            )
+        })
+    })
+}
+
+/// An arbitrary loop-free digraph on 2..=7 vertices.
+fn arb_digraph() -> impl Strategy<Value = DiGraph> {
+    (2usize..=7).prop_flat_map(|n| {
+        let pair = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(pair, 0..=(n * n)).prop_map(move |arcs| {
+            DiGraph::from_arcs(n, arcs.into_iter().filter(|&(u, v)| u != v))
+        })
+    })
+}
+
+/// An arbitrary loop-free labeled graph with up to 3 labels.
+fn arb_labeled() -> impl Strategy<Value = LabeledGraph> {
+    (2usize..=6).prop_flat_map(|n| {
+        let pair = (0..n as u32, 0..n as u32);
+        (
+            proptest::collection::vec(pair, 0..=(n * n / 2)),
+            proptest::collection::vec(0u16..3, n),
+        )
+            .prop_map(move |(edges, labels)| {
+                LabeledGraph::new(
+                    Graph::from_edges(n, edges.into_iter().filter(|&(u, v)| u != v)),
+                    labels as Vec<Label>,
+                    3,
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Thms. 1 & 2 and the general §III-B/C formulas: full agreement with
+    /// materialization for every vertex and every edge, any loop profile.
+    #[test]
+    fn undirected_theorems_hold(a in arb_graph(true), b in arb_graph(true)) {
+        let c = KronProduct::new(a, b);
+        let g = c.materialize(1 << 22).unwrap();
+        let t = vertex_participation(&g);
+        for p in 0..c.num_vertices() {
+            prop_assert_eq!(t[p as usize], c.vertex_triangles(p));
+            prop_assert_eq!(g.degree(p as u32), c.degree(p));
+        }
+        let delta = edge_participation(&g);
+        for (u, v) in g.adjacency_entries() {
+            let slot = g.edge_slot(u, v).unwrap();
+            prop_assert_eq!(Some(delta[slot]), c.edge_triangles(u as u64, v as u64));
+        }
+        prop_assert_eq!(count_triangles(&g).triangles as u128, c.total_triangles());
+    }
+
+    /// τ(C) = 6·τ(A)·τ(B) for loop-free factors.
+    #[test]
+    fn tau_multiplies(a in arb_graph(false), b in arb_graph(false)) {
+        let (ta, tb) = (
+            count_triangles(&a).triangles as u128,
+            count_triangles(&b).triangles as u128,
+        );
+        let c = KronProduct::new(a, b);
+        prop_assert_eq!(c.total_triangles(), 6 * ta * tb);
+    }
+
+    /// t_A = ½·Δ_A·1 (the identity under Def. 6) on arbitrary graphs.
+    #[test]
+    fn delta_row_sums_are_twice_t(g in arb_graph(true)) {
+        let t = vertex_participation(&g);
+        let delta = edge_participation(&g);
+        for v in 0..g.num_vertices() as u32 {
+            let row: u64 = (g.offsets()[v as usize]..g.offsets()[v as usize + 1])
+                .map(|s| delta[s])
+                .sum();
+            prop_assert_eq!(row, 2 * t[v as usize]);
+        }
+    }
+
+    /// Thm. 4 / Thm. 5 on arbitrary directed × undirected factors.
+    #[test]
+    fn directed_theorems_hold(a in arb_digraph(), b in arb_graph(true)) {
+        let c = KronDirectedProduct::new(a, b).unwrap();
+        let g = c.materialize(1 << 22).unwrap();
+        let dv = directed_vertex_participation(&g);
+        for ty in DirVertexType::ALL {
+            for p in 0..c.num_vertices() {
+                prop_assert_eq!(dv.get(ty)[p as usize], c.vertex_type_count(p, ty));
+            }
+        }
+        let de = directed_edge_participation(&g);
+        for ty in DirEdgeType::ALL {
+            for (p, q, v) in de.get(ty).iter() {
+                prop_assert_eq!(v, c.edge_type_count(p as u64, q as u64, ty));
+            }
+        }
+    }
+
+    /// Thm. 6 on arbitrary labeled × unlabeled factors.
+    #[test]
+    fn labeled_vertex_theorem_holds(a in arb_labeled(), b in arb_graph(true)) {
+        let c = KronLabeledProduct::new(a, b).unwrap();
+        let g = c.materialize(1 << 22).unwrap();
+        let dv = labeled_vertex_participation(&g);
+        for q1 in 0..3 {
+            for q2 in 0..3 {
+                for q3 in q2..3 {
+                    let direct = dv.get(q1, q2, q3);
+                    for p in 0..c.num_vertices() {
+                        prop_assert_eq!(
+                            direct[p as usize],
+                            c.vertex_type_count(p, q1, q2, q3)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Thm. 3 with a generated Δ ≤ 1 right factor.
+    #[test]
+    fn truss_theorem_holds(a in arb_graph(false), seed in 0u64..50) {
+        let b = one_triangle_per_edge(6, seed);
+        let kt = product_truss(&a, &b).unwrap();
+        let c = KronProduct::new(a, b);
+        let g = c.materialize(1 << 22).unwrap();
+        let direct = truss_decomposition(&g);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(
+                direct.trussness_of(u, v),
+                kt.trussness(u as u64, v as u64)
+            );
+        }
+    }
+
+    /// The two truss algorithms agree on arbitrary graphs.
+    #[test]
+    fn truss_algorithms_agree(g in arb_graph(true)) {
+        prop_assert_eq!(truss_decomposition(&g), truss_decomposition_simple(&g));
+    }
+
+    /// Degree distribution: d_C = d_A ⊗ d_B for loop-free factors, and the
+    /// histogram convolution matches a direct scan.
+    #[test]
+    fn degree_kron_identity(a in arb_graph(false), b in arb_graph(false)) {
+        let (da, db) = (a.degree_vector(), b.degree_vector());
+        let c = KronProduct::new(a, b);
+        let ix = c.indexer();
+        for (i, &dai) in da.iter().enumerate() {
+            for (k, &dbk) in db.iter().enumerate() {
+                prop_assert_eq!(c.degree(ix.compose(i as u32, k as u32)), dai * dbk);
+            }
+        }
+        let hist = kron::distributions::degree_histogram(&c);
+        prop_assert_eq!(hist.values().sum::<u128>(), c.num_vertices() as u128);
+    }
+
+    /// Graph structural invariants survive the builder on arbitrary input.
+    #[test]
+    fn builder_invariants(n in 1usize..10, edges in proptest::collection::vec((0u32..10, 0u32..10), 0..40)) {
+        let filtered: Vec<(u32, u32)> = edges
+            .into_iter()
+            .filter(|&(u, v)| (u as usize) < n && (v as usize) < n)
+            .collect();
+        let g = Graph::from_edges(n, filtered);
+        prop_assert!(g.check_invariants().is_ok());
+        // rebuilding from its own edge stream is the identity
+        let rebuilt = Graph::from_edges(
+            n,
+            g.edges().chain(g.self_loops().map(|v| (v, v))),
+        );
+        prop_assert_eq!(rebuilt, g);
+    }
+
+    /// Egonet extracted implicitly equals egonet of the materialization.
+    #[test]
+    fn egonets_match(a in arb_graph(true), b in arb_graph(true), pick in 0u64..1000) {
+        let c = KronProduct::new(a, b);
+        let g = c.materialize(1 << 22).unwrap();
+        let p = pick % c.num_vertices();
+        let implicit = c.egonet(p);
+        let direct = kron_graph::egonet(&g, p as u32);
+        prop_assert_eq!(implicit.graph, direct.graph);
+        prop_assert_eq!(
+            implicit.mapping,
+            direct.mapping.iter().map(|&x| x as u64).collect::<Vec<_>>()
+        );
+    }
+}
