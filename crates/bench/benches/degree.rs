@@ -10,20 +10,18 @@ use std::time::Duration;
 
 fn bench_degree(c: &mut Criterion) {
     let mut group = c.benchmark_group("degree_distributions");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [10_000usize, 40_000] {
         let a = web_factor(n);
         let prod = KronProduct::new(a.clone(), a.clone());
-        group.bench_with_input(
-            BenchmarkId::new("degree_histogram", n),
-            &prod,
-            |b, prod| {
-                b.iter(|| {
-                    let h = degree_histogram(prod);
-                    black_box(ccdf(&h).len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("degree_histogram", n), &prod, |b, prod| {
+            b.iter(|| {
+                let h = degree_histogram(prod);
+                black_box(ccdf(&h).len())
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("triangle_histogram", n),
             &prod,

@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_directed(c: &mut Criterion) {
     let mut group = c.benchmark_group("directed");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [500usize, 2_000] {
         let a = directed_web_factor(n, 0.4, 1);
         group.bench_with_input(BenchmarkId::new("census_enumeration", n), &a, |b, a| {

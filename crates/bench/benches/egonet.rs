@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_egonet(c: &mut Criterion) {
     let mut group = c.benchmark_group("egonet");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let a = web_factor(50_000);
     let prod = KronProduct::new(a.clone(), a.clone());
     // billions of edges, never materialized
@@ -19,7 +21,10 @@ fn bench_egonet(c: &mut Criterion) {
         bch.iter(|| {
             let mut acc = 0u64;
             let step = (prod.num_vertices() / 100_000).max(1);
-            for p in (0..prod.num_vertices()).step_by(step as usize).take(100_000) {
+            for p in (0..prod.num_vertices())
+                .step_by(step as usize)
+                .take(100_000)
+            {
                 acc = acc.wrapping_add(prod.vertex_triangles(p));
             }
             black_box(acc)

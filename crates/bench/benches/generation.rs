@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [300usize, 800] {
         let a = web_factor(n);
         let prod = KronProduct::new(a.clone(), a.clone());

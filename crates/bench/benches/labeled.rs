@@ -4,15 +4,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kron::KronLabeledProduct;
 use kron_bench::{labeled_web_factor, web_factor};
-use kron_triangles::labeled::{
-    labeled_vertex_participation, labeled_vertex_participation_formula,
-};
+use kron_triangles::labeled::{labeled_vertex_participation, labeled_vertex_participation_formula};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_labeled(c: &mut Criterion) {
     let mut group = c.benchmark_group("labeled");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [500usize, 2_000] {
         let a = labeled_web_factor(n, 3, 1);
         group.bench_with_input(BenchmarkId::new("census_enumeration", n), &a, |b, a| {

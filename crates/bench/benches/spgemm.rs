@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_spgemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spgemm");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [2_000usize, 8_000] {
         let a: CsrMatrix<u64> = web_factor(n).to_csr();
         group.bench_with_input(BenchmarkId::new("spa_parallel", n), &a, |b, a| {

@@ -14,7 +14,9 @@ use std::time::Duration;
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [20_000usize, 80_000] {
         let a = web_factor(n);
         let b = a.with_all_self_loops();
@@ -23,16 +25,12 @@ fn bench_table1(c: &mut Criterion) {
             &a,
             |bch, a| bch.iter(|| black_box(count_triangles(black_box(a)).triangles)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("product_table_AxA", n),
-            &a,
-            |bch, a| {
-                bch.iter(|| {
-                    let c = KronProduct::new(a.clone(), a.clone());
-                    black_box(c.stats())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("product_table_AxA", n), &a, |bch, a| {
+            bch.iter(|| {
+                let c = KronProduct::new(a.clone(), a.clone());
+                black_box(c.stats())
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("product_table_AxB_loops", n),
             &(&a, &b),

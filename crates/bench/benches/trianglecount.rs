@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_trianglecount(c: &mut Criterion) {
     let mut group = c.benchmark_group("trianglecount");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [5_000usize, 20_000] {
         let g = web_factor(n);
         group.bench_with_input(BenchmarkId::new("forward_parallel", n), &g, |b, g| {

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_truss(c: &mut Criterion) {
     let mut group = c.benchmark_group("truss");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [1_000usize, 3_000] {
         let g = web_factor(n);
         group.bench_with_input(BenchmarkId::new("peel", n), &g, |b, g| {

@@ -1,0 +1,119 @@
+//! Streaming throughput experiment: edges/sec per sink kind, shard count,
+//! and thread count, on the standard web-like factor pair.
+//!
+//! ```text
+//! bench_stream [--n N] [--shards S1,S2,...] [--json]
+//! ```
+//!
+//! With `--json`, results are written to `BENCH_stream.json` in the
+//! current directory so the performance trajectory is tracked across PRs.
+
+use kron::KronProduct;
+use kron_bench::web_factor;
+use kron_stream::json::Json;
+use kron_stream::{stream_product, OutputFormat, StreamConfig};
+use std::time::Instant;
+
+struct Row {
+    sink: &'static str,
+    shards: usize,
+    threads: usize,
+    entries: u128,
+    secs: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let json_out = args.iter().any(|a| a == "--json");
+    let n: usize = opt("--n").and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let shard_list: Vec<usize> = opt("--shards")
+        .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![8, 32]);
+    let max_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let prod = KronProduct::new(web_factor(n), web_factor(n));
+    eprintln!(
+        "factors: n = {n} each, product entries = {} ({} vertices)",
+        prod.nnz(),
+        prod.num_vertices()
+    );
+
+    let dir = std::env::temp_dir().join(format!("kron_bench_stream_{}", std::process::id()));
+    let mut rows: Vec<Row> = Vec::new();
+    let mut thread_counts = vec![1usize];
+    if max_threads > 1 {
+        thread_counts.push(max_threads);
+    }
+    for &shards in &shard_list {
+        for &threads in &thread_counts {
+            for (sink, format) in [
+                ("count", OutputFormat::Count),
+                ("edges", OutputFormat::Edges),
+                ("csr", OutputFormat::Csr),
+            ] {
+                let _ = std::fs::remove_dir_all(&dir);
+                let cfg = StreamConfig {
+                    out_dir: dir.clone(),
+                    shards,
+                    format,
+                    threads,
+                    resume: false,
+                };
+                let t0 = Instant::now();
+                let run = stream_product(&prod, &cfg).expect("stream run");
+                let secs = t0.elapsed().as_secs_f64();
+                println!(
+                    "{sink:<6} shards={shards:<3} threads={threads:<3} \
+                     {:.3}s  {:.3e} edges/s",
+                    secs,
+                    run.total_entries as f64 / secs
+                );
+                rows.push(Row {
+                    sink,
+                    shards,
+                    threads,
+                    entries: run.total_entries,
+                    secs,
+                });
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if json_out {
+        let doc = Json::obj(vec![
+            ("bench", Json::str("stream")),
+            ("factor_n", Json::num(n)),
+            ("product_entries", Json::num(prod.nnz())),
+            (
+                "results",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("sink", Json::str(r.sink)),
+                                ("shards", Json::num(r.shards)),
+                                ("threads", Json::num(r.threads)),
+                                ("entries", Json::num(r.entries)),
+                                ("secs", Json::num(r.secs)),
+                                (
+                                    "edges_per_sec",
+                                    Json::num(r.entries as f64 / r.secs.max(1e-12)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write("BENCH_stream.json", format!("{doc}\n")).expect("write BENCH_stream.json");
+        eprintln!("wrote BENCH_stream.json ({} rows)", rows.len());
+    }
+}

@@ -35,7 +35,10 @@ fn main() {
     let dh = degree_histogram(&c);
     assert_eq!(dh.values().sum::<u128>(), c.num_vertices() as u128);
     let cc = ccdf(&dh);
-    println!("\nexact degree CCDF of C (log-spaced sample of {} distinct degrees):", dh.len());
+    println!(
+        "\nexact degree CCDF of C (log-spaced sample of {} distinct degrees):",
+        dh.len()
+    );
     println!("  degree ≥ d      #vertices");
     let mut next = 1u64;
     for &(d, cnt) in &cc {

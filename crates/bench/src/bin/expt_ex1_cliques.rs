@@ -39,7 +39,8 @@ fn main() {
         assert!((0..c.num_vertices()).all(|p| c.vertex_triangles(p) == t));
         let ix = c.indexer();
         assert_eq!(
-            c.edge_triangles(ix.compose(0, 0), ix.compose(1, 0)).unwrap(),
+            c.edge_triangles(ix.compose(0, 0), ix.compose(1, 0))
+                .unwrap(),
             de
         );
         validate::validate_undirected(&c, 1 << 24).unwrap();
@@ -56,11 +57,11 @@ fn main() {
         let nm = na * nb;
         // general §III-B/C formulas must give the K_nm values
         assert!((0..c.num_vertices()).all(|p| c.degree(p) == nm - 1));
-        assert!((0..c.num_vertices())
-            .all(|p| c.vertex_triangles(p) == (nm - 1) * (nm - 2) / 2));
+        assert!((0..c.num_vertices()).all(|p| c.vertex_triangles(p) == (nm - 1) * (nm - 2) / 2));
         let ix = c.indexer();
         assert_eq!(
-            c.edge_triangles(ix.compose(0, 0), ix.compose(1, 1)).unwrap(),
+            c.edge_triangles(ix.compose(0, 0), ix.compose(1, 1))
+                .unwrap(),
             nm - 2
         );
         validate::validate_undirected(&c, 1 << 24).unwrap();

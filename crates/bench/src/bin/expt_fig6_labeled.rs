@@ -5,9 +5,7 @@
 
 use kron::KronLabeledProduct;
 use kron_bench::{labeled_web_factor, web_factor};
-use kron_triangles::labeled::{
-    labeled_vertex_participation, labeled_vertex_participation_formula,
-};
+use kron_triangles::labeled::{labeled_vertex_participation, labeled_vertex_participation_formula};
 
 const COLOR: [&str; 3] = ["r", "g", "b"];
 
@@ -62,9 +60,7 @@ fn main() {
             .flat_map(|q2| (q2..3).map(move |q3| (q2, q3)))
             .filter_map(|(q2, q3)| {
                 let cnt = c.vertex_type_count(p, q1, q2, q3);
-                (cnt > 0).then(|| {
-                    format!("({}{}):{}", COLOR[q2 as usize], COLOR[q3 as usize], cnt)
-                })
+                (cnt > 0).then(|| format!("({}{}):{}", COLOR[q2 as usize], COLOR[q3 as usize], cnt))
             })
             .collect();
         println!(

@@ -24,10 +24,7 @@ fn main() {
         let count = (b.num_vertices() as f64 * frac) as u32;
         let verts: Vec<u32> = (0..count).collect();
         let report = loop_boost_report(&a, &b, &verts);
-        println!(
-            "  loops at {:>5.0}% of B: {report}",
-            frac * 100.0
-        );
+        println!("  loops at {:>5.0}% of B: {report}", frac * 100.0);
     }
 
     // local view: a single loop's exact per-vertex effect

@@ -85,8 +85,7 @@ mod tests {
 
     #[test]
     fn basic_parse() {
-        let p = parse(&split("gen clique --n 10 -o"))
-            .unwrap();
+        let p = parse(&split("gen clique --n 10 -o")).unwrap();
         assert_eq!(p.command, "gen");
         assert_eq!(p.positional, vec!["clique", "-o"]);
         assert_eq!(p.options["n"], "10");

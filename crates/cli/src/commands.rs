@@ -4,6 +4,7 @@ use crate::args::ParsedArgs;
 use kron::{human_count, product_truss, validate, KronProduct, ProductStats};
 use kron_gen::deterministic;
 use kron_graph::{read_edge_list_path, write_edge_list_path, Graph};
+use kron_stream::{stream_product, verify_shards, OutputFormat, StreamConfig};
 use kron_triangles::count_triangles;
 use std::time::Instant;
 
@@ -26,7 +27,14 @@ USAGE:
   kron truss <a.tsv> <b.tsv>
       truss decomposition of A (x) B via Thm. 3 (requires Δ_B ≤ 1)
   kron validate <a.tsv> <b.tsv> [--samples N] [--full]
-      egonet spot checks (default) or full materialized validation (--full)";
+      egonet spot checks (default) or full materialized validation (--full)
+  kron stream <a.tsv> <b.tsv> --out DIR [--shards N] [--format F]
+              [--threads T] [--resume]
+      generate A (x) B as N validated shards (formats: edges | csr | count);
+      every shard gets a JSON manifest with closed-form checksums
+  kron verify-shards <DIR> [--rehash]
+      re-check every shard manifest and artifact against the closed-form
+      factor statistics (--rehash additionally regenerates each stream)";
 
 /// Dispatch a parsed command line.
 pub fn run(p: &ParsedArgs) -> Result<(), String> {
@@ -38,6 +46,8 @@ pub fn run(p: &ParsedArgs) -> Result<(), String> {
         "egonet" => cmd_egonet(p),
         "truss" => cmd_truss(p),
         "validate" => cmd_validate(p),
+        "stream" => cmd_stream(p),
+        "verify-shards" => cmd_verify_shards(p),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -235,6 +245,70 @@ fn cmd_truss(p: &ParsedArgs) -> Result<(), String> {
         println!("  {kappa:<4} {}", human_count(kt.truss_size(kappa)));
     }
     println!("  max trussness: {}", kt.max_trussness());
+    Ok(())
+}
+
+fn cmd_stream(p: &ParsedArgs) -> Result<(), String> {
+    let a = load(p.pos(0, "a")?)?;
+    let b = load(p.pos(1, "b")?)?;
+    let out = p
+        .options
+        .get("out")
+        .ok_or_else(|| "missing required option --out DIR".to_string())?;
+    let format = OutputFormat::parse(&p.opt("format", "edges".to_string())?)?;
+    let cfg = StreamConfig {
+        out_dir: out.into(),
+        shards: p.opt("shards", 8usize)?,
+        format,
+        threads: p.opt("threads", 0usize)?,
+        resume: p.flag("resume"),
+    };
+    let c = KronProduct::new(a, b);
+    let t0 = Instant::now();
+    let run = stream_product(&c, &cfg).map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    let fresh = run.shards - run.resumed_shards;
+    // resumed shards were skipped, not generated — a throughput figure
+    // over the whole product would be wildly inflated, so omit it then
+    let rate = if run.resumed_shards == 0 {
+        format!(
+            " ({} entries/s)",
+            human_count((run.total_entries as f64 / secs.max(1e-9)) as u128)
+        )
+    } else {
+        String::new()
+    };
+    eprintln!(
+        "streamed {} adjacency entries into {} {} shard(s) ({} resumed) \
+         with {} thread(s) in {:.2}s{rate}",
+        human_count(run.total_entries),
+        fresh,
+        run.format.as_str(),
+        run.resumed_shards,
+        run.threads,
+        secs,
+    );
+    println!("{out}/run.json");
+    Ok(())
+}
+
+fn cmd_verify_shards(p: &ParsedArgs) -> Result<(), String> {
+    let dir = p.pos(0, "dir")?;
+    let t0 = Instant::now();
+    let report =
+        verify_shards(std::path::Path::new(dir), p.flag("rehash")).map_err(|e| e.to_string())?;
+    println!(
+        "verified {} shard(s): {} entries, {} artifact bytes{} ({:.2?})",
+        report.shards,
+        human_count(report.total_entries),
+        report.artifact_bytes,
+        if report.rehashed {
+            ", streams regenerated + rehashed"
+        } else {
+            ""
+        },
+        t0.elapsed()
+    );
     Ok(())
 }
 

@@ -9,6 +9,8 @@
 //! kron egonet <a.tsv> <b.tsv> <p>
 //! kron truss <a.tsv> <b.tsv>
 //! kron validate <a.tsv> <b.tsv> [--samples N] [--full]
+//! kron stream <a.tsv> <b.tsv> --out DIR [--shards N] [--format F] [--resume]
+//! kron verify-shards <DIR> [--rehash]
 //! ```
 
 mod args;

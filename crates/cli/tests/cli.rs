@@ -54,7 +54,11 @@ fn gen_writes_parseable_edge_lists() {
         "--out",
         a.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let g = kron_graph::read_edge_list_path(&a).unwrap();
     assert_eq!(g.num_edges(), 2 + (200 - 3) * 2);
 }
@@ -72,8 +76,32 @@ fn full_pipeline_stats_truss_query_validate() {
     let dir = tmpdir();
     let a = dir.join("pipe_a.tsv");
     let b = dir.join("pipe_b.tsv");
-    assert!(kron(&["gen", "ba", "--n", "120", "--m", "3", "--seed", "3", "--out", a.to_str().unwrap()]).status.success());
-    assert!(kron(&["gen", "one-triangle", "--n", "80", "--seed", "4", "--out", b.to_str().unwrap()]).status.success());
+    assert!(kron(&[
+        "gen",
+        "ba",
+        "--n",
+        "120",
+        "--m",
+        "3",
+        "--seed",
+        "3",
+        "--out",
+        a.to_str().unwrap()
+    ])
+    .status
+    .success());
+    assert!(kron(&[
+        "gen",
+        "one-triangle",
+        "--n",
+        "80",
+        "--seed",
+        "4",
+        "--out",
+        b.to_str().unwrap()
+    ])
+    .status
+    .success());
 
     let out = kron(&["stats", a.to_str().unwrap(), b.to_str().unwrap()]);
     assert!(out.status.success());
@@ -82,7 +110,11 @@ fn full_pipeline_stats_truss_query_validate() {
     assert!(text.contains("Vertices"));
 
     let out = kron(&["truss", a.to_str().unwrap(), b.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("max trussness"));
 
     let out = kron(&["query", a.to_str().unwrap(), b.to_str().unwrap(), "777"]);
@@ -109,9 +141,11 @@ fn truss_refuses_bad_factor() {
     let dir = tmpdir();
     let a = dir.join("bad_a.tsv");
     // a clique has edges in many triangles: Δ_B > 1
-    assert!(kron(&["gen", "clique", "--n", "6", "--out", a.to_str().unwrap()])
-        .status
-        .success());
+    assert!(
+        kron(&["gen", "clique", "--n", "6", "--out", a.to_str().unwrap()])
+            .status
+            .success()
+    );
     let out = kron(&["truss", a.to_str().unwrap(), a.to_str().unwrap()]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("at most one triangle"));
@@ -121,9 +155,11 @@ fn truss_refuses_bad_factor() {
 fn query_out_of_range_vertex() {
     let dir = tmpdir();
     let a = dir.join("range_a.tsv");
-    assert!(kron(&["gen", "cycle", "--n", "5", "--out", a.to_str().unwrap()])
-        .status
-        .success());
+    assert!(
+        kron(&["gen", "cycle", "--n", "5", "--out", a.to_str().unwrap()])
+            .status
+            .success()
+    );
     let out = kron(&["query", a.to_str().unwrap(), a.to_str().unwrap(), "999999"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
@@ -133,10 +169,138 @@ fn query_out_of_range_vertex() {
 fn triangles_single_graph() {
     let dir = tmpdir();
     let a = dir.join("tri_a.tsv");
-    assert!(kron(&["gen", "clique", "--n", "5", "--out", a.to_str().unwrap()])
-        .status
-        .success());
+    assert!(
+        kron(&["gen", "clique", "--n", "5", "--out", a.to_str().unwrap()])
+            .status
+            .success()
+    );
     let out = kron(&["triangles", a.to_str().unwrap()]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("10 triangles"));
+}
+
+#[test]
+fn stream_and_verify_shards_roundtrip() {
+    let dir = tmpdir();
+    let a = dir.join("stream_a.tsv");
+    let b = dir.join("stream_b.tsv");
+    assert!(kron(&[
+        "gen",
+        "holme-kim",
+        "--n",
+        "60",
+        "--m",
+        "3",
+        "--seed",
+        "8",
+        "--out",
+        a.to_str().unwrap()
+    ])
+    .status
+    .success());
+    assert!(
+        kron(&["gen", "cycle", "--n", "40", "--out", b.to_str().unwrap()])
+            .status
+            .success()
+    );
+    let run_dir = dir.join("stream_run");
+    for format in ["edges", "csr", "count"] {
+        let _ = std::fs::remove_dir_all(&run_dir);
+        let out = kron(&[
+            "stream",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--out",
+            run_dir.to_str().unwrap(),
+            "--shards",
+            "6",
+            "--format",
+            format,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stderr).contains("streamed"));
+        assert!(run_dir.join("run.json").exists());
+        assert!(run_dir.join("shard_00005.json").exists());
+
+        let out = kron(&["verify-shards", run_dir.to_str().unwrap(), "--rehash"]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("verified 6 shard(s)"), "{text}");
+    }
+}
+
+#[test]
+fn stream_resume_skips_completed_shards() {
+    let dir = tmpdir();
+    let a = dir.join("resume_a.tsv");
+    assert!(
+        kron(&["gen", "clique", "--n", "12", "--out", a.to_str().unwrap()])
+            .status
+            .success()
+    );
+    let run_dir = dir.join("resume_run");
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let args_common = [
+        "stream",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--out",
+        run_dir.to_str().unwrap(),
+        "--shards",
+        "4",
+        "--format",
+        "csr",
+    ];
+    assert!(kron(&args_common).status.success());
+    let mut with_resume: Vec<&str> = args_common.to_vec();
+    with_resume.push("--resume");
+    let out = kron(&with_resume);
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("(4 resumed)"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn verify_shards_fails_on_tampered_artifact() {
+    let dir = tmpdir();
+    let a = dir.join("tamper_a.tsv");
+    assert!(
+        kron(&["gen", "cycle", "--n", "30", "--out", a.to_str().unwrap()])
+            .status
+            .success()
+    );
+    let run_dir = dir.join("tamper_run");
+    let _ = std::fs::remove_dir_all(&run_dir);
+    assert!(kron(&[
+        "stream",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--out",
+        run_dir.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--format",
+        "edges",
+    ])
+    .status
+    .success());
+    let artifact = run_dir.join("shard_00000.edges");
+    let mut bytes = std::fs::read(&artifact).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 1;
+    std::fs::write(&artifact, &bytes).unwrap();
+    let out = kron(&["verify-shards", run_dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("shard 0"));
 }

@@ -101,7 +101,11 @@ impl KronChain {
 
     /// Compose per-factor coordinates into a product vertex.
     pub fn compose(&self, coords: &[u32]) -> u128 {
-        assert_eq!(coords.len(), self.factors.len(), "one coordinate per factor");
+        assert_eq!(
+            coords.len(),
+            self.factors.len(),
+            "one coordinate per factor"
+        );
         let mut p = 0u128;
         for (g, &c) in self.factors.iter().zip(coords) {
             debug_assert!((c as usize) < g.num_vertices());
@@ -182,8 +186,7 @@ mod tests {
 
     #[test]
     fn three_factor_chain_matches_materialization() {
-        let chain =
-            KronChain::new(vec![clique(3), cycle(4), hub_cycle()]).unwrap();
+        let chain = KronChain::new(vec![clique(3), cycle(4), hub_cycle()]).unwrap();
         let g = chain.materialize(1 << 24).unwrap();
         assert_eq!(g.num_vertices() as u128, chain.num_vertices());
         assert_eq!(g.num_edges() as u128, chain.num_edges());

@@ -12,8 +12,8 @@ use crate::factor_stats::{EdgeTerms, VertexTerms};
 use crate::{KronError, ProductIndexer};
 use kron_graph::{DiGraph, Graph};
 use kron_triangles::directed::{
-    directed_edge_participation, directed_vertex_participation, DirEdgeCounts,
-    DirEdgeType, DirVertexCounts, DirVertexType,
+    directed_edge_participation, directed_vertex_participation, DirEdgeCounts, DirEdgeType,
+    DirVertexCounts, DirVertexType,
 };
 
 /// The implicit directed Kronecker product `C = A ⊗ B`.
@@ -141,10 +141,7 @@ impl KronDirectedProduct {
         let mut arcs = Vec::with_capacity(entries as usize);
         for (i, j) in self.a.arcs() {
             for (k, l) in self.b.adjacency_entries() {
-                arcs.push((
-                    self.ix.compose(i, k) as u32,
-                    self.ix.compose(j, l) as u32,
-                ));
+                arcs.push((self.ix.compose(i, k) as u32, self.ix.compose(j, l) as u32));
             }
         }
         Ok(DiGraph::from_arcs(self.num_vertices() as usize, arcs))
@@ -213,10 +210,7 @@ mod tests {
             for _ in 0..30 {
                 let p = rng.gen_range(0..c.num_vertices());
                 let q = rng.gen_range(0..c.num_vertices());
-                assert_eq!(
-                    m.get(p as usize, q as usize),
-                    c.edge_type_count(p, q, ty)
-                );
+                assert_eq!(m.get(p as usize, q as usize), c.edge_type_count(p, q, ty));
             }
         }
         // degrees

@@ -131,10 +131,7 @@ impl KronDirectedGeneral {
         let mut arcs = Vec::with_capacity(entries as usize);
         for (i, j) in self.a.arcs() {
             for (k, l) in self.b.arcs() {
-                arcs.push((
-                    self.ix.compose(i, k) as u32,
-                    self.ix.compose(j, l) as u32,
-                ));
+                arcs.push((self.ix.compose(i, k) as u32, self.ix.compose(j, l) as u32));
             }
         }
         Ok(DiGraph::from_arcs(self.num_vertices() as usize, arcs))

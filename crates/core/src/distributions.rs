@@ -86,12 +86,7 @@ fn vertex_classes(g: &kron_graph::Graph) -> Vec<(u32, u64)> {
             })
             .sum();
         let loopy_nbrs = row.iter().filter(|&&j| g.has_self_loop(j)).count() as u64;
-        let key = (
-            diag3,
-            row.len() as u64,
-            loopy_nbrs,
-            g.has_self_loop(v),
-        );
+        let key = (diag3, row.len() as u64, loopy_nbrs, g.has_self_loop(v));
         classes
             .entry(key)
             .and_modify(|e| e.1 += 1)

@@ -121,11 +121,7 @@ mod tests {
                 let direct = host_egonet(&g, p as u32);
                 assert_eq!(
                     implicit.mapping,
-                    direct
-                        .mapping
-                        .iter()
-                        .map(|&x| x as u64)
-                        .collect::<Vec<_>>(),
+                    direct.mapping.iter().map(|&x| x as u64).collect::<Vec<_>>(),
                     "egonet vertex set at {p}"
                 );
                 assert_eq!(implicit.graph, direct.graph, "egonet edges at {p}");
@@ -142,11 +138,7 @@ mod tests {
         for p in 0..c.num_vertices() {
             let ego = c.egonet(p);
             assert_eq!(ego.center_degree(), c.degree(p), "degree({p})");
-            assert_eq!(
-                ego.triangles_at_center(),
-                c.vertex_triangles(p),
-                "t_C({p})"
-            );
+            assert_eq!(ego.triangles_at_center(), c.vertex_triangles(p), "t_C({p})");
         }
     }
 

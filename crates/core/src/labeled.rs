@@ -86,14 +86,7 @@ impl KronLabeledProduct {
 
     /// Thm. 7: labeled triangle participation of type `(q1, q2, q3)` at
     /// product entry `(p, q)`: `Δ^(τ)_A(i, j) · (B ∘ B²)(k, l)`.
-    pub fn edge_type_count(
-        &self,
-        p: u64,
-        q: u64,
-        q1: Label,
-        q2: Label,
-        q3: Label,
-    ) -> u64 {
+    pub fn edge_type_count(&self, p: u64, q: u64, q1: Label, q2: Label, q3: Label) -> u64 {
         let (i, k) = self.ix.split(p);
         let (j, l) = self.ix.split(q);
         let da = self.da.get(q1, q2, q3).get(i as usize, j as usize);

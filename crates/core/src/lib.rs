@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blocks;
 mod chain;
 mod directed;
 mod directed_general;
@@ -64,6 +65,7 @@ mod truss_product;
 pub mod tuning;
 pub mod validate;
 
+pub use blocks::RowBlockStats;
 pub use chain::KronChain;
 pub use directed::KronDirectedProduct;
 pub use directed_general::KronDirectedGeneral;

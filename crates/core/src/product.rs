@@ -36,11 +36,11 @@ pub enum LoopProfile {
 /// identically zero, so Thm. 1/2 and Cor. 1/2 fall out as special cases
 /// (the tests pin each case to its closed form).
 pub struct KronProduct {
-    a: Graph,
-    b: Graph,
-    ix: ProductIndexer,
-    va: VertexTerms,
-    vb: VertexTerms,
+    pub(crate) a: Graph,
+    pub(crate) b: Graph,
+    pub(crate) ix: ProductIndexer,
+    pub(crate) va: VertexTerms,
+    pub(crate) vb: VertexTerms,
     ea: EdgeTerms,
     eb: EdgeTerms,
 }
@@ -182,9 +182,9 @@ impl KronProduct {
     pub fn total_triangles(&self) -> u128 {
         let (a1, a2, a3, a4) = self.va.sums();
         let (b1, b2, b3, b4) = self.vb.sums();
-        let tot = a1 as i128 * b1 as i128 - 2 * (a2 as i128) * (b2 as i128)
-            - (a3 as i128) * (b3 as i128)
-            + 2 * (a4 as i128) * (b4 as i128);
+        let tot =
+            a1 as i128 * b1 as i128 - 2 * (a2 as i128) * (b2 as i128) - (a3 as i128) * (b3 as i128)
+                + 2 * (a4 as i128) * (b4 as i128);
         debug_assert!(tot >= 0 && tot % 6 == 0, "Σt_C must be divisible by 6");
         (tot / 6) as u128
     }
@@ -369,10 +369,8 @@ impl KronProduct {
         if entries > limit || self.num_vertices() > u32::MAX as u64 {
             return Err(KronError::TooLargeToMaterialize { entries, limit });
         }
-        let mut builder = GraphBuilder::with_capacity(
-            self.num_vertices() as usize,
-            (entries / 2) as usize + 1,
-        );
+        let mut builder =
+            GraphBuilder::with_capacity(self.num_vertices() as usize, (entries / 2) as usize + 1);
         for (p, q) in self.adjacency_entries() {
             if p <= q {
                 builder.add_edge(p as u32, q as u32);
@@ -448,10 +446,7 @@ mod tests {
             );
         }
         // total
-        assert_eq!(
-            count_triangles(&g).triangles as u128,
-            c.total_triangles()
-        );
+        assert_eq!(count_triangles(&g).triangles as u128, c.total_triangles());
         // edge triangles (Thm. 2 / Cor. 2 / general)
         let delta = edge_participation(&g);
         for (p, q) in g.adjacency_entries() {
@@ -474,7 +469,13 @@ mod tests {
         }
         // neighbors
         for p in 0..c.num_vertices() {
-            assert_eq!(c.neighbors(p), g.adj_row(p as u32).iter().map(|&x| x as u64).collect::<Vec<_>>());
+            assert_eq!(
+                c.neighbors(p),
+                g.adj_row(p as u32)
+                    .iter()
+                    .map(|&x| x as u64)
+                    .collect::<Vec<_>>()
+            );
         }
     }
 
@@ -552,8 +553,14 @@ mod tests {
         );
         // off-diagonal edges carry nm − 2 triangles; loops carry 0
         let ix = c.indexer();
-        assert_eq!(c.edge_triangles(ix.compose(0, 0), ix.compose(1, 2)), Some(nm - 2));
-        assert_eq!(c.edge_triangles(ix.compose(0, 0), ix.compose(0, 0)), Some(0));
+        assert_eq!(
+            c.edge_triangles(ix.compose(0, 0), ix.compose(1, 2)),
+            Some(nm - 2)
+        );
+        assert_eq!(
+            c.edge_triangles(ix.compose(0, 0), ix.compose(0, 0)),
+            Some(0)
+        );
     }
 
     #[test]
@@ -612,10 +619,7 @@ mod tests {
         let b = random_graph(&mut rng, 7, 0.5, 0.0);
         let ta = vertex_participation(&a);
         let tb = vertex_participation(&b);
-        let (taua, taub) = (
-            count_triangles(&a).triangles,
-            count_triangles(&b).triangles,
-        );
+        let (taua, taub) = (count_triangles(&a).triangles, count_triangles(&b).triangles);
         let c = KronProduct::new(a, b);
         let ix = c.indexer();
         for i in 0..9u32 {

@@ -83,11 +83,7 @@ impl KronTruss {
         if kappa <= 2 {
             return (self.a.nnz() as u128) * (self.b.nnz() as u128) / 2;
         }
-        let a_entries: u128 = self
-            .a_truss
-            .edges_in_truss(kappa)
-            .count() as u128
-            * 2;
+        let a_entries: u128 = self.a_truss.edges_in_truss(kappa).count() as u128 * 2;
         let b_entries: u128 = self.b_in_triangle.iter().filter(|&&x| x).count() as u128;
         a_entries * b_entries / 2
     }

@@ -35,9 +35,7 @@ impl SplitMix64 {
 }
 
 fn mismatch<T: std::fmt::Debug>(what: &str, at: impl std::fmt::Debug, a: T, b: T) -> KronError {
-    KronError::ValidationMismatch(format!(
-        "{what} at {at:?}: direct = {a:?}, formula = {b:?}"
-    ))
+    KronError::ValidationMismatch(format!("{what} at {at:?}: direct = {a:?}, formula = {b:?}"))
 }
 
 /// Materialize `C` (guarded by `limit` adjacency entries) and verify every
@@ -46,7 +44,12 @@ fn mismatch<T: std::fmt::Debug>(what: &str, at: impl std::fmt::Debug, a: T, b: T
 pub fn validate_undirected(c: &KronProduct, limit: u128) -> Result<(), KronError> {
     let g = c.materialize(limit)?;
     if g.num_edges() as u128 != c.num_edges() {
-        return Err(mismatch("edge count", "C", g.num_edges() as u128, c.num_edges()));
+        return Err(mismatch(
+            "edge count",
+            "C",
+            g.num_edges() as u128,
+            c.num_edges(),
+        ));
     }
     if g.num_self_loops() as u128 != c.num_self_loops() {
         return Err(mismatch(
@@ -75,7 +78,12 @@ pub fn validate_undirected(c: &KronProduct, limit: u128) -> Result<(), KronError
         let slot = g.edge_slot(u, v).expect("edge exists");
         let formula = c.edge_triangles(u as u64, v as u64);
         if Some(delta[slot]) != formula {
-            return Err(mismatch("edge triangles", (u, v), Some(delta[slot]), formula));
+            return Err(mismatch(
+                "edge triangles",
+                (u, v),
+                Some(delta[slot]),
+                formula,
+            ));
         }
     }
     let tau = count_triangles(&g).triangles as u128;
@@ -124,9 +132,7 @@ pub fn spot_check(c: &KronProduct, samples: usize, seed: u64) -> Result<(), Kron
         // pick one incident edge and brute-force its triangle count as
         // |N(p) ∩ N(q) \ {p, q}| from materialized product rows
         let nbrs = c.neighbors(p);
-        if let Some(&q) = (!nbrs.is_empty())
-            .then(|| &nbrs[rng.below(nbrs.len() as u64) as usize])
-        {
+        if let Some(&q) = (!nbrs.is_empty()).then(|| &nbrs[rng.below(nbrs.len() as u64) as usize]) {
             if q == p {
                 // sampled the self loop: Δ's diagonal is zero by definition
                 if c.edge_triangles(p, p) != Some(0) {
@@ -167,20 +173,15 @@ pub fn spot_check(c: &KronProduct, samples: usize, seed: u64) -> Result<(), Kron
 /// Materialize a directed product (guarded) and verify Thm. 4 and Thm. 5
 /// for all fifteen types at every vertex and stored entry, plus the §IV-B
 /// degree formulas.
-pub fn validate_directed(
-    c: &crate::KronDirectedProduct,
-    limit: u128,
-) -> Result<(), KronError> {
+pub fn validate_directed(c: &crate::KronDirectedProduct, limit: u128) -> Result<(), KronError> {
     use kron_triangles::directed::{
-        directed_edge_participation, directed_vertex_participation, DirEdgeType,
-        DirVertexType,
+        directed_edge_participation, directed_vertex_participation, DirEdgeType, DirVertexType,
     };
     let g = c.materialize(limit)?;
     let dv = directed_vertex_participation(&g);
     for ty in DirVertexType::ALL {
         for p in 0..c.num_vertices() {
-            let (direct, formula) =
-                (dv.get(ty)[p as usize], c.vertex_type_count(p, ty));
+            let (direct, formula) = (dv.get(ty)[p as usize], c.vertex_type_count(p, ty));
             if direct != formula {
                 return Err(mismatch(ty.label(), p, direct, formula));
             }
@@ -197,10 +198,20 @@ pub fn validate_directed(
     }
     for p in 0..c.num_vertices() {
         if g.out_degree(p as u32) != c.out_degree(p) {
-            return Err(mismatch("out-degree", p, g.out_degree(p as u32), c.out_degree(p)));
+            return Err(mismatch(
+                "out-degree",
+                p,
+                g.out_degree(p as u32),
+                c.out_degree(p),
+            ));
         }
         if g.in_degree(p as u32) != c.in_degree(p) {
-            return Err(mismatch("in-degree", p, g.in_degree(p as u32), c.in_degree(p)));
+            return Err(mismatch(
+                "in-degree",
+                p,
+                g.in_degree(p as u32),
+                c.in_degree(p),
+            ));
         }
     }
     Ok(())
@@ -208,10 +219,7 @@ pub fn validate_directed(
 
 /// Materialize a labeled product (guarded) and verify Thm. 6 and Thm. 7
 /// for every labeled type, plus blockwise label inheritance.
-pub fn validate_labeled(
-    c: &crate::KronLabeledProduct,
-    limit: u128,
-) -> Result<(), KronError> {
+pub fn validate_labeled(c: &crate::KronLabeledProduct, limit: u128) -> Result<(), KronError> {
     use kron_graph::Label;
     use kron_triangles::labeled::{labeled_edge_participation, labeled_vertex_participation};
     let g = c.materialize(limit)?;

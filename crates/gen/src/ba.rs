@@ -2,6 +2,7 @@
 
 use kron_graph::{Graph, GraphBuilder};
 use rand::prelude::*;
+use std::collections::HashSet;
 
 /// Barabási–Albert scale-free graph: start from a star on `m + 1` vertices,
 /// then attach each new vertex to `m` distinct existing vertices chosen
@@ -22,12 +23,31 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
         pool.push(0);
         pool.push(v);
     }
+    // Dedup structure for the m draws of one vertex: a sorted buffer is
+    // cache-friendly for the common small m; above the threshold a HashSet
+    // keeps each membership test O(1) instead of O(m).
+    const SORTED_BUF_MAX: usize = 32;
+    let mut sorted: Vec<u32> = Vec::with_capacity(m.min(SORTED_BUF_MAX));
+    let mut set: HashSet<u32> = HashSet::new();
     let mut targets: Vec<u32> = Vec::with_capacity(m);
     for u in (m + 1) as u32..n as u32 {
         targets.clear();
+        sorted.clear();
+        set.clear();
         while targets.len() < m {
             let t = pool[rng.gen_range(0..pool.len())];
-            if !targets.contains(&t) {
+            let fresh = if m <= SORTED_BUF_MAX {
+                match sorted.binary_search(&t) {
+                    Ok(_) => false,
+                    Err(pos) => {
+                        sorted.insert(pos, t);
+                        true
+                    }
+                }
+            } else {
+                set.insert(t)
+            };
+            if fresh {
                 targets.push(t);
             }
         }
@@ -70,6 +90,17 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         assert_eq!(barabasi_albert(100, 2, 9), barabasi_albert(100, 2, 9));
+    }
+
+    #[test]
+    fn large_m_uses_hashset_path() {
+        // m above the sorted-buffer threshold exercises the HashSet dedup
+        let n = 200;
+        let m = 40;
+        let g = barabasi_albert(n, m, 13);
+        assert_eq!(g.num_edges() as usize, m + (n - m - 1) * m);
+        assert!(is_connected(&g));
+        assert_eq!(g.num_self_loops(), 0);
     }
 
     #[test]

@@ -20,10 +20,7 @@ pub fn clique_with_loops(n: usize) -> Graph {
 /// The cycle `C_n` (`n ≥ 3`).
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs at least 3 vertices");
-    Graph::from_edges(
-        n,
-        (0..n as u32).map(|i| (i, (i + 1) % n as u32)),
-    )
+    Graph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
 }
 
 /// The path `P_n` on `n` vertices (`n − 1` edges).

@@ -76,7 +76,7 @@ fn unrank_pair(pos: u64, n: u64) -> (u64, u64) {
     // binary search the row
     let (mut lo, mut hi) = (0u64, n - 1);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if cum(mid) <= pos {
             lo = mid;
         } else {

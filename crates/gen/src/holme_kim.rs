@@ -24,17 +24,14 @@ pub fn holme_kim(n: usize, m: usize, p_t: f64, seed: u64) -> Graph {
     let mut pool: Vec<u32> = Vec::with_capacity(2 * n * m);
     // adjacency mirror for neighbor sampling and duplicate detection
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let connect = |b: &mut GraphBuilder,
-                       pool: &mut Vec<u32>,
-                       adj: &mut Vec<Vec<u32>>,
-                       u: u32,
-                       v: u32| {
-        b.add_edge(u, v);
-        pool.push(u);
-        pool.push(v);
-        adj[u as usize].push(v);
-        adj[v as usize].push(u);
-    };
+    let connect =
+        |b: &mut GraphBuilder, pool: &mut Vec<u32>, adj: &mut Vec<Vec<u32>>, u: u32, v: u32| {
+            b.add_edge(u, v);
+            pool.push(u);
+            pool.push(v);
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        };
     for v in 1..=m as u32 {
         connect(&mut b, &mut pool, &mut adj, 0, v);
     }

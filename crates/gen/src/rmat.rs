@@ -45,7 +45,7 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Gr
         (sum - 1.0).abs() < 1e-9,
         "quadrant probabilities must sum to 1, got {sum}"
     );
-    assert!(scale >= 1 && scale < 32, "scale out of range");
+    assert!((1..32).contains(&scale), "scale out of range");
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut rng = StdRng::seed_from_u64(seed);

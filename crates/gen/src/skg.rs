@@ -21,7 +21,7 @@ use rand::prelude::*;
 /// probabilities (entries in `[0, 1]`), `k`-th Kronecker power
 /// (`n = 2^k`). The result is symmetrized (undirected) and loop-free.
 pub fn stochastic_kronecker(initiator: [[f64; 2]; 2], k: u32, seed: u64) -> Graph {
-    assert!(k >= 1 && k < 24, "k out of range for the O(n²) sampler");
+    assert!((1..24).contains(&k), "k out of range for the O(n²) sampler");
     assert!(
         initiator.iter().flatten().all(|p| (0.0..=1.0).contains(p)),
         "initiator entries must be probabilities"
@@ -59,7 +59,7 @@ pub fn stochastic_kronecker_balldrop(
     edges: usize,
     seed: u64,
 ) -> Graph {
-    assert!(k >= 1 && k < 32, "k out of range");
+    assert!((1..32).contains(&k), "k out of range");
     let total: f64 = initiator.iter().flatten().sum();
     assert!(total > 0.0, "initiator must have positive mass");
     let cells = [

@@ -17,9 +17,7 @@ use rand::prelude::*;
 pub fn close_wedges(g: &Graph, count: usize, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = g.num_vertices();
-    let mut adj: Vec<Vec<u32>> = (0..n as u32)
-        .map(|v| g.neighbors(v).collect())
-        .collect();
+    let mut adj: Vec<Vec<u32>> = (0..n as u32).map(|v| g.neighbors(v).collect()).collect();
     // sample wedge centers proportionally to degree via the edge list
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * g.num_edges() as usize);
     for (u, v) in g.edges() {
@@ -49,10 +47,7 @@ pub fn close_wedges(g: &Graph, count: usize, seed: u64) -> Graph {
         endpoints.push(w);
         added.push((u, w));
     }
-    let all_edges = g
-        .edges()
-        .chain(g.self_loops().map(|v| (v, v)))
-        .chain(added);
+    let all_edges = g.edges().chain(g.self_loops().map(|v| (v, v))).chain(added);
     Graph::from_edges(n, all_edges)
 }
 
@@ -68,7 +63,10 @@ mod tests {
         let before = count_triangles(&g).triangles;
         let boosted = close_wedges(&g, 300, 2);
         let after = count_triangles(&boosted).triangles;
-        assert!(after >= before + 300, "each closure adds ≥1 triangle: {before} → {after}");
+        assert!(
+            after >= before + 300,
+            "each closure adds ≥1 triangle: {before} → {after}"
+        );
         assert_eq!(boosted.num_edges(), g.num_edges() + 300);
     }
 

@@ -38,10 +38,7 @@ impl Graph {
         assert_eq!(m.nrows(), m.ncols(), "adjacency must be square");
         let mut edges = Vec::with_capacity(m.nnz());
         for (i, j, _) in m.iter() {
-            assert!(
-                m.get(j, i) != T::ZERO,
-                "pattern not symmetric at ({i},{j})"
-            );
+            assert!(m.get(j, i) != T::ZERO, "pattern not symmetric at ({i},{j})");
             if i <= j {
                 edges.push((i as u32, j as u32));
             }

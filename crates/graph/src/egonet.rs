@@ -90,10 +90,7 @@ mod tests {
 
     /// K4 plus a pendant vertex 4 attached to 0.
     fn k4_pendant() -> Graph {
-        Graph::from_edges(
-            5,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)],
-        )
+        Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)])
     }
 
     #[test]

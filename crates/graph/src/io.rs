@@ -16,6 +16,12 @@ use std::path::Path;
 /// first-appearance order of the sorted id set. Directions are ignored
 /// (the paper's experiment uses "the undirected version" of the input).
 ///
+/// Exception: when the file starts with the header [`write_edge_list`]
+/// emits (`# kron edge list: N vertices, ...`), the declared vertex count
+/// is honored and ids are taken verbatim — so isolated vertices and the
+/// exact numbering survive a write/read round trip (shard manifests and
+/// product-vertex ids depend on factor numbering).
+///
 /// Returns the graph; self loops in the input are preserved (callers that
 /// need the loop-free version apply [`Graph::without_self_loops`], matching
 /// the paper's preprocessing).
@@ -24,6 +30,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<Graph> {
     let mut line = String::new();
     let mut r = BufReader::new(reader);
     let mut lineno = 0usize;
+    let mut declared_n: Option<usize> = None;
     loop {
         line.clear();
         if r.read_line(&mut line)? == 0 {
@@ -32,6 +39,9 @@ pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<Graph> {
         lineno += 1;
         let s = line.trim();
         if s.is_empty() || s.starts_with('#') || s.starts_with('%') {
+            if lineno == 1 {
+                declared_n = parse_kron_header(s);
+            }
             continue;
         }
         let mut it = s.split_whitespace();
@@ -47,11 +57,28 @@ pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<Graph> {
         let v = parse(it.next())?;
         raw_edges.push((u, v));
     }
+    if let Some(n) = declared_n {
+        // Header present: ids are authoritative, isolated vertices kept.
+        if n > u32::MAX as usize {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("declared vertex count {n} exceeds the u32 id space"),
+            ));
+        }
+        let mut b = GraphBuilder::with_capacity(n, raw_edges.len());
+        for (u, v) in raw_edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("edge ({u},{v}) exceeds declared vertex count {n}"),
+                ));
+            }
+            b.add_edge(u as u32, v as u32);
+        }
+        return Ok(b.build());
+    }
     // Compact ids.
-    let mut ids: Vec<u64> = raw_edges
-        .iter()
-        .flat_map(|&(u, v)| [u, v])
-        .collect();
+    let mut ids: Vec<u64> = raw_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
     ids.sort_unstable();
     ids.dedup();
     let index = |x: u64| ids.binary_search(&x).unwrap() as u32;
@@ -60,6 +87,17 @@ pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<Graph> {
         b.add_edge(index(u), index(v));
     }
     Ok(b.build())
+}
+
+/// Recognize the [`write_edge_list`] header comment, returning the
+/// declared vertex count.
+fn parse_kron_header(s: &str) -> Option<usize> {
+    let rest = s.strip_prefix("# kron edge list:")?.trim_start();
+    let (count, tail) = rest.split_once(' ')?;
+    if !tail.starts_with("vertices") {
+        return None;
+    }
+    count.parse().ok()
 }
 
 /// [`read_edge_list`] from a filesystem path.
@@ -102,6 +140,28 @@ mod tests {
         write_edge_list(&g, &mut buf).unwrap();
         let h = read_edge_list(&buf[..]).unwrap();
         assert_eq!(g, h);
+    }
+
+    #[test]
+    fn header_roundtrip_keeps_isolated_vertices_and_numbering() {
+        // vertices 0 and 4 isolated; 2↔3 edge must not be renumbered
+        let g = Graph::from_edges(5, [(2, 3), (1, 1)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(h, g);
+        assert_eq!(h.num_vertices(), 5);
+        assert!(h.has_edge(2, 3));
+        // header with an out-of-range edge is rejected
+        let bad = "# kron edge list: 2 vertices, 1 edges, 0 self loops\n0 7\n";
+        assert!(read_edge_list(bad.as_bytes()).is_err());
+        // a declared count beyond the u32 id space is rejected rather
+        // than silently truncating edge endpoints
+        let huge = "# kron edge list: 4294967297 vertices, 1 edges, 0 self loops\n4294967296 0\n";
+        assert!(read_edge_list(huge.as_bytes()).is_err());
+        // a SNAP-style file without the header still compacts
+        let snap = "# some other comment\n100 2000\n";
+        assert_eq!(read_edge_list(snap.as_bytes()).unwrap().num_vertices(), 2);
     }
 
     #[test]

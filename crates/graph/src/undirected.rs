@@ -213,9 +213,8 @@ impl Graph {
     /// every edge plus each self loop once. This is the non-zero pattern of
     /// the adjacency matrix, the unit the Kronecker generator streams over.
     pub fn adjacency_entries(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_vertices() as u32).flat_map(move |u| {
-            self.adj_row(u).iter().copied().map(move |v| (u, v))
-        })
+        (0..self.num_vertices() as u32)
+            .flat_map(move |u| self.adj_row(u).iter().copied().map(move |v| (u, v)))
     }
 
     /// Vertices that have a self loop.

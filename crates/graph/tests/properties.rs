@@ -2,15 +2,14 @@
 //! conversion roundtrips, traversal consistency.
 
 use kron_graph::{
-    bfs_distances, connected_components, core_decomposition, egonet, read_edge_list,
-    spanning_tree, write_edge_list, DiGraph, Graph,
+    bfs_distances, connected_components, core_decomposition, egonet, read_edge_list, spanning_tree,
+    write_edge_list, DiGraph, Graph,
 };
 use proptest::prelude::*;
 
 fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (1..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * 3))
-            .prop_map(move |e| (n, e))
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * 3)).prop_map(move |e| (n, e))
     })
 }
 

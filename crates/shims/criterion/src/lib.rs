@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no crate registry, so this shim provides the
+//! subset of criterion's API the workspace benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `measurement_time` /
+//! `throughput`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: warm up once, then run iterations
+//! until the measurement time budget (default 1 s) or the sample count is
+//! exhausted, and report mean wall time per iteration (plus throughput
+//! when configured). There is no statistical analysis — the point is that
+//! `cargo bench` runs and prints comparable numbers, not publication
+//! graphs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identity function opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion-style.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        Self {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (criterion's `from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        Self { text }
+    }
+}
+
+/// Throughput annotation for rate reporting.
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    sample_size: u64,
+    budget: Duration,
+    /// Mean seconds per iteration, recorded by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Time `f`, repeating until the sample count or time budget runs out.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warmup + lazy-init
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.sample_size && start.elapsed() < self.budget {
+            black_box(f());
+            iters += 1;
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / iters.max(1) as f64;
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, mean_secs: f64, throughput: &Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_secs > 0.0 => {
+            format!("  ({:.3e} elem/s)", *n as f64 / mean_secs)
+        }
+        Some(Throughput::Bytes(n)) if mean_secs > 0.0 => {
+            format!("  ({:.3e} B/s)", *n as f64 / mean_secs)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<60} {:>12}/iter{rate}", human_time(mean_secs));
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations to attempt per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Wall-time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a processing rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            budget: self.budget,
+            mean_secs: 0.0,
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id.into().text);
+        report(&label, b.mean_secs, &self.throughput);
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            budget: Duration::from_secs(1),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: 20,
+            budget: Duration::from_secs(1),
+            mean_secs: 0.0,
+        };
+        f(&mut b);
+        report(name, b.mean_secs, &None);
+        self
+    }
+}
+
+/// Bundle bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` executes harness-less bench binaries with
+            // `--test`-style flags in some configurations; any argument
+            // beyond the binary name means "don't run the full suite".
+            if std::env::args().len() > 1
+                && std::env::args().any(|a| a == "--test" || a == "--list")
+            {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        g.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("input", 2), &41u64, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.finish();
+        assert!(runs >= 1, "bencher never ran the closure");
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 32).text, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").text, "x");
+    }
+}

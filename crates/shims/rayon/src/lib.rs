@@ -1,0 +1,274 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crate registry, so this shim provides the
+//! subset of rayon's API the workspace uses: `into_par_iter()` on ranges
+//! and vectors, with `map` / `flat_map_iter` / `for_each` / `fold` /
+//! `reduce` / `collect` / `min` / `sum` / `count` adapters, plus
+//! [`current_num_threads`].
+//!
+//! Semantics match rayon where the workspace relies on them:
+//!
+//! * adapters execute on `std::thread::scope` worker threads, one
+//!   contiguous chunk per thread, so work genuinely runs in parallel;
+//! * order-sensitive terminals (`collect`) preserve input order;
+//! * `fold` produces one accumulator per chunk (rayon: per split), which
+//!   `reduce` then combines.
+//!
+//! Unlike rayon there is no work stealing: a skewed chunk can straggle.
+//! The chunk count is `4 ×` the thread count to soften that.
+
+use std::ops::Range;
+
+/// Number of worker threads used by the shim (rayon API compatibility).
+///
+/// Respects `RAYON_NUM_THREADS` when set, otherwise the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` over owned chunks of `items` on scoped threads, concatenating
+/// the per-chunk outputs in input order.
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> Vec<R> + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 || n <= 1 {
+        return f(items);
+    }
+    // 4 chunks per thread softens stragglers; each chunk gets its own
+    // scoped thread, joined in order so outputs concatenate in order.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk));
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let fref = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || fref(c)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("shim rayon worker panicked"));
+        }
+    });
+    out
+}
+
+/// An eager "parallel iterator" over an owned item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+par_range!(u16, u32, u64, usize, i32, i64);
+
+macro_rules! par_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+par_range_inclusive!(u16, u32, u64, usize, i32, i64);
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, |c| c.into_iter().map(&f).collect()),
+        }
+    }
+
+    /// Parallel flat-map where each item yields a serial iterator
+    /// (rayon's `flat_map_iter`), preserving order.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<U::Item>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, |c| c.into_iter().flat_map(&f).collect()),
+        }
+    }
+
+    /// Parallel filter preserving order.
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, |c| c.into_iter().filter(&f).collect()),
+        }
+    }
+
+    /// Parallel side-effecting visit (no ordering guarantee, like rayon).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked::<_, (), _>(self.items, |c| {
+            c.into_iter().for_each(&f);
+            Vec::new()
+        });
+    }
+
+    /// Rayon-style fold: one accumulator per parallel chunk; combine the
+    /// chunk results with [`ParIter::reduce`].
+    pub fn fold<A, ID, F>(self, identity: ID, fold: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, |c| vec![c.into_iter().fold(identity(), &fold)]),
+        }
+    }
+
+    /// Combine all items into one value (sequential tree-less combine —
+    /// the item count here is small: one per chunk).
+    pub fn reduce<ID, F>(self, identity: ID, f: F) -> T
+    where
+        ID: Fn() -> T,
+        F: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), f)
+    }
+
+    /// Collect preserving input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Sum of items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_matches_serial() {
+        let total: u64 = (0u64..100_000)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (1u64..=1000).into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 500_500);
+    }
+
+    #[test]
+    fn flat_map_iter_and_min() {
+        let v: Vec<u32> = (0u32..100)
+            .into_par_iter()
+            .flat_map_iter(|x| (0..3).map(move |k| x * 3 + k))
+            .collect();
+        assert_eq!(v, (0u32..300).collect::<Vec<_>>());
+        assert_eq!((5u32..50).into_par_iter().map(|x| x + 1).min(), Some(6));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        assert_eq!((0u32..0).into_par_iter().count(), 0);
+    }
+}

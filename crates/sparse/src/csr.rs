@@ -181,7 +181,7 @@ impl<T: Scalar> CsrMatrix<T> {
                 }
             }
         }
-        if self.values.iter().any(|v| *v == T::ZERO) {
+        if self.values.contains(&T::ZERO) {
             return Err("explicit zero stored".into());
         }
         Ok(())

@@ -47,7 +47,7 @@ impl<T: Scalar> CsrMatrix<T> {
         // Zero products (possible with signed/float scalars: no — product of
         // two non-zeros can only be zero for floats under over/underflow;
         // filter defensively) are removed by rebuilding if present.
-        if values.iter().any(|v| *v == T::ZERO) {
+        if values.contains(&T::ZERO) {
             let mut trip = Vec::with_capacity(values.len());
             let mut row = 0usize;
             for (pos, (&j, &v)) in indices.iter().zip(values.iter()).enumerate() {

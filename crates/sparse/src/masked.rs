@@ -40,7 +40,11 @@ pub fn masked_spgemm<T: Scalar, M: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
 ) -> CsrMatrix<T> {
-    assert_eq!(a.ncols(), b.nrows(), "masked_spgemm inner dimension mismatch");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "masked_spgemm inner dimension mismatch"
+    );
     assert_eq!(mask.nrows(), a.nrows(), "mask row mismatch");
     assert_eq!(mask.ncols(), b.ncols(), "mask col mismatch");
     let bt = b.transpose();
@@ -86,11 +90,7 @@ mod tests {
         for _ in 0..20 {
             let n = rng.gen_range(1..10);
             let dense: Vec<Vec<u64>> = (0..n)
-                .map(|_| {
-                    (0..n)
-                        .map(|_| u64::from(rng.gen_bool(0.4)))
-                        .collect()
-                })
+                .map(|_| (0..n).map(|_| u64::from(rng.gen_bool(0.4))).collect())
                 .collect();
             let a = CsrMatrix::from_dense(&dense);
             let full = a.spgemm(&a).hadamard_mul(&a);

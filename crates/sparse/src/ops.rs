@@ -225,15 +225,12 @@ impl<T: Scalar> CsrMatrix<T> {
 
     /// Whether every diagonal entry is zero (graph has no self loops).
     pub fn diag_is_zero(&self) -> bool {
-        self.nrows() == self.ncols()
-            && (0..self.nrows()).all(|i| self.get(i, i) == T::ZERO)
+        self.nrows() == self.ncols() && (0..self.nrows()).all(|i| self.get(i, i) == T::ZERO)
     }
 
     /// Sum of all entries.
     pub fn total(&self) -> T {
-        self.values()
-            .iter()
-            .fold(T::ZERO, |acc, &v| acc.add(v))
+        self.values().iter().fold(T::ZERO, |acc, &v| acc.add(v))
     }
 }
 

@@ -8,9 +8,7 @@
 /// formulas of the paper's §III are evaluated on signed scalars (`i64` /
 /// `i128`) where `checked_neg`-style concerns vanish, and structural
 /// operations (diagonal removal) are preferred over numeric cancellation.
-pub trait Scalar:
-    Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static
-{
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     /// Additive identity. Entries equal to `ZERO` are dropped from storage.
     const ZERO: Self;
     /// Multiplicative identity, the value of an adjacency-matrix entry.

@@ -42,7 +42,11 @@ fn spgemm_rows_spa<T: Scalar>(
     for i in rows {
         touched.clear();
         for (&k, &av) in a.row_indices(i).iter().zip(a.row_values(i)) {
-            for (&j, &bv) in b.row_indices(k as usize).iter().zip(b.row_values(k as usize)) {
+            for (&j, &bv) in b
+                .row_indices(k as usize)
+                .iter()
+                .zip(b.row_values(k as usize))
+            {
                 let cell = &mut acc[j as usize];
                 if *cell == T::ZERO {
                     touched.push(j);
@@ -70,11 +74,7 @@ fn spgemm_rows_spa<T: Scalar>(
     }
 }
 
-fn assemble<T: Scalar>(
-    nrows: usize,
-    ncols: usize,
-    mut blocks: Vec<RowBlock<T>>,
-) -> CsrMatrix<T> {
+fn assemble<T: Scalar>(nrows: usize, ncols: usize, mut blocks: Vec<RowBlock<T>>) -> CsrMatrix<T> {
     blocks.sort_by_key(|b| b.first_row);
     let nnz: usize = blocks.iter().map(|b| b.indices.len()).sum();
     let mut offsets = Vec::with_capacity(nrows + 1);

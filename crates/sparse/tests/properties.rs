@@ -164,8 +164,8 @@ proptest! {
         x in proptest::collection::vec(-3i64..=3, 1..5),
         y in proptest::collection::vec(-3i64..=3, 1..5)
     ) {
-        let mx = CsrMatrix::from_dense(&[x.clone()]);
-        let my = CsrMatrix::from_dense(&[y.clone()]);
+        let mx = CsrMatrix::from_dense(std::slice::from_ref(&x));
+        let my = CsrMatrix::from_dense(std::slice::from_ref(&y));
         let k = mx.kron(&my);
         let kv = kron_vec(&x, &y);
         prop_assert_eq!(k.to_dense()[0].clone(), kv);

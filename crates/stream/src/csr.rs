@@ -1,0 +1,272 @@
+//! The on-disk CSR shard format and its mmap-backed zero-copy reader.
+//!
+//! Layout (all integers little-endian `u64`):
+//!
+//! ```text
+//! offset  size            field
+//! 0       8               magic  b"KRONCSR1"
+//! 8       8               vertex_lo — first product vertex of the shard
+//! 16      8               num_rows  — product vertices covered
+//! 24      8               nnz       — adjacency entries in the shard
+//! 32      8·(num_rows+1)  offsets   — local prefix sums, offsets[0] = 0
+//! ...     8·nnz           cols      — column (neighbor) vertex ids
+//! ```
+//!
+//! Row `r` (product vertex `vertex_lo + r`) owns
+//! `cols[offsets[r]..offsets[r+1]]`, sorted ascending. The header starts
+//! every section at an 8-byte boundary, so a page-aligned mapping exposes
+//! both arrays as `&[u64]` without copying.
+
+use crate::mmap::{as_u64s, Mmap};
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// File magic, also the format version.
+pub const MAGIC: &[u8; 8] = b"KRONCSR1";
+
+/// Header size in bytes.
+pub const HEADER: u64 = 32;
+
+/// Exact file size of a shard with the given dimensions, or `None` if
+/// the dimensions are corrupt enough to overflow (an attacker- or
+/// corruption-supplied header must not panic the reader).
+pub fn file_size_checked(num_rows: u64, nnz: u64) -> Option<u64> {
+    let offsets = num_rows.checked_add(1)?.checked_mul(8)?;
+    let cols = nnz.checked_mul(8)?;
+    HEADER.checked_add(offsets)?.checked_add(cols)
+}
+
+/// Exact file size of a shard with the given dimensions.
+///
+/// # Panics
+/// Panics on overflow — use [`file_size_checked`] for untrusted headers.
+pub fn file_size(num_rows: u64, nnz: u64) -> u64 {
+    file_size_checked(num_rows, nnz).expect("shard dimensions overflow")
+}
+
+/// Zero-copy reader over an on-disk CSR shard.
+///
+/// Opening validates the header against the file length and the offset
+/// array's structure; row access is then slicing into the mapping.
+pub struct CsrReader {
+    map: Mmap,
+    vertex_lo: u64,
+    num_rows: u64,
+    nnz: u64,
+}
+
+impl CsrReader {
+    /// Map and validate a CSR shard file.
+    pub fn open(path: &Path) -> io::Result<CsrReader> {
+        let file = File::open(path)?;
+        let map = Mmap::map_readonly(&file)?;
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        if map.len() < HEADER as usize {
+            return Err(bad(format!("{}: truncated header", path.display())));
+        }
+        if &map[..8] != MAGIC {
+            return Err(bad(format!(
+                "{}: bad magic (not a KRONCSR1 file)",
+                path.display()
+            )));
+        }
+        let word = |i: usize| u64::from_le_bytes(map[8 * i..8 * i + 8].try_into().unwrap());
+        let (vertex_lo, num_rows, nnz) = (word(1), word(2), word(3));
+        let expect = file_size_checked(num_rows, nnz)
+            .filter(|&sz| usize::try_from(sz).is_ok())
+            .ok_or_else(|| {
+                bad(format!(
+                    "{}: header dimensions overflow ({num_rows} rows, {nnz} nnz)",
+                    path.display()
+                ))
+            })?;
+        if map.len() as u64 != expect {
+            return Err(bad(format!(
+                "{}: file is {} bytes, header implies {expect}",
+                path.display(),
+                map.len()
+            )));
+        }
+        let reader = CsrReader {
+            map,
+            vertex_lo,
+            num_rows,
+            nnz,
+        };
+        let offsets = reader.offsets();
+        if offsets[0] != 0 || offsets[num_rows as usize] != nnz {
+            return Err(bad(format!(
+                "{}: offset array endpoints corrupt",
+                path.display()
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad(format!("{}: offsets not monotone", path.display())));
+        }
+        Ok(reader)
+    }
+
+    /// First product vertex of the shard.
+    pub fn vertex_lo(&self) -> u64 {
+        self.vertex_lo
+    }
+
+    /// Product vertices covered.
+    pub fn num_rows(&self) -> u64 {
+        self.num_rows
+    }
+
+    /// Adjacency entries stored.
+    pub fn nnz(&self) -> u64 {
+        self.nnz
+    }
+
+    /// The local offset array (`num_rows + 1` entries), zero-copy.
+    pub fn offsets(&self) -> &[u64] {
+        let start = HEADER as usize;
+        let end = start + 8 * (self.num_rows as usize + 1);
+        as_u64s(&self.map[start..end])
+    }
+
+    /// The flat column array, zero-copy.
+    pub fn cols(&self) -> &[u64] {
+        let start = HEADER as usize + 8 * (self.num_rows as usize + 1);
+        as_u64s(&self.map[start..])
+    }
+
+    /// The adjacency row of product vertex `p`, or `None` if `p` is
+    /// outside the shard. Zero-copy slice into the mapping.
+    pub fn row(&self, p: u64) -> Option<&[u64]> {
+        let local = p.checked_sub(self.vertex_lo)?;
+        if local >= self.num_rows {
+            return None;
+        }
+        let offsets = self.offsets();
+        let (lo, hi) = (
+            offsets[local as usize] as usize,
+            offsets[local as usize + 1] as usize,
+        );
+        Some(&self.cols()[lo..hi])
+    }
+
+    /// Iterate all `(p, q)` entries in row-major order.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let offsets = self.offsets();
+        let cols = self.cols();
+        (0..self.num_rows as usize).flat_map(move |r| {
+            let p = self.vertex_lo + r as u64;
+            cols[offsets[r] as usize..offsets[r + 1] as usize]
+                .iter()
+                .map(move |&q| (p, q))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CsrSink, EdgeSink};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kron_csr_test_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_mmap_roundtrip_bit_exact() {
+        let dir = tmpdir("roundtrip");
+        // rows: vertex 10: [3, 7]; vertex 11: []; vertex 12: [0]
+        let lens = vec![2u64, 0, 1];
+        let mut sink = CsrSink::create(&dir, "s.csr", 10, lens.into_iter()).unwrap();
+        sink.push(10, 3).unwrap();
+        sink.push(10, 7).unwrap();
+        sink.push(12, 0).unwrap();
+        let (name, bytes) = sink.finish().unwrap().unwrap();
+        assert_eq!(name, "s.csr");
+        assert_eq!(bytes, file_size(3, 3));
+        let r = CsrReader::open(&dir.join("s.csr")).unwrap();
+        assert_eq!(r.vertex_lo(), 10);
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.nnz(), 3);
+        assert_eq!(r.row(10).unwrap(), &[3, 7]);
+        assert_eq!(r.row(11).unwrap(), &[] as &[u64]);
+        assert_eq!(r.row(12).unwrap(), &[0]);
+        assert_eq!(r.row(13), None);
+        assert_eq!(r.row(9), None);
+        assert_eq!(
+            r.entries().collect::<Vec<_>>(),
+            vec![(10, 3), (10, 7), (12, 0)]
+        );
+    }
+
+    #[test]
+    fn csr_sink_rejects_out_of_order_and_overflow() {
+        let dir = tmpdir("order");
+        let mut sink = CsrSink::create(&dir, "bad.csr", 0, vec![1u64, 1].into_iter()).unwrap();
+        assert!(
+            sink.push(1, 5).is_err(),
+            "row 1 before row 0 is filled must fail"
+        );
+        let mut sink1 = CsrSink::create(&dir, "bad1.csr", 0, vec![1u64, 1].into_iter()).unwrap();
+        sink1.push(0, 5).unwrap();
+        sink1.push(1, 6).unwrap();
+        assert!(sink1.push(0, 7).is_err(), "going back a row must fail");
+        assert!(sink1.push(2, 7).is_err(), "vertex outside shard must fail");
+        let mut sink2 = CsrSink::create(&dir, "bad2.csr", 0, vec![1u64].into_iter()).unwrap();
+        sink2.push(0, 1).unwrap();
+        assert!(sink2.push(0, 2).is_err(), "row overflow must fail");
+        let mut sink3 = CsrSink::create(&dir, "bad3.csr", 0, vec![2u64].into_iter()).unwrap();
+        sink3.push(0, 1).unwrap();
+        assert!(sink3.finish().is_err(), "underfull finish must fail");
+        // failed sinks leave only .tmp files behind
+        assert!(!dir.join("bad.csr").exists());
+        assert!(!dir.join("bad3.csr").exists());
+    }
+
+    #[test]
+    fn reader_rejects_overflowing_header_without_panicking() {
+        // 40-byte file whose header claims 2^61−1 rows: the naive size
+        // computation 8·(rows+1) wraps; open must return an error.
+        let dir = tmpdir("overflow");
+        let path = dir.join("evil.csr");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // vertex_lo
+        bytes.extend_from_slice(&((1u64 << 61) - 1).to_le_bytes()); // num_rows
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // nnz
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // filler
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match CsrReader::open(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("overflowing header must not open"),
+        };
+        assert!(err.to_string().contains("overflow"), "{err}");
+        assert_eq!(file_size_checked(u64::MAX, 1), None);
+    }
+
+    #[test]
+    fn reader_rejects_corruption() {
+        let dir = tmpdir("corrupt");
+        let mut sink = CsrSink::create(&dir, "c.csr", 0, vec![1u64].into_iter()).unwrap();
+        sink.push(0, 9).unwrap();
+        sink.finish().unwrap();
+        let path = dir.join("c.csr");
+        let good = std::fs::read(&path).unwrap();
+        // bad magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(CsrReader::open(&path).is_err());
+        // truncated
+        std::fs::write(&path, &good[..good.len() - 8]).unwrap();
+        assert!(CsrReader::open(&path).is_err());
+        // offsets endpoint corrupt (nnz in header says 1, offsets say 2)
+        let mut bad = good.clone();
+        bad[40..48].copy_from_slice(&2u64.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(CsrReader::open(&path).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! The shard driver: run a plan's shards concurrently, producing durable
+//! artifacts + manifests, with resume support.
+
+use crate::manifest::{
+    manifest_name, read_json, write_json_atomic, OutputFormat, RunSummary, ShardManifest,
+    StreamHash,
+};
+use crate::plan::{ShardPlan, ShardSpec};
+use crate::sink::{CountSink, CsrSink, EdgeListSink, EdgeSink};
+use crate::StreamError;
+use kron::KronProduct;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of a stream run.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Output directory (created if missing).
+    pub out_dir: PathBuf,
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Artifact format.
+    pub format: OutputFormat,
+    /// Worker threads; 0 means available parallelism.
+    pub threads: usize,
+    /// Skip shards whose manifest already exists and validates.
+    ///
+    /// The check is rsync-style quick: manifest statistics against the
+    /// closed form plus artifact size — O(1) per shard, no content read.
+    /// Bit-level corruption in a same-size artifact is the job of
+    /// [`crate::verify_shards`]; delete the artifact it flags and resume.
+    pub resume: bool,
+}
+
+impl StreamConfig {
+    /// A config writing `format` artifacts into `out_dir` with defaults
+    /// (8 shards, auto threads, no resume).
+    pub fn new(out_dir: impl Into<PathBuf>, format: OutputFormat) -> Self {
+        Self {
+            out_dir: out_dir.into(),
+            shards: 8,
+            format,
+            threads: 0,
+            resume: false,
+        }
+    }
+}
+
+/// Factor edge-list file names inside a run directory.
+pub const FACTOR_A_FILE: &str = "factor_a.tsv";
+/// Right-factor edge-list file name inside a run directory.
+pub const FACTOR_B_FILE: &str = "factor_b.tsv";
+/// Run summary file name inside a run directory.
+pub const RUN_FILE: &str = "run.json";
+
+/// Stream one shard through a sink, computing observed statistics, and
+/// return its manifest. Exposed for tests and benchmarks; the driver calls
+/// this per shard.
+pub fn run_shard(
+    product: &KronProduct,
+    spec: &ShardSpec,
+    format: OutputFormat,
+    sink: &mut dyn EdgeSink,
+) -> Result<ShardManifest, StreamError> {
+    let expect = &spec.stats;
+    let mut hash = StreamHash::default();
+    let mut entries = 0u128;
+    let mut self_loops = 0u128;
+    for (p, q) in product.adjacency_entries_in_rows(expect.rows.clone()) {
+        hash.update(p, q);
+        entries += 1;
+        self_loops += u128::from(p == q);
+        sink.push(p, q)
+            .map_err(|e| StreamError::Shard(spec.index, e.to_string()))?;
+    }
+    let artifact = sink
+        .finish()
+        .map_err(|e| StreamError::Shard(spec.index, e.to_string()))?;
+    // Observed stream vs closed form — a disagreement here means the
+    // generator itself is broken; fail loudly rather than persist it.
+    if entries != expect.nnz || self_loops != expect.self_loops {
+        return Err(StreamError::Shard(
+            spec.index,
+            format!(
+                "observed {entries} entries / {self_loops} loops, closed form says {} / {}",
+                expect.nnz, expect.self_loops
+            ),
+        ));
+    }
+    let (file, file_bytes) = match artifact {
+        Some((name, bytes)) => (Some(name), bytes),
+        None => (None, 0),
+    };
+    Ok(ShardManifest {
+        shard: spec.index,
+        rows: expect.rows.clone(),
+        vertices: expect.vertices.clone(),
+        format,
+        file,
+        file_bytes,
+        entries,
+        self_loops,
+        degree_sum: expect.degree_sum,
+        triangle_sum: expect.triangle_sum,
+        hash,
+    })
+}
+
+/// Build the configured sink for one shard.
+fn make_sink<'a>(
+    dir: &Path,
+    spec: &ShardSpec,
+    format: OutputFormat,
+    product: &'a KronProduct,
+) -> std::io::Result<Box<dyn EdgeSink + 'a>> {
+    Ok(match format {
+        OutputFormat::Count => Box::new(CountSink::default()),
+        OutputFormat::Edges => Box::new(EdgeListSink::create(
+            dir,
+            &format.artifact_name(spec.index).unwrap(),
+        )?),
+        OutputFormat::Csr => Box::new(CsrSink::create(
+            dir,
+            &format.artifact_name(spec.index).unwrap(),
+            spec.stats.vertices.start,
+            product.row_lengths_in_rows(spec.stats.rows.clone()),
+        )?),
+    })
+}
+
+/// Validate a shard count from config or a run directory.
+pub(crate) fn check_shard_count(shards: usize) -> Result<(), String> {
+    if shards == 0 {
+        Err("shards must be ≥ 1".into())
+    } else if shards > crate::plan::MAX_SHARDS {
+        Err(format!(
+            "shard count {shards} exceeds the sanity bound {}",
+            crate::plan::MAX_SHARDS
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Remove shard files a previous run left behind that the current plan
+/// will not overwrite: any `shard_NNNNN.*` with index ≥ `shards`, any
+/// artifact whose extension doesn't match the current format, and stray
+/// `.tmp` leftovers. Without this, re-running into the same directory
+/// with fewer shards (or another format) leaves stale artifacts that a
+/// `shard_*`-globbing consumer would happily mix with the new plan's.
+fn remove_stale_shard_files(
+    dir: &Path,
+    shards: usize,
+    format: OutputFormat,
+) -> std::io::Result<()> {
+    let keep_ext = match format {
+        OutputFormat::Edges => Some("edges"),
+        OutputFormat::Csr => Some("csr"),
+        OutputFormat::Count => None,
+    };
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("shard_") else {
+            continue;
+        };
+        let Some((index, ext)) = rest.split_once('.') else {
+            continue;
+        };
+        let Ok(index) = index.parse::<usize>() else {
+            continue;
+        };
+        let stale = match ext {
+            "json" => index >= shards,
+            "edges" | "csr" => index >= shards || keep_ext != Some(ext),
+            _ if ext.ends_with("tmp") => true,
+            _ => false,
+        };
+        if stale {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// Whether a completed, valid manifest + artifact already exist for the
+/// shard (the resume check).
+fn shard_is_complete(dir: &Path, spec: &ShardSpec, format: OutputFormat) -> bool {
+    let path = dir.join(manifest_name(spec.index));
+    let Ok(doc) = read_json(&path) else {
+        return false;
+    };
+    let Ok(m) = ShardManifest::from_json(&doc) else {
+        return false;
+    };
+    if m.format != format || m.matches_stats(&spec.stats).is_err() {
+        return false;
+    }
+    match &m.file {
+        None => format == OutputFormat::Count,
+        Some(name) => {
+            std::fs::metadata(dir.join(name)).map(|md| md.len()).ok() == Some(m.file_bytes)
+        }
+    }
+}
+
+/// Load a shard's manifest from a run directory.
+pub fn load_manifest(dir: &Path, shard: usize) -> Result<ShardManifest, StreamError> {
+    let path = dir.join(manifest_name(shard));
+    let doc = read_json(&path).map_err(|e| StreamError::Io(e.to_string()))?;
+    ShardManifest::from_json(&doc)
+        .map_err(|e| StreamError::Manifest(format!("{}: {e}", path.display())))
+}
+
+/// Generate all shards of `product` into `cfg.out_dir`.
+///
+/// Writes per-shard artifacts + manifests, copies of both factor edge
+/// lists (so the run is self-describing and re-verifiable), and a
+/// `run.json` summary. Shards run concurrently on `cfg.threads` workers;
+/// with `cfg.resume`, shards whose manifest already validates are skipped.
+pub fn stream_product(
+    product: &KronProduct,
+    cfg: &StreamConfig,
+) -> Result<RunSummary, StreamError> {
+    check_shard_count(cfg.shards).map_err(StreamError::Config)?;
+    let dir = &cfg.out_dir;
+    std::fs::create_dir_all(dir).map_err(|e| StreamError::Io(e.to_string()))?;
+    remove_stale_shard_files(dir, cfg.shards, cfg.format)
+        .map_err(|e| StreamError::Io(e.to_string()))?;
+    let (a, b) = product.factors();
+    for (file, g) in [(FACTOR_A_FILE, a), (FACTOR_B_FILE, b)] {
+        kron_graph::write_edge_list_path(g, dir.join(file))
+            .map_err(|e| StreamError::Io(format!("writing {file}: {e}")))?;
+    }
+
+    let plan = ShardPlan::new(product, cfg.shards);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .min(cfg.shards)
+    .max(1);
+
+    let t0 = std::time::Instant::now();
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let resumed = AtomicUsize::new(0);
+    let errors: Mutex<Vec<StreamError>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = plan.get(i) else { break };
+                if cfg.resume && shard_is_complete(dir, spec, cfg.format) {
+                    resumed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let result = make_sink(dir, spec, cfg.format, product)
+                    .map_err(|e| StreamError::Shard(spec.index, e.to_string()))
+                    .and_then(|mut sink| run_shard(product, spec, cfg.format, sink.as_mut()))
+                    .and_then(|m| {
+                        write_json_atomic(dir, &manifest_name(spec.index), &m.to_json())
+                            .map_err(|e| StreamError::Shard(spec.index, e.to_string()))
+                    });
+                if let Err(e) = result {
+                    errors.lock().unwrap().push(e);
+                    failed.store(true, Ordering::Relaxed);
+                    break;
+                }
+            });
+        }
+    });
+    if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
+        return Err(e);
+    }
+
+    // Aggregate manifests into the run summary; totals must reproduce the
+    // closed-form global statistics exactly.
+    let mut total_entries = 0u128;
+    let mut total_triangle_sum = 0u128;
+    for spec in plan.iter() {
+        let m = load_manifest(dir, spec.index)?;
+        m.matches_stats(&spec.stats)
+            .map_err(StreamError::Manifest)?;
+        total_entries += m.entries;
+        total_triangle_sum += m.triangle_sum;
+    }
+    if total_entries != product.nnz() {
+        return Err(StreamError::Manifest(format!(
+            "shard entry counts sum to {total_entries}, product nnz is {}",
+            product.nnz()
+        )));
+    }
+    if total_triangle_sum != 3 * product.total_triangles() {
+        return Err(StreamError::Manifest(format!(
+            "shard triangle sums total {total_triangle_sum}, closed form says {}",
+            3 * product.total_triangles()
+        )));
+    }
+
+    let summary = RunSummary {
+        shards: cfg.shards,
+        format: cfg.format,
+        n_a: a.num_vertices() as u64,
+        n_b: b.num_vertices() as u64,
+        nnz_a: a.nnz(),
+        nnz_b: b.nnz(),
+        total_entries,
+        total_triangle_sum,
+        factor_a: FACTOR_A_FILE.into(),
+        factor_b: FACTOR_B_FILE.into(),
+        threads,
+        elapsed_secs: t0.elapsed().as_secs_f64(),
+        resumed_shards: resumed.into_inner(),
+    };
+    write_json_atomic(dir, RUN_FILE, &summary.to_json())
+        .map_err(|e| StreamError::Io(e.to_string()))?;
+    Ok(summary)
+}

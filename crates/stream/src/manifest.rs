@@ -1,0 +1,450 @@
+//! Shard manifests and the run summary: the validation metadata that makes
+//! every shard independently checkable and a partial run resumable.
+
+use crate::json::Json;
+use kron::RowBlockStats;
+use std::io;
+use std::path::Path;
+
+/// Artifact format of a stream run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Binary edge list: fixed-width little-endian `u64` pairs.
+    Edges,
+    /// On-disk CSR (see [`crate::csr`]).
+    Csr,
+    /// No artifact — manifests and closed-form statistics only.
+    Count,
+}
+
+impl OutputFormat {
+    /// Canonical name, as written in manifests and accepted by the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutputFormat::Edges => "edges",
+            OutputFormat::Csr => "csr",
+            OutputFormat::Count => "count",
+        }
+    }
+
+    /// Parse a canonical name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "edges" => Ok(OutputFormat::Edges),
+            "csr" => Ok(OutputFormat::Csr),
+            "count" => Ok(OutputFormat::Count),
+            other => Err(format!(
+                "unknown format {other:?} (expected edges, csr, or count)"
+            )),
+        }
+    }
+
+    /// Artifact file name for one shard, `None` for [`OutputFormat::Count`].
+    pub fn artifact_name(self, shard: usize) -> Option<String> {
+        match self {
+            OutputFormat::Edges => Some(format!("shard_{shard:05}.edges")),
+            OutputFormat::Csr => Some(format!("shard_{shard:05}.csr")),
+            OutputFormat::Count => None,
+        }
+    }
+}
+
+/// Manifest file name for one shard.
+pub fn manifest_name(shard: usize) -> String {
+    format!("shard_{shard:05}.json")
+}
+
+/// Order-independent 128-bit-ish checksum of an entry stream, kept as two
+/// 64-bit words (wrapping sum and xor of a mixed per-entry fingerprint).
+///
+/// Commutative combination means the checksum of a shard is the same
+/// whether computed at generation time, from the artifact, or by
+/// re-streaming — regardless of entry order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamHash {
+    /// Wrapping sum of entry fingerprints.
+    pub sum: u64,
+    /// Xor of entry fingerprints.
+    pub xor: u64,
+}
+
+impl StreamHash {
+    /// Fold one entry into the checksum.
+    #[inline]
+    pub fn update(&mut self, p: u64, q: u64) {
+        let h = mix(p ^ mix(q));
+        self.sum = self.sum.wrapping_add(h);
+        self.xor ^= h;
+    }
+
+    /// Checksum of a whole entry iterator.
+    pub fn of(entries: impl Iterator<Item = (u64, u64)>) -> StreamHash {
+        let mut h = StreamHash::default();
+        for (p, q) in entries {
+            h.update(p, q);
+        }
+        h
+    }
+}
+
+/// SplitMix64 finalizer — the per-entry fingerprint mixer.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-shard manifest: the shard's identity, its artifact, and both the
+/// closed-form expected statistics and the observed stream checksum.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardManifest {
+    /// Shard index.
+    pub shard: usize,
+    /// Left-factor rows `[lo, hi)`.
+    pub rows: std::ops::Range<u32>,
+    /// Product vertices `[lo, hi)`.
+    pub vertices: std::ops::Range<u64>,
+    /// Artifact format.
+    pub format: OutputFormat,
+    /// Artifact file name (relative to the run directory), if any.
+    pub file: Option<String>,
+    /// Artifact size in bytes (0 when no artifact).
+    pub file_bytes: u64,
+    /// Adjacency entries in the shard (observed == closed form).
+    pub entries: u128,
+    /// Self loops in the shard.
+    pub self_loops: u128,
+    /// Closed-form degree sum over the shard's vertices.
+    pub degree_sum: u128,
+    /// Closed-form triangle-participation sum over the shard's vertices.
+    pub triangle_sum: u128,
+    /// Order-independent checksum of the generated entry stream.
+    pub hash: StreamHash,
+}
+
+impl ShardManifest {
+    /// Whether this manifest's closed-form fields match an expectation
+    /// recomputed from the factors.
+    pub fn matches_stats(&self, expect: &RowBlockStats) -> Result<(), String> {
+        let check = |name: &str, got: u128, want: u128| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "shard {}: {name} is {got}, closed form says {want}",
+                    self.shard
+                ))
+            }
+        };
+        if self.rows != expect.rows {
+            return Err(format!(
+                "shard {}: rows {:?} != planned {:?}",
+                self.shard, self.rows, expect.rows
+            ));
+        }
+        if self.vertices != expect.vertices {
+            return Err(format!(
+                "shard {}: vertices {:?} != planned {:?}",
+                self.shard, self.vertices, expect.vertices
+            ));
+        }
+        check("entries", self.entries, expect.nnz)?;
+        check("self_loops", self.self_loops, expect.self_loops)?;
+        check("degree_sum", self.degree_sum, expect.degree_sum)?;
+        check("triangle_sum", self.triangle_sum, expect.triangle_sum)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("shard", Json::num(self.shard)),
+            ("row_lo", Json::num(self.rows.start)),
+            ("row_hi", Json::num(self.rows.end)),
+            ("vertex_lo", Json::num(self.vertices.start)),
+            ("vertex_hi", Json::num(self.vertices.end)),
+            ("format", Json::str(self.format.as_str())),
+            (
+                "file",
+                match &self.file {
+                    Some(f) => Json::str(f),
+                    None => Json::Null,
+                },
+            ),
+            ("file_bytes", Json::num(self.file_bytes)),
+            ("entries", Json::num(self.entries)),
+            ("self_loops", Json::num(self.self_loops)),
+            ("degree_sum", Json::num(self.degree_sum)),
+            ("triangle_sum", Json::num(self.triangle_sum)),
+            ("hash_sum", Json::num(self.hash.sum)),
+            ("hash_xor", Json::num(self.hash.xor)),
+        ])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let u128of = |key: &str| -> Result<u128, String> {
+            j.req(key)?
+                .as_u128()
+                .ok_or_else(|| format!("{key} is not an integer"))
+        };
+        let u64of = |key: &str| -> Result<u64, String> {
+            j.req(key)?
+                .as_u64()
+                .ok_or_else(|| format!("{key} is not an integer"))
+        };
+        let format =
+            OutputFormat::parse(j.req("format")?.as_str().ok_or("format is not a string")?)?;
+        let file = match j.req("file")? {
+            Json::Null => None,
+            v => Some(v.as_str().ok_or("file is not a string")?.to_string()),
+        };
+        Ok(ShardManifest {
+            shard: j
+                .req("shard")?
+                .as_usize()
+                .ok_or("shard is not an integer")?,
+            rows: {
+                let u32of = |key: &str| -> Result<u32, String> {
+                    u32::try_from(u64of(key)?).map_err(|_| format!("{key} exceeds u32"))
+                };
+                u32of("row_lo")?..u32of("row_hi")?
+            },
+            vertices: u64of("vertex_lo")?..u64of("vertex_hi")?,
+            format,
+            file,
+            file_bytes: u64of("file_bytes")?,
+            entries: u128of("entries")?,
+            self_loops: u128of("self_loops")?,
+            degree_sum: u128of("degree_sum")?,
+            triangle_sum: u128of("triangle_sum")?,
+            hash: StreamHash {
+                sum: u64of("hash_sum")?,
+                xor: u64of("hash_xor")?,
+            },
+        })
+    }
+}
+
+/// The run summary written as `run.json`: factors, plan shape, and totals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Number of shards.
+    pub shards: usize,
+    /// Artifact format.
+    pub format: OutputFormat,
+    /// Left/right factor orders.
+    pub n_a: u64,
+    /// Right factor order.
+    pub n_b: u64,
+    /// Left/right factor adjacency nnz.
+    pub nnz_a: u64,
+    /// Right factor adjacency nnz.
+    pub nnz_b: u64,
+    /// Total adjacency entries — `nnz_a · nnz_b` exactly.
+    pub total_entries: u128,
+    /// Total triangle participation (`3·τ(C)`).
+    pub total_triangle_sum: u128,
+    /// Factor edge-list file names inside the run directory.
+    pub factor_a: String,
+    /// Right factor edge-list file name.
+    pub factor_b: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall seconds of the generation phase.
+    pub elapsed_secs: f64,
+    /// Shards skipped because a valid manifest already existed.
+    pub resumed_shards: usize,
+}
+
+impl RunSummary {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("magic", Json::str("kron-stream-run")),
+            ("shards", Json::num(self.shards)),
+            ("format", Json::str(self.format.as_str())),
+            ("n_a", Json::num(self.n_a)),
+            ("n_b", Json::num(self.n_b)),
+            ("nnz_a", Json::num(self.nnz_a)),
+            ("nnz_b", Json::num(self.nnz_b)),
+            ("total_entries", Json::num(self.total_entries)),
+            ("total_triangle_sum", Json::num(self.total_triangle_sum)),
+            ("factor_a", Json::str(&self.factor_a)),
+            ("factor_b", Json::str(&self.factor_b)),
+            ("threads", Json::num(self.threads)),
+            ("elapsed_secs", Json::num(self.elapsed_secs)),
+            ("resumed_shards", Json::num(self.resumed_shards)),
+        ])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        if j.req("magic")?.as_str() != Some("kron-stream-run") {
+            return Err("not a kron-stream run.json".into());
+        }
+        let u64of = |key: &str| -> Result<u64, String> {
+            j.req(key)?
+                .as_u64()
+                .ok_or_else(|| format!("{key} is not an integer"))
+        };
+        Ok(RunSummary {
+            shards: u64of("shards")? as usize,
+            format: OutputFormat::parse(
+                j.req("format")?.as_str().ok_or("format is not a string")?,
+            )?,
+            n_a: u64of("n_a")?,
+            n_b: u64of("n_b")?,
+            nnz_a: u64of("nnz_a")?,
+            nnz_b: u64of("nnz_b")?,
+            total_entries: j
+                .req("total_entries")?
+                .as_u128()
+                .ok_or("total_entries is not an integer")?,
+            total_triangle_sum: j
+                .req("total_triangle_sum")?
+                .as_u128()
+                .ok_or("total_triangle_sum is not an integer")?,
+            factor_a: j
+                .req("factor_a")?
+                .as_str()
+                .ok_or("factor_a is not a string")?
+                .to_string(),
+            factor_b: j
+                .req("factor_b")?
+                .as_str()
+                .ok_or("factor_b is not a string")?
+                .to_string(),
+            threads: u64of("threads")? as usize,
+            elapsed_secs: j
+                .req("elapsed_secs")?
+                .as_f64()
+                .ok_or("elapsed_secs is not a number")?,
+            resumed_shards: u64of("resumed_shards")? as usize,
+        })
+    }
+}
+
+/// Write a JSON document atomically (`.tmp` + rename).
+pub fn write_json_atomic(dir: &Path, name: &str, doc: &Json) -> io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    std::fs::write(&tmp, format!("{doc}\n"))?;
+    std::fs::rename(&tmp, dir.join(name))
+}
+
+/// Read and parse a JSON document.
+pub fn read_json(path: &Path) -> io::Result<Json> {
+    let text = std::fs::read_to_string(path)?;
+    Json::parse(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardManifest {
+        ShardManifest {
+            shard: 3,
+            rows: 16..32,
+            vertices: 160..320,
+            format: OutputFormat::Csr,
+            file: Some("shard_00003.csr".into()),
+            file_bytes: 4096,
+            entries: u128::MAX / 7,
+            self_loops: 12,
+            degree_sum: u128::MAX / 7 - 12,
+            triangle_sum: 99,
+            hash: StreamHash {
+                sum: 0xDEAD_BEEF,
+                xor: 0xFEED_FACE,
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_json_roundtrip() {
+        let m = sample();
+        let j = m.to_json();
+        let back = ShardManifest::from_json(&Json::parse(&j.to_string()).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_rejects_row_range_beyond_u32() {
+        let mut j = sample().to_json();
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "row_lo" {
+                    *v = Json::num(1u64 << 32);
+                }
+            }
+        }
+        let err = ShardManifest::from_json(&j).unwrap_err();
+        assert!(err.contains("row_lo"), "{err}");
+    }
+
+    #[test]
+    fn count_manifest_has_null_file() {
+        let mut m = sample();
+        m.format = OutputFormat::Count;
+        m.file = None;
+        m.file_bytes = 0;
+        let back =
+            ShardManifest::from_json(&Json::parse(&m.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.file, None);
+    }
+
+    #[test]
+    fn run_summary_roundtrip() {
+        let s = RunSummary {
+            shards: 8,
+            format: OutputFormat::Edges,
+            n_a: 1024,
+            n_b: 1024,
+            nnz_a: 32768,
+            nnz_b: 32768,
+            total_entries: 32768u128 * 32768,
+            total_triangle_sum: 123456789,
+            factor_a: "factor_a.tsv".into(),
+            factor_b: "factor_b.tsv".into(),
+            threads: 16,
+            elapsed_secs: 1.25,
+            resumed_shards: 0,
+        };
+        let back = RunSummary::from_json(&Json::parse(&s.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn stream_hash_is_order_independent_and_sensitive() {
+        let entries = [(1u64, 2u64), (3, 4), (5, 6)];
+        let fwd = StreamHash::of(entries.iter().copied());
+        let rev = StreamHash::of(entries.iter().rev().copied());
+        assert_eq!(fwd, rev);
+        let tampered = StreamHash::of(vec![(1u64, 2u64), (3, 4), (5, 7)].into_iter());
+        assert_ne!(fwd, tampered);
+        // (p, q) is not (q, p)
+        let swapped = StreamHash::of(vec![(2u64, 1u64), (4, 3), (6, 5)].into_iter());
+        assert_ne!(fwd, swapped);
+    }
+
+    #[test]
+    fn format_parse_roundtrip() {
+        for f in [OutputFormat::Edges, OutputFormat::Csr, OutputFormat::Count] {
+            assert_eq!(OutputFormat::parse(f.as_str()).unwrap(), f);
+        }
+        assert!(OutputFormat::parse("parquet").is_err());
+        assert_eq!(
+            OutputFormat::Edges.artifact_name(7).unwrap(),
+            "shard_00007.edges"
+        );
+        assert_eq!(OutputFormat::Count.artifact_name(7), None);
+        assert_eq!(manifest_name(7), "shard_00007.json");
+    }
+}

@@ -1,0 +1,199 @@
+//! Read-only memory mapping with a portable fallback.
+//!
+//! On unix this calls `mmap(2)` directly (the build environment has no
+//! crate registry, so no `memmap2`); elsewhere — and for empty files — it
+//! falls back to reading the file into an owned, 8-byte-aligned buffer.
+//! Either way [`Mmap`] dereferences to `&[u8]` whose base address is
+//! suitably aligned for `u64` access (page-aligned under mmap, `Vec<u64>`
+//! backed in the fallback).
+
+use std::fs::File;
+use std::io;
+
+/// A read-only view of an entire file.
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Owned(Vec<u64>, usize),
+}
+
+// The mapping is read-only for its whole lifetime.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    pub fn map_readonly(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len_usize = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::OutOfMemory, "file too large to map"))?;
+        if len_usize == 0 {
+            return Ok(Mmap {
+                inner: Inner::Owned(Vec::new(), 0),
+            });
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a valid open file, length matches its size,
+            // and the mapping is private + read-only; unmapped in Drop.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len_usize,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap {
+                inner: Inner::Mapped {
+                    ptr: ptr as *const u8,
+                    len: len_usize,
+                },
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Self::read_owned(file, len_usize)
+        }
+    }
+
+    /// Fallback: read the whole file into an 8-byte-aligned buffer.
+    #[allow(dead_code)]
+    fn read_owned(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: u64 buffer reinterpreted as bytes for reading; any bit
+        // pattern is a valid u64.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, words * 8) };
+        let mut reader = file;
+        reader.read_exact(&mut bytes[..len])?;
+        Ok(Mmap {
+            inner: Inner::Owned(buf, len),
+        })
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: the mapping is live for self's lifetime.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Inner::Owned(buf, len) => {
+                // SAFETY: buf holds at least `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: ptr/len came from a successful mmap.
+            unsafe {
+                sys::munmap(ptr as *mut std::os::raw::c_void, len);
+            }
+        }
+    }
+}
+
+/// View an 8-aligned, 8-multiple byte region as little-endian u64 words.
+///
+/// # Panics
+/// Panics if `bytes` is misaligned or not a multiple of 8 long.
+pub fn as_u64s(bytes: &[u8]) -> &[u64] {
+    assert_eq!(bytes.len() % 8, 0, "length not a multiple of 8");
+    assert_eq!(bytes.as_ptr() as usize % 8, 0, "base address misaligned");
+    const { assert!(cfg!(target_endian = "little"), "formats are little-endian") };
+    // SAFETY: alignment and length checked above; u64 has no invalid bit
+    // patterns; the lifetime is inherited from `bytes`.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u64, bytes.len() / 8) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kron_mmap_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("words.bin");
+        let words: Vec<u64> = (0..1000u64)
+            .map(|x| x.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let mut f = File::create(&path).unwrap();
+        for w in &words {
+            f.write_all(&w.to_le_bytes()).unwrap();
+        }
+        drop(f);
+        let map = Mmap::map_readonly(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.len(), 8000);
+        assert_eq!(as_u64s(&map), &words[..]);
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = tmp("empty.bin");
+        File::create(&path).unwrap();
+        let map = Mmap::map_readonly(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn owned_fallback_matches() {
+        let path = tmp("owned.bin");
+        std::fs::write(&path, (0u8..96).collect::<Vec<_>>()).unwrap();
+        let f = File::open(&path).unwrap();
+        let owned = Mmap::read_owned(&f, 96).unwrap();
+        assert_eq!(&owned[..], (0u8..96).collect::<Vec<_>>().as_slice());
+    }
+}

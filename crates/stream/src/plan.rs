@@ -1,0 +1,118 @@
+//! The shard plan: how the product's edge space is cut into
+//! communication-free units of work.
+
+use kron::{KronProduct, RowBlockStats};
+
+/// One shard: a contiguous left-factor row block plus its closed-form
+/// expected statistics (the checksums the generated artifact must match).
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    /// Shard index within the plan.
+    pub index: usize,
+    /// Closed-form expectation for this shard's row block.
+    pub stats: RowBlockStats,
+}
+
+/// Most shards any run or run directory may declare — a sanity bound so
+/// a corrupt `run.json` cannot make the verifier allocate per-shard
+/// state without limit.
+pub const MAX_SHARDS: usize = 1 << 20;
+
+/// A partition of the product edge space into contiguous left-factor row
+/// blocks, balanced by entry count (`nnz`), not row count.
+///
+/// Every adjacency entry `(p, q)` of the product belongs to exactly one
+/// shard — the one owning `p`'s left-factor row — so concatenating all
+/// shard streams reproduces the full generator loop exactly.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    shards: Vec<ShardSpec>,
+}
+
+impl ShardPlan {
+    /// Plan `shards` nnz-balanced shards for the product.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(product: &KronProduct, shards: usize) -> Self {
+        let blocks = product.partition_rows_by_nnz(shards);
+        Self {
+            shards: blocks
+                .into_iter()
+                .enumerate()
+                .map(|(index, rows)| ShardSpec {
+                    index,
+                    stats: product.row_block_stats(rows),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan is empty (never: `new` requires ≥ 1 shard).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shards in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &ShardSpec> {
+        self.shards.iter()
+    }
+
+    /// One shard by index.
+    pub fn get(&self, index: usize) -> Option<&ShardSpec> {
+        self.shards.get(index)
+    }
+
+    /// Total entries across all shards — equals `nnz(A)·nnz(B)`.
+    pub fn total_entries(&self) -> u128 {
+        self.shards.iter().map(|s| s.stats.nnz).sum()
+    }
+
+    /// The heaviest shard's entry count (the parallel makespan bound).
+    pub fn max_shard_entries(&self) -> u128 {
+        self.shards.iter().map(|s| s.stats.nnz).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_gen::deterministic::clique;
+    use kron_graph::Graph;
+
+    #[test]
+    fn plan_covers_edge_space_exactly() {
+        let c = KronProduct::new(clique(9), clique(7));
+        for n in [1, 3, 8, 9, 20] {
+            let plan = ShardPlan::new(&c, n);
+            assert_eq!(plan.len(), n);
+            assert_eq!(plan.total_entries(), c.nnz());
+            assert!(plan.max_shard_entries() <= c.nnz());
+            let mut next_row = 0u32;
+            for (i, s) in plan.iter().enumerate() {
+                assert_eq!(s.index, i);
+                assert_eq!(s.stats.rows.start, next_row);
+                next_row = s.stats.rows.end;
+            }
+            assert_eq!(next_row, 9);
+        }
+    }
+
+    #[test]
+    fn balance_is_reasonable_on_skewed_factors() {
+        // hub-heavy left factor: star with a fat hub row
+        let star = Graph::from_edges(101, (1..101u32).map(|v| (0, v)));
+        let c = KronProduct::new(star, clique(5));
+        let plan = ShardPlan::new(&c, 4);
+        // perfect balance is impossible (hub row is half the nnz), but no
+        // shard may exceed hub + fair share
+        let fair = c.nnz() / 4;
+        assert!(plan.max_shard_entries() <= fair + 100 * 20 + 100 * 20);
+        assert_eq!(plan.total_entries(), c.nnz());
+    }
+}

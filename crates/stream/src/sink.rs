@@ -1,0 +1,250 @@
+//! Edge sinks: where a shard's stream of adjacency entries goes.
+//!
+//! The driver pushes entries in product row-major order (as produced by
+//! `KronProduct::adjacency_entries_in_rows`); a sink persists or collects
+//! them. Three implementations:
+//!
+//! * [`CountSink`] — statistics only, no artifact (generation-rate
+//!   benchmarking and manifest-only validation runs);
+//! * [`MemorySink`] — in-memory collector for tests and small products;
+//! * [`EdgeListSink`] — buffered binary writer, fixed-width little-endian
+//!   `u64` pairs (16 bytes per entry, no header);
+//! * [`CsrSink`] — two-pass on-disk CSR: pass 1 writes the header and the
+//!   closed-form row offsets, pass 2 appends column ids as entries stream
+//!   through. See [`crate::csr`] for the layout.
+//!
+//! File-backed sinks write to `<name>.tmp` and rename on
+//! [`EdgeSink::finish`], so a crashed run never leaves a plausible-looking
+//! partial artifact — resume logic treats a missing final file as "redo".
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Destination of one shard's adjacency-entry stream.
+pub trait EdgeSink {
+    /// Accept one adjacency entry `(p, q)`; entries arrive in product
+    /// row-major order.
+    fn push(&mut self, p: u64, q: u64) -> io::Result<()>;
+
+    /// Flush and durably finalize; returns `(file_name, bytes)` for
+    /// file-backed sinks, `None` otherwise.
+    fn finish(&mut self) -> io::Result<Option<(String, u64)>>;
+}
+
+/// Statistics-only sink: counts entries, persists nothing.
+#[derive(Default)]
+pub struct CountSink {
+    /// Entries accepted so far.
+    pub entries: u64,
+}
+
+impl EdgeSink for CountSink {
+    fn push(&mut self, _p: u64, _q: u64) -> io::Result<()> {
+        self.entries += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<Option<(String, u64)>> {
+        Ok(None)
+    }
+}
+
+/// In-memory collector.
+#[derive(Default)]
+pub struct MemorySink {
+    /// The collected entries, in arrival order.
+    pub entries: Vec<(u64, u64)>,
+}
+
+impl EdgeSink for MemorySink {
+    fn push(&mut self, p: u64, q: u64) -> io::Result<()> {
+        self.entries.push((p, q));
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<Option<(String, u64)>> {
+        Ok(None)
+    }
+}
+
+/// Create `<dir>/<name>.tmp` for writing.
+fn tmp_writer(dir: &Path, name: &str) -> io::Result<(PathBuf, BufWriter<File>)> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let file = File::create(&tmp)?;
+    Ok((tmp, BufWriter::with_capacity(1 << 20, file)))
+}
+
+/// Rename `<name>.tmp` to `<name>` after flushing, returning final size.
+fn commit(dir: &Path, name: &str, tmp: &Path, w: &mut BufWriter<File>) -> io::Result<u64> {
+    w.flush()?;
+    w.get_ref().sync_all()?;
+    let final_path = dir.join(name);
+    std::fs::rename(tmp, &final_path)?;
+    Ok(std::fs::metadata(&final_path)?.len())
+}
+
+/// Buffered binary edge-list writer: each entry is 16 bytes, `p` then `q`,
+/// both little-endian `u64`. No header; the manifest carries the counts.
+pub struct EdgeListSink {
+    dir: PathBuf,
+    name: String,
+    tmp: PathBuf,
+    writer: BufWriter<File>,
+    written: u64,
+}
+
+impl EdgeListSink {
+    /// Open `<dir>/<name>.tmp` for streaming.
+    pub fn create(dir: &Path, name: &str) -> io::Result<Self> {
+        let (tmp, writer) = tmp_writer(dir, name)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            name: name.to_string(),
+            tmp,
+            writer,
+            written: 0,
+        })
+    }
+}
+
+impl EdgeSink for EdgeListSink {
+    fn push(&mut self, p: u64, q: u64) -> io::Result<()> {
+        let mut buf = [0u8; 16];
+        buf[..8].copy_from_slice(&p.to_le_bytes());
+        buf[8..].copy_from_slice(&q.to_le_bytes());
+        self.writer.write_all(&buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<Option<(String, u64)>> {
+        let bytes = commit(&self.dir, &self.name, &self.tmp, &mut self.writer)?;
+        debug_assert_eq!(bytes, self.written * 16);
+        Ok(Some((self.name.clone(), bytes)))
+    }
+}
+
+/// Two-pass on-disk CSR writer.
+///
+/// Pass 1 happens at construction: the header and the complete offset
+/// array are written up front from the *closed-form* row lengths
+/// (`rowlen_C(i·n_B + k) = rowlen_A(i)·rowlen_B(k)` — no scan of the
+/// product needed). Pass 2 is the streaming pass: each pushed entry
+/// appends its column id, with the row grouping validated against a
+/// second walk of the same closed-form length iterator — **O(1) memory**
+/// regardless of shard size; nothing but the file grows with the shard.
+pub struct CsrSink<I: Iterator<Item = u64>> {
+    dir: PathBuf,
+    name: String,
+    tmp: PathBuf,
+    writer: BufWriter<File>,
+    vertex_lo: u64,
+    num_rows: u64,
+    nnz: u64,
+    /// Entries written so far (must end at `nnz`).
+    written: u64,
+    /// Lengths of the rows after the current one (validation source).
+    lengths: I,
+    /// Row currently being filled (local index; meaningless when
+    /// `num_rows == 0`).
+    current_row: u64,
+    /// Entries the current row still accepts.
+    remaining: u64,
+}
+
+impl<I: Iterator<Item = u64> + Clone> CsrSink<I> {
+    /// Write header + offsets (pass 1) from closed-form row lengths.
+    ///
+    /// `vertex_lo` is the first product vertex of the shard; `row_lengths`
+    /// yields the adjacency-row length of each vertex in the shard, in
+    /// order. The iterator is walked three times (totals, offsets,
+    /// streaming validation) — closed-form generators make each walk
+    /// cheap, and no per-row state is ever buffered in memory.
+    pub fn create(
+        dir: &Path,
+        name: &str,
+        vertex_lo: u64,
+        row_lengths: I,
+    ) -> io::Result<CsrSink<I>> {
+        let (tmp, mut writer) = tmp_writer(dir, name)?;
+        // pass over the lengths once for the header totals…
+        let (mut num_rows, mut nnz) = (0u64, 0u64);
+        for len in row_lengths.clone() {
+            num_rows += 1;
+            nnz = nnz
+                .checked_add(len)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "shard nnz > u64"))?;
+        }
+        writer.write_all(crate::csr::MAGIC)?;
+        writer.write_all(&vertex_lo.to_le_bytes())?;
+        writer.write_all(&num_rows.to_le_bytes())?;
+        writer.write_all(&nnz.to_le_bytes())?;
+        // …and again to stream the prefix sums straight to disk.
+        let mut acc = 0u64;
+        writer.write_all(&acc.to_le_bytes())?;
+        for len in row_lengths.clone() {
+            acc += len;
+            writer.write_all(&acc.to_le_bytes())?;
+        }
+        let mut lengths = row_lengths;
+        let remaining = lengths.next().unwrap_or(0);
+        Ok(CsrSink {
+            dir: dir.to_path_buf(),
+            name: name.to_string(),
+            tmp,
+            writer,
+            vertex_lo,
+            num_rows,
+            nnz,
+            written: 0,
+            lengths,
+            current_row: 0,
+            remaining,
+        })
+    }
+}
+
+impl<I: Iterator<Item = u64>> EdgeSink for CsrSink<I> {
+    fn push(&mut self, p: u64, q: u64) -> io::Result<()> {
+        let local = p.checked_sub(self.vertex_lo).filter(|&l| l < self.num_rows);
+        let local = local.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("vertex {p} outside shard starting at {}", self.vertex_lo),
+            )
+        })?;
+        // advance over rows already complete (possibly empty rows)
+        while self.current_row < local && self.remaining == 0 {
+            self.current_row += 1;
+            self.remaining = self.lengths.next().unwrap_or(0);
+        }
+        if local != self.current_row || self.remaining == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "entry for vertex {p} out of row-major order or exceeds its closed-form row length"
+                ),
+            ));
+        }
+        self.writer.write_all(&q.to_le_bytes())?;
+        self.remaining -= 1;
+        self.written += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<Option<(String, u64)>> {
+        if self.written != self.nnz {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "CSR shard incomplete: wrote {} of {} entries",
+                    self.written, self.nnz
+                ),
+            ));
+        }
+        let bytes = commit(&self.dir, &self.name, &self.tmp, &mut self.writer)?;
+        debug_assert_eq!(bytes, crate::csr::file_size(self.num_rows, self.nnz));
+        Ok(Some((self.name.clone(), bytes)))
+    }
+}

@@ -1,0 +1,242 @@
+//! Independent validation of a completed (or partial) stream run: every
+//! shard is re-checked against the closed-form factor statistics and its
+//! on-disk artifact.
+
+use crate::csr::CsrReader;
+use crate::driver::{load_manifest, RUN_FILE};
+use crate::manifest::{read_json, OutputFormat, RunSummary, StreamHash};
+use crate::plan::ShardPlan;
+use crate::StreamError;
+use kron::KronProduct;
+use std::io::Read;
+use std::path::Path;
+
+/// Outcome of [`verify_shards`].
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Shards checked.
+    pub shards: usize,
+    /// Total adjacency entries across all shard manifests.
+    pub total_entries: u128,
+    /// Artifact bytes checked on disk.
+    pub artifact_bytes: u64,
+    /// Whether shard streams were regenerated from the factors and
+    /// compared by checksum.
+    pub rehashed: bool,
+}
+
+fn shard_err(shard: usize, msg: String) -> StreamError {
+    StreamError::Shard(shard, msg)
+}
+
+/// Verify a run directory produced by [`crate::stream_product`].
+///
+/// Checks, per shard: the manifest's closed-form statistics against a
+/// fresh recomputation from the factor copies in the directory; the
+/// artifact's existence, size, structure (CSR offsets and closed-form row
+/// lengths), and content checksum; and globally that the shard row blocks
+/// tile `0..n_A` disjointly and the entry counts sum to `nnz(A)·nnz(B)`.
+///
+/// With `rehash`, each shard's entry stream is additionally regenerated
+/// from the factors and compared against the manifest checksum — this
+/// re-does the generation work and is the strongest (slowest) check.
+pub fn verify_shards(dir: &Path, rehash: bool) -> Result<VerifyReport, StreamError> {
+    let run_doc = read_json(&dir.join(RUN_FILE)).map_err(|e| StreamError::Io(e.to_string()))?;
+    let run = RunSummary::from_json(&run_doc).map_err(StreamError::Manifest)?;
+    crate::driver::check_shard_count(run.shards)
+        .map_err(|e| StreamError::Manifest(format!("run.json: {e}")))?;
+
+    let load = |name: &str| {
+        kron_graph::read_edge_list_path(dir.join(name))
+            .map_err(|e| StreamError::Io(format!("reading {name}: {e}")))
+    };
+    let (a, b) = (load(&run.factor_a)?, load(&run.factor_b)?);
+    if a.num_vertices() as u64 != run.n_a
+        || b.num_vertices() as u64 != run.n_b
+        || a.nnz() != run.nnz_a
+        || b.nnz() != run.nnz_b
+    {
+        return Err(StreamError::Manifest(
+            "factor copies disagree with run.json dimensions".into(),
+        ));
+    }
+    let product = KronProduct::new(a, b);
+    let plan = ShardPlan::new(&product, run.shards);
+
+    let mut total_entries = 0u128;
+    let mut total_triangle_sum = 0u128;
+    let mut artifact_bytes = 0u64;
+    for spec in plan.iter() {
+        let m = load_manifest(dir, spec.index)?;
+        if m.format != run.format {
+            return Err(shard_err(
+                spec.index,
+                format!(
+                    "manifest format {} != run format {}",
+                    m.format.as_str(),
+                    run.format.as_str()
+                ),
+            ));
+        }
+        // closed-form checksums, recomputed from the factors
+        m.matches_stats(&spec.stats)
+            .map_err(StreamError::Manifest)?;
+        total_entries += m.entries;
+        total_triangle_sum += m.triangle_sum;
+
+        // artifact structure + content checksum
+        match m.format {
+            OutputFormat::Count => {
+                if m.file.is_some() {
+                    return Err(shard_err(spec.index, "count shard names a file".into()));
+                }
+            }
+            OutputFormat::Edges => {
+                let name = m
+                    .file
+                    .as_deref()
+                    .ok_or_else(|| shard_err(spec.index, "edges shard has no file".into()))?;
+                let path = dir.join(name);
+                let len = std::fs::metadata(&path)
+                    .map_err(|e| shard_err(spec.index, format!("{name}: {e}")))?
+                    .len();
+                let expect = (m.entries as u64).saturating_mul(16);
+                if len != m.file_bytes {
+                    return Err(shard_err(
+                        spec.index,
+                        format!(
+                            "{name}: {len} bytes on disk, manifest file_bytes says {}",
+                            m.file_bytes
+                        ),
+                    ));
+                }
+                if len != expect {
+                    return Err(shard_err(
+                        spec.index,
+                        format!(
+                            "{name}: {len} bytes on disk, {} entries imply {expect}",
+                            m.entries
+                        ),
+                    ));
+                }
+                artifact_bytes += len;
+                let mut hash = StreamHash::default();
+                let file = std::fs::File::open(&path)
+                    .map_err(|e| shard_err(spec.index, format!("{name}: {e}")))?;
+                let mut reader = std::io::BufReader::with_capacity(1 << 20, file);
+                let mut buf = [0u8; 16];
+                for _ in 0..m.entries {
+                    reader
+                        .read_exact(&mut buf)
+                        .map_err(|e| shard_err(spec.index, format!("{name}: {e}")))?;
+                    let p = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                    let q = u64::from_le_bytes(buf[8..].try_into().unwrap());
+                    if !spec.stats.vertices.contains(&p) {
+                        return Err(shard_err(
+                            spec.index,
+                            format!("{name}: source vertex {p} outside shard range"),
+                        ));
+                    }
+                    hash.update(p, q);
+                }
+                if hash != m.hash {
+                    return Err(shard_err(
+                        spec.index,
+                        format!("{name}: content checksum mismatch"),
+                    ));
+                }
+            }
+            OutputFormat::Csr => {
+                let name = m
+                    .file
+                    .as_deref()
+                    .ok_or_else(|| shard_err(spec.index, "csr shard has no file".into()))?;
+                let path = dir.join(name);
+                let reader =
+                    CsrReader::open(&path).map_err(|e| shard_err(spec.index, e.to_string()))?;
+                if reader.vertex_lo() != spec.stats.vertices.start
+                    || reader.num_rows() != spec.stats.vertices.end - spec.stats.vertices.start
+                    || reader.nnz() as u128 != m.entries
+                {
+                    return Err(shard_err(
+                        spec.index,
+                        format!("{name}: header disagrees with manifest"),
+                    ));
+                }
+                if std::fs::metadata(&path).map(|md| md.len()).ok() != Some(m.file_bytes) {
+                    return Err(shard_err(spec.index, format!("{name}: size mismatch")));
+                }
+                artifact_bytes += m.file_bytes;
+                // per-row lengths must equal the closed form
+                let offsets = reader.offsets();
+                for (r, want) in product
+                    .row_lengths_in_rows(spec.stats.rows.clone())
+                    .enumerate()
+                {
+                    let got = offsets[r + 1] - offsets[r];
+                    if got != want {
+                        return Err(shard_err(
+                            spec.index,
+                            format!("{name}: row {r} has {got} entries, closed form says {want}"),
+                        ));
+                    }
+                }
+                let mut hash = StreamHash::default();
+                let mut prev: Option<(u64, u64)> = None;
+                for (p, q) in reader.entries() {
+                    if let Some((pp, pq)) = prev {
+                        if pp == p && pq >= q {
+                            return Err(shard_err(
+                                spec.index,
+                                format!("{name}: row {p} columns not strictly ascending"),
+                            ));
+                        }
+                    }
+                    prev = Some((p, q));
+                    hash.update(p, q);
+                }
+                if hash != m.hash {
+                    return Err(shard_err(
+                        spec.index,
+                        format!("{name}: content checksum mismatch"),
+                    ));
+                }
+            }
+        }
+
+        if rehash {
+            let regen = StreamHash::of(product.adjacency_entries_in_rows(spec.stats.rows.clone()));
+            if regen != m.hash {
+                return Err(shard_err(
+                    spec.index,
+                    "regenerated stream checksum disagrees with manifest".into(),
+                ));
+            }
+        }
+    }
+
+    if total_entries != product.nnz() {
+        return Err(StreamError::Manifest(format!(
+            "shard entries sum to {total_entries}, product nnz is {}",
+            product.nnz()
+        )));
+    }
+    if total_triangle_sum != 3 * product.total_triangles() {
+        return Err(StreamError::Manifest(format!(
+            "shard triangle sums total {total_triangle_sum}, closed form says {}",
+            3 * product.total_triangles()
+        )));
+    }
+    if total_entries != run.total_entries {
+        return Err(StreamError::Manifest(
+            "run.json total_entries disagrees with shard manifests".into(),
+        ));
+    }
+
+    Ok(VerifyReport {
+        shards: run.shards,
+        total_entries,
+        artifact_bytes,
+        rehashed: rehash,
+    })
+}

@@ -45,7 +45,10 @@ pub(crate) fn build_dag(g: &Graph) -> DegreeDag {
     let mut row: Vec<u32> = Vec::new();
     for v in 0..n as u32 {
         row.clear();
-        row.extend(g.neighbors(v).filter(|&u| rank[u as usize] > rank[v as usize]));
+        row.extend(
+            g.neighbors(v)
+                .filter(|&u| rank[u as usize] > rank[v as usize]),
+        );
         row.sort_unstable_by_key(|&u| rank[u as usize]);
         targets.extend_from_slice(&row);
         offsets.push(targets.len());

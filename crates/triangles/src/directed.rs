@@ -360,11 +360,7 @@ pub fn directed_vertex_participation_formula(g: &DiGraph) -> DirVertexCounts {
 }
 
 /// `diag(X·Y·Z)` without forming the full triple product.
-fn diag_of_triple(
-    x: &CsrMatrix<u64>,
-    y: &CsrMatrix<u64>,
-    z: &CsrMatrix<u64>,
-) -> Vec<u64> {
+fn diag_of_triple(x: &CsrMatrix<u64>, y: &CsrMatrix<u64>, z: &CsrMatrix<u64>) -> Vec<u64> {
     let xy = x.spgemm(y);
     let zt = z.transpose();
     (0..xy.nrows())
@@ -421,9 +417,7 @@ pub fn directed_edge_participation(g: &DiGraph) -> DirEdgeCounts {
                     let w1 = rel(g, i, k).unwrap();
                     let w2 = rel(g, k, j).unwrap();
                     let combo = (central, w1, w2);
-                    if let Some(ty) =
-                        DirEdgeType::ALL.into_iter().find(|t| t.combo() == combo)
-                    {
+                    if let Some(ty) = DirEdgeType::ALL.into_iter().find(|t| t.combo() == combo) {
                         trip[ty.index()].push((i as usize, j as usize, 1));
                     }
                 }
@@ -608,7 +602,10 @@ mod tests {
         let ug = Graph::from_edges(n, edges);
         let dg = DiGraph::from_undirected(&ug);
         let c = directed_vertex_participation(&dg);
-        assert_eq!(c.get(DirVertexType::UUo), &crate::vertex_participation(&ug)[..]);
+        assert_eq!(
+            c.get(DirVertexType::UUo),
+            &crate::vertex_participation(&ug)[..]
+        );
         for ty in DirVertexType::ALL {
             if ty != DirVertexType::UUo {
                 assert_eq!(c.total(ty), 0, "{ty:?}");

@@ -177,7 +177,10 @@ mod tests {
         let vals = edge_participation(&g);
         let m = edge_participation_csr(&g);
         for (u, v) in g.edges() {
-            assert_eq!(m.get(u as usize, v as usize), vals[g.edge_slot(u, v).unwrap()]);
+            assert_eq!(
+                m.get(u as usize, v as usize),
+                vals[g.edge_slot(u, v).unwrap()]
+            );
         }
         assert!(m.is_symmetric());
     }

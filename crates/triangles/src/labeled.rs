@@ -142,6 +142,9 @@ pub fn labeled_vertex_participation_formula(lg: &LabeledGraph) -> LabeledVertexC
     LabeledVertexCounts { counts, n }
 }
 
+/// Per-type slot increments: `(slot of (i,j), slot of (j,i), count)`.
+type SlotIncrements = Vec<(usize, usize, u64)>;
+
 /// Labeled triangle participation at edges by enumeration: for every
 /// adjacency entry `(i, j)` and common neighbor `k`, increment type
 /// `(f(j), f(i), f(k))` at `(i, j)` — the semantics of Def. 14.
@@ -149,7 +152,7 @@ pub fn labeled_edge_participation(lg: &LabeledGraph) -> LabeledEdgeCounts {
     assert_loop_free(lg);
     let g = lg.graph();
     let n = g.num_vertices();
-    let mut trip: HashMap<(Label, Label, Label), Vec<(usize, usize, u64)>> = HashMap::new();
+    let mut trip: HashMap<(Label, Label, Label), SlotIncrements> = HashMap::new();
     for (i, j) in g.adjacency_entries() {
         let (ri, rj) = (g.adj_row(i), g.adj_row(j));
         let (mut p, mut q) = (0, 0);
@@ -213,18 +216,11 @@ pub fn labeled_edge_participation_formula(lg: &LabeledGraph) -> LabeledEdgeCount
 /// The label filter `Π_{A,q}` of Def. 12: the diagonal projector onto
 /// vertices labeled `q`.
 pub fn label_filter(lg: &LabeledGraph, q: Label) -> CsrMatrix<u64> {
-    let diag: Vec<u64> = lg
-        .labels()
-        .iter()
-        .map(|&l| u64::from(l == q))
-        .collect();
+    let diag: Vec<u64> = lg.labels().iter().map(|&l| u64::from(l == q)).collect();
     CsrMatrix::from_diag(&diag)
 }
 
-pub(crate) fn for_each_triangle<F: FnMut(u32, u32, u32)>(
-    g: &kron_graph::Graph,
-    mut f: F,
-) {
+pub(crate) fn for_each_triangle<F: FnMut(u32, u32, u32)>(g: &kron_graph::Graph, mut f: F) {
     let n = g.num_vertices() as u32;
     for a in 0..n {
         let row_a: Vec<u32> = g.neighbors(a).filter(|&b| b > a).collect();

@@ -87,7 +87,9 @@ pub mod clustering {
         #[test]
         fn clique_is_fully_clustered() {
             let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
-            assert!(local_clustering(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+            assert!(local_clustering(&g)
+                .iter()
+                .all(|&c| (c - 1.0).abs() < 1e-12));
             assert!((transitivity(&g) - 1.0).abs() < 1e-12);
         }
 

@@ -65,10 +65,10 @@ pub fn truss_decomposition(g: &Graph) -> TrussDecomposition {
     // Decrement the support of edge `f` (currently > floor) by one and
     // relocate it one bucket down.
     let decrement = |f: usize,
-                         sup: &mut Vec<u32>,
-                         bin: &mut Vec<usize>,
-                         pos: &mut Vec<usize>,
-                         order: &mut Vec<u32>| {
+                     sup: &mut Vec<u32>,
+                     bin: &mut Vec<usize>,
+                     pos: &mut Vec<usize>,
+                     order: &mut Vec<u32>| {
         let s = sup[f] as usize;
         let first = bin[s];
         let moved = order[first] as usize;

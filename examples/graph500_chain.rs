@@ -82,7 +82,9 @@ fn main() {
     let (p, q) = (chain.compose(&cu), chain.compose(&cv));
     println!(
         "\nedge ({p}, {q}): Δ_C = {} (= ∏ Δ_factor, exact)",
-        chain.edge_triangles(p, q).expect("constructed from factor edges")
+        chain
+            .edge_triangles(p, q)
+            .expect("constructed from factor edges")
     );
     println!(
         "\nτ scales as 6^(k−1)·∏τ_i — every statistic of the {}-vertex graph \

@@ -59,8 +59,7 @@ fn main() {
     for q1 in 0..3u16 {
         for q2 in 0..3u16 {
             for q3 in q2..3u16 {
-                let factor_total: u128 =
-                    ta.get(q1, q2, q3).iter().map(|&x| x as u128).sum();
+                let factor_total: u128 = ta.get(q1, q2, q3).iter().map(|&x| x as u128).sum();
                 let total = factor_total * d3b_sum;
                 grand += total;
                 println!(

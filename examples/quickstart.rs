@@ -32,7 +32,11 @@ fn main() {
 
     // O(1) exact local queries anywhere in the 100M+-edge graph:
     let p = c.num_vertices() / 2;
-    println!("vertex {p}: degree = {}, triangles = {}", c.degree(p), c.vertex_triangles(p));
+    println!(
+        "vertex {p}: degree = {}, triangles = {}",
+        c.degree(p),
+        c.vertex_triangles(p)
+    );
 
     let nbrs = c.neighbors(p);
     let q = nbrs[0];

@@ -66,12 +66,15 @@ fn main() {
                 triangles: ca.triangles as u128,
             }
         }),
-        ("B = A + I", kron::ProductStats {
-            vertices: b.num_vertices() as u128,
-            edges: b.num_edges() as u128,
-            self_loops: b.num_self_loops() as u128,
-            triangles: ca.triangles as u128,
-        }),
+        (
+            "B = A + I",
+            kron::ProductStats {
+                vertices: b.num_vertices() as u128,
+                edges: b.num_edges() as u128,
+                self_loops: b.num_self_loops() as u128,
+                triangles: ca.triangles as u128,
+            },
+        ),
         ("A (x) A", KronProduct::new(a.clone(), a.clone()).stats()),
         ("A (x) B", KronProduct::new(a.clone(), b.clone()).stats()),
     ];

@@ -1,0 +1,14 @@
+//! Umbrella crate for the kron workspace.
+//!
+//! This package exists to host the repo-level integration tests
+//! (`tests/`) and examples (`examples/`); it re-exports every workspace
+//! crate under one roof so downstream scratch code can depend on a single
+//! package.
+
+pub use kron;
+pub use kron_gen;
+pub use kron_graph;
+pub use kron_sparse;
+pub use kron_stream;
+pub use kron_triangles;
+pub use kron_truss;

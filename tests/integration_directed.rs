@@ -33,7 +33,12 @@ fn mixed_digraph(n: usize, p_arc: f64, p_recip: f64, seed: u64) -> DiGraph {
 #[test]
 fn full_validation_against_materialized() {
     let a = mixed_digraph(8, 0.5, 0.4, 1);
-    for b in [clique(4), cycle(5), star(4), clique(3).with_all_self_loops()] {
+    for b in [
+        clique(4),
+        cycle(5),
+        star(4),
+        clique(3).with_all_self_loops(),
+    ] {
         let c = KronDirectedProduct::new(a.clone(), b).unwrap();
         let g = c.materialize(1 << 22).unwrap();
         let dv = directed_vertex_participation(&g);

@@ -16,7 +16,9 @@ fn labeled_er(n: usize, p: f64, num_labels: usize, seed: u64) -> LabeledGraph {
         .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
         .filter(|_| rng.gen_bool(p))
         .collect();
-    let labels = (0..n).map(|_| rng.gen_range(0..num_labels as Label)).collect();
+    let labels = (0..n)
+        .map(|_| rng.gen_range(0..num_labels as Label))
+        .collect();
     LabeledGraph::new(Graph::from_edges(n, edges), labels, num_labels)
 }
 
@@ -43,10 +45,7 @@ fn four_label_validation_against_materialized() {
                 }
                 for q3 in 0..nl as Label {
                     for (p, q, v) in de.get(q1, q2, q3).iter() {
-                        assert_eq!(
-                            v,
-                            c.edge_type_count(p as u64, q as u64, q1, q2, q3)
-                        );
+                        assert_eq!(v, c.edge_type_count(p as u64, q as u64, q1, q2, q3));
                     }
                 }
             }

@@ -44,10 +44,7 @@ fn thm3_with_strategy_b_generator() {
     let g = c.materialize(1 << 24).unwrap();
     let direct = truss_decomposition(&g);
     for (u, v) in g.edges() {
-        assert_eq!(
-            direct.trussness_of(u, v),
-            kt.trussness(u as u64, v as u64)
-        );
+        assert_eq!(direct.trussness_of(u, v), kt.trussness(u as u64, v as u64));
     }
     for k in 2..=direct.max_trussness() {
         assert_eq!(
@@ -70,10 +67,7 @@ fn thm3_with_strategy_a_sparsifier() {
     let g = c.materialize(1 << 24).unwrap();
     let direct = truss_decomposition(&g);
     for (u, v) in g.edges() {
-        assert_eq!(
-            direct.trussness_of(u, v),
-            kt.trussness(u as u64, v as u64)
-        );
+        assert_eq!(direct.trussness_of(u, v), kt.trussness(u as u64, v as u64));
     }
     assert_eq!(kt.max_trussness(), direct.max_trussness());
 }

@@ -71,8 +71,8 @@ fn fig7_egonet_pattern_in_miniature() {
     let t = vertex_participation(&a);
     let mut chosen: Vec<u32> = Vec::new();
     for want in 1..=3u64 {
-        if let Some(v) = (0..a.num_vertices() as u32)
-            .find(|&v| a.degree(v) == 3 && t[v as usize] == want)
+        if let Some(v) =
+            (0..a.num_vertices() as u32).find(|&v| a.degree(v) == 3 && t[v as usize] == want)
         {
             chosen.push(v);
         }
@@ -85,10 +85,7 @@ fn fig7_egonet_pattern_in_miniature() {
             let p = ix.compose(u, v);
             let ego = c.egonet(p);
             assert_eq!(ego.center_degree(), 9); // 3 × 3
-            assert_eq!(
-                ego.triangles_at_center(),
-                2 * t[u as usize] * t[v as usize]
-            );
+            assert_eq!(ego.triangles_at_center(), 2 * t[u as usize] * t[v as usize]);
             assert_eq!(ego.triangles_at_center(), c.vertex_triangles(p));
         }
     }

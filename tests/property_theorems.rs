@@ -17,12 +17,7 @@ fn arb_graph(allow_loops: bool) -> impl Strategy<Value = Graph> {
     (2usize..=7).prop_flat_map(move |n| {
         let pair = (0..n as u32, 0..n as u32);
         proptest::collection::vec(pair, 0..=(n * n / 2)).prop_map(move |edges| {
-            Graph::from_edges(
-                n,
-                edges
-                    .into_iter()
-                    .filter(|&(u, v)| allow_loops || u != v),
-            )
+            Graph::from_edges(n, edges.into_iter().filter(|&(u, v)| allow_loops || u != v))
         })
     })
 }
@@ -31,9 +26,8 @@ fn arb_graph(allow_loops: bool) -> impl Strategy<Value = Graph> {
 fn arb_digraph() -> impl Strategy<Value = DiGraph> {
     (2usize..=7).prop_flat_map(|n| {
         let pair = (0..n as u32, 0..n as u32);
-        proptest::collection::vec(pair, 0..=(n * n)).prop_map(move |arcs| {
-            DiGraph::from_arcs(n, arcs.into_iter().filter(|&(u, v)| u != v))
-        })
+        proptest::collection::vec(pair, 0..=(n * n))
+            .prop_map(move |arcs| DiGraph::from_arcs(n, arcs.into_iter().filter(|&(u, v)| u != v)))
     })
 }
 
