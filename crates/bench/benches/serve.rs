@@ -1,0 +1,69 @@
+//! Point-query latency off mmap'd CSR shards: the `kron-serve` engine on
+//! the standard web-like product.
+//!
+//! `degree`/`has_edge` are row lookups (routing + binary search);
+//! `tri_vertex`/`tri_edge` add the sorted-neighbor intersections, so their
+//! cost scales with the touched rows' lengths — the numbers to watch when
+//! the intersection kernels change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kron::KronProduct;
+use kron_bench::web_factor;
+use kron_serve::ServeEngine;
+use kron_stream::{stream_product, OutputFormat, StreamConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for n in [300usize, 600] {
+        let prod = KronProduct::new(web_factor(n), web_factor(n));
+        let dir = std::env::temp_dir().join(format!("kron_bench_serve_{}_{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+        cfg.shards = 16;
+        stream_product(&prod, &cfg).expect("stream csr shards");
+        let engine = ServeEngine::open(&dir).expect("open shard set");
+        let n_c = engine.num_vertices();
+
+        // a deterministic stride visits vertices all over the shard range
+        let stride = n_c / 37 + 1;
+        let mut v = 0u64;
+        group.bench_with_input(BenchmarkId::new("degree", n), &engine, |b, e| {
+            b.iter(|| {
+                v = (v + stride) % n_c;
+                black_box(e.degree(v).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("has_edge", n), &engine, |b, e| {
+            b.iter(|| {
+                v = (v + stride) % n_c;
+                let u = e.neighbors(v).unwrap().first().copied().unwrap_or(0);
+                black_box(e.has_edge(v, u).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tri_vertex", n), &engine, |b, e| {
+            b.iter(|| {
+                v = (v + stride) % n_c;
+                black_box(e.vertex_triangles(v).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tri_edge", n), &engine, |b, e| {
+            b.iter(|| {
+                v = (v + stride) % n_c;
+                match e.neighbors(v).unwrap().first().copied() {
+                    Some(u) => black_box(e.edge_triangles(v, u).unwrap()),
+                    None => black_box(None),
+                }
+            })
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Serving throughput experiment: queries/sec and latency percentiles per
+//! query kind, answered off mmap'd CSR shards of the standard web-like
+//! product.
+//!
+//! ```text
+//! bench_serve [--n N] [--shards S] [--queries Q] [--json]
+//! ```
+//!
+//! With `--json`, results are written to `BENCH_serve.json` in the
+//! current directory so the serving-performance trajectory is tracked
+//! across PRs (the generation-side counterpart is `BENCH_stream.json`).
+
+use kron::KronProduct;
+use kron_bench::web_factor;
+use kron_serve::{run_batch, Query, ServeEngine};
+use kron_stream::json::Json;
+use kron_stream::{stream_product, OutputFormat, StreamConfig};
+use rand::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let json_out = args.iter().any(|a| a == "--json");
+    let n: usize = opt("--n").and_then(|v| v.parse().ok()).unwrap_or(600);
+    let shards: usize = opt("--shards").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let q: usize = opt("--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+
+    let prod = KronProduct::new(web_factor(n), web_factor(n));
+    let dir = std::env::temp_dir().join(format!("kron_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+    cfg.shards = shards;
+    let t0 = Instant::now();
+    stream_product(&prod, &cfg).expect("stream csr shards");
+    let gen_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let engine = ServeEngine::open_verified(&dir).expect("open + verify shard set");
+    let open_secs = t0.elapsed().as_secs_f64();
+    let n_c = engine.num_vertices();
+    eprintln!(
+        "product: {} entries over {} vertices; {shards} shards generated in \
+         {gen_secs:.2}s, opened + checksum-verified in {open_secs:.2}s",
+        prod.nnz(),
+        n_c,
+    );
+
+    // Query mixes: uniformly random ids; edge queries aim at real edges
+    // (first neighbor) so the intersection kernels actually run.
+    let mut rng = StdRng::seed_from_u64(2018);
+    let mut rand_v = || rng.gen_range(0..n_c);
+    let batches: Vec<(&str, Vec<Query>)> = vec![
+        ("degree", (0..q).map(|_| Query::Degree(rand_v())).collect()),
+        (
+            "neighbors",
+            (0..q / 2).map(|_| Query::Neighbors(rand_v())).collect(),
+        ),
+        (
+            "has_edge",
+            (0..q)
+                .map(|_| {
+                    let u = rand_v();
+                    let v = engine.neighbors(u).unwrap().first().copied().unwrap_or(0);
+                    Query::HasEdge(u, v)
+                })
+                .collect(),
+        ),
+        (
+            "tri_vertex",
+            (0..q / 10)
+                .map(|_| Query::VertexTriangles(rand_v()))
+                .collect(),
+        ),
+        (
+            "tri_edge",
+            (0..q / 2)
+                .map(|_| {
+                    let u = rand_v();
+                    let v = engine.neighbors(u).unwrap().first().copied().unwrap_or(u);
+                    Query::EdgeTriangles(u, v)
+                })
+                .collect(),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (kind, queries) in &batches {
+        let out = run_batch(&engine, queries);
+        assert_eq!(out.stats.errors, 0, "{kind}: queries must not fail");
+        println!(
+            "{kind:<11} {:>7} queries  {:>12.0} q/s  p50 {:>8.1}µs  p99 {:>8.1}µs",
+            out.stats.queries,
+            out.stats.qps(),
+            out.stats.p50.as_secs_f64() * 1e6,
+            out.stats.p99.as_secs_f64() * 1e6,
+        );
+        results.push((*kind, out.stats));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if json_out {
+        let doc = Json::obj(vec![
+            ("bench", Json::str("serve")),
+            ("factor_n", Json::num(n)),
+            ("shards", Json::num(shards)),
+            ("product_entries", Json::num(prod.nnz())),
+            ("open_verified_secs", Json::num(open_secs)),
+            (
+                "results",
+                Json::Arr(
+                    results
+                        .iter()
+                        .map(|(kind, stats)| {
+                            let mut pairs = vec![("kind".to_string(), Json::str(kind))];
+                            if let Json::Obj(stat_pairs) = stats.to_json() {
+                                pairs.extend(stat_pairs);
+                            }
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write("BENCH_serve.json", format!("{doc}\n")).expect("write BENCH_serve.json");
+        eprintln!("wrote BENCH_serve.json ({} rows)", results.len());
+    }
+}

@@ -4,6 +4,7 @@ use crate::args::ParsedArgs;
 use kron::{human_count, product_truss, validate, KronProduct, ProductStats};
 use kron_gen::deterministic;
 use kron_graph::{read_edge_list_path, write_edge_list_path, Graph};
+use kron_serve::{parse_queries, run_batch, ServeEngine};
 use kron_stream::{stream_product, verify_shards, OutputFormat, StreamConfig};
 use kron_triangles::count_triangles;
 use std::time::Instant;
@@ -22,6 +23,9 @@ USAGE:
       the paper's Table rows for A, B, and A (x) B (exact, implicit)
   kron query <a.tsv> <b.tsv> <p> [<q>]
       O(1) degree/triangle lookup at product vertex p (or edge {p,q})
+  kron query <DIR> <p> [<q>]
+      the same lookups answered off the mmap'd CSR shards in DIR
+      (a `kron stream --format csr` run directory), graph never loaded
   kron egonet <a.tsv> <b.tsv> <p>
       extract the egonet of product vertex p implicitly; print its edges
   kron truss <a.tsv> <b.tsv>
@@ -32,9 +36,22 @@ USAGE:
               [--threads T] [--resume]
       generate A (x) B as N validated shards (formats: edges | csr | count);
       every shard gets a JSON manifest with closed-form checksums
+  kron serve <DIR> --queries FILE [--threads T] [--no-verify]
+      answer a batch of point queries off the mmap'd CSR shards in DIR;
+      query file lines: degree v | neighbors v | has_edge u v |
+      tri_vertex v | tri_edge u v  (blank lines and # comments ignored);
+      prints one answer per line, latency/throughput report on stderr
   kron verify-shards <DIR> [--rehash]
-      re-check every shard manifest and artifact against the closed-form
-      factor statistics (--rehash additionally regenerates each stream)";
+      re-check every shard manifest (shard_NNNNN.json) and artifact in DIR
+      against the closed-form factor statistics; failures name the
+      offending manifest/artifact file (--rehash additionally regenerates
+      each stream and compares content checksums)
+
+EXIT CODES:
+  0  success
+  1  command failed: unknown subcommand, missing argument, I/O or
+     validation error, out-of-range query, …
+  2  the command line itself could not be parsed (no subcommand)";
 
 /// Dispatch a parsed command line.
 pub fn run(p: &ParsedArgs) -> Result<(), String> {
@@ -47,6 +64,7 @@ pub fn run(p: &ParsedArgs) -> Result<(), String> {
         "truss" => cmd_truss(p),
         "validate" => cmd_validate(p),
         "stream" => cmd_stream(p),
+        "serve" => cmd_serve(p),
         "verify-shards" => cmd_verify_shards(p),
         "help" | "--help" => {
             println!("{USAGE}");
@@ -172,13 +190,45 @@ fn cmd_stats(p: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_vertex(s: &str) -> Result<u64, String> {
+    s.parse()
+        .map_err(|_| "vertex id must be an integer".to_string())
+}
+
+/// `kron query <DIR> <p> [<q>]` — the same lookups as the factor-based
+/// path, answered off the mmap'd CSR shards without loading the graph.
+fn cmd_query_shards(p: &ParsedArgs, dir: &str) -> Result<(), String> {
+    let engine = ServeEngine::open(std::path::Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+    let pv = parse_vertex(p.pos(1, "p")?)?;
+    let err = |e: kron_serve::ServeError| e.to_string();
+    println!(
+        "product vertex {pv} (served from {} shard(s), {} mapped bytes)",
+        engine.shard_set().num_shards(),
+        engine.shard_set().mapped_bytes()
+    );
+    println!("  degree        = {}", engine.degree(pv).map_err(err)?);
+    println!(
+        "  triangles t_C = {}",
+        engine.vertex_triangles(pv).map_err(err)?
+    );
+    if let Some(qs) = p.positional.get(2) {
+        let qv = parse_vertex(qs)?;
+        match engine.edge_triangles(pv, qv).map_err(err)? {
+            Some(d) => println!("  edge ({pv},{qv}): Δ_C = {d}"),
+            None => println!("  ({pv},{qv}) is not an edge of C"),
+        }
+    }
+    Ok(())
+}
+
 fn cmd_query(p: &ParsedArgs) -> Result<(), String> {
-    let a = load(p.pos(0, "a")?)?;
+    let first = p.pos(0, "a|DIR")?;
+    if std::path::Path::new(first).is_dir() {
+        return cmd_query_shards(p, first);
+    }
+    let a = load(first)?;
     let b = load(p.pos(1, "b")?)?;
-    let pv: u64 = p
-        .pos(2, "p")?
-        .parse()
-        .map_err(|_| "vertex id must be an integer".to_string())?;
+    let pv: u64 = parse_vertex(p.pos(2, "p")?)?;
     let c = KronProduct::new(a, b);
     if pv >= c.num_vertices() {
         return Err(format!(
@@ -289,6 +339,60 @@ fn cmd_stream(p: &ParsedArgs) -> Result<(), String> {
         secs,
     );
     println!("{out}/run.json");
+    Ok(())
+}
+
+fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
+    let dir = p.pos(0, "dir")?;
+    let file = p
+        .options
+        .get("queries")
+        .ok_or_else(|| "missing required option --queries FILE".to_string())?;
+    let threads: usize = p.opt("threads", 0)?;
+    if threads > 0 {
+        // the shim rayon sizes its pool from this on every call
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    }
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let queries = parse_queries(&text).map_err(|e| format!("{file}: {e}"))?;
+
+    let t0 = Instant::now();
+    let engine = if p.flag("no-verify") {
+        ServeEngine::open(std::path::Path::new(dir))
+    } else {
+        ServeEngine::open_verified(std::path::Path::new(dir))
+    }
+    .map_err(|e| format!("{dir}: {e}"))?;
+    eprintln!(
+        "opened {} shard(s), {} mapped bytes, {} entries in {:.2?}{}",
+        engine.shard_set().num_shards(),
+        engine.shard_set().mapped_bytes(),
+        human_count(engine.shard_set().total_entries()),
+        t0.elapsed(),
+        if p.flag("no-verify") {
+            " (checksums not verified)"
+        } else {
+            " (checksums verified)"
+        },
+    );
+
+    let out = run_batch(&engine, &queries);
+    let mut failed = 0usize;
+    let mut lines = String::new();
+    for (q, ans) in queries.iter().zip(&out.answers) {
+        match ans {
+            Ok(a) => lines.push_str(&format!("{q} = {a}\n")),
+            Err(e) => {
+                failed += 1;
+                lines.push_str(&format!("{q} = error: {e}\n"));
+            }
+        }
+    }
+    print!("{lines}");
+    eprintln!("{}", out.stats);
+    if failed > 0 {
+        return Err(format!("{failed} of {} queries failed", queries.len()));
+    }
     Ok(())
 }
 

@@ -6,12 +6,28 @@
 //! kron triangles <graph.tsv>
 //! kron stats <a.tsv> <b.tsv> [--loops-b]
 //! kron query <a.tsv> <b.tsv> <p> [<q>]
+//! kron query <DIR> <p> [<q>]            # off mmap'd CSR shards
 //! kron egonet <a.tsv> <b.tsv> <p>
 //! kron truss <a.tsv> <b.tsv>
 //! kron validate <a.tsv> <b.tsv> [--samples N] [--full]
 //! kron stream <a.tsv> <b.tsv> --out DIR [--shards N] [--format F] [--resume]
+//! kron serve <DIR> --queries FILE [--threads T] [--no-verify]
 //! kron verify-shards <DIR> [--rehash]
 //! ```
+//!
+//! ## Exit codes
+//!
+//! * `0` — success.
+//! * `1` — the command failed: unknown subcommand, missing argument, I/O
+//!   or validation error, an out-of-range query, or (for `kron serve`)
+//!   any individual query in the batch failing. The error on stderr names
+//!   the offending file — `verify-shards` and `serve` failures always
+//!   include the specific manifest or artifact path.
+//! * `2` — the command line itself could not be parsed (no subcommand).
+//!
+//! Scripts can rely on these: `kron verify-shards DIR && …` is a sound
+//! integrity gate, and `kron serve` only exits `0` when every query in
+//! the batch was answered.
 
 mod args;
 mod commands;

@@ -304,3 +304,166 @@ fn verify_shards_fails_on_tampered_artifact() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("shard 0"));
 }
+
+#[test]
+fn serve_and_query_answer_off_shards() {
+    let dir = tmpdir();
+    let a = dir.join("serve_a.tsv");
+    assert!(kron(&[
+        "gen",
+        "holme-kim",
+        "--n",
+        "40",
+        "--m",
+        "2",
+        "--seed",
+        "3",
+        "--out",
+        a.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let run_dir = dir.join("serve_run");
+    let _ = std::fs::remove_dir_all(&run_dir);
+    assert!(kron(&[
+        "stream",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--out",
+        run_dir.to_str().unwrap(),
+        "--shards",
+        "4",
+        "--format",
+        "csr",
+    ])
+    .status
+    .success());
+
+    // point query against the shards must agree with the factor-based path
+    let factors = kron(&[
+        "query",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "57",
+        "58",
+    ]);
+    assert!(factors.status.success());
+    let shards = kron(&["query", run_dir.to_str().unwrap(), "57", "58"]);
+    assert!(
+        shards.status.success(),
+        "{}",
+        String::from_utf8_lossy(&shards.stderr)
+    );
+    let factors_out = String::from_utf8_lossy(&factors.stdout);
+    let shards_out = String::from_utf8_lossy(&shards.stdout);
+    for needle in ["degree", "triangles t_C", "(57,58)"] {
+        let line_of = |text: &str| {
+            text.lines()
+                .find(|l| l.contains(needle))
+                .unwrap_or_else(|| panic!("no {needle:?} line in:\n{text}"))
+                .trim()
+                .to_string()
+        };
+        assert_eq!(
+            line_of(&factors_out),
+            line_of(&shards_out),
+            "{needle} answers diverge"
+        );
+    }
+
+    // batched serve
+    let qfile = dir.join("serve_queries.txt");
+    std::fs::write(
+        &qfile,
+        "# batch\ndegree 57\nneighbors 3\nhas_edge 57 58\ntri_vertex 57\ntri_edge 57 58\n",
+    )
+    .unwrap();
+    let out = kron(&[
+        "serve",
+        run_dir.to_str().unwrap(),
+        "--queries",
+        qfile.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 5, "{stdout}");
+    assert!(stdout.contains("degree 57 = "), "{stdout}");
+    assert!(stdout.contains("tri_edge 57 58 = "), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("q/s"), "{stderr}");
+    assert!(stderr.contains("checksums verified"), "{stderr}");
+
+    // a batch with an out-of-range vertex exits nonzero but answers the rest
+    std::fs::write(&qfile, "degree 0\ndegree 99999999\n").unwrap();
+    let out = kron(&[
+        "serve",
+        run_dir.to_str().unwrap(),
+        "--queries",
+        qfile.to_str().unwrap(),
+        "--no-verify",
+    ]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("degree 0 = "), "{stdout}");
+    assert!(stdout.contains("error:"), "{stdout}");
+
+    // serving an edges-format run fails with a clear message
+    let edges_dir = dir.join("serve_edges_run");
+    let _ = std::fs::remove_dir_all(&edges_dir);
+    assert!(kron(&[
+        "stream",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--out",
+        edges_dir.to_str().unwrap(),
+        "--format",
+        "edges",
+    ])
+    .status
+    .success());
+    let out = kron(&["query", edges_dir.to_str().unwrap(), "0"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("csr"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn verify_shards_errors_name_the_manifest_file() {
+    let dir = tmpdir();
+    let a = dir.join("name_a.tsv");
+    assert!(
+        kron(&["gen", "cycle", "--n", "20", "--out", a.to_str().unwrap()])
+            .status
+            .success()
+    );
+    let run_dir = dir.join("name_run");
+    let _ = std::fs::remove_dir_all(&run_dir);
+    assert!(kron(&[
+        "stream",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--out",
+        run_dir.to_str().unwrap(),
+        "--shards",
+        "3",
+        "--format",
+        "count",
+    ])
+    .status
+    .success());
+    std::fs::remove_file(run_dir.join("shard_00001.json")).unwrap();
+    let out = kron(&["verify-shards", run_dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("shard_00001.json"),
+        "error must name the missing manifest: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

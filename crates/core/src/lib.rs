@@ -28,6 +28,14 @@
 //! egonets and checks the numbers exactly — the methodology of the paper's
 //! §VI.
 //!
+//! The row-block partition API ([`KronProduct::partition_rows_by_nnz`],
+//! [`RowBlockStats`]) underpins the durable pipeline built on top of this
+//! crate: `kron-stream` generates nnz-balanced shards with closed-form
+//! per-shard checksums, and `kron-serve` answers the statistics above off
+//! the resulting mmap'd CSR artifacts without loading the graph. See
+//! `ARCHITECTURE.md` at the repository root for the crate graph and the
+//! normative on-disk format specification.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -21,6 +21,22 @@
 //!   reproduces this).
 //!
 //! All random generators are deterministic given their `seed`.
+//!
+//! ## Example
+//!
+//! ```
+//! use kron_gen::{deterministic::clique, holme_kim};
+//!
+//! // K5: the closed-form family of the paper's Ex. 1.
+//! let k5 = clique(5);
+//! assert_eq!((k5.num_vertices(), k5.num_edges()), (5, 10));
+//!
+//! // A scale-free, triangle-rich factor (the web-NotreDame stand-in);
+//! // deterministic given the seed.
+//! let web = holme_kim(200, 3, 0.75, 2018);
+//! assert_eq!(web, holme_kim(200, 3, 0.75, 2018));
+//! assert!(web.num_edges() > 200);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

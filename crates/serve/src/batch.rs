@@ -1,0 +1,376 @@
+//! The batched concurrent query driver and its latency/throughput report.
+//!
+//! A batch is a list of [`Query`] values (typically parsed from a query
+//! file, one query per line — see [`parse_queries`]). [`run_batch`] fans
+//! the batch out across worker threads (the shim rayon), each query
+//! routing to its shard(s) independently, and collects per-query answers
+//! *in input order* plus an aggregate [`QueryStats`] report.
+
+use crate::engine::{ServeEngine, ServeError};
+use kron_stream::json::Json;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// One point query against the shard set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// `degree v` — degree of product vertex `v` (loops excluded).
+    Degree(u64),
+    /// `neighbors v` — the sorted adjacency row of `v`.
+    Neighbors(u64),
+    /// `has_edge u v` — whether `{u, v}` is an adjacency entry.
+    HasEdge(u64, u64),
+    /// `tri_vertex v` — triangle participation `t_C(v)`.
+    VertexTriangles(u64),
+    /// `tri_edge u v` — triangle participation `Δ_C[{u, v}]`.
+    EdgeTriangles(u64, u64),
+}
+
+impl Query {
+    /// Parse one query line: a keyword followed by vertex ids.
+    ///
+    /// Keywords: `degree v`, `neighbors v`, `has_edge u v`,
+    /// `tri_vertex v`, `tri_edge u v`. Blank lines and `#` comments are
+    /// handled by [`parse_queries`].
+    pub fn parse(line: &str) -> Result<Query, String> {
+        let mut tok = line.split_whitespace();
+        let kw = tok.next().ok_or("empty query")?;
+        let mut arg = |name: &str| -> Result<u64, String> {
+            tok.next()
+                .ok_or_else(|| format!("{kw}: missing <{name}>"))?
+                .parse()
+                .map_err(|_| format!("{kw}: <{name}> must be a vertex id"))
+        };
+        let q = match kw {
+            "degree" => Query::Degree(arg("v")?),
+            "neighbors" => Query::Neighbors(arg("v")?),
+            "has_edge" => Query::HasEdge(arg("u")?, arg("v")?),
+            "tri_vertex" => Query::VertexTriangles(arg("v")?),
+            "tri_edge" => Query::EdgeTriangles(arg("u")?, arg("v")?),
+            other => {
+                return Err(format!(
+                    "unknown query {other:?} (expected degree, neighbors, \
+                     has_edge, tri_vertex, or tri_edge)"
+                ))
+            }
+        };
+        if let Some(extra) = tok.next() {
+            return Err(format!("{kw}: unexpected trailing token {extra:?}"));
+        }
+        Ok(q)
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Query::Degree(v) => write!(f, "degree {v}"),
+            Query::Neighbors(v) => write!(f, "neighbors {v}"),
+            Query::HasEdge(u, v) => write!(f, "has_edge {u} {v}"),
+            Query::VertexTriangles(v) => write!(f, "tri_vertex {v}"),
+            Query::EdgeTriangles(u, v) => write!(f, "tri_edge {u} {v}"),
+        }
+    }
+}
+
+/// Parse a whole query file: one query per line, blank lines and lines
+/// starting with `#` ignored. Errors name the offending line number.
+pub fn parse_queries(text: &str) -> Result<Vec<Query>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(Query::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// The answer to one [`Query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// A scalar count (`degree`, `tri_vertex`, `tri_edge`).
+    Count(u64),
+    /// A membership test (`has_edge`).
+    Bool(bool),
+    /// An adjacency row (`neighbors`), copied out of the mapping.
+    Row(Vec<u64>),
+    /// `tri_edge` on a pair that is not an edge.
+    NotAnEdge,
+}
+
+impl std::fmt::Display for Answer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Answer::Count(c) => write!(f, "{c}"),
+            Answer::Bool(b) => write!(f, "{b}"),
+            Answer::Row(row) => {
+                for (i, v) in row.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            Answer::NotAnEdge => write!(f, "not-an-edge"),
+        }
+    }
+}
+
+/// Answer one query, returning the wedge checks it performed.
+fn answer(engine: &ServeEngine, q: Query) -> (Result<Answer, ServeError>, u64) {
+    match q {
+        Query::Degree(v) => (engine.degree(v).map(Answer::Count), 0),
+        Query::Neighbors(v) => (engine.neighbors(v).map(|r| Answer::Row(r.to_vec())), 0),
+        Query::HasEdge(u, v) => (engine.has_edge(u, v).map(Answer::Bool), 0),
+        Query::VertexTriangles(v) => match engine.vertex_triangles_with_checks(v) {
+            Ok((t, checks)) => (Ok(Answer::Count(t)), checks),
+            Err(e) => (Err(e), 0),
+        },
+        Query::EdgeTriangles(u, v) => match engine.edge_triangles_with_checks(u, v) {
+            Ok(Some((d, checks))) => (Ok(Answer::Count(d)), checks),
+            Ok(None) => (Ok(Answer::NotAnEdge), 0),
+            Err(e) => (Err(e), 0),
+        },
+    }
+}
+
+/// Latency/throughput report of one batch run.
+#[derive(Clone, Debug)]
+pub struct QueryStats {
+    /// Queries answered (including per-query errors).
+    pub queries: usize,
+    /// Queries that returned an error (out-of-range ids, corruption).
+    pub errors: usize,
+    /// Worker threads used for the fan-out.
+    pub threads: usize,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+    /// Total sorted-intersection comparisons (the paper's §VI accounting).
+    pub wedge_checks: u64,
+    /// Fastest single query.
+    pub min: Duration,
+    /// Mean per-query latency.
+    pub mean: Duration,
+    /// Median per-query latency.
+    pub p50: Duration,
+    /// 99th-percentile per-query latency.
+    pub p99: Duration,
+    /// Slowest single query.
+    pub max: Duration,
+}
+
+impl QueryStats {
+    fn from_latencies(
+        mut lat: Vec<Duration>,
+        errors: usize,
+        threads: usize,
+        wall: Duration,
+        wedge_checks: u64,
+    ) -> QueryStats {
+        let queries = lat.len();
+        lat.sort_unstable();
+        let pick = |q: f64| -> Duration {
+            if lat.is_empty() {
+                Duration::ZERO
+            } else {
+                lat[((queries - 1) as f64 * q).round() as usize]
+            }
+        };
+        let total: Duration = lat.iter().sum();
+        QueryStats {
+            queries,
+            errors,
+            threads,
+            wall,
+            wedge_checks,
+            min: lat.first().copied().unwrap_or(Duration::ZERO),
+            mean: total.checked_div(queries.max(1) as u32).unwrap_or_default(),
+            p50: pick(0.50),
+            p99: pick(0.99),
+            max: lat.last().copied().unwrap_or(Duration::ZERO),
+        }
+    }
+
+    /// Batch throughput in queries per second of wall time.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// The report as a JSON object (the shape `BENCH_serve.json` stores).
+    pub fn to_json(&self) -> Json {
+        let us = |d: Duration| Json::num(d.as_secs_f64() * 1e6);
+        Json::obj(vec![
+            ("queries", Json::num(self.queries)),
+            ("errors", Json::num(self.errors)),
+            ("threads", Json::num(self.threads)),
+            ("wall_secs", Json::num(self.wall.as_secs_f64())),
+            ("qps", Json::num(self.qps())),
+            ("wedge_checks", Json::num(self.wedge_checks)),
+            ("min_us", us(self.min)),
+            ("mean_us", us(self.mean)),
+            ("p50_us", us(self.p50)),
+            ("p99_us", us(self.p99)),
+            ("max_us", us(self.max)),
+        ])
+    }
+}
+
+impl std::fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let us = |d: Duration| d.as_secs_f64() * 1e6;
+        write!(
+            f,
+            "{} queries ({} errors) on {} thread(s) in {:.3}s — {:.0} q/s, \
+             {} wedge checks; latency µs: min {:.1} / mean {:.1} / p50 {:.1} \
+             / p99 {:.1} / max {:.1}",
+            self.queries,
+            self.errors,
+            self.threads,
+            self.wall.as_secs_f64(),
+            self.qps(),
+            self.wedge_checks,
+            us(self.min),
+            us(self.mean),
+            us(self.p50),
+            us(self.p99),
+            us(self.max),
+        )
+    }
+}
+
+/// Outcome of [`run_batch`]: per-query answers in input order, plus the
+/// aggregate report.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One answer per input query, in input order.
+    pub answers: Vec<Result<Answer, ServeError>>,
+    /// The latency/throughput report.
+    pub stats: QueryStats,
+}
+
+/// Run a batch of queries concurrently against the engine.
+///
+/// Queries fan out over the shim rayon's worker threads (shard routing
+/// happens per query, so a batch touching many shards parallelizes across
+/// them); answers come back in input order. A query that fails (e.g. an
+/// out-of-range vertex) yields its own `Err` slot without aborting the
+/// rest of the batch.
+pub fn run_batch(engine: &ServeEngine, queries: &[Query]) -> BatchOutcome {
+    let t0 = Instant::now();
+    let results: Vec<(Result<Answer, ServeError>, Duration, u64)> = (0..queries.len())
+        .into_par_iter()
+        .map(|i| {
+            let q0 = Instant::now();
+            let (res, checks) = answer(engine, queries[i]);
+            (res, q0.elapsed(), checks)
+        })
+        .collect();
+    let wall = t0.elapsed();
+    let mut answers = Vec::with_capacity(results.len());
+    let mut latencies = Vec::with_capacity(results.len());
+    let mut wedge_checks = 0u64;
+    let mut errors = 0usize;
+    for (res, lat, checks) in results {
+        errors += usize::from(res.is_err());
+        wedge_checks += checks;
+        latencies.push(lat);
+        answers.push(res);
+    }
+    let stats = QueryStats::from_latencies(
+        latencies,
+        errors,
+        rayon::current_num_threads(),
+        wall,
+        wedge_checks,
+    );
+    BatchOutcome { answers, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron::KronProduct;
+    use kron_graph::Graph;
+    use kron_stream::{stream_product, OutputFormat, StreamConfig};
+
+    #[test]
+    fn query_lines_roundtrip_through_display() {
+        let text =
+            "\n# a comment\ndegree 5\nneighbors 0\nhas_edge 1 2\n\ntri_vertex 9\ntri_edge 3 4\n";
+        let qs = parse_queries(text).unwrap();
+        assert_eq!(qs.len(), 5);
+        let rendered: String = qs.iter().map(|q| format!("{q}\n")).collect();
+        assert_eq!(parse_queries(&rendered).unwrap(), qs);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = parse_queries("degree 1\nfrobnicate 2\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = parse_queries("has_edge 1\n").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        let err = parse_queries("degree 1 2\n").unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+        let err = parse_queries("degree x\n").unwrap_err();
+        assert!(err.contains("vertex id"), "{err}");
+    }
+
+    #[test]
+    fn batch_answers_match_point_queries_in_order() {
+        let dir = std::env::temp_dir().join(format!("kron_serve_batch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let c = KronProduct::new(a.clone(), a);
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+        cfg.shards = 3;
+        stream_product(&c, &cfg).unwrap();
+        let engine = crate::ServeEngine::open_verified(&dir).unwrap();
+
+        let mut queries = Vec::new();
+        for v in 0..c.num_vertices() {
+            queries.push(Query::Degree(v));
+            queries.push(Query::VertexTriangles(v));
+            queries.push(Query::Neighbors(v));
+            queries.push(Query::HasEdge(v, (v + 1) % c.num_vertices()));
+            queries.push(Query::EdgeTriangles(v, (v + 1) % c.num_vertices()));
+        }
+        queries.push(Query::Degree(c.num_vertices())); // out of range: its slot errs
+        let out = run_batch(&engine, &queries);
+        assert_eq!(out.answers.len(), queries.len());
+        assert_eq!(out.stats.queries, queries.len());
+        assert_eq!(out.stats.errors, 1);
+        assert!(out.answers.last().unwrap().is_err());
+        assert!(out.stats.wedge_checks > 0);
+        assert!(out.stats.qps() > 0.0);
+        assert!(out.stats.min <= out.stats.p50 && out.stats.p50 <= out.stats.max);
+
+        for (q, ans) in queries.iter().zip(&out.answers) {
+            match (q, ans) {
+                (Query::Degree(v), Ok(Answer::Count(d))) => assert_eq!(*d, c.degree(*v)),
+                (Query::VertexTriangles(v), Ok(Answer::Count(t))) => {
+                    assert_eq!(*t, c.vertex_triangles(*v))
+                }
+                (Query::Neighbors(v), Ok(Answer::Row(row))) => {
+                    assert_eq!(row, &c.neighbors(*v))
+                }
+                (Query::HasEdge(u, v), Ok(Answer::Bool(b))) => assert_eq!(*b, c.has_edge(*u, *v)),
+                (Query::EdgeTriangles(u, v), Ok(Answer::Count(d))) => {
+                    assert_eq!(Some(*d), c.edge_triangles(*u, *v))
+                }
+                (Query::EdgeTriangles(u, v), Ok(Answer::NotAnEdge)) => {
+                    assert_eq!(c.edge_triangles(*u, *v), None)
+                }
+                (Query::Degree(v), Err(_)) => assert_eq!(*v, c.num_vertices()),
+                other => panic!("unexpected (query, answer) pair: {other:?}"),
+            }
+        }
+
+        // stats serialize
+        let j = out.stats.to_json();
+        assert_eq!(j.req("queries").unwrap().as_usize().unwrap(), queries.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

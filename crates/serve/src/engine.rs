@@ -1,0 +1,318 @@
+//! The point-query engine: paper statistics answered off mmap'd rows.
+
+use kron_stream::{ShardSet, StreamError};
+use kron_triangles::slice;
+use std::path::Path;
+
+/// Errors of the serving subsystem.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// The run directory failed to open or validate.
+    Open(String),
+    /// A queried vertex lies outside every shard's row range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The product's vertex count `n_C`.
+        num_vertices: u64,
+    },
+    /// A mapped row referenced a column outside every shard — the
+    /// artifact is corrupt (structural open does not hash contents; see
+    /// [`ServeEngine::open_verified`]).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Open(m) => write!(f, "open error: {m}"),
+            ServeError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} outside all shard row ranges (n_C = {num_vertices})"
+            ),
+            ServeError::Corrupt(m) => write!(f, "corrupt artifact: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StreamError> for ServeError {
+    fn from(e: StreamError) -> Self {
+        ServeError::Open(e.to_string())
+    }
+}
+
+/// A read-only query engine over an opened [`ShardSet`].
+///
+/// Every query routes to the shard owning the relevant row(s) and works
+/// on zero-copy `&[u64]` slices out of the mappings — the product graph
+/// is never loaded, only its on-disk CSR artifacts are touched, one page
+/// at a time. Semantics match the in-memory `kron::KronProduct` and
+/// `kron-triangles` kernels exactly (loops excluded from degrees and
+/// triangles per the paper's Rem. 3).
+///
+/// The engine is `Sync`: point queries borrow the mappings immutably, so
+/// a batch driver may fan queries out across threads freely.
+#[derive(Debug)]
+pub struct ServeEngine {
+    set: ShardSet,
+}
+
+impl ServeEngine {
+    /// Open a run directory with structural validation (manifest/header
+    /// cross-checks and range tiling; no content hashing).
+    pub fn open(dir: &Path) -> Result<ServeEngine, ServeError> {
+        Ok(ServeEngine {
+            set: ShardSet::open(dir)?,
+        })
+    }
+
+    /// Open a run directory, verifying every shard's content checksum
+    /// once; afterwards queries trust the mappings.
+    pub fn open_verified(dir: &Path) -> Result<ServeEngine, ServeError> {
+        Ok(ServeEngine {
+            set: ShardSet::open_verified(dir)?,
+        })
+    }
+
+    /// The underlying shard set.
+    pub fn shard_set(&self) -> &ShardSet {
+        &self.set
+    }
+
+    /// Product vertex count `n_C`.
+    pub fn num_vertices(&self) -> u64 {
+        self.set.num_vertices()
+    }
+
+    /// The adjacency row of `v`, or an out-of-range error.
+    fn row(&self, v: u64) -> Result<&[u64], ServeError> {
+        self.set.row(v).ok_or(ServeError::VertexOutOfRange {
+            vertex: v,
+            num_vertices: self.set.num_vertices(),
+        })
+    }
+
+    /// The sorted adjacency row of `v`, zero-copy (self loop included,
+    /// matching `KronProduct::neighbors`).
+    pub fn neighbors(&self, v: u64) -> Result<&[u64], ServeError> {
+        self.row(v)
+    }
+
+    /// Degree of `v`, self loop excluded (`d_C = (C − I∘C)·1`, §III-A).
+    pub fn degree(&self, v: u64) -> Result<u64, ServeError> {
+        let row = self.row(v)?;
+        Ok(row.len() as u64 - u64::from(slice::contains_sorted(row, v)))
+    }
+
+    /// Whether `{u, v}` is an adjacency entry of the product (loops
+    /// included: `has_edge(v, v)` is `true` iff `v` has a self loop).
+    pub fn has_edge(&self, u: u64, v: u64) -> Result<bool, ServeError> {
+        let row = self.row(u)?;
+        if v >= self.set.num_vertices() {
+            return Err(ServeError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.set.num_vertices(),
+            });
+        }
+        Ok(slice::contains_sorted(row, v))
+    }
+
+    /// Triangle participation `t_C(v)` (Def. 5), by sorted-neighbor
+    /// intersection across shards. Returns `(t, wedge_checks)`.
+    ///
+    /// `v`'s row is intersected with each neighbor's row; neighbors may
+    /// live in any shard, so each row fetch routes independently.
+    pub fn vertex_triangles_with_checks(&self, v: u64) -> Result<(u64, u64), ServeError> {
+        let row_v = self.row(v)?;
+        // In a checksum-verified set every column id resolves (the shards
+        // tile 0..n_C); a failed neighbor-row fetch means tampering.
+        slice::vertex_triangles_rows(row_v, v, |u| self.set.row(u)).map_err(|u| {
+            ServeError::Corrupt(format!("row {v} lists neighbor {u} outside every shard"))
+        })
+    }
+
+    /// Triangle participation `t_C(v)` (Def. 5).
+    pub fn vertex_triangles(&self, v: u64) -> Result<u64, ServeError> {
+        Ok(self.vertex_triangles_with_checks(v)?.0)
+    }
+
+    /// Triangle participation `Δ_C[{u, v}]` of the edge `{u, v}` (Def. 6)
+    /// with wedge-check accounting: `Ok(None)` if `{u, v}` is not an
+    /// adjacency entry, `Ok(Some((0, 0)))` for a self loop (the Δ diagonal
+    /// is zero), otherwise the sorted intersection of the two rows.
+    pub fn edge_triangles_with_checks(
+        &self,
+        u: u64,
+        v: u64,
+    ) -> Result<Option<(u64, u64)>, ServeError> {
+        let row_u = self.row(u)?;
+        if v >= self.set.num_vertices() {
+            return Err(ServeError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.set.num_vertices(),
+            });
+        }
+        if !slice::contains_sorted(row_u, v) {
+            return Ok(None);
+        }
+        if u == v {
+            return Ok(Some((0, 0)));
+        }
+        let row_v = self.row(v)?;
+        Ok(Some(slice::edge_triangles_rows(row_u, row_v, u, v)))
+    }
+
+    /// Triangle participation `Δ_C[{u, v}]`, or `None` if `{u, v}` is not
+    /// an edge — same contract as `KronProduct::edge_triangles`.
+    pub fn edge_triangles(&self, u: u64, v: u64) -> Result<Option<u64>, ServeError> {
+        Ok(self.edge_triangles_with_checks(u, v)?.map(|(d, _)| d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron::KronProduct;
+    use kron_graph::Graph;
+    use kron_stream::{stream_product, OutputFormat, StreamConfig};
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kron_serve_engine_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn product() -> KronProduct {
+        let a = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 4), (5, 5)]);
+        let b = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 3), (0, 0)]);
+        KronProduct::new(a, b)
+    }
+
+    fn engine_for(dir: &PathBuf, c: &KronProduct, shards: usize) -> ServeEngine {
+        let mut cfg = StreamConfig::new(dir, OutputFormat::Csr);
+        cfg.shards = shards;
+        stream_product(c, &cfg).unwrap();
+        ServeEngine::open_verified(dir).unwrap()
+    }
+
+    #[test]
+    fn every_point_query_matches_the_closed_form() {
+        let dir = tmpdir("closed_form");
+        let c = product();
+        let e = engine_for(&dir, &c, 3);
+        for v in 0..c.num_vertices() {
+            assert_eq!(e.degree(v).unwrap(), c.degree(v), "degree {v}");
+            assert_eq!(e.neighbors(v).unwrap(), c.neighbors(v).as_slice());
+            assert_eq!(
+                e.vertex_triangles(v).unwrap(),
+                c.vertex_triangles(v),
+                "t_C({v})"
+            );
+            for q in 0..c.num_vertices() {
+                assert_eq!(e.has_edge(v, q).unwrap(), c.has_edge(v, q));
+                assert_eq!(
+                    e.edge_triangles(v, q).unwrap(),
+                    c.edge_triangles(v, q),
+                    "Δ_C({v},{q})"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_range_vertices_error_cleanly() {
+        let dir = tmpdir("oob");
+        let c = product();
+        let e = engine_for(&dir, &c, 2);
+        let n = e.num_vertices();
+        for bad in [n, n + 7, u64::MAX] {
+            assert!(matches!(
+                e.degree(bad),
+                Err(ServeError::VertexOutOfRange { vertex, .. }) if vertex == bad
+            ));
+            assert!(e.neighbors(bad).is_err());
+            assert!(e.vertex_triangles(bad).is_err());
+            assert!(e.has_edge(0, bad).is_err());
+            assert!(e.has_edge(bad, 0).is_err());
+            assert!(e.edge_triangles(0, bad).is_err());
+        }
+        let msg = e.degree(n).unwrap_err().to_string();
+        assert!(msg.contains(&n.to_string()), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn self_loops_follow_paper_conventions() {
+        let dir = tmpdir("loops");
+        let c = product();
+        let e = engine_for(&dir, &c, 2);
+        let looped: Vec<u64> = (0..c.num_vertices())
+            .filter(|&v| c.has_self_loop(v))
+            .collect();
+        assert!(!looped.is_empty(), "test product must have loops");
+        for v in looped {
+            assert!(e.has_edge(v, v).unwrap());
+            // loop excluded from degree, Δ diagonal zero
+            assert_eq!(e.degree(v).unwrap(), c.degree(v));
+            assert_eq!(e.edge_triangles(v, v).unwrap(), Some(0));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_artifact_errors_at_open_not_at_query() {
+        let dir = tmpdir("tamper");
+        let c = product();
+        {
+            let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+            cfg.shards = 2;
+            stream_product(&c, &cfg).unwrap();
+        }
+        let m = kron_stream::load_manifest(&dir, 0).unwrap();
+        let path = dir.join(m.file.as_deref().unwrap());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let rows = (m.vertices.end - m.vertices.start) as usize;
+        bytes[32 + 8 * (rows + 1)] ^= 0x04; // first column word
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ServeEngine::open_verified(&dir).unwrap_err();
+        assert!(matches!(err, ServeError::Open(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unverified_open_of_tampered_file_errors_instead_of_garbage() {
+        // Structural open skips content hashing; a column id pointing
+        // outside every shard must still surface as an error on query,
+        // never as a silently wrong count or a panic.
+        let dir = tmpdir("tamper_unverified");
+        let c = product();
+        {
+            let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+            cfg.shards = 2;
+            stream_product(&c, &cfg).unwrap();
+        }
+        let m = kron_stream::load_manifest(&dir, 0).unwrap();
+        let path = dir.join(m.file.as_deref().unwrap());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let rows = (m.vertices.end - m.vertices.start) as usize;
+        let col0 = 32 + 8 * (rows + 1);
+        bytes[col0..col0 + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let e = ServeEngine::open(&dir).unwrap();
+        // the first non-empty row of shard 0 now lists an impossible neighbor
+        let victim = (m.vertices.start..m.vertices.end)
+            .find(|&v| !e.neighbors(v).unwrap().is_empty())
+            .unwrap();
+        let err = e.vertex_triangles(victim).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

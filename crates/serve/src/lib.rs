@@ -1,0 +1,65 @@
+//! # kron-serve — point queries straight off the mmap'd CSR shards
+//!
+//! The paper's end goal is *using* validated per-vertex/per-edge triangle
+//! statistics at scale, not just generating them. `kron stream` (PR 1)
+//! turns the implicit product `C = A ⊗ B` into durable CSR shards; this
+//! crate is the first consumer of those artifacts: a **read-only query
+//! engine** that answers the paper's headline statistics in place,
+//! without ever loading the graph.
+//!
+//! * [`ServeEngine`] — opens a run directory via
+//!   [`kron_stream::ShardSet`] (checksums validated once, every shard
+//!   memory-mapped), then answers `degree(v)`, `neighbors(v)`,
+//!   `has_edge(u, v)` (binary search in the sorted CSR row),
+//!   per-vertex triangle participation `t_C(v)` and per-edge triangle
+//!   participation `Δ_C[{u, v}]` (sorted-neighbor intersection across
+//!   shards, via the `kron_triangles::slice` kernels) — all on zero-copy
+//!   rows out of the mappings;
+//! * [`run_batch`] — the batched concurrent driver: a [`Query`] list fans
+//!   out over worker threads, each query routing to its shard(s), with a
+//!   [`QueryStats`] latency/throughput report (throughput, latency
+//!   percentiles, and the paper's wedge-check accounting);
+//! * [`parse_queries`] — the `kron serve --queries file.txt` line format.
+//!
+//! Semantics match the in-memory oracles exactly: degrees exclude self
+//! loops, triangles ignore loops (the paper's Rem. 3), and every answer
+//! equals what `kron::KronProduct` or the `kron-triangles` kernels would
+//! compute on the materialized graph — the integration suite asserts it.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kron::KronProduct;
+//! use kron_graph::Graph;
+//! use kron_serve::{run_batch, Query, ServeEngine};
+//! use kron_stream::{stream_product, OutputFormat, StreamConfig};
+//!
+//! // Generate a small product as on-disk CSR shards…
+//! let a = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+//! let c = KronProduct::new(a.clone(), a);
+//! let dir = std::env::temp_dir().join(format!("kron_serve_doc_{}", std::process::id()));
+//! let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+//! cfg.shards = 2;
+//! stream_product(&c, &cfg).unwrap();
+//!
+//! // …then serve point queries off the mmap'd shards.
+//! let engine = ServeEngine::open_verified(&dir).unwrap();
+//! assert_eq!(engine.degree(4).unwrap(), c.degree(4));
+//! assert_eq!(engine.vertex_triangles(4).unwrap(), 2); // Thm. 1: 2·t_A·t_B
+//! assert_eq!(engine.edge_triangles(0, 4).unwrap(), Some(1));
+//!
+//! // Batched, concurrent, with a latency/throughput report.
+//! let out = run_batch(&engine, &[Query::Degree(0), Query::VertexTriangles(4)]);
+//! assert_eq!(out.answers.len(), 2);
+//! assert_eq!(out.stats.errors, 0);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod engine;
+
+pub use batch::{parse_queries, run_batch, Answer, BatchOutcome, Query, QueryStats};
+pub use engine::{ServeEngine, ServeError};

@@ -220,7 +220,7 @@ strategy_tuple! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Allowed element counts for [`vec`].
+    /// Allowed element counts for [`vec()`].
     #[derive(Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -261,7 +261,7 @@ pub mod collection {
         }
     }
 
-    /// [`vec`]'s strategy type.
+    /// [`vec()`]'s strategy type.
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -21,7 +21,11 @@
 //!   **independently validatable** and a partial run **resumes** by
 //!   skipping completed shards;
 //! * [`stream_product`] — the concurrent driver; [`verify_shards`] — the
-//!   independent validator.
+//!   independent validator;
+//! * [`ShardSet`] — opens a completed CSR run for **in-place querying**:
+//!   every shard is validated and memory-mapped once, and product vertices
+//!   route to their owning shard by the plan's contiguous vertex ranges.
+//!   `kron-serve` builds its point-query engine on top of this.
 //!
 //! ## Quickstart
 //!
@@ -32,7 +36,7 @@
 //!
 //! let a = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
 //! let c = KronProduct::new(a.clone(), a);
-//! let dir = std::env::temp_dir().join("kron_stream_doc");
+//! let dir = std::env::temp_dir().join(format!("kron_stream_doc_{}", std::process::id()));
 //! let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
 //! cfg.shards = 2;
 //! let run = stream_product(&c, &cfg).unwrap();
@@ -49,6 +53,7 @@ mod driver;
 pub mod json;
 mod manifest;
 pub mod mmap;
+mod open;
 mod plan;
 mod sink;
 mod verify;
@@ -58,6 +63,7 @@ pub use driver::{
     load_manifest, run_shard, stream_product, StreamConfig, FACTOR_A_FILE, FACTOR_B_FILE, RUN_FILE,
 };
 pub use manifest::{manifest_name, OutputFormat, RunSummary, ShardManifest, StreamHash};
+pub use open::{OpenShard, ShardSet};
 pub use plan::{ShardPlan, ShardSpec, MAX_SHARDS};
 pub use sink::{CountSink, CsrSink, EdgeListSink, EdgeSink, MemorySink};
 pub use verify::{verify_shards, VerifyReport};

@@ -333,9 +333,12 @@ pub fn write_json_atomic(dir: &Path, name: &str, doc: &Json) -> io::Result<()> {
     std::fs::rename(&tmp, dir.join(name))
 }
 
-/// Read and parse a JSON document.
+/// Read and parse a JSON document. Every error — missing file, unreadable
+/// file, parse failure — names the offending path, so a multi-shard
+/// directory failure is never ambiguous about which manifest it means.
 pub fn read_json(path: &Path) -> io::Result<Json> {
-    let text = std::fs::read_to_string(path)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
     Json::parse(&text).map_err(|e| {
         io::Error::new(
             io::ErrorKind::InvalidData,

@@ -1,0 +1,392 @@
+//! Opening a completed CSR run directory for in-place querying.
+//!
+//! [`ShardSet`] is the bridge between generation and serving: it reads
+//! `run.json` and every shard manifest, memory-maps every CSR artifact
+//! once, cross-checks each mapped header against its manifest, and then
+//! routes product vertices to shards by the plan's contiguous vertex
+//! ranges. After a successful open, every adjacency row of the product is
+//! reachable as a zero-copy `&[u64]` slice without loading the graph.
+//!
+//! Two levels of validation are offered:
+//!
+//! * [`ShardSet::open`] — structural: JSON parses, the format is CSR, the
+//!   shard vertex ranges tile `0..n_C` contiguously, every artifact's
+//!   header (magic, `vertex_lo`, `num_rows`, `nnz`, offsets monotonicity)
+//!   agrees with its manifest and file size, and the per-shard entry
+//!   counts sum to `run.json`'s total. `O(shards + Σ num_rows)`.
+//! * [`ShardSet::open_verified`] — additionally recomputes each shard's
+//!   order-independent content checksum from the mapped columns and
+//!   compares it to the manifest. `O(nnz)`, done exactly once at open;
+//!   queries afterwards trust the mapping.
+
+use crate::csr::CsrReader;
+use crate::driver::{load_manifest, RUN_FILE};
+use crate::manifest::{read_json, OutputFormat, RunSummary, ShardManifest, StreamHash};
+use crate::StreamError;
+use std::path::{Path, PathBuf};
+
+/// One shard of an opened run: its manifest plus the live mapping.
+pub struct OpenShard {
+    /// The shard's manifest, as read from `shard_NNNNN.json`.
+    pub manifest: ShardManifest,
+    /// The mmap-backed zero-copy reader over the shard's CSR artifact.
+    pub reader: CsrReader,
+}
+
+impl std::fmt::Debug for OpenShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenShard")
+            .field("manifest", &self.manifest)
+            .field("mapped_nnz", &self.reader.nnz())
+            .finish()
+    }
+}
+
+/// A complete CSR run directory, opened and validated once, with every
+/// shard memory-mapped and routable by product vertex.
+///
+/// [`ShardSet::open`] validates structure only; [`ShardSet::open_verified`]
+/// additionally recomputes every shard's content checksum once.
+pub struct ShardSet {
+    dir: PathBuf,
+    run: RunSummary,
+    shards: Vec<OpenShard>,
+    num_vertices: u64,
+}
+
+impl std::fmt::Debug for ShardSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("dir", &self.dir)
+            .field("shards", &self.shards.len())
+            .field("num_vertices", &self.num_vertices)
+            .finish()
+    }
+}
+
+impl ShardSet {
+    /// Open a run directory with structural validation (headers, sizes,
+    /// ranges — no content hashing).
+    pub fn open(dir: &Path) -> Result<ShardSet, StreamError> {
+        Self::open_impl(dir, false)
+    }
+
+    /// Open a run directory and additionally verify every shard's content
+    /// checksum against its manifest, once.
+    pub fn open_verified(dir: &Path) -> Result<ShardSet, StreamError> {
+        Self::open_impl(dir, true)
+    }
+
+    fn open_impl(dir: &Path, verify: bool) -> Result<ShardSet, StreamError> {
+        let run_doc = read_json(&dir.join(RUN_FILE)).map_err(|e| StreamError::Io(e.to_string()))?;
+        let run = RunSummary::from_json(&run_doc).map_err(StreamError::Manifest)?;
+        crate::driver::check_shard_count(run.shards)
+            .map_err(|e| StreamError::Manifest(format!("run.json: {e}")))?;
+        if run.format != OutputFormat::Csr {
+            return Err(StreamError::Config(format!(
+                "{}: run format is {:?}; only csr shards are queryable in place \
+                 (regenerate with --format csr)",
+                dir.display(),
+                run.format.as_str()
+            )));
+        }
+        let num_vertices = run.n_a.checked_mul(run.n_b).ok_or_else(|| {
+            StreamError::Manifest(format!(
+                "run.json: n_A·n_B = {}·{} overflows u64",
+                run.n_a, run.n_b
+            ))
+        })?;
+
+        let mut shards = Vec::with_capacity(run.shards);
+        let mut next_vertex = 0u64;
+        let mut total_entries = 0u128;
+        for index in 0..run.shards {
+            let manifest = load_manifest(dir, index)?;
+            if manifest.shard != index {
+                return Err(StreamError::Shard(
+                    index,
+                    format!("manifest says shard {}", manifest.shard),
+                ));
+            }
+            if manifest.format != OutputFormat::Csr {
+                return Err(StreamError::Shard(
+                    index,
+                    format!(
+                        "manifest format is {}, run is csr",
+                        manifest.format.as_str()
+                    ),
+                ));
+            }
+            if manifest.vertices.start != next_vertex {
+                return Err(StreamError::Shard(
+                    index,
+                    format!(
+                        "vertex range starts at {}, previous shard ended at {next_vertex}",
+                        manifest.vertices.start
+                    ),
+                ));
+            }
+            next_vertex = manifest.vertices.end;
+            total_entries += manifest.entries;
+
+            let name = manifest
+                .file
+                .as_deref()
+                .ok_or_else(|| StreamError::Shard(index, "csr shard has no file".into()))?;
+            let path = dir.join(name);
+            let reader =
+                CsrReader::open(&path).map_err(|e| StreamError::Shard(index, e.to_string()))?;
+            if reader.vertex_lo() != manifest.vertices.start
+                || reader.num_rows() != manifest.vertices.end - manifest.vertices.start
+                || u128::from(reader.nnz()) != manifest.entries
+            {
+                return Err(StreamError::Shard(
+                    index,
+                    format!("{name}: mapped header disagrees with manifest"),
+                ));
+            }
+            if std::fs::metadata(&path).map(|md| md.len()).ok() != Some(manifest.file_bytes) {
+                return Err(StreamError::Shard(
+                    index,
+                    format!("{name}: size disagrees with manifest file_bytes"),
+                ));
+            }
+            if verify {
+                let hash = StreamHash::of(reader.entries());
+                if hash != manifest.hash {
+                    return Err(StreamError::Shard(
+                        index,
+                        format!("{name}: content checksum mismatch"),
+                    ));
+                }
+            }
+            shards.push(OpenShard { manifest, reader });
+        }
+        if next_vertex != num_vertices {
+            return Err(StreamError::Manifest(format!(
+                "shard vertex ranges end at {next_vertex}, product has {num_vertices} vertices"
+            )));
+        }
+        if total_entries != run.total_entries {
+            return Err(StreamError::Manifest(format!(
+                "shard entries sum to {total_entries}, run.json says {}",
+                run.total_entries
+            )));
+        }
+        Ok(ShardSet {
+            dir: dir.to_path_buf(),
+            run,
+            shards,
+            num_vertices,
+        })
+    }
+
+    /// The run directory this set was opened from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The run summary (`run.json`).
+    pub fn run(&self) -> &RunSummary {
+        &self.run
+    }
+
+    /// Product vertex count `n_C = n_A·n_B`.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Total adjacency entries across all shards (`nnz(A)·nnz(B)`).
+    pub fn total_entries(&self) -> u128 {
+        self.run.total_entries
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total mapped artifact bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.manifest.file_bytes).sum()
+    }
+
+    /// The opened shards, in index order.
+    pub fn shards(&self) -> &[OpenShard] {
+        &self.shards
+    }
+
+    /// Route a product vertex to the index of the shard owning its row,
+    /// or `None` if `v` lies outside every shard's vertex range.
+    ///
+    /// Shard vertex ranges are contiguous and ascending (they tile
+    /// `0..n_C`), so routing is a binary search over the range ends;
+    /// empty shards (a plan with more shards than left-factor rows) are
+    /// skipped naturally because no vertex satisfies their empty range.
+    pub fn route(&self, v: u64) -> Option<usize> {
+        let i = self
+            .shards
+            .partition_point(|s| s.manifest.vertices.end <= v);
+        (i < self.shards.len() && self.shards[i].manifest.vertices.contains(&v)).then_some(i)
+    }
+
+    /// The adjacency row of product vertex `v` as a zero-copy slice into
+    /// the owning shard's mapping (sorted ascending, self loop included),
+    /// or `None` if `v` is outside every shard.
+    pub fn row(&self, v: u64) -> Option<&[u64]> {
+        let shard = self.route(v)?;
+        self.shards[shard].reader.row(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{stream_product, StreamConfig};
+    use kron::KronProduct;
+    use kron_gen::deterministic::clique;
+    use kron_graph::Graph;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kron_open_test_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn product() -> KronProduct {
+        let a = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 4), (5, 5)]);
+        let b = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 3), (0, 0)]);
+        KronProduct::new(a, b)
+    }
+
+    fn streamed(dir: &Path, c: &KronProduct, shards: usize) {
+        let mut cfg = StreamConfig::new(dir, OutputFormat::Csr);
+        cfg.shards = shards;
+        stream_product(c, &cfg).unwrap();
+    }
+
+    #[test]
+    fn open_routes_every_vertex_to_its_row() {
+        let dir = tmpdir("route");
+        let c = product();
+        streamed(&dir, &c, 3);
+        let set = ShardSet::open_verified(&dir).unwrap();
+        assert_eq!(set.num_shards(), 3);
+        assert_eq!(set.num_vertices(), c.num_vertices());
+        assert_eq!(set.total_entries(), c.nnz());
+        assert!(set.mapped_bytes() > 0);
+        for v in 0..c.num_vertices() {
+            let shard = set.route(v).expect("in range");
+            assert!(set.shards()[shard].manifest.vertices.contains(&v));
+            assert_eq!(set.row(v).unwrap(), c.neighbors(v).as_slice(), "row {v}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn vertex_outside_all_row_ranges_is_none_not_garbage() {
+        let dir = tmpdir("oob");
+        let c = product();
+        streamed(&dir, &c, 2);
+        let set = ShardSet::open(&dir).unwrap();
+        let n = set.num_vertices();
+        for v in [n, n + 1, u64::MAX] {
+            assert_eq!(set.route(v), None);
+            assert!(set.row(v).is_none());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_and_single_row_shards_open_and_serve() {
+        // More shards than left-factor rows forces empty shards into the
+        // plan; the remaining shards each cover a single row block.
+        let dir = tmpdir("tiny");
+        let a = Graph::from_edges(2, [(0, 1)]);
+        let b = clique(3);
+        let c = KronProduct::new(a, b);
+        streamed(&dir, &c, 5);
+        let set = ShardSet::open_verified(&dir).unwrap();
+        assert_eq!(set.num_shards(), 5);
+        let empty = set
+            .shards()
+            .iter()
+            .filter(|s| s.manifest.vertices.is_empty())
+            .count();
+        assert!(empty > 0, "plan should contain empty shards");
+        for v in 0..c.num_vertices() {
+            assert_eq!(set.row(v).unwrap(), c.neighbors(v).as_slice());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_non_csr_runs() {
+        let dir = tmpdir("edges_fmt");
+        let c = product();
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Edges);
+        cfg.shards = 2;
+        stream_product(&c, &cfg).unwrap();
+        let err = ShardSet::open(&dir).unwrap_err();
+        assert!(matches!(err, StreamError::Config(_)), "{err}");
+        assert!(err.to_string().contains("csr"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_verified_detects_tampered_columns() {
+        let dir = tmpdir("tamper");
+        let c = product();
+        streamed(&dir, &c, 2);
+        // flip a column id in shard 1's artifact body (past the offsets,
+        // preserving size and offset structure)
+        let m = load_manifest(&dir, 1).unwrap();
+        let path = dir.join(m.file.as_deref().unwrap());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let rows = (m.vertices.end - m.vertices.start) as usize;
+        let col0 = 32 + 8 * (rows + 1);
+        bytes[col0] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        // structural open cannot see it…
+        assert!(ShardSet::open(&dir).is_ok());
+        // …the verified open must
+        let err = ShardSet::open_verified(&dir).unwrap_err();
+        assert!(matches!(err, StreamError::Shard(1, _)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_truncated_artifact_naming_the_file() {
+        let dir = tmpdir("trunc");
+        let c = product();
+        streamed(&dir, &c, 2);
+        let m = load_manifest(&dir, 0).unwrap();
+        let name = m.file.as_deref().unwrap();
+        let path = dir.join(name);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        let err = ShardSet::open(&dir).unwrap_err();
+        assert!(matches!(err, StreamError::Shard(0, _)), "{err}");
+        assert!(
+            err.to_string().contains(name),
+            "error must name the file: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_errors_name_the_missing_manifest() {
+        let dir = tmpdir("missing_manifest");
+        let c = product();
+        streamed(&dir, &c, 3);
+        std::fs::remove_file(dir.join(crate::manifest_name(1))).unwrap();
+        let err = ShardSet::open(&dir).unwrap_err();
+        assert!(
+            err.to_string().contains("shard_00001.json"),
+            "error must name the manifest: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -17,7 +17,27 @@
 //! * [`labeled`] — vertex-labeled triangle participation (Defs. 13–14,
 //!   Fig. 6), likewise via enumeration and label-filtered matrix products;
 //! * [`clustering`] — local clustering coefficients and global transitivity
-//!   (the downstream statistics §I motivates).
+//!   (the downstream statistics §I motivates);
+//! * [`mod@slice`] — the same intersection kernels over borrowed sorted
+//!   `&[u64]` rows, shared with the `kron-serve` engine that answers
+//!   triangle queries off mmap'd on-disk CSR shards.
+//!
+//! ## Example
+//!
+//! ```
+//! use kron_graph::Graph;
+//! use kron_triangles::{count_triangles, edge_participation, vertex_participation};
+//!
+//! // A triangle with a pendant edge.
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+//! assert_eq!(count_triangles(&g).triangles, 1);
+//! // Each triangle vertex participates once, the pendant not at all.
+//! assert_eq!(vertex_participation(&g), vec![1, 1, 1, 0]);
+//! // Each triangle edge carries Δ = 1; the pendant edge Δ = 0.
+//! let delta = edge_participation(&g);
+//! assert_eq!(delta[g.edge_slot(0, 1).unwrap()], 1);
+//! assert_eq!(delta[g.edge_slot(2, 3).unwrap()], 0);
+//! ```
 //!
 //! Each statistic has at least two independent implementations (adjacency
 //! enumeration vs `kron-sparse` matrix formula); the test suites assert they
@@ -37,6 +57,7 @@ pub mod directed;
 mod edge;
 pub mod labeled;
 pub mod matrix_oracle;
+pub mod slice;
 mod vertex;
 pub mod wedge;
 

@@ -18,6 +18,21 @@
 //! The **trussness** of an edge is the largest `κ` with `e ∈ T^(κ)`; every
 //! edge is trivially in the 2-truss, so trussness ranges over `2..=n`.
 //! Self loops never participate (they are dropped internally).
+//!
+//! ## Example
+//!
+//! ```
+//! use kron_graph::Graph;
+//! use kron_truss::truss_decomposition;
+//!
+//! // A triangle with a pendant edge: the triangle edges form a 3-truss,
+//! // the pendant edge only the trivial 2-truss.
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+//! let t = truss_decomposition(&g);
+//! assert_eq!(t.max_trussness(), 3);
+//! assert_eq!(t.trussness_of(0, 1), Some(3));
+//! assert_eq!(t.trussness_of(2, 3), Some(2));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

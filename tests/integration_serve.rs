@@ -1,0 +1,161 @@
+//! Integration tests of the `kron-serve` query engine: every statistic
+//! answered off the mmap'd CSR shards must equal what the in-memory
+//! `crates/triangles` kernels compute on the materialized graph, and what
+//! the `kron` closed forms predict — the same three-way validation
+//! discipline the paper applies to its formulas.
+
+use kron::KronProduct;
+use kron_gen::holme_kim;
+use kron_graph::Graph;
+use kron_serve::{parse_queries, run_batch, Answer, Query, ServeEngine};
+use kron_stream::{stream_product, OutputFormat, StreamConfig};
+use kron_triangles::{count_triangles, edge_participation, vertex_participation};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("kron_int_serve_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Stream `c` into CSR shards and open a checksum-verified engine on them.
+fn served(dir: &std::path::Path, c: &KronProduct, shards: usize) -> ServeEngine {
+    let mut cfg = StreamConfig::new(dir, OutputFormat::Csr);
+    cfg.shards = shards;
+    stream_product(c, &cfg).unwrap();
+    ServeEngine::open_verified(dir).unwrap()
+}
+
+/// The central acceptance test: a scale-free product with loops in one
+/// factor, served from disk, cross-checked vertex-by-vertex and
+/// edge-by-edge against the in-memory triangle kernels on the
+/// materialized graph.
+#[test]
+fn served_statistics_match_in_memory_triangle_kernels() {
+    let a = holme_kim(28, 3, 0.6, 7);
+    let b = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 3), (0, 0), (3, 4)]);
+    let c = KronProduct::new(a, b);
+    let dir = tmpdir("kernels");
+    let engine = served(&dir, &c, 7);
+
+    // materialize the product and run the paper's direct kernels on it
+    let g = c.materialize(1 << 24).unwrap();
+    let t = vertex_participation(&g);
+    let delta = edge_participation(&g);
+
+    assert_eq!(engine.num_vertices(), c.num_vertices());
+    for v in 0..c.num_vertices() as u32 {
+        let vu = v as u64;
+        assert_eq!(engine.degree(vu).unwrap(), g.degree(v), "degree({v})");
+        let row: Vec<u64> = g.adj_row(v).iter().map(|&u| u as u64).collect();
+        assert_eq!(engine.neighbors(vu).unwrap(), row.as_slice(), "N({v})");
+        assert_eq!(
+            engine.vertex_triangles(vu).unwrap(),
+            t[v as usize],
+            "t_C({v})"
+        );
+        // per-edge counts on every adjacency slot of the row
+        for &u in g.adj_row(v) {
+            let want = delta[g.edge_slot(v, u).unwrap()];
+            assert_eq!(
+                engine.edge_triangles(vu, u as u64).unwrap(),
+                Some(want),
+                "Δ_C({v},{u})"
+            );
+        }
+    }
+
+    // global triangle count reconstructed from served per-vertex counts
+    let total: u64 = (0..c.num_vertices())
+        .map(|v| engine.vertex_triangles(v).unwrap())
+        .sum();
+    assert_eq!(u128::from(total / 3), c.total_triangles());
+    assert_eq!(total / 3, count_triangles(&g).triangles);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// has_edge over the full vertex-pair grid, against both the closed form
+/// and the materialized adjacency.
+#[test]
+fn served_has_edge_matches_product_and_graph() {
+    let a = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 3)]);
+    let c = KronProduct::new(a.clone(), a);
+    let dir = tmpdir("has_edge");
+    let engine = served(&dir, &c, 3);
+    let g = c.materialize(1 << 20).unwrap();
+    for u in 0..c.num_vertices() {
+        for v in 0..c.num_vertices() {
+            let got = engine.has_edge(u, v).unwrap();
+            assert_eq!(got, c.has_edge(u, v), "closed form ({u},{v})");
+            assert_eq!(got, g.has_edge(u as u32, v as u32), "graph ({u},{v})");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The batch driver answers a mixed query file identically to the point
+/// queries, in input order, with sane stats.
+#[test]
+fn batch_file_roundtrip_matches_point_queries() {
+    let a = holme_kim(20, 2, 0.5, 3);
+    let c = KronProduct::new(a.clone(), a);
+    let dir = tmpdir("batch");
+    let engine = served(&dir, &c, 4);
+
+    let mut file = String::from("# mixed batch\n");
+    let mut expect: Vec<Query> = Vec::new();
+    for v in (0..c.num_vertices()).step_by(17) {
+        file.push_str(&format!("degree {v}\ntri_vertex {v}\n"));
+        expect.push(Query::Degree(v));
+        expect.push(Query::VertexTriangles(v));
+        if let Some(&u) = engine.neighbors(v).unwrap().first() {
+            file.push_str(&format!("has_edge {v} {u}\ntri_edge {v} {u}\n"));
+            expect.push(Query::HasEdge(v, u));
+            expect.push(Query::EdgeTriangles(v, u));
+        }
+    }
+    let queries = parse_queries(&file).unwrap();
+    assert_eq!(queries, expect);
+
+    let out = run_batch(&engine, &queries);
+    assert_eq!(out.stats.queries, queries.len());
+    assert_eq!(out.stats.errors, 0);
+    assert!(out.stats.wedge_checks > 0);
+    for (q, ans) in queries.iter().zip(&out.answers) {
+        let want = match *q {
+            Query::Degree(v) => Answer::Count(engine.degree(v).unwrap()),
+            Query::VertexTriangles(v) => Answer::Count(engine.vertex_triangles(v).unwrap()),
+            Query::HasEdge(u, v) => Answer::Bool(engine.has_edge(u, v).unwrap()),
+            Query::EdgeTriangles(u, v) => match engine.edge_triangles(u, v).unwrap() {
+                Some(d) => Answer::Count(d),
+                None => Answer::NotAnEdge,
+            },
+            Query::Neighbors(v) => Answer::Row(engine.neighbors(v).unwrap().to_vec()),
+        };
+        assert_eq!(ans.as_ref().unwrap(), &want, "{q}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Serving stays correct across awkward shard geometries: one giant
+/// shard, more shards than left-factor rows (empty shards), and
+/// single-row shards.
+#[test]
+fn shard_geometry_does_not_change_answers() {
+    let a = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+    let b = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+    let c = KronProduct::new(a, b);
+    for shards in [1usize, 2, 3, 9] {
+        let dir = tmpdir(&format!("geometry_{shards}"));
+        let engine = served(&dir, &c, shards);
+        for v in 0..c.num_vertices() {
+            assert_eq!(engine.degree(v).unwrap(), c.degree(v));
+            assert_eq!(
+                engine.vertex_triangles(v).unwrap(),
+                c.vertex_triangles(v),
+                "t_C({v}) with {shards} shards"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
