@@ -1,62 +1,33 @@
 //! Serving throughput experiment: queries/sec and latency percentiles per
-//! query kind, answered off mmap'd CSR shards of the standard web-like
-//! product.
+//! query kind and per *answer source* — the mmap'd CSR artifact walk vs
+//! the closed-form factor oracle vs cross-checked both — plus a skewed
+//! hot-row workload exercising the artifact path's LRU.
 //!
 //! ```text
-//! bench_serve [--n N] [--shards S] [--queries Q] [--json]
+//! bench_serve [--n N] [--shards S] [--queries Q] [--cache ROWS] [--json]
 //! ```
 //!
 //! With `--json`, results are written to `BENCH_serve.json` in the
 //! current directory so the serving-performance trajectory is tracked
 //! across PRs (the generation-side counterpart is `BENCH_stream.json`).
+//! The `oracle_speedup` block records how many times faster the
+//! closed-form oracle answers triangle point queries than the shard walk.
 
 use kron::KronProduct;
 use kron_bench::web_factor;
-use kron_serve::{run_batch, Query, ServeEngine};
+use kron_serve::{run_batch, AnswerSource, OpenOptions, Query, QueryStats, ServeEngine};
 use kron_stream::json::Json;
 use kron_stream::{stream_product, OutputFormat, StreamConfig};
 use rand::prelude::*;
 use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opt = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let json_out = args.iter().any(|a| a == "--json");
-    let n: usize = opt("--n").and_then(|v| v.parse().ok()).unwrap_or(600);
-    let shards: usize = opt("--shards").and_then(|v| v.parse().ok()).unwrap_or(16);
-    let q: usize = opt("--queries")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_000);
-
-    let prod = KronProduct::new(web_factor(n), web_factor(n));
-    let dir = std::env::temp_dir().join(format!("kron_bench_serve_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
-    cfg.shards = shards;
-    let t0 = Instant::now();
-    stream_product(&prod, &cfg).expect("stream csr shards");
-    let gen_secs = t0.elapsed().as_secs_f64();
-
-    let t0 = Instant::now();
-    let engine = ServeEngine::open_verified(&dir).expect("open + verify shard set");
-    let open_secs = t0.elapsed().as_secs_f64();
+/// One deterministic query mix per kind, shared across answer sources so
+/// their rows are directly comparable.
+fn query_mixes(engine: &ServeEngine, q: usize) -> Vec<(&'static str, Vec<Query>)> {
     let n_c = engine.num_vertices();
-    eprintln!(
-        "product: {} entries over {} vertices; {shards} shards generated in \
-         {gen_secs:.2}s, opened + checksum-verified in {open_secs:.2}s",
-        prod.nnz(),
-        n_c,
-    );
-
-    // Query mixes: uniformly random ids; edge queries aim at real edges
-    // (first neighbor) so the intersection kernels actually run.
     let mut rng = StdRng::seed_from_u64(2018);
     let mut rand_v = || rng.gen_range(0..n_c);
-    let batches: Vec<(&str, Vec<Query>)> = vec![
+    vec![
         ("degree", (0..q).map(|_| Query::Degree(rand_v())).collect()),
         (
             "neighbors",
@@ -88,21 +59,145 @@ fn main() {
                 })
                 .collect(),
         ),
-    ];
+    ]
+}
 
-    let mut results = Vec::new();
-    for (kind, queries) in &batches {
-        let out = run_batch(&engine, queries);
-        assert_eq!(out.stats.errors, 0, "{kind}: queries must not fail");
-        println!(
-            "{kind:<11} {:>7} queries  {:>12.0} q/s  p50 {:>8.1}µs  p99 {:>8.1}µs",
-            out.stats.queries,
-            out.stats.qps(),
-            out.stats.p50.as_secs_f64() * 1e6,
-            out.stats.p99.as_secs_f64() * 1e6,
-        );
-        results.push((*kind, out.stats));
+/// A skewed triangle workload: almost every query hits one of a few dozen
+/// hot vertices — the shape the hot-row LRU exists for.
+fn skewed_mix(engine: &ServeEngine, q: usize) -> Vec<Query> {
+    let n_c = engine.num_vertices();
+    let mut rng = StdRng::seed_from_u64(4096);
+    let hot: Vec<u64> = (0..32).map(|_| rng.gen_range(0..n_c)).collect();
+    (0..q / 10)
+        .map(|_| {
+            if rng.gen_bool(0.95) {
+                Query::VertexTriangles(hot[rng.gen_range(0..hot.len())])
+            } else {
+                Query::VertexTriangles(rng.gen_range(0..n_c))
+            }
+        })
+        .collect()
+}
+
+fn print_row(label: &str, kind: &str, stats: &QueryStats) {
+    println!(
+        "{label:<15} {kind:<14} {:>7} queries  {:>12.0} q/s  p50 {:>8.1}µs  p99 {:>8.1}µs",
+        stats.queries,
+        stats.qps(),
+        stats.p50.as_secs_f64() * 1e6,
+        stats.p99.as_secs_f64() * 1e6,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let json_out = args.iter().any(|a| a == "--json");
+    let n: usize = opt("--n").and_then(|v| v.parse().ok()).unwrap_or(600);
+    let shards: usize = opt("--shards").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let q: usize = opt("--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let cache_rows: usize = opt("--cache").and_then(|v| v.parse().ok()).unwrap_or(4096);
+
+    let prod = KronProduct::new(web_factor(n), web_factor(n));
+    let dir = std::env::temp_dir().join(format!("kron_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+    cfg.shards = shards;
+    let t0 = Instant::now();
+    stream_product(&prod, &cfg).expect("stream csr shards");
+    let gen_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let artifact = ServeEngine::open_verified(&dir).expect("open + verify shard set");
+    let open_secs = t0.elapsed().as_secs_f64();
+    let n_c = artifact.num_vertices();
+    eprintln!(
+        "product: {} entries over {n_c} vertices; {shards} shards generated in \
+         {gen_secs:.2}s, opened + checksum-verified in {open_secs:.2}s",
+        prod.nnz(),
+    );
+
+    // Checksums were verified once above; the other engines reuse the same
+    // artifacts structurally and differ only in answer source / cache.
+    let open = |source: AnswerSource, row_cache: usize| -> ServeEngine {
+        ServeEngine::open_with(
+            &dir,
+            &OpenOptions {
+                verify_checksums: false,
+                source,
+                row_cache,
+            },
+        )
+        .expect("open engine")
+    };
+    let t0 = Instant::now();
+    let oracle = open(AnswerSource::Oracle, 0);
+    let oracle_open_secs = t0.elapsed().as_secs_f64();
+    let crosscheck = open(AnswerSource::CrossCheck, 0);
+    eprintln!("factor oracle loaded in {oracle_open_secs:.2}s (closed forms precomputed)");
+
+    let mixes = query_mixes(&artifact, q);
+    let mut results: Vec<(String, &'static str, QueryStats)> = Vec::new();
+    for (label, engine) in [
+        ("artifact", &artifact),
+        ("oracle", &oracle),
+        ("cross-check", &crosscheck),
+    ] {
+        for (kind, queries) in &mixes {
+            let out = run_batch(engine, queries);
+            assert_eq!(out.stats.errors, 0, "{label}/{kind}: queries must not fail");
+            assert_eq!(
+                out.stats.mismatches, 0,
+                "{label}/{kind}: a fresh run directory must cross-check clean"
+            );
+            print_row(label, kind, &out.stats);
+            results.push((label.to_string(), kind, out.stats));
+        }
     }
+
+    // Skewed hot-vertex load: artifact path with and without the row LRU.
+    let cached = open(AnswerSource::Artifact, cache_rows);
+    let hot = skewed_mix(&artifact, q);
+    for (label, engine) in [("artifact", &artifact), ("artifact+cache", &cached)] {
+        let out = run_batch(engine, &hot);
+        assert_eq!(out.stats.errors, 0, "{label}/skewed: queries must not fail");
+        print_row(label, "tri_vertex_hot", &out.stats);
+        results.push((label.to_string(), "tri_vertex_hot", out.stats));
+    }
+    let cache_report = cached.routing();
+    eprintln!("hot-row cache: {cache_report}");
+
+    // Oracle speedup on the triangle point queries — the paper's closed
+    // forms vs the shard walk, same query stream.
+    let qps_of = |label: &str, kind: &str| -> f64 {
+        results
+            .iter()
+            .find(|(l, k, _)| l == label && *k == kind)
+            .map(|(_, _, s)| s.qps())
+            .unwrap_or(0.0)
+    };
+    // Guard the denominators: a tiny --queries can produce empty batches
+    // (qps 0), and a NaN/inf ratio would corrupt the JSON report.
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let speedup_tri_vertex = ratio(
+        qps_of("oracle", "tri_vertex"),
+        qps_of("artifact", "tri_vertex"),
+    );
+    let speedup_tri_edge = ratio(qps_of("oracle", "tri_edge"), qps_of("artifact", "tri_edge"));
+    let speedup_hot_cache = ratio(
+        qps_of("artifact+cache", "tri_vertex_hot"),
+        qps_of("artifact", "tri_vertex_hot"),
+    );
+    eprintln!(
+        "oracle speedup: tri_vertex ×{speedup_tri_vertex:.1}, tri_edge ×{speedup_tri_edge:.1}; \
+         row-cache speedup on skewed tri_vertex ×{speedup_hot_cache:.2}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 
     if json_out {
@@ -112,13 +207,27 @@ fn main() {
             ("shards", Json::num(shards)),
             ("product_entries", Json::num(prod.nnz())),
             ("open_verified_secs", Json::num(open_secs)),
+            ("oracle_open_secs", Json::num(oracle_open_secs)),
+            ("cache_rows", Json::num(cache_rows)),
+            ("cache_hit_rate", Json::num(cache_report.hit_rate())),
+            (
+                "oracle_speedup",
+                Json::obj(vec![
+                    ("tri_vertex", Json::num(speedup_tri_vertex)),
+                    ("tri_edge", Json::num(speedup_tri_edge)),
+                ]),
+            ),
+            ("cache_speedup_tri_vertex_hot", Json::num(speedup_hot_cache)),
             (
                 "results",
                 Json::Arr(
                     results
                         .iter()
-                        .map(|(kind, stats)| {
-                            let mut pairs = vec![("kind".to_string(), Json::str(kind))];
+                        .map(|(label, kind, stats)| {
+                            let mut pairs = vec![
+                                ("engine".to_string(), Json::str(label)),
+                                ("kind".to_string(), Json::str(kind)),
+                            ];
                             if let Json::Obj(stat_pairs) = stats.to_json() {
                                 pairs.extend(stat_pairs);
                             }

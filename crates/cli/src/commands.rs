@@ -4,7 +4,7 @@ use crate::args::ParsedArgs;
 use kron::{human_count, product_truss, validate, KronProduct, ProductStats};
 use kron_gen::deterministic;
 use kron_graph::{read_edge_list_path, write_edge_list_path, Graph};
-use kron_serve::{parse_queries, run_batch, ServeEngine};
+use kron_serve::{parse_queries, run_batch, AnswerSource, OpenOptions, ServeEngine};
 use kron_stream::{stream_product, verify_shards, OutputFormat, StreamConfig};
 use kron_triangles::count_triangles;
 use std::time::Instant;
@@ -23,9 +23,11 @@ USAGE:
       the paper's Table rows for A, B, and A (x) B (exact, implicit)
   kron query <a.tsv> <b.tsv> <p> [<q>]
       O(1) degree/triangle lookup at product vertex p (or edge {p,q})
-  kron query <DIR> <p> [<q>]
-      the same lookups answered off the mmap'd CSR shards in DIR
-      (a `kron stream --format csr` run directory), graph never loaded
+  kron query <DIR> <p> [<q>] [--source artifact|oracle|cross-check]
+      the same lookups over a `kron stream --format csr` run directory:
+      artifact walks the mmap'd CSR shards (graph never loaded), oracle
+      evaluates the closed forms on the run's factor copies (no shard
+      I/O), cross-check runs both and fails on any disagreement
   kron egonet <a.tsv> <b.tsv> <p>
       extract the egonet of product vertex p implicitly; print its edges
   kron truss <a.tsv> <b.tsv>
@@ -37,10 +39,17 @@ USAGE:
       generate A (x) B as N validated shards (formats: edges | csr | count);
       every shard gets a JSON manifest with closed-form checksums
   kron serve <DIR> --queries FILE [--threads T] [--no-verify]
-      answer a batch of point queries off the mmap'd CSR shards in DIR;
+             [--source artifact|oracle|cross-check] [--cache ROWS]
+      answer a batch of point queries over the CSR run directory DIR;
       query file lines: degree v | neighbors v | has_edge u v |
       tri_vertex v | tri_edge u v  (blank lines and # comments ignored);
-      prints one answer per line, latency/throughput report on stderr
+      prints one answer per line, latency/throughput + routing report on
+      stderr. --source oracle answers in closed form from the factor
+      copies (artifact contents are never read, so checksum verification
+      is skipped); --source cross-check answers from the artifact, checks
+      every answer against the oracle, and exits nonzero on mismatch
+      (a live conformance monitor). --cache keeps an LRU of ROWS hot
+      rows for the artifact triangle kernels on skewed loads
   kron verify-shards <DIR> [--rehash]
       re-check every shard manifest (shard_NNNNN.json) and artifact in DIR
       against the closed-form factor statistics; failures name the
@@ -50,7 +59,9 @@ USAGE:
 EXIT CODES:
   0  success
   1  command failed: unknown subcommand, missing argument, I/O or
-     validation error, out-of-range query, …
+     validation error, out-of-range query, or any cross-check mismatch
+     (artifact and closed-form oracle disagree: the run directory is
+     corrupt or stale)
   2  the command line itself could not be parsed (no subcommand)";
 
 /// Dispatch a parsed command line.
@@ -195,14 +206,48 @@ fn parse_vertex(s: &str) -> Result<u64, String> {
         .map_err(|_| "vertex id must be an integer".to_string())
 }
 
+/// Parse the `--source` option shared by `kron serve` and the shard-dir
+/// form of `kron query`.
+fn parse_source(p: &ParsedArgs) -> Result<AnswerSource, String> {
+    match p.options.get("source") {
+        Some(s) => AnswerSource::parse(s),
+        None => Ok(AnswerSource::Artifact),
+    }
+}
+
+/// After a cross-check run: describe the outcome, failing on mismatches.
+fn crosscheck_verdict(engine: &ServeEngine) -> Result<(), String> {
+    let n = engine.mismatch_count();
+    if n == 0 {
+        eprintln!("cross-check: 0 mismatches (artifact agrees with the closed-form oracle)");
+        return Ok(());
+    }
+    for m in engine.mismatches() {
+        eprintln!("cross-check mismatch: {m}");
+    }
+    Err(format!(
+        "cross-check: {n} mismatch(es) between the artifact and the \
+         closed-form oracle — the run directory is corrupt or stale \
+         (try `kron verify-shards --rehash`)"
+    ))
+}
+
 /// `kron query <DIR> <p> [<q>]` — the same lookups as the factor-based
-/// path, answered off the mmap'd CSR shards without loading the graph.
+/// path, answered off the mmap'd CSR shards (or the closed-form oracle,
+/// or both cross-checked) without loading the graph.
 fn cmd_query_shards(p: &ParsedArgs, dir: &str) -> Result<(), String> {
-    let engine = ServeEngine::open(std::path::Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+    let source = parse_source(p)?;
+    let opts = OpenOptions {
+        verify_checksums: false,
+        source,
+        ..OpenOptions::default()
+    };
+    let engine = ServeEngine::open_with(std::path::Path::new(dir), &opts)
+        .map_err(|e| format!("{dir}: {e}"))?;
     let pv = parse_vertex(p.pos(1, "p")?)?;
     let err = |e: kron_serve::ServeError| e.to_string();
     println!(
-        "product vertex {pv} (served from {} shard(s), {} mapped bytes)",
+        "product vertex {pv} (source: {source}; {} shard(s), {} mapped bytes)",
         engine.shard_set().num_shards(),
         engine.shard_set().mapped_bytes()
     );
@@ -217,6 +262,9 @@ fn cmd_query_shards(p: &ParsedArgs, dir: &str) -> Result<(), String> {
             Some(d) => println!("  edge ({pv},{qv}): Δ_C = {d}"),
             None => println!("  ({pv},{qv}) is not an edge of C"),
         }
+    }
+    if source == AnswerSource::CrossCheck {
+        crosscheck_verdict(&engine)?;
     }
     Ok(())
 }
@@ -356,23 +404,35 @@ fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
     let queries = parse_queries(&text).map_err(|e| format!("{file}: {e}"))?;
 
+    let opts = OpenOptions {
+        verify_checksums: !p.flag("no-verify"),
+        source: parse_source(p)?,
+        row_cache: p.opt("cache", 0usize)?,
+    };
     let t0 = Instant::now();
-    let engine = if p.flag("no-verify") {
-        ServeEngine::open(std::path::Path::new(dir))
-    } else {
-        ServeEngine::open_verified(std::path::Path::new(dir))
-    }
-    .map_err(|e| format!("{dir}: {e}"))?;
+    let engine = ServeEngine::open_with(std::path::Path::new(dir), &opts)
+        .map_err(|e| format!("{dir}: {e}"))?;
     eprintln!(
-        "opened {} shard(s), {} mapped bytes, {} entries in {:.2?}{}",
+        "opened {} shard(s), {} mapped bytes, {} entries in {:.2?} \
+         (checksums {}, source: {}{})",
         engine.shard_set().num_shards(),
         engine.shard_set().mapped_bytes(),
         human_count(engine.shard_set().total_entries()),
         t0.elapsed(),
-        if p.flag("no-verify") {
-            " (checksums not verified)"
+        if opts.source == AnswerSource::Oracle {
+            // pure oracle mode never reads artifact contents; the engine
+            // opens structurally regardless of --no-verify
+            "not read (oracle mode)"
+        } else if opts.verify_checksums {
+            "verified"
         } else {
-            " (checksums verified)"
+            "not verified"
+        },
+        opts.source,
+        if opts.row_cache > 0 {
+            format!(", row cache {}", opts.row_cache)
+        } else {
+            String::new()
         },
     );
 
@@ -390,6 +450,19 @@ fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
     }
     print!("{lines}");
     eprintln!("{}", out.stats);
+    // Pure oracle mode never fetches a row, and without --cache the
+    // hit-rate line would describe a cache that does not exist.
+    if opts.source != AnswerSource::Oracle {
+        let rep = engine.routing();
+        if opts.row_cache > 0 {
+            eprintln!("{rep}");
+        } else {
+            eprintln!("{}", rep.shard_summary());
+        }
+    }
+    if opts.source == AnswerSource::CrossCheck {
+        crosscheck_verdict(&engine)?;
+    }
     if failed > 0 {
         return Err(format!("{failed} of {} queries failed", queries.len()));
     }

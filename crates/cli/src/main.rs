@@ -6,12 +6,13 @@
 //! kron triangles <graph.tsv>
 //! kron stats <a.tsv> <b.tsv> [--loops-b]
 //! kron query <a.tsv> <b.tsv> <p> [<q>]
-//! kron query <DIR> <p> [<q>]            # off mmap'd CSR shards
+//! kron query <DIR> <p> [<q>] [--source artifact|oracle|cross-check]
 //! kron egonet <a.tsv> <b.tsv> <p>
 //! kron truss <a.tsv> <b.tsv>
 //! kron validate <a.tsv> <b.tsv> [--samples N] [--full]
 //! kron stream <a.tsv> <b.tsv> --out DIR [--shards N] [--format F] [--resume]
 //! kron serve <DIR> --queries FILE [--threads T] [--no-verify]
+//!            [--source artifact|oracle|cross-check] [--cache ROWS]
 //! kron verify-shards <DIR> [--rehash]
 //! ```
 //!
@@ -19,15 +20,20 @@
 //!
 //! * `0` — success.
 //! * `1` — the command failed: unknown subcommand, missing argument, I/O
-//!   or validation error, an out-of-range query, or (for `kron serve`)
-//!   any individual query in the batch failing. The error on stderr names
-//!   the offending file — `verify-shards` and `serve` failures always
-//!   include the specific manifest or artifact path.
+//!   or validation error, an out-of-range query, (for `kron serve`) any
+//!   individual query in the batch failing, or (for
+//!   `--source cross-check`) any disagreement between the artifact and
+//!   the closed-form oracle. The error on stderr names the offending
+//!   file — `verify-shards` and `serve` failures always include the
+//!   specific manifest or artifact path, and cross-check failures print
+//!   each mismatching query with both answers.
 //! * `2` — the command line itself could not be parsed (no subcommand).
 //!
 //! Scripts can rely on these: `kron verify-shards DIR && …` is a sound
-//! integrity gate, and `kron serve` only exits `0` when every query in
-//! the batch was answered.
+//! integrity gate, `kron serve` only exits `0` when every query in the
+//! batch was answered, and `kron query DIR p --source cross-check`
+//! exiting `0` certifies the served answers against the paper's closed
+//! forms.
 
 mod args;
 mod commands;

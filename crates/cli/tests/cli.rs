@@ -467,3 +467,157 @@ fn verify_shards_errors_name_the_manifest_file() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn serve_and_query_answer_sources_agree_and_cross_check() {
+    let dir = tmpdir();
+    let a = dir.join("src_a.tsv");
+    assert!(kron(&[
+        "gen",
+        "holme-kim",
+        "--n",
+        "30",
+        "--m",
+        "2",
+        "--seed",
+        "9",
+        "--out",
+        a.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let run_dir = dir.join("src_run");
+    let _ = std::fs::remove_dir_all(&run_dir);
+    assert!(kron(&[
+        "stream",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--out",
+        run_dir.to_str().unwrap(),
+        "--shards",
+        "3",
+        "--format",
+        "csr",
+    ])
+    .status
+    .success());
+    let run = run_dir.to_str().unwrap();
+
+    // the same point query must print identical statistics per source,
+    // and cross-check over a fresh run reports zero mismatches (exit 0)
+    let answers: Vec<String> = ["artifact", "oracle", "cross-check"]
+        .iter()
+        .map(|source| {
+            let out = kron(&["query", run, "41", "42", "--source", source]);
+            assert!(
+                out.status.success(),
+                "--source {source}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            stdout
+                .lines()
+                .filter(|l| l.contains('='))
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect();
+    assert_eq!(answers[0], answers[1], "artifact vs oracle");
+    assert_eq!(answers[0], answers[2], "artifact vs cross-check");
+    let out = kron(&["query", run, "41", "--source", "cross-check"]);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("0 mismatches"));
+
+    // batched serve per source: identical answer lines, and the
+    // cross-check run advertises a clean reconciliation
+    let qfile = dir.join("src_queries.txt");
+    std::fs::write(
+        &qfile,
+        "degree 41\nneighbors 5\nhas_edge 41 42\ntri_vertex 41\ntri_edge 41 42\n",
+    )
+    .unwrap();
+    let batches: Vec<(String, String)> = ["artifact", "oracle", "cross-check"]
+        .iter()
+        .map(|source| {
+            let out = kron(&[
+                "serve",
+                run,
+                "--queries",
+                qfile.to_str().unwrap(),
+                "--source",
+                source,
+            ]);
+            assert!(
+                out.status.success(),
+                "--source {source}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            (
+                String::from_utf8_lossy(&out.stdout).to_string(),
+                String::from_utf8_lossy(&out.stderr).to_string(),
+            )
+        })
+        .collect();
+    assert_eq!(batches[0].0, batches[1].0, "artifact vs oracle answers");
+    assert_eq!(
+        batches[0].0, batches[2].0,
+        "artifact vs cross-check answers"
+    );
+    assert!(
+        batches[2].1.contains("cross-check: 0 mismatches"),
+        "{}",
+        batches[2].1
+    );
+    assert!(
+        batches[0].1.contains("row fetches per shard"),
+        "{}",
+        batches[0].1
+    );
+
+    // an unknown source is rejected with the valid choices
+    let out = kron(&[
+        "serve",
+        run,
+        "--queries",
+        qfile.to_str().unwrap(),
+        "--source",
+        "psychic",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("artifact, oracle, or cross-check"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // tamper a CSR artifact: cross-check serve must exit nonzero naming
+    // the mismatch, while plain artifact serve silently answers
+    let manifest: String = std::fs::read_to_string(run_dir.join("shard_00000.json")).unwrap();
+    let artifact_name = manifest
+        .split('"')
+        .find(|s| s.ends_with(".csr"))
+        .unwrap()
+        .to_string();
+    let artifact_path = run_dir.join(&artifact_name);
+    let mut bytes = std::fs::read(&artifact_path).unwrap();
+    let at = bytes.len() - 8; // last column word of shard 0's payload
+    let tampered = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) ^ 1;
+    bytes[at..at + 8].copy_from_slice(&tampered.to_le_bytes());
+    std::fs::write(&artifact_path, &bytes).unwrap();
+    // find the tampered row by scanning every vertex's neighbors
+    let n: u64 = 30 * 30;
+    let all: String = (0..n).map(|v| format!("neighbors {v}\n")).collect();
+    std::fs::write(&qfile, all).unwrap();
+    let out = kron(&[
+        "serve",
+        run,
+        "--queries",
+        qfile.to_str().unwrap(),
+        "--source",
+        "cross-check",
+        "--no-verify",
+    ]);
+    assert!(!out.status.success(), "tampered run must fail cross-check");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mismatch"), "{stderr}");
+    assert!(stderr.contains("corrupt or stale"), "{stderr}");
+}

@@ -177,6 +177,14 @@ impl KronProduct {
         u64::try_from(val / 2).expect("vertex triangle count exceeds u64")
     }
 
+    /// Total triangle participation `Σ_p t_C(p) = 3·τ(C)` — the quantity
+    /// shard manifests and `run.json` record (each triangle is counted at
+    /// its three corners), kept here so every consumer spells the
+    /// convention the same way.
+    pub fn total_triangle_participation(&self) -> u128 {
+        3 * self.total_triangles()
+    }
+
     /// Total triangles `τ(C) = ⅓·1ᵗt_C`, computed from factor sums (the
     /// no-loop case is the paper's `τ(C) = 6·τ(A)·τ(B)`).
     pub fn total_triangles(&self) -> u128 {
@@ -741,5 +749,7 @@ mod tests {
         assert_eq!(c.num_edges(), (a.nnz() as u128).pow(2) / 2);
         let tau_a = count_triangles(&a).triangles as u128;
         assert_eq!(c.total_triangles(), 6 * tau_a * tau_a);
+        // the manifest convention: Σ t_C = 3·τ(C)
+        assert_eq!(c.total_triangle_participation(), 18 * tau_a * tau_a);
     }
 }

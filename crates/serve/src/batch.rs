@@ -6,7 +6,7 @@
 //! routing to its shard(s) independently, and collects per-query answers
 //! *in input order* plus an aggregate [`QueryStats`] report.
 
-use crate::engine::{ServeEngine, ServeError};
+use crate::engine::{AnswerSource, ServeEngine, ServeError};
 use kron_stream::json::Json;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -123,7 +123,7 @@ impl std::fmt::Display for Answer {
 fn answer(engine: &ServeEngine, q: Query) -> (Result<Answer, ServeError>, u64) {
     match q {
         Query::Degree(v) => (engine.degree(v).map(Answer::Count), 0),
-        Query::Neighbors(v) => (engine.neighbors(v).map(|r| Answer::Row(r.to_vec())), 0),
+        Query::Neighbors(v) => (engine.neighbors(v).map(|r| Answer::Row(r.into_owned())), 0),
         Query::HasEdge(u, v) => (engine.has_edge(u, v).map(Answer::Bool), 0),
         Query::VertexTriangles(v) => match engine.vertex_triangles_with_checks(v) {
             Ok((t, checks)) => (Ok(Answer::Count(t)), checks),
@@ -140,10 +140,23 @@ fn answer(engine: &ServeEngine, q: Query) -> (Result<Answer, ServeError>, u64) {
 /// Latency/throughput report of one batch run.
 #[derive(Clone, Debug)]
 pub struct QueryStats {
+    /// Which [`AnswerSource`] the engine answered from — latency
+    /// percentiles of runs with different sources are directly comparable
+    /// rows of the same report (`BENCH_serve.json` stores one per source).
+    pub source: AnswerSource,
     /// Queries answered (including per-query errors).
     pub queries: usize,
     /// Queries that returned an error (out-of-range ids, corruption).
     pub errors: usize,
+    /// Artifact/oracle disagreements recorded on the engine during this
+    /// batch's execution window (always 0 outside
+    /// [`AnswerSource::CrossCheck`] mode). The counter lives on the
+    /// engine, so if several batches run *concurrently on the same
+    /// engine* their windows overlap and a disagreement is attributed to
+    /// every batch in flight — the total across the engine is exact
+    /// (`ServeEngine::mismatch_count`), and zero here always means this
+    /// batch was clean.
+    pub mismatches: u64,
     /// Worker threads used for the fan-out.
     pub threads: usize,
     /// Wall time of the whole batch.
@@ -164,14 +177,18 @@ pub struct QueryStats {
 
 impl QueryStats {
     fn from_latencies(
+        source: AnswerSource,
         mut lat: Vec<Duration>,
         errors: usize,
+        mismatches: u64,
         threads: usize,
         wall: Duration,
         wedge_checks: u64,
     ) -> QueryStats {
         let queries = lat.len();
         lat.sort_unstable();
+        // Percentile picks guard the empty batch (index math would
+        // underflow) and degrade to the single sample for 1-query batches.
         let pick = |q: f64| -> Duration {
             if lat.is_empty() {
                 Duration::ZERO
@@ -181,8 +198,10 @@ impl QueryStats {
         };
         let total: Duration = lat.iter().sum();
         QueryStats {
+            source,
             queries,
             errors,
+            mismatches,
             threads,
             wall,
             wedge_checks,
@@ -203,8 +222,10 @@ impl QueryStats {
     pub fn to_json(&self) -> Json {
         let us = |d: Duration| Json::num(d.as_secs_f64() * 1e6);
         Json::obj(vec![
+            ("source", Json::str(self.source.as_str())),
             ("queries", Json::num(self.queries)),
             ("errors", Json::num(self.errors)),
+            ("mismatches", Json::num(self.mismatches)),
             ("threads", Json::num(self.threads)),
             ("wall_secs", Json::num(self.wall.as_secs_f64())),
             ("qps", Json::num(self.qps())),
@@ -223,11 +244,13 @@ impl std::fmt::Display for QueryStats {
         let us = |d: Duration| d.as_secs_f64() * 1e6;
         write!(
             f,
-            "{} queries ({} errors) on {} thread(s) in {:.3}s — {:.0} q/s, \
-             {} wedge checks; latency µs: min {:.1} / mean {:.1} / p50 {:.1} \
-             / p99 {:.1} / max {:.1}",
+            "{} queries ({} errors, {} mismatches) from {} on {} thread(s) \
+             in {:.3}s — {:.0} q/s, {} wedge checks; latency µs: min {:.1} \
+             / mean {:.1} / p50 {:.1} / p99 {:.1} / max {:.1}",
             self.queries,
             self.errors,
+            self.mismatches,
+            self.source,
             self.threads,
             self.wall.as_secs_f64(),
             self.qps(),
@@ -258,7 +281,15 @@ pub struct BatchOutcome {
 /// them); answers come back in input order. A query that fails (e.g. an
 /// out-of-range vertex) yields its own `Err` slot without aborting the
 /// rest of the batch.
+///
+/// The engine's configured [`AnswerSource`] decides what each query
+/// actually does; the stats report that source, and in cross-check mode
+/// also how many artifact/oracle disagreements surfaced during the
+/// batch's execution window (detail via [`ServeEngine::mismatches`];
+/// see [`QueryStats::mismatches`] for the overlap semantics when
+/// batches share an engine concurrently).
 pub fn run_batch(engine: &ServeEngine, queries: &[Query]) -> BatchOutcome {
+    let mismatches_before = engine.mismatch_count();
     let t0 = Instant::now();
     let results: Vec<(Result<Answer, ServeError>, Duration, u64)> = (0..queries.len())
         .into_par_iter()
@@ -280,8 +311,10 @@ pub fn run_batch(engine: &ServeEngine, queries: &[Query]) -> BatchOutcome {
         answers.push(res);
     }
     let stats = QueryStats::from_latencies(
+        engine.source(),
         latencies,
         errors,
+        engine.mismatch_count() - mismatches_before,
         rayon::current_num_threads(),
         wall,
         wedge_checks,
@@ -368,9 +401,95 @@ mod tests {
             }
         }
 
-        // stats serialize
+        // stats serialize, tagged with the engine's answer source
         let j = out.stats.to_json();
         assert_eq!(j.req("queries").unwrap().as_usize().unwrap(), queries.len());
+        assert_eq!(j.req("source").unwrap().as_str(), Some("artifact"));
+        assert_eq!(j.req("mismatches").unwrap().as_u64(), Some(0));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tiny_engine(name: &str) -> (std::path::PathBuf, crate::ServeEngine) {
+        let dir =
+            std::env::temp_dir().join(format!("kron_serve_batch_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let c = KronProduct::new(a.clone(), a);
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+        cfg.shards = 2;
+        stream_product(&c, &cfg).unwrap();
+        let engine = crate::ServeEngine::open_verified(&dir).unwrap();
+        (dir, engine)
+    }
+
+    #[test]
+    fn empty_batch_has_sane_stats() {
+        let (dir, engine) = tiny_engine("empty");
+        let out = run_batch(&engine, &[]);
+        assert!(out.answers.is_empty());
+        let s = &out.stats;
+        assert_eq!((s.queries, s.errors, s.mismatches), (0, 0, 0));
+        // no division-by-zero or index underflow anywhere in the report
+        assert_eq!(s.min, Duration::ZERO);
+        assert_eq!(s.mean, Duration::ZERO);
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.p99, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
+        assert!(s.qps().is_finite());
+        let rendered = s.to_string(); // Display must not panic
+        assert!(rendered.contains("0 queries"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_query_batch_percentiles_are_the_sample() {
+        let (dir, engine) = tiny_engine("single");
+        let out = run_batch(&engine, &[Query::Degree(0)]);
+        assert_eq!(out.stats.queries, 1);
+        assert_eq!(out.stats.errors, 0);
+        assert_eq!(out.stats.min, out.stats.max);
+        assert_eq!(out.stats.p50, out.stats.max);
+        assert_eq!(out.stats.p99, out.stats.max);
+        assert_eq!(out.stats.mean, out.stats.max);
+        assert!(out.stats.qps() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_error_batch_counts_every_error_and_names_them() {
+        let (dir, engine) = tiny_engine("allerr");
+        let n = engine.num_vertices();
+        let queries = [
+            Query::Degree(n),
+            Query::VertexTriangles(n + 1),
+            Query::EdgeTriangles(n, 0),
+            Query::HasEdge(0, u64::MAX),
+        ];
+        let out = run_batch(&engine, &queries);
+        assert_eq!(out.stats.errors, queries.len());
+        for ans in &out.answers {
+            let msg = ans.as_ref().unwrap_err().to_string();
+            assert!(msg.contains("outside all shard row ranges"), "{msg}");
+        }
+        assert!(out.stats.qps().is_finite());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_query_files_are_rejected_before_any_batch_runs() {
+        // every malformed shape yields a named parse error, never a batch
+        for (text, needle) in [
+            ("degree\n", "missing"),
+            ("tri_edge 1\n", "missing"),
+            ("degree 1 2\n", "trailing"),
+            ("degree -3\n", "vertex id"),
+            ("tri_vertex 1e3\n", "vertex id"),
+            ("frobnicate 1\n", "unknown query"),
+        ] {
+            let err = parse_queries(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} → {err}");
+        }
+        // an all-comment file is an *empty* batch, not an error
+        assert!(parse_queries("# only\n\n# comments\n").unwrap().is_empty());
     }
 }

@@ -1,0 +1,379 @@
+//! A sharded LRU of hot decoded rows, plus per-shard routing statistics.
+//!
+//! The artifact path is zero-copy — every row is a `&[u64]` slice out of a
+//! memory mapping — so a cache cannot make a *warm* page faster. What it
+//! buys is the expensive-fetch cases the serving tier actually sees:
+//! mapped pages evicted under memory pressure, artifacts on slow or
+//! network-attached storage, and (in a future multi-node tier) rows whose
+//! shard lives on another node entirely. Triangle queries re-fetch the
+//! rows of high-degree hub vertices over and over (every `tri_vertex v`
+//! touches all of `N(v)`, and hubs appear in many neighborhoods), so a
+//! small LRU of owned `Arc<[u64]>` copies pins exactly the rows a skewed
+//! load hammers.
+//!
+//! The cache is striped: keys hash to one of a fixed number of stripes,
+//! each behind its own `RwLock`, and the hit path takes only the *shared*
+//! lock — recency is tracked by a relaxed atomic stamp per entry, so
+//! concurrent batch workers never serialize on hits. Eviction happens on
+//! insert (a miss), scanning the stripe for the minimum stamp: stripes
+//! are small, and at a high hit rate inserts are rare.
+//!
+//! [`RoutingStats`] rides along: per-shard row-fetch counters plus cache
+//! hit/miss totals, cheap relaxed atomics the engine bumps on every fetch.
+//! A skewed load shows up immediately as one shard's counter running away
+//! from the rest — the signal a multi-node tier would use to replicate or
+//! split that shard.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independently locked stripes.
+const STRIPES: usize = 16;
+
+struct Entry {
+    row: Arc<[u64]>,
+    /// Last-touch stamp, updated under the *shared* lock on every hit.
+    stamp: AtomicU64,
+}
+
+struct Stripe {
+    map: HashMap<u64, Entry>,
+    /// Maximum resident rows in this stripe.
+    cap: usize,
+    /// Monotone touch counter, *per stripe* so concurrent hits on
+    /// different stripes never share a contended cache line (relaxed;
+    /// exact ordering between racing touches does not matter for an
+    /// eviction heuristic, and eviction only compares within a stripe).
+    clock: AtomicU64,
+}
+
+/// A striped LRU of decoded rows keyed by product vertex.
+pub struct RowCache {
+    stripes: Vec<RwLock<Stripe>>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for RowCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl RowCache {
+    /// A cache holding **at most** `capacity` rows (≥ 1; treated as the
+    /// operator's memory budget, so it is a hard bound), striped over up
+    /// to 16 independently locked segments. When `capacity` is not a
+    /// multiple of the stripe count the per-stripe quota rounds *down*,
+    /// trading a few unused slots for never exceeding the bound.
+    pub fn new(capacity: usize) -> RowCache {
+        let capacity = capacity.max(1);
+        let stripes = STRIPES.min(capacity);
+        let per_stripe = capacity / stripes; // ≥ 1 since stripes ≤ capacity
+        RowCache {
+            stripes: (0..stripes)
+                .map(|_| {
+                    RwLock::new(Stripe {
+                        map: HashMap::new(),
+                        cap: per_stripe,
+                        clock: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            capacity,
+        }
+    }
+
+    fn stripe(&self, v: u64) -> &RwLock<Stripe> {
+        // SplitMix64-style fingerprint so consecutive vertex ids (a shard's
+        // contiguous range) spread across stripes instead of clustering.
+        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        &self.stripes[(z as usize) % self.stripes.len()]
+    }
+
+    /// The configured row capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently resident.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.read().unwrap().map.len())
+            .sum()
+    }
+
+    /// Whether no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch `v`'s cached row, refreshing its LRU position. Hits take
+    /// only the stripe's shared lock and touch only stripe-local atomics.
+    pub fn get(&self, v: u64) -> Option<Arc<[u64]>> {
+        let s = self.stripe(v).read().unwrap();
+        let entry = s.map.get(&v)?;
+        let stamp = s.clock.fetch_add(1, Ordering::Relaxed);
+        entry.stamp.store(stamp, Ordering::Relaxed);
+        Some(entry.row.clone())
+    }
+
+    /// Insert (or refresh) `v`'s row, evicting the least-recently-touched
+    /// row of its stripe when the stripe is full.
+    pub fn insert(&self, v: u64, row: Arc<[u64]>) {
+        let mut s = self.stripe(v).write().unwrap();
+        let stamp = s.clock.fetch_add(1, Ordering::Relaxed);
+        if s.map.len() >= s.cap && !s.map.contains_key(&v) {
+            // Evict the stripe's oldest entry. Stripes hold
+            // capacity/STRIPES rows, and inserts only happen on misses,
+            // so the linear scan is off the hit path entirely.
+            if let Some(oldest) = s
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(&k, _)| k)
+            {
+                s.map.remove(&oldest);
+            }
+        }
+        s.map.insert(
+            v,
+            Entry {
+                row,
+                stamp: AtomicU64::new(stamp),
+            },
+        );
+    }
+}
+
+/// Per-shard routing and cache counters, updated with relaxed atomics on
+/// every row fetch the engine performs.
+#[derive(Debug)]
+pub struct RoutingStats {
+    per_shard: Vec<AtomicU64>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl RoutingStats {
+    /// Counters for `shards` shards, all zero.
+    pub fn new(shards: usize) -> RoutingStats {
+        RoutingStats {
+            per_shard: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one row fetch routed to `shard`.
+    #[inline]
+    pub fn record_fetch(&self, shard: usize) {
+        self.per_shard[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one cache hit.
+    #[inline]
+    pub fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one cache miss.
+    #[inline]
+    pub fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of all counters.
+    pub fn report(&self) -> RoutingReport {
+        RoutingReport {
+            shard_fetches: self
+                .per_shard
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of the engine's routing and cache counters
+/// (`ServeEngine::routing`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutingReport {
+    /// Row fetches routed to each shard, by shard index. Cache hits are
+    /// *not* included — a hit never reaches a shard.
+    pub shard_fetches: Vec<u64>,
+    /// Row fetches served from the cache.
+    pub cache_hits: u64,
+    /// Row fetches that missed the cache (and went to a shard).
+    pub cache_misses: u64,
+}
+
+impl RoutingReport {
+    /// Total row fetches that reached a shard mapping.
+    pub fn total_fetches(&self) -> u64 {
+        self.shard_fetches.iter().sum()
+    }
+
+    /// Just the per-shard fetch counts, without the cache totals — for
+    /// reporting on engines that have no row cache configured.
+    pub fn shard_summary(&self) -> String {
+        let counts: Vec<String> = self.shard_fetches.iter().map(u64::to_string).collect();
+        format!("row fetches per shard: [{}]", counts.join(" "))
+    }
+
+    /// Cache hit rate over all cached-path fetches, 0.0 when the cache
+    /// was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for RoutingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}; cache: {} hits / {} misses ({:.1}% hit rate)",
+            self.shard_summary(),
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[u64]) -> Arc<[u64]> {
+        vals.to_vec().into()
+    }
+
+    /// Keys guaranteed to land in the same stripe.
+    fn same_stripe_keys(n: usize) -> Vec<u64> {
+        let probe = |k: u64| {
+            let mut z = k.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            (z as usize) % STRIPES
+        };
+        let s0 = probe(0);
+        (0..100_000).filter(|&k| probe(k) == s0).take(n).collect()
+    }
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let c = RowCache::new(64);
+        assert!(c.get(7).is_none());
+        c.insert(7, row(&[1, 2, 3]));
+        assert_eq!(c.get(7).unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        let c = RowCache::new(STRIPES); // one row per stripe
+        let keys = same_stripe_keys(3);
+        let (a, b, cc) = (keys[0], keys[1], keys[2]);
+        c.insert(a, row(&[1]));
+        c.insert(b, row(&[2]));
+        // a was least recently used → evicted by b's insert (cap 1/stripe)
+        assert!(c.get(a).is_none());
+        assert!(c.get(b).is_some());
+        // a later insert evicts b in turn
+        c.insert(cc, row(&[3]));
+        assert!(c.get(cc).is_some());
+        assert!(c.get(b).is_none(), "b was older than c's insert");
+    }
+
+    #[test]
+    fn refresh_on_get_protects_hot_rows() {
+        let c = RowCache::new(STRIPES * 2); // two rows per stripe
+        let keys = same_stripe_keys(3);
+        let (a, b, cc) = (keys[0], keys[1], keys[2]);
+        c.insert(a, row(&[1]));
+        c.insert(b, row(&[2]));
+        assert!(c.get(a).is_some()); // refresh a; b is now LRU
+        c.insert(cc, row(&[3]));
+        assert!(c.get(a).is_some(), "refreshed row must survive");
+        assert!(c.get(b).is_none(), "unrefreshed row is evicted");
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound() {
+        // including awkward capacities: tiny, sub-stripe-count, and
+        // non-multiples of the stripe count
+        for cap in [1usize, 3, STRIPES - 1, STRIPES, STRIPES + 5, STRIPES * 4] {
+            let c = RowCache::new(cap);
+            for k in 0..10_000u64 {
+                c.insert(k, row(&[k]));
+            }
+            assert!(
+                c.len() <= c.capacity(),
+                "len {} must never exceed capacity {}",
+                c.len(),
+                c.capacity()
+            );
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_hits_and_inserts_stay_consistent() {
+        let c = std::sync::Arc::new(RowCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = (i * 7 + t) % 128;
+                        match c.get(k) {
+                            Some(r) => assert_eq!(r.as_ref(), &[k]),
+                            None => c.insert(k, row(&[k])),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn routing_stats_accumulate_and_report() {
+        let r = RoutingStats::new(3);
+        r.record_fetch(0);
+        r.record_fetch(2);
+        r.record_fetch(2);
+        r.record_hit();
+        r.record_miss();
+        r.record_miss();
+        r.record_miss();
+        let rep = r.report();
+        assert_eq!(rep.shard_fetches, vec![1, 0, 2]);
+        assert_eq!(rep.total_fetches(), 3);
+        assert_eq!(rep.cache_hits, 1);
+        assert_eq!(rep.cache_misses, 3);
+        assert!((rep.hit_rate() - 0.25).abs() < 1e-12);
+        let text = rep.to_string();
+        assert!(text.contains("hit rate"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_has_zero_hit_rate() {
+        let rep = RoutingStats::new(2).report();
+        assert_eq!(rep.hit_rate(), 0.0);
+        assert_eq!(rep.total_fetches(), 0);
+    }
+}

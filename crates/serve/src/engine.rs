@@ -1,8 +1,14 @@
-//! The point-query engine: paper statistics answered off mmap'd rows.
+//! The point-query engine: paper statistics answered off mmap'd rows, in
+//! closed form from factor copies, or both at once with cross-checking.
 
+use crate::cache::{RoutingReport, RoutingStats, RowCache};
+use crate::oracle::FactorOracle;
 use kron_stream::{ShardSet, StreamError};
 use kron_triangles::slice;
+use std::borrow::Cow;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Errors of the serving subsystem.
 #[derive(Clone, Debug)]
@@ -20,6 +26,9 @@ pub enum ServeError {
     /// artifact is corrupt (structural open does not hash contents; see
     /// [`ServeEngine::open_verified`]).
     Corrupt(String),
+    /// The factor-copy oracle failed to load or validate, or a query
+    /// needed an oracle the engine was opened without.
+    Oracle(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -34,6 +43,7 @@ impl std::fmt::Display for ServeError {
                 "vertex {vertex} outside all shard row ranges (n_C = {num_vertices})"
             ),
             ServeError::Corrupt(m) => write!(f, "corrupt artifact: {m}"),
+            ServeError::Oracle(m) => write!(f, "oracle error: {m}"),
         }
     }
 }
@@ -46,36 +56,209 @@ impl From<StreamError> for ServeError {
     }
 }
 
-/// A read-only query engine over an opened [`ShardSet`].
+/// Which machinery answers each query.
 ///
-/// Every query routes to the shard owning the relevant row(s) and works
-/// on zero-copy `&[u64]` slices out of the mappings — the product graph
-/// is never loaded, only its on-disk CSR artifacts are touched, one page
-/// at a time. Semantics match the in-memory `kron::KronProduct` and
-/// `kron-triangles` kernels exactly (loops excluded from degrees and
-/// triangles per the paper's Rem. 3).
+/// The three modes share one contract: identical answers (and identical
+/// out-of-range errors) on every query. [`AnswerSource::CrossCheck`] turns
+/// that contract into a runtime property.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AnswerSource {
+    /// Walk the mmap'd CSR shards (zero-copy rows, sorted intersections).
+    #[default]
+    Artifact,
+    /// Evaluate the paper's closed forms on the run directory's factor
+    /// copies — degree and `t_C(v)` in `O(1)`, `has_edge` and `Δ_C` by
+    /// two binary searches in factor rows. No shard I/O per query.
+    Oracle,
+    /// Compute both, *return the artifact answer*, and record every
+    /// disagreement — a live conformance monitor for corrupted or stale
+    /// run directories.
+    CrossCheck,
+}
+
+impl AnswerSource {
+    /// Canonical name, as accepted by `--source` on the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnswerSource::Artifact => "artifact",
+            AnswerSource::Oracle => "oracle",
+            AnswerSource::CrossCheck => "cross-check",
+        }
+    }
+
+    /// Parse a canonical name.
+    pub fn parse(s: &str) -> Result<AnswerSource, String> {
+        match s {
+            "artifact" => Ok(AnswerSource::Artifact),
+            "oracle" => Ok(AnswerSource::Oracle),
+            "cross-check" | "crosscheck" => Ok(AnswerSource::CrossCheck),
+            other => Err(format!(
+                "unknown answer source {other:?} (expected artifact, oracle, or cross-check)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for AnswerSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded cross-check disagreement: the query and both rendered
+/// answers (an `Err` renders as `error: …`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The query, in the `kron serve` line format.
+    pub query: String,
+    /// What the artifact path answered.
+    pub artifact: String,
+    /// What the closed-form oracle answered.
+    pub oracle: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: artifact says {}, oracle says {}",
+            self.query, self.artifact, self.oracle
+        )
+    }
+}
+
+/// How to open a run directory: validation depth, answer source, and the
+/// hot-row cache size.
+#[derive(Clone, Debug)]
+pub struct OpenOptions {
+    /// Recompute every shard's content checksum once at open
+    /// (see [`ShardSet::open_verified`]). Default `true`. Ignored in pure
+    /// [`AnswerSource::Oracle`] mode, which never reads artifact contents
+    /// (see [`ServeEngine::open_with`]).
+    pub verify_checksums: bool,
+    /// Which machinery answers queries. Default [`AnswerSource::Artifact`].
+    /// [`AnswerSource::Oracle`] and [`AnswerSource::CrossCheck`] load the
+    /// factor copies at open and fail if they are missing or stale.
+    pub source: AnswerSource,
+    /// Capacity (in rows) of the LRU over hot decoded rows consulted by
+    /// the artifact triangle kernels; `0` disables it (pure zero-copy).
+    pub row_cache: usize,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions {
+            verify_checksums: true,
+            source: AnswerSource::Artifact,
+            row_cache: 0,
+        }
+    }
+}
+
+/// Detail of a cross-check disagreement kept in the log; the counter keeps
+/// counting past this many.
+const MISMATCH_LOG_CAP: usize = 64;
+
+/// A neighbor row fetched for intersection: either borrowed straight from
+/// a shard mapping or an owned copy out of the row cache.
+enum FetchedRow<'a> {
+    Mapped(&'a [u64]),
+    Cached(Arc<[u64]>),
+}
+
+impl std::ops::Deref for FetchedRow<'_> {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        match self {
+            FetchedRow::Mapped(r) => r,
+            FetchedRow::Cached(r) => r,
+        }
+    }
+}
+
+/// A read-only query engine over an opened [`ShardSet`], answering from a
+/// configurable [`AnswerSource`].
 ///
-/// The engine is `Sync`: point queries borrow the mappings immutably, so
+/// In [`AnswerSource::Artifact`] mode every query routes to the shard
+/// owning the relevant row(s) and works on zero-copy `&[u64]` slices out
+/// of the mappings — the product graph is never loaded, only its on-disk
+/// CSR artifacts are touched, one page at a time. In
+/// [`AnswerSource::Oracle`] mode the same queries are answered in closed
+/// form from the run directory's factor copies (the paper's Thms. 1/2 and
+/// their loop generalizations) with no shard I/O at all. In
+/// [`AnswerSource::CrossCheck`] mode both run, the artifact answer is
+/// returned, and every disagreement is counted and logged — see
+/// [`Self::mismatch_count`] / [`Self::mismatches`].
+///
+/// Semantics match the in-memory `kron::KronProduct` and `kron-triangles`
+/// kernels exactly (loops excluded from degrees and triangles per the
+/// paper's Rem. 3) in every mode.
+///
+/// The engine is `Sync`: point queries borrow the mappings immutably (the
+/// mismatch log, cache, and routing counters synchronize internally), so
 /// a batch driver may fan queries out across threads freely.
 #[derive(Debug)]
 pub struct ServeEngine {
     set: ShardSet,
+    source: AnswerSource,
+    oracle: Option<FactorOracle>,
+    cache: Option<RowCache>,
+    routing: RoutingStats,
+    mismatch_count: AtomicU64,
+    mismatch_log: Mutex<Vec<Mismatch>>,
 }
 
 impl ServeEngine {
-    /// Open a run directory with structural validation (manifest/header
-    /// cross-checks and range tiling; no content hashing).
+    /// Open a run directory with structural validation only (manifest /
+    /// header cross-checks and range tiling; no content hashing), serving
+    /// from the artifact.
     pub fn open(dir: &Path) -> Result<ServeEngine, ServeError> {
-        Ok(ServeEngine {
-            set: ShardSet::open(dir)?,
-        })
+        Self::open_with(
+            dir,
+            &OpenOptions {
+                verify_checksums: false,
+                ..OpenOptions::default()
+            },
+        )
     }
 
     /// Open a run directory, verifying every shard's content checksum
-    /// once; afterwards queries trust the mappings.
+    /// once, serving from the artifact; afterwards queries trust the
+    /// mappings.
     pub fn open_verified(dir: &Path) -> Result<ServeEngine, ServeError> {
+        Self::open_with(dir, &OpenOptions::default())
+    }
+
+    /// Open a run directory with full control over validation depth,
+    /// answer source, and the hot-row cache.
+    ///
+    /// Pure [`AnswerSource::Oracle`] mode never reads artifact contents
+    /// per query, so `verify_checksums` is ignored there: the shards are
+    /// opened structurally (manifest/header cross-checks only) and oracle
+    /// startup stays `O(nnz(A) + nnz(B))` instead of re-hashing every
+    /// mapped byte. Audit artifact contents with `verify-shards` or a
+    /// cross-check/artifact engine.
+    pub fn open_with(dir: &Path, opts: &OpenOptions) -> Result<ServeEngine, ServeError> {
+        let set = if opts.verify_checksums && opts.source != AnswerSource::Oracle {
+            ShardSet::open_verified(dir)?
+        } else {
+            ShardSet::open(dir)?
+        };
+        let oracle = match opts.source {
+            AnswerSource::Artifact => None,
+            AnswerSource::Oracle | AnswerSource::CrossCheck => {
+                Some(FactorOracle::load(dir, set.run())?)
+            }
+        };
+        let routing = RoutingStats::new(set.num_shards());
         Ok(ServeEngine {
-            set: ShardSet::open_verified(dir)?,
+            set,
+            source: opts.source,
+            oracle,
+            cache: (opts.row_cache > 0).then(|| RowCache::new(opts.row_cache)),
+            routing,
+            mismatch_count: AtomicU64::new(0),
+            mismatch_log: Mutex::new(Vec::new()),
         })
     }
 
@@ -84,34 +267,193 @@ impl ServeEngine {
         &self.set
     }
 
+    /// The configured answer source.
+    pub fn source(&self) -> AnswerSource {
+        self.source
+    }
+
+    /// The factor-copy oracle, when the engine was opened in
+    /// [`AnswerSource::Oracle`] or [`AnswerSource::CrossCheck`] mode.
+    pub fn oracle(&self) -> Option<&FactorOracle> {
+        self.oracle.as_ref()
+    }
+
+    /// Cross-check disagreements observed so far (0 outside
+    /// [`AnswerSource::CrossCheck`] mode).
+    pub fn mismatch_count(&self) -> u64 {
+        self.mismatch_count.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the recorded disagreements (detail is kept for the
+    /// first 64; [`Self::mismatch_count`] keeps counting past that).
+    pub fn mismatches(&self) -> Vec<Mismatch> {
+        self.mismatch_log.lock().unwrap().clone()
+    }
+
+    /// Snapshot of the per-shard routing and row-cache counters.
+    pub fn routing(&self) -> RoutingReport {
+        self.routing.report()
+    }
+
     /// Product vertex count `n_C`.
     pub fn num_vertices(&self) -> u64 {
         self.set.num_vertices()
     }
 
-    /// The adjacency row of `v`, or an out-of-range error.
+    fn need_oracle(&self) -> Result<&FactorOracle, ServeError> {
+        self.oracle.as_ref().ok_or_else(|| {
+            ServeError::Oracle(
+                "engine was opened without a factor oracle \
+                 (open with AnswerSource::Oracle or CrossCheck)"
+                    .into(),
+            )
+        })
+    }
+
+    /// Fetch a row straight from its owning shard, recording the route.
+    fn shard_row(&self, v: u64) -> Option<&[u64]> {
+        let shard = self.set.route(v)?;
+        self.routing.record_fetch(shard);
+        self.set.shards()[shard].reader.row(v)
+    }
+
+    /// The adjacency row of `v`, or an out-of-range error (artifact path).
     fn row(&self, v: u64) -> Result<&[u64], ServeError> {
-        self.set.row(v).ok_or(ServeError::VertexOutOfRange {
+        self.shard_row(v).ok_or(ServeError::VertexOutOfRange {
             vertex: v,
             num_vertices: self.set.num_vertices(),
         })
     }
 
-    /// The sorted adjacency row of `v`, zero-copy (self loop included,
-    /// matching `KronProduct::neighbors`).
-    pub fn neighbors(&self, v: u64) -> Result<&[u64], ServeError> {
-        self.row(v)
+    /// Fetch a neighbor row for intersection: through the LRU when one is
+    /// configured, zero-copy from the mapping otherwise.
+    fn neighbor_row(&self, u: u64) -> Option<FetchedRow<'_>> {
+        let Some(cache) = &self.cache else {
+            return self.shard_row(u).map(FetchedRow::Mapped);
+        };
+        if let Some(row) = cache.get(u) {
+            self.routing.record_hit();
+            return Some(FetchedRow::Cached(row));
+        }
+        self.routing.record_miss();
+        let arc: Arc<[u64]> = self.shard_row(u)?.into();
+        cache.insert(u, arc.clone());
+        Some(FetchedRow::Cached(arc))
     }
 
-    /// Degree of `v`, self loop excluded (`d_C = (C − I∘C)·1`, §III-A).
-    pub fn degree(&self, v: u64) -> Result<u64, ServeError> {
+    /// Record one cross-check disagreement: bump the counter, and keep
+    /// rendered detail up to the log cap.
+    fn note_mismatch(&self, query: String, artifact: String, oracle: String) {
+        self.mismatch_count.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.mismatch_log.lock().unwrap();
+        if log.len() < MISMATCH_LOG_CAP {
+            log.push(Mismatch {
+                query,
+                artifact,
+                oracle,
+            });
+        }
+    }
+
+    /// Record a cross-check outcome; only a disagreement allocates (the
+    /// rendered pair for the log).
+    fn reconcile<T: PartialEq>(
+        &self,
+        query: impl FnOnce() -> String,
+        artifact: &Result<T, ServeError>,
+        oracle: &Result<T, ServeError>,
+        render: impl Fn(&T) -> String,
+    ) {
+        let agree = match (artifact, oracle) {
+            (Ok(a), Ok(o)) => a == o,
+            // Both failing (e.g. both out-of-range) is agreement; one side
+            // failing while the other answers is exactly what cross-check
+            // exists to flag.
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        if agree {
+            return;
+        }
+        let show = |r: &Result<T, ServeError>| match r {
+            Ok(v) => render(v),
+            Err(e) => format!("error: {e}"),
+        };
+        self.note_mismatch(query(), show(artifact), show(oracle));
+    }
+
+    /// The sorted adjacency row of `v` (self loop included, matching
+    /// `KronProduct::neighbors`): zero-copy from the mapping in artifact
+    /// mode, materialized from the factor rows in oracle mode.
+    pub fn neighbors(&self, v: u64) -> Result<Cow<'_, [u64]>, ServeError> {
+        match self.source {
+            AnswerSource::Artifact => Ok(Cow::Borrowed(self.row(v)?)),
+            AnswerSource::Oracle => Ok(Cow::Owned(self.need_oracle()?.neighbors(v)?)),
+            AnswerSource::CrossCheck => {
+                let art = self.row(v);
+                let ora = self.need_oracle()?.neighbors(v);
+                // Compare borrowed against owned directly — the agree path
+                // (every query on a healthy run) must not copy the row.
+                let agree = match (&art, &ora) {
+                    (Ok(a), Ok(o)) => *a == o.as_slice(),
+                    (Err(_), Err(_)) => true,
+                    _ => false,
+                };
+                if !agree {
+                    // Rows can be huge (hub vertices); render a bounded
+                    // digest — length plus the first diverging position —
+                    // so the mismatch log and stderr stay usable.
+                    let divergence = match (&art, &ora) {
+                        (Ok(a), Ok(o)) => a
+                            .iter()
+                            .zip(o.iter())
+                            .position(|(x, y)| x != y)
+                            .or(Some(a.len().min(o.len()))),
+                        _ => None,
+                    };
+                    let show_row = |r: &[u64]| match divergence {
+                        Some(at) => format!(
+                            "[{} entries] ..[{at}] = {}",
+                            r.len(),
+                            r.get(at).map_or("<end>".into(), u64::to_string)
+                        ),
+                        None => format!("[{} entries]", r.len()),
+                    };
+                    let show = |r: Result<&[u64], &ServeError>| match r {
+                        Ok(row) => show_row(row),
+                        Err(e) => format!("error: {e}"),
+                    };
+                    self.note_mismatch(
+                        format!("neighbors {v}"),
+                        show(art.as_ref().map(|r| &**r)),
+                        show(ora.as_ref().map(|r| r.as_slice())),
+                    );
+                }
+                Ok(Cow::Borrowed(art?))
+            }
+        }
+    }
+
+    fn degree_artifact(&self, v: u64) -> Result<u64, ServeError> {
         let row = self.row(v)?;
         Ok(row.len() as u64 - u64::from(slice::contains_sorted(row, v)))
     }
 
-    /// Whether `{u, v}` is an adjacency entry of the product (loops
-    /// included: `has_edge(v, v)` is `true` iff `v` has a self loop).
-    pub fn has_edge(&self, u: u64, v: u64) -> Result<bool, ServeError> {
+    /// Degree of `v`, self loop excluded (`d_C = (C − I∘C)·1`, §III-A).
+    pub fn degree(&self, v: u64) -> Result<u64, ServeError> {
+        match self.source {
+            AnswerSource::Artifact => self.degree_artifact(v),
+            AnswerSource::Oracle => self.need_oracle()?.degree(v),
+            AnswerSource::CrossCheck => {
+                let art = self.degree_artifact(v);
+                let ora = self.need_oracle()?.degree(v);
+                self.reconcile(|| format!("degree {v}"), &art, &ora, u64::to_string);
+                art
+            }
+        }
+    }
+
+    fn has_edge_artifact(&self, u: u64, v: u64) -> Result<bool, ServeError> {
         let row = self.row(u)?;
         if v >= self.set.num_vertices() {
             return Err(ServeError::VertexOutOfRange {
@@ -122,18 +464,51 @@ impl ServeEngine {
         Ok(slice::contains_sorted(row, v))
     }
 
-    /// Triangle participation `t_C(v)` (Def. 5), by sorted-neighbor
-    /// intersection across shards. Returns `(t, wedge_checks)`.
-    ///
-    /// `v`'s row is intersected with each neighbor's row; neighbors may
-    /// live in any shard, so each row fetch routes independently.
-    pub fn vertex_triangles_with_checks(&self, v: u64) -> Result<(u64, u64), ServeError> {
+    /// Whether `{u, v}` is an adjacency entry of the product (loops
+    /// included: `has_edge(v, v)` is `true` iff `v` has a self loop).
+    pub fn has_edge(&self, u: u64, v: u64) -> Result<bool, ServeError> {
+        match self.source {
+            AnswerSource::Artifact => self.has_edge_artifact(u, v),
+            AnswerSource::Oracle => self.need_oracle()?.has_edge(u, v),
+            AnswerSource::CrossCheck => {
+                let art = self.has_edge_artifact(u, v);
+                let ora = self.need_oracle()?.has_edge(u, v);
+                self.reconcile(|| format!("has_edge {u} {v}"), &art, &ora, bool::to_string);
+                art
+            }
+        }
+    }
+
+    fn vertex_triangles_artifact(&self, v: u64) -> Result<(u64, u64), ServeError> {
         let row_v = self.row(v)?;
         // In a checksum-verified set every column id resolves (the shards
         // tile 0..n_C); a failed neighbor-row fetch means tampering.
-        slice::vertex_triangles_rows(row_v, v, |u| self.set.row(u)).map_err(|u| {
+        slice::vertex_triangles_rows(row_v, v, |u| self.neighbor_row(u)).map_err(|u| {
             ServeError::Corrupt(format!("row {v} lists neighbor {u} outside every shard"))
         })
+    }
+
+    /// Triangle participation `t_C(v)` (Def. 5). Returns
+    /// `(t, wedge_checks)`; the closed-form oracle performs no wedge
+    /// checks, so its `checks` is always 0.
+    ///
+    /// Artifact path: `v`'s row is intersected with each neighbor's row;
+    /// neighbors may live in any shard, so each row fetch routes
+    /// independently (through the hot-row LRU when one is configured).
+    /// Oracle path: `O(1)` from factor terms.
+    pub fn vertex_triangles_with_checks(&self, v: u64) -> Result<(u64, u64), ServeError> {
+        match self.source {
+            AnswerSource::Artifact => self.vertex_triangles_artifact(v),
+            AnswerSource::Oracle => Ok((self.need_oracle()?.vertex_triangles(v)?, 0)),
+            AnswerSource::CrossCheck => {
+                let art = self.vertex_triangles_artifact(v);
+                let ora = self.need_oracle()?.vertex_triangles(v);
+                // compare counts only — wedge checks are accounting, not answers
+                let art_t = art.as_ref().map(|&(t, _)| t).map_err(ServeError::clone);
+                self.reconcile(|| format!("tri_vertex {v}"), &art_t, &ora, u64::to_string);
+                art
+            }
+        }
     }
 
     /// Triangle participation `t_C(v)` (Def. 5).
@@ -141,15 +516,7 @@ impl ServeEngine {
         Ok(self.vertex_triangles_with_checks(v)?.0)
     }
 
-    /// Triangle participation `Δ_C[{u, v}]` of the edge `{u, v}` (Def. 6)
-    /// with wedge-check accounting: `Ok(None)` if `{u, v}` is not an
-    /// adjacency entry, `Ok(Some((0, 0)))` for a self loop (the Δ diagonal
-    /// is zero), otherwise the sorted intersection of the two rows.
-    pub fn edge_triangles_with_checks(
-        &self,
-        u: u64,
-        v: u64,
-    ) -> Result<Option<(u64, u64)>, ServeError> {
+    fn edge_triangles_artifact(&self, u: u64, v: u64) -> Result<Option<(u64, u64)>, ServeError> {
         let row_u = self.row(u)?;
         if v >= self.set.num_vertices() {
             return Err(ServeError::VertexOutOfRange {
@@ -163,8 +530,44 @@ impl ServeEngine {
         if u == v {
             return Ok(Some((0, 0)));
         }
-        let row_v = self.row(v)?;
-        Ok(Some(slice::edge_triangles_rows(row_u, row_v, u, v)))
+        let row_v = self.neighbor_row(v).ok_or_else(|| {
+            ServeError::Corrupt(format!("row {u} lists neighbor {v} outside every shard"))
+        })?;
+        Ok(Some(slice::edge_triangles_rows(row_u, &row_v, u, v)))
+    }
+
+    /// Triangle participation `Δ_C[{u, v}]` of the edge `{u, v}` (Def. 6)
+    /// with wedge-check accounting: `Ok(None)` if `{u, v}` is not an
+    /// adjacency entry, `Ok(Some((0, 0)))` for a self loop (the Δ diagonal
+    /// is zero), otherwise the sorted intersection of the two rows (or its
+    /// closed-form equal in oracle mode, with 0 checks).
+    pub fn edge_triangles_with_checks(
+        &self,
+        u: u64,
+        v: u64,
+    ) -> Result<Option<(u64, u64)>, ServeError> {
+        match self.source {
+            AnswerSource::Artifact => self.edge_triangles_artifact(u, v),
+            AnswerSource::Oracle => Ok(self.need_oracle()?.edge_triangles(u, v)?.map(|d| (d, 0))),
+            AnswerSource::CrossCheck => {
+                let art = self.edge_triangles_artifact(u, v);
+                let ora = self.need_oracle()?.edge_triangles(u, v);
+                let art_d = art
+                    .as_ref()
+                    .map(|o| o.map(|(d, _)| d))
+                    .map_err(ServeError::clone);
+                self.reconcile(
+                    || format!("tri_edge {u} {v}"),
+                    &art_d,
+                    &ora,
+                    |o| match o {
+                        Some(d) => d.to_string(),
+                        None => "not-an-edge".into(),
+                    },
+                );
+                art
+            }
+        }
     }
 
     /// Triangle participation `Δ_C[{u, v}]`, or `None` if `{u, v}` is not
@@ -228,6 +631,85 @@ mod tests {
     }
 
     #[test]
+    fn every_answer_source_agrees_on_every_query() {
+        let dir = tmpdir("sources");
+        let c = product();
+        {
+            let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+            cfg.shards = 3;
+            stream_product(&c, &cfg).unwrap();
+        }
+        let engines: Vec<ServeEngine> = [
+            AnswerSource::Artifact,
+            AnswerSource::Oracle,
+            AnswerSource::CrossCheck,
+        ]
+        .iter()
+        .map(|&source| {
+            ServeEngine::open_with(
+                &dir,
+                &OpenOptions {
+                    source,
+                    ..OpenOptions::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+        for e in &engines {
+            for v in 0..c.num_vertices() {
+                assert_eq!(e.degree(v).unwrap(), c.degree(v), "{:?}", e.source());
+                assert_eq!(e.neighbors(v).unwrap(), c.neighbors(v).as_slice());
+                assert_eq!(e.vertex_triangles(v).unwrap(), c.vertex_triangles(v));
+                for q in 0..c.num_vertices() {
+                    assert_eq!(e.has_edge(v, q).unwrap(), c.has_edge(v, q));
+                    assert_eq!(e.edge_triangles(v, q).unwrap(), c.edge_triangles(v, q));
+                }
+            }
+            assert_eq!(e.mismatch_count(), 0, "{:?}", e.source());
+        }
+        // oracle mode never touched a shard; artifact mode never cached
+        let oracle_engine = &engines[1];
+        assert_eq!(oracle_engine.routing().total_fetches(), 0);
+        assert!(engines[0].oracle().is_none());
+        assert!(oracle_engine.oracle().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn row_cache_changes_no_answers_and_counts_hits() {
+        let dir = tmpdir("cache");
+        let c = product();
+        {
+            let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+            cfg.shards = 3;
+            stream_product(&c, &cfg).unwrap();
+        }
+        let e = ServeEngine::open_with(
+            &dir,
+            &OpenOptions {
+                row_cache: 8,
+                ..OpenOptions::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..3 {
+            for v in 0..c.num_vertices() {
+                assert_eq!(e.vertex_triangles(v).unwrap(), c.vertex_triangles(v));
+                assert_eq!(
+                    e.edge_triangles(v, (v + 1) % c.num_vertices()).unwrap(),
+                    c.edge_triangles(v, (v + 1) % c.num_vertices())
+                );
+            }
+        }
+        let rep = e.routing();
+        assert!(rep.cache_hits > 0, "repeat load must hit the cache: {rep}");
+        assert!(rep.cache_misses > 0);
+        assert!(rep.total_fetches() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn out_of_range_vertices_error_cleanly() {
         let dir = tmpdir("oob");
         let c = product();
@@ -250,6 +732,35 @@ mod tests {
     }
 
     #[test]
+    fn cross_check_out_of_range_agrees_and_is_not_a_mismatch() {
+        let dir = tmpdir("oob_crosscheck");
+        let c = product();
+        {
+            let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+            cfg.shards = 2;
+            stream_product(&c, &cfg).unwrap();
+        }
+        let e = ServeEngine::open_with(
+            &dir,
+            &OpenOptions {
+                source: AnswerSource::CrossCheck,
+                ..OpenOptions::default()
+            },
+        )
+        .unwrap();
+        let n = e.num_vertices();
+        assert!(e.degree(n).is_err());
+        assert!(e.vertex_triangles(u64::MAX).is_err());
+        assert!(e.edge_triangles(0, n).is_err());
+        assert_eq!(
+            e.mismatch_count(),
+            0,
+            "both sources erring is agreement, not a mismatch"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn self_loops_follow_paper_conventions() {
         let dir = tmpdir("loops");
         let c = product();
@@ -265,6 +776,22 @@ mod tests {
             assert_eq!(e.edge_triangles(v, v).unwrap(), Some(0));
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn answer_source_parse_roundtrip() {
+        for s in [
+            AnswerSource::Artifact,
+            AnswerSource::Oracle,
+            AnswerSource::CrossCheck,
+        ] {
+            assert_eq!(AnswerSource::parse(s.as_str()).unwrap(), s);
+        }
+        assert_eq!(
+            AnswerSource::parse("crosscheck").unwrap(),
+            AnswerSource::CrossCheck
+        );
+        assert!(AnswerSource::parse("mmap").is_err());
     }
 
     #[test]

@@ -15,10 +15,20 @@
 //!   participation `Δ_C[{u, v}]` (sorted-neighbor intersection across
 //!   shards, via the `kron_triangles::slice` kernels) — all on zero-copy
 //!   rows out of the mappings;
+//! * [`AnswerSource`] — *where* answers come from: `Artifact` (the shard
+//!   walk above), `Oracle` (the paper's closed forms evaluated on the run
+//!   directory's factor copies via [`FactorOracle`] — degree and `t_C(v)`
+//!   in `O(1)`, no shard I/O), or `CrossCheck` (compute both, return the
+//!   artifact answer, count and log every disagreement — a live
+//!   conformance monitor for corrupted or stale run directories);
 //! * [`run_batch`] — the batched concurrent driver: a [`Query`] list fans
 //!   out over worker threads, each query routing to its shard(s), with a
 //!   [`QueryStats`] latency/throughput report (throughput, latency
-//!   percentiles, and the paper's wedge-check accounting);
+//!   percentiles, the paper's wedge-check accounting, and the batch's
+//!   cross-check mismatch count);
+//! * [`OpenOptions`] — validation depth, answer source, and an optional
+//!   LRU of hot decoded rows ([`RowCache`]) with per-shard routing stats
+//!   ([`RoutingReport`]) for skewed artifact loads;
 //! * [`parse_queries`] — the `kron serve --queries file.txt` line format.
 //!
 //! Semantics match the in-memory oracles exactly: degrees exclude self
@@ -52,6 +62,16 @@
 //! let out = run_batch(&engine, &[Query::Degree(0), Query::VertexTriangles(4)]);
 //! assert_eq!(out.answers.len(), 2);
 //! assert_eq!(out.stats.errors, 0);
+//!
+//! // Or answer from the closed forms on the run's factor copies — no
+//! // shard I/O — while cross-checking every artifact answer against them.
+//! use kron_serve::{AnswerSource, OpenOptions};
+//! let check = ServeEngine::open_with(&dir, &OpenOptions {
+//!     source: AnswerSource::CrossCheck,
+//!     ..OpenOptions::default()
+//! }).unwrap();
+//! assert_eq!(check.vertex_triangles(4).unwrap(), 2);
+//! assert_eq!(check.mismatch_count(), 0); // artifact and oracle agree
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
@@ -59,7 +79,11 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cache;
 mod engine;
+mod oracle;
 
 pub use batch::{parse_queries, run_batch, Answer, BatchOutcome, Query, QueryStats};
-pub use engine::{ServeEngine, ServeError};
+pub use cache::{RoutingReport, RowCache};
+pub use engine::{AnswerSource, Mismatch, OpenOptions, ServeEngine, ServeError};
+pub use oracle::FactorOracle;

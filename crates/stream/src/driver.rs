@@ -299,10 +299,10 @@ pub fn stream_product(
             product.nnz()
         )));
     }
-    if total_triangle_sum != 3 * product.total_triangles() {
+    if total_triangle_sum != product.total_triangle_participation() {
         return Err(StreamError::Manifest(format!(
             "shard triangle sums total {total_triangle_sum}, closed form says {}",
-            3 * product.total_triangles()
+            product.total_triangle_participation()
         )));
     }
 

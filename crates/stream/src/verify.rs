@@ -221,10 +221,10 @@ pub fn verify_shards(dir: &Path, rehash: bool) -> Result<VerifyReport, StreamErr
             product.nnz()
         )));
     }
-    if total_triangle_sum != 3 * product.total_triangles() {
+    if total_triangle_sum != product.total_triangle_participation() {
         return Err(StreamError::Manifest(format!(
             "shard triangle sums total {total_triangle_sum}, closed form says {}",
-            3 * product.total_triangles()
+            product.total_triangle_participation()
         )));
     }
     if total_entries != run.total_entries {

@@ -68,12 +68,18 @@ pub fn edge_triangles_rows(row_u: &[u64], row_v: &[u64], u: u64, v: u64) -> (u64
 /// produce (for an in-memory graph that is unreachable; for the serving
 /// path it means a corrupt artifact lists a vertex outside every shard).
 ///
-/// `row_of(u)` returns `u`'s sorted adjacency row; in the serving path
-/// that is a zero-copy lookup routed to whichever shard owns `u`, which
-/// is what makes this a cross-shard kernel.
-pub fn vertex_triangles_rows<'a, F>(row_v: &[u64], v: u64, mut row_of: F) -> Result<(u64, u64), u64>
+/// `row_of(u)` returns `u`'s sorted adjacency row as any borrowable
+/// handle — a zero-copy `&[u64]` out of a mapping, or an owned
+/// `Arc<[u64]>` out of a hot-row cache — so the serving path can mix
+/// both per neighbor. On a consistent graph `Σ_u Δ[{v,u}]` is even
+/// (every triangle at `v` is seen from both incident edges); on a
+/// *tampered* artifact the symmetry can break, and the floor division
+/// then yields a deterministic (wrong) count for a cross-checking caller
+/// to flag, rather than a panic.
+pub fn vertex_triangles_rows<F, R>(row_v: &[u64], v: u64, mut row_of: F) -> Result<(u64, u64), u64>
 where
-    F: FnMut(u64) -> Option<&'a [u64]>,
+    F: FnMut(u64) -> Option<R>,
+    R: std::ops::Deref<Target = [u64]>,
 {
     let mut twice_t = 0u64;
     let mut checks = 0u64;
@@ -82,11 +88,10 @@ where
             continue; // the self loop spawns no wedges (Rem. 3)
         }
         let row_u = row_of(u).ok_or(u)?;
-        let (delta, c) = intersect_excluding(row_v, row_u, v, u);
+        let (delta, c) = intersect_excluding(row_v, &row_u, v, u);
         twice_t += delta;
         checks += c;
     }
-    debug_assert!(twice_t.is_multiple_of(2), "Σ_u Δ[{{v,u}}] must be even");
     Ok((twice_t / 2, checks))
 }
 

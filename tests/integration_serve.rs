@@ -159,3 +159,247 @@ fn shard_geometry_does_not_change_answers() {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+/// Every answer source agrees with the closed form on a healthy run, and
+/// `run_batch` reports a clean cross-check (the acceptance criterion:
+/// zero mismatches over a freshly generated run directory).
+#[test]
+fn fresh_run_directory_cross_checks_clean() {
+    use kron_serve::{AnswerSource, OpenOptions};
+    let a = holme_kim(14, 2, 0.5, 11);
+    let b = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 0)]);
+    let c = KronProduct::new(a, b);
+    let dir = tmpdir("crosscheck_clean");
+    {
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+        cfg.shards = 5;
+        stream_product(&c, &cfg).unwrap();
+    }
+    let engine = ServeEngine::open_with(
+        &dir,
+        &OpenOptions {
+            source: AnswerSource::CrossCheck,
+            ..OpenOptions::default()
+        },
+    )
+    .unwrap();
+    let mut queries = Vec::new();
+    for v in 0..c.num_vertices() {
+        queries.push(Query::Degree(v));
+        queries.push(Query::Neighbors(v));
+        queries.push(Query::VertexTriangles(v));
+        queries.push(Query::HasEdge(v, (v * 7 + 1) % c.num_vertices()));
+        queries.push(Query::EdgeTriangles(v, (v * 5 + 2) % c.num_vertices()));
+    }
+    let out = run_batch(&engine, &queries);
+    assert_eq!(out.stats.errors, 0);
+    assert_eq!(out.stats.mismatches, 0, "fresh run must reconcile clean");
+    assert_eq!(engine.mismatch_count(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tamper with one CSR row payload and cross-check must flag *exactly*
+/// the affected queries — no false negatives (silent garbage) and no
+/// false positives on untouched rows.
+#[test]
+fn cross_check_flags_exactly_the_tampered_queries() {
+    use kron_serve::{AnswerSource, OpenOptions};
+    use std::collections::BTreeSet;
+
+    let a = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 4), (5, 5)]);
+    let b = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 3), (0, 0)]);
+    let c = KronProduct::new(a, b);
+    let dir = tmpdir("crosscheck_tamper");
+    {
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+        cfg.shards = 2;
+        stream_product(&c, &cfg).unwrap();
+    }
+    let n_c = c.num_vertices();
+
+    // Locate, inside shard 0's artifact, a row r whose *last* column can
+    // be rewritten to n_C−1 while keeping the row sorted and the tamper
+    // analyzable: the old value is a real non-loop neighbor, and neither
+    // it nor the new value equals r (degree must stay put), and {r, n_C−1}
+    // is not a real edge (so the tampered artifact now asserts an edge the
+    // closed form denies).
+    let m = kron_stream::load_manifest(&dir, 0).unwrap();
+    let path = dir.join(m.file.as_deref().unwrap());
+    let mut bytes = std::fs::read(&path).unwrap();
+    let rows = (m.vertices.end - m.vertices.start) as usize;
+    let word = |b: &[u8], at: usize| u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+    let off_base = 32usize;
+    let col_base = off_base + 8 * (rows + 1);
+    let mut target = None;
+    for i in 0..rows {
+        let (lo, hi) = (
+            word(&bytes, off_base + 8 * i),
+            word(&bytes, off_base + 8 * (i + 1)),
+        );
+        if lo == hi {
+            continue; // empty row
+        }
+        let r = m.vertices.start + i as u64;
+        let c_old = word(&bytes, col_base + 8 * (hi as usize - 1));
+        let c_new = n_c - 1;
+        if c_old != r && c_old < c_new && r != c_new && !c.has_edge(r, c_new) {
+            target = Some((r, c_old, c_new, col_base + 8 * (hi as usize - 1)));
+            break;
+        }
+    }
+    let (r, c_old, c_new, at) = target.expect("a tamperable row exists in shard 0");
+    bytes[at..at + 8].copy_from_slice(&c_new.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Structural opens (checksum verification would reject the file
+    // before any query — that path is already tested).
+    let opts = |source| OpenOptions {
+        verify_checksums: false,
+        source,
+        ..OpenOptions::default()
+    };
+    let artifact = ServeEngine::open_with(&dir, &opts(AnswerSource::Artifact)).unwrap();
+    let crosscheck = ServeEngine::open_with(&dir, &opts(AnswerSource::CrossCheck)).unwrap();
+
+    // The full per-vertex query grid plus the three targeted edge probes.
+    let mut queries = Vec::new();
+    for v in 0..n_c {
+        queries.push(Query::Degree(v));
+        queries.push(Query::Neighbors(v));
+        queries.push(Query::VertexTriangles(v));
+    }
+    queries.push(Query::HasEdge(r, c_old));
+    queries.push(Query::HasEdge(r, c_new));
+
+    // Expected mismatch set, computed independently: every query where
+    // the (tampered) artifact engine and the closed form disagree.
+    let mut expected = BTreeSet::new();
+    for q in &queries {
+        let differs = match *q {
+            Query::Degree(v) => artifact.degree(v).unwrap() != c.degree(v),
+            Query::Neighbors(v) => artifact.neighbors(v).unwrap().as_ref() != c.neighbors(v),
+            Query::VertexTriangles(v) => match artifact.vertex_triangles(v) {
+                Ok(t) => t != c.vertex_triangles(v),
+                Err(_) => true,
+            },
+            Query::HasEdge(u, v) => artifact.has_edge(u, v).unwrap() != c.has_edge(u, v),
+            Query::EdgeTriangles(u, v) => match artifact.edge_triangles(u, v) {
+                Ok(d) => d != c.edge_triangles(u, v),
+                Err(_) => true,
+            },
+        };
+        if differs {
+            expected.insert(q.to_string());
+        }
+    }
+    // The tamper is visible exactly where it should be…
+    assert!(expected.contains(&format!("neighbors {r}")), "{expected:?}");
+    assert!(expected.contains(&format!("has_edge {r} {c_old}")));
+    assert!(expected.contains(&format!("has_edge {r} {c_new}")));
+    // …and invisible where it must be: length-preserving tamper on a
+    // non-loop slot keeps r's degree, and other rows are untouched.
+    assert!(!expected.contains(&format!("degree {r}")));
+    for v in 0..n_c {
+        if v != r {
+            assert!(!expected.contains(&format!("neighbors {v}")));
+        }
+    }
+
+    let out = run_batch(&crosscheck, &queries);
+    assert_eq!(
+        out.stats.mismatches as usize,
+        expected.len(),
+        "cross-check must flag exactly the affected queries"
+    );
+    let flagged: BTreeSet<String> = crosscheck
+        .mismatches()
+        .into_iter()
+        .map(|m| m.query)
+        .collect();
+    assert_eq!(flagged, expected, "flagged set must equal the affected set");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Large-scale acceptance (tier 2, release only): a ~50M-entry web-like
+/// product served from disk — all three answer sources agree on a large
+/// random + skewed query sample, cross-check reconciles clean, and the
+/// hot-row LRU absorbs the skewed load.
+#[test]
+#[ignore = "streams a ~5e7-entry product to disk; run in release"]
+fn large_scale_serving_sources_and_cache() {
+    use kron_serve::{AnswerSource, OpenOptions};
+
+    let a = holme_kim(1200, 3, 0.75, 2018);
+    let c = KronProduct::new(a.clone(), a);
+    assert!(c.nnz() > 10_000_000, "product must be large: {}", c.nnz());
+    let dir = tmpdir("large_scale");
+    {
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+        cfg.shards = 8;
+        stream_product(&c, &cfg).unwrap();
+    }
+    let open = |source, row_cache| {
+        ServeEngine::open_with(
+            &dir,
+            &OpenOptions {
+                verify_checksums: false,
+                source,
+                row_cache,
+            },
+        )
+        .unwrap()
+    };
+    let artifact = open(AnswerSource::Artifact, 4096);
+    let oracle = open(AnswerSource::Oracle, 0);
+    let crosscheck = open(AnswerSource::CrossCheck, 0);
+
+    // a skewed query mix: 95% of triangle queries hit 64 hot vertices
+    let n = c.num_vertices();
+    let mut state = 0x2018_u64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let hot: Vec<u64> = (0..64).map(|_| rng() % n).collect();
+    let mut queries = Vec::new();
+    for i in 0..30_000u64 {
+        let v = if i % 20 != 19 {
+            hot[(rng() % 64) as usize]
+        } else {
+            rng() % n
+        };
+        match i % 4 {
+            0 => queries.push(Query::Degree(v)),
+            1 => queries.push(Query::VertexTriangles(v)),
+            2 => queries.push(Query::HasEdge(v, rng() % n)),
+            _ => queries.push(Query::EdgeTriangles(v, rng() % n)),
+        }
+    }
+
+    let art_out = run_batch(&artifact, &queries);
+    let ora_out = run_batch(&oracle, &queries);
+    assert_eq!(art_out.stats.errors, 0);
+    assert_eq!(ora_out.stats.errors, 0);
+    for (i, (x, y)) in art_out.answers.iter().zip(&ora_out.answers).enumerate() {
+        assert_eq!(
+            x.as_ref().unwrap(),
+            y.as_ref().unwrap(),
+            "answer {i} ({})",
+            queries[i]
+        );
+    }
+    let report = artifact.routing();
+    assert!(
+        report.hit_rate() > 0.5,
+        "skewed load must mostly hit the row cache: {report}"
+    );
+
+    // cross-check a sample end to end: fresh artifacts reconcile clean
+    let sample: Vec<Query> = queries.iter().step_by(10).copied().collect();
+    let out = run_batch(&crosscheck, &sample);
+    assert_eq!(out.stats.errors, 0);
+    assert_eq!(out.stats.mismatches, 0, "fresh run must cross-check clean");
+    std::fs::remove_dir_all(&dir).ok();
+}
