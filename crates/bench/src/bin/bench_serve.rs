@@ -173,6 +173,46 @@ fn main() {
     let cache_report = cached.routing();
     eprintln!("hot-row cache: {cache_report}");
 
+    // Loopback HTTP server workload: the same degree mix, answered by a
+    // live `kron serve --listen`-style server over real TCP — measures
+    // the full wire round trip (framing + loopback stack) against the
+    // in-process rows above.
+    {
+        use kron_serve::http::{encode_query_component, Client};
+        use kron_serve::{Server, ServerOptions};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let server = Server::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr().expect("local addr");
+        let stop = AtomicBool::new(false);
+        let degree_mix = &mixes[0].1;
+        let stats = std::thread::scope(|s| {
+            let run = s.spawn(|| server.run(&artifact, &ServerOptions::default(), &stop));
+            let mut client = Client::connect(addr).expect("connect to server");
+            let paths: Vec<String> = degree_mix
+                .iter()
+                .map(|qq| format!("/query?q={}", encode_query_component(&qq.to_string())))
+                .collect();
+            let t0 = Instant::now();
+            let mut lats = Vec::with_capacity(paths.len());
+            let mut errors = 0usize;
+            for path in &paths {
+                let q0 = Instant::now();
+                let (status, _body) = client.get(path).expect("GET /query");
+                lats.push(q0.elapsed());
+                errors += usize::from(status != 200);
+            }
+            let wall = t0.elapsed();
+            drop(client);
+            stop.store(true, Ordering::SeqCst);
+            let report = run.join().unwrap().expect("server run");
+            assert_eq!(report.queries, paths.len() as u64, "server counted all");
+            QueryStats::from_samples(AnswerSource::Artifact, lats, errors, 0, 1, wall, 0)
+        });
+        assert_eq!(stats.errors, 0, "server/degree_http: queries must not fail");
+        print_row("server", "degree_http", &stats);
+        results.push(("server".to_string(), "degree_http", stats));
+    }
+
     // Oracle speedup on the triangle point queries — the paper's closed
     // forms vs the shard walk, same query stream.
     let qps_of = |label: &str, kind: &str| -> f64 {

@@ -23,7 +23,7 @@ USAGE:
       the paper's Table rows for A, B, and A (x) B (exact, implicit)
   kron query <a.tsv> <b.tsv> <p> [<q>]
       O(1) degree/triangle lookup at product vertex p (or edge {p,q})
-  kron query <DIR> <p> [<q>] [--source artifact|oracle|cross-check]
+  kron query <DIR> <p> [<q>] [--source artifact|oracle|cross-check[:N]]
       the same lookups over a `kron stream --format csr` run directory:
       artifact walks the mmap'd CSR shards (graph never loaded), oracle
       evaluates the closed forms on the run's factor copies (no shard
@@ -39,7 +39,7 @@ USAGE:
       generate A (x) B as N validated shards (formats: edges | csr | count);
       every shard gets a JSON manifest with closed-form checksums
   kron serve <DIR> --queries FILE [--threads T] [--no-verify]
-             [--source artifact|oracle|cross-check] [--cache ROWS]
+             [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
       answer a batch of point queries over the CSR run directory DIR;
       query file lines: degree v | neighbors v | has_edge u v |
       tri_vertex v | tri_edge u v  (blank lines and # comments ignored);
@@ -48,8 +48,21 @@ USAGE:
       copies (artifact contents are never read, so checksum verification
       is skipped); --source cross-check answers from the artifact, checks
       every answer against the oracle, and exits nonzero on mismatch
-      (a live conformance monitor). --cache keeps an LRU of ROWS hot
-      rows for the artifact triangle kernels on skewed loads
+      (a live conformance monitor); --source cross-check:N checks 1 in N
+      queries (deterministic by query counter — the always-on audit mode
+      at artifact cost). --cache keeps an LRU of ROWS hot rows for the
+      artifact triangle kernels on skewed loads
+  kron serve <DIR> --listen ADDR [--threads T] [--no-verify]
+             [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
+      long-lived HTTP server over the same engine: open + validate once,
+      then answer GET /query?q=<query-line>, POST /batch (body = query
+      file), GET /stats (JSON counters + latency window + routing +
+      mismatch log), GET /healthz. ADDR like 127.0.0.1:8080 (port 0
+      binds an ephemeral port; the bound address is printed on stdout as
+      `listening on http://…`). --threads sizes the connection pool.
+      Graceful shutdown on SIGTERM/ctrl-c: in-flight requests finish,
+      totals go to stderr, and the exit code is nonzero if any
+      cross-checked query disagreed with the closed-form oracle
   kron verify-shards <DIR> [--rehash]
       re-check every shard manifest (shard_NNNNN.json) and artifact in DIR
       against the closed-form factor statistics; failures name the
@@ -219,7 +232,12 @@ fn parse_source(p: &ParsedArgs) -> Result<AnswerSource, String> {
 fn crosscheck_verdict(engine: &ServeEngine) -> Result<(), String> {
     let n = engine.mismatch_count();
     if n == 0 {
-        eprintln!("cross-check: 0 mismatches (artifact agrees with the closed-form oracle)");
+        eprintln!(
+            "cross-check: 0 mismatches in {} checked of {} queries \
+             (artifact agrees with the closed-form oracle)",
+            engine.sampled_checks(),
+            engine.queries_answered(),
+        );
         return Ok(());
     }
     for m in engine.mismatches() {
@@ -263,7 +281,10 @@ fn cmd_query_shards(p: &ParsedArgs, dir: &str) -> Result<(), String> {
             None => println!("  ({pv},{qv}) is not an edge of C"),
         }
     }
-    if source == AnswerSource::CrossCheck {
+    if matches!(
+        source,
+        AnswerSource::CrossCheck | AnswerSource::CrossCheckSampled(_)
+    ) {
         crosscheck_verdict(&engine)?;
     }
     Ok(())
@@ -390,27 +411,11 @@ fn cmd_stream(p: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
-    let dir = p.pos(0, "dir")?;
-    let file = p
-        .options
-        .get("queries")
-        .ok_or_else(|| "missing required option --queries FILE".to_string())?;
-    let threads: usize = p.opt("threads", 0)?;
-    if threads > 0 {
-        // the shim rayon sizes its pool from this on every call
-        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
-    }
-    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
-    let queries = parse_queries(&text).map_err(|e| format!("{file}: {e}"))?;
-
-    let opts = OpenOptions {
-        verify_checksums: !p.flag("no-verify"),
-        source: parse_source(p)?,
-        row_cache: p.opt("cache", 0usize)?,
-    };
+/// Open the engine for `kron serve`, narrating the open on stderr
+/// (shared by the batch and `--listen` server modes).
+fn open_serve_engine(dir: &str, opts: &OpenOptions) -> Result<ServeEngine, String> {
     let t0 = Instant::now();
-    let engine = ServeEngine::open_with(std::path::Path::new(dir), &opts)
+    let engine = ServeEngine::open_with(std::path::Path::new(dir), opts)
         .map_err(|e| format!("{dir}: {e}"))?;
     eprintln!(
         "opened {} shard(s), {} mapped bytes, {} entries in {:.2?} \
@@ -435,6 +440,59 @@ fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
             String::new()
         },
     );
+    Ok(engine)
+}
+
+/// `kron serve <DIR> --listen ADDR` — the long-lived HTTP server.
+fn cmd_serve_listen(
+    dir: &str,
+    addr: &str,
+    opts: &OpenOptions,
+    threads: usize,
+) -> Result<(), String> {
+    let engine = open_serve_engine(dir, opts)?;
+    let server = kron_serve::Server::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    // The bound address (with the real port for `:0`) goes to stdout so
+    // scripts can capture it; flush explicitly — stdout is block-buffered
+    // when piped, and the reader needs this line *before* shutdown.
+    println!("listening on http://{local}");
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    let shutdown = crate::signals::install_shutdown_flag();
+    let report = server
+        .run(&engine, &kron_serve::ServerOptions { threads }, shutdown)
+        .map_err(|e| e.to_string())?;
+    eprintln!("shutdown: {report}");
+    match opts.source {
+        AnswerSource::CrossCheck | AnswerSource::CrossCheckSampled(_) => {
+            crosscheck_verdict(&engine)
+        }
+        _ => Ok(()),
+    }
+}
+
+fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
+    let dir = p.pos(0, "dir")?;
+    let threads: usize = p.opt("threads", 0)?;
+    let opts = OpenOptions {
+        verify_checksums: !p.flag("no-verify"),
+        source: parse_source(p)?,
+        row_cache: p.opt("cache", 0usize)?,
+    };
+    if let Some(addr) = p.options.get("listen") {
+        return cmd_serve_listen(dir, addr, &opts, threads);
+    }
+    let file = p.options.get("queries").ok_or_else(|| {
+        "missing required option --queries FILE (or --listen ADDR for the server)".to_string()
+    })?;
+    if threads > 0 {
+        // the shim rayon sizes its pool from this on every call
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    }
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let queries = parse_queries(&text).map_err(|e| format!("{file}: {e}"))?;
+    let engine = open_serve_engine(dir, &opts)?;
 
     let out = run_batch(&engine, &queries);
     let mut failed = 0usize;
@@ -460,7 +518,10 @@ fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
             eprintln!("{}", rep.shard_summary());
         }
     }
-    if opts.source == AnswerSource::CrossCheck {
+    if matches!(
+        opts.source,
+        AnswerSource::CrossCheck | AnswerSource::CrossCheckSampled(_)
+    ) {
         crosscheck_verdict(&engine)?;
     }
     if failed > 0 {

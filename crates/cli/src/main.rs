@@ -12,7 +12,9 @@
 //! kron validate <a.tsv> <b.tsv> [--samples N] [--full]
 //! kron stream <a.tsv> <b.tsv> --out DIR [--shards N] [--format F] [--resume]
 //! kron serve <DIR> --queries FILE [--threads T] [--no-verify]
-//!            [--source artifact|oracle|cross-check] [--cache ROWS]
+//!            [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
+//! kron serve <DIR> --listen ADDR [--threads T] [--no-verify]
+//!            [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
 //! kron verify-shards <DIR> [--rehash]
 //! ```
 //!
@@ -33,10 +35,14 @@
 //! integrity gate, `kron serve` only exits `0` when every query in the
 //! batch was answered, and `kron query DIR p --source cross-check`
 //! exiting `0` certifies the served answers against the paper's closed
-//! forms.
+//! forms. The `--listen` server follows the same contract at shutdown:
+//! after SIGTERM/ctrl-c it exits `0` only if no cross-checked query
+//! (every query under `cross-check`, 1 in N under `cross-check:N`)
+//! disagreed with the closed-form oracle during the entire run.
 
 mod args;
 mod commands;
+mod signals;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

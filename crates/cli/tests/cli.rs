@@ -584,7 +584,8 @@ fn serve_and_query_answer_sources_agree_and_cross_check() {
     ]);
     assert!(!out.status.success());
     assert!(
-        String::from_utf8_lossy(&out.stderr).contains("artifact, oracle, or cross-check"),
+        String::from_utf8_lossy(&out.stderr)
+            .contains("artifact, oracle, cross-check, or cross-check:N"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
@@ -620,4 +621,244 @@ fn serve_and_query_answer_sources_agree_and_cross_check() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("mismatch"), "{stderr}");
     assert!(stderr.contains("corrupt or stale"), "{stderr}");
+}
+
+// ---------------------------------------------------------------------------
+// `kron serve --listen`: the long-lived HTTP server, driven as a real
+// process with real sockets and real signals.
+
+/// A spawned `kron serve --listen` child: kills the process on drop so a
+/// failing assertion never leaks a listener.
+struct ServerChild {
+    child: Option<std::process::Child>,
+    addr: String,
+}
+
+impl ServerChild {
+    /// Spawn `kron serve <dir> --listen 127.0.0.1:0 <extra…>` and read
+    /// the bound address off the first stdout line.
+    fn spawn(run_dir: &std::path::Path, extra: &[&str]) -> ServerChild {
+        use std::io::BufRead;
+        let mut child = Command::new(env!("CARGO_BIN_EXE_kron"))
+            .arg("serve")
+            .arg(run_dir)
+            .args(["--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("server spawns");
+        let stdout = child.stdout.as_mut().unwrap();
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .to_string();
+        ServerChild {
+            child: Some(child),
+            addr,
+        }
+    }
+
+    fn client(&self) -> kron_serve::http::Client {
+        kron_serve::http::Client::connect(self.addr.as_str()).expect("connect to server")
+    }
+
+    /// SIGTERM the server and wait (bounded) for its exit status.
+    fn terminate(mut self) -> std::process::Output {
+        let mut child = self.child.take().unwrap();
+        let pid = child.id().to_string();
+        assert!(Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("kill runs")
+            .success());
+        for _ in 0..200 {
+            if child.try_wait().unwrap().is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        assert!(
+            child.try_wait().unwrap().is_some(),
+            "server must exit within 10s of SIGTERM"
+        );
+        child.wait_with_output().unwrap()
+    }
+}
+
+impl Drop for ServerChild {
+    fn drop(&mut self) {
+        if let Some(child) = self.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Generate a small CSR run directory for the server tests.
+fn server_run_dir(name: &str) -> std::path::PathBuf {
+    let dir = tmpdir();
+    let a = dir.join(format!("{name}_factor.tsv"));
+    assert!(
+        kron(&["gen", "clique", "--n", "6", "--out", a.to_str().unwrap()])
+            .status
+            .success()
+    );
+    let run_dir = dir.join(format!("{name}_run"));
+    let _ = std::fs::remove_dir_all(&run_dir);
+    assert!(kron(&[
+        "stream",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--out",
+        run_dir.to_str().unwrap(),
+        "--shards",
+        "3",
+        "--format",
+        "csr",
+    ])
+    .status
+    .success());
+    run_dir
+}
+
+#[test]
+fn serve_listen_answers_and_exits_zero_on_clean_sigterm() {
+    let run_dir = server_run_dir("listen_clean");
+    let server = ServerChild::spawn(&run_dir, &["--source", "cross-check:4"]);
+    let mut client = server.client();
+
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // clique(6) ⊗ clique(6): degree(0) = 5·5 = 25 with the right loops
+    let (status, body) = client.get("/query?q=degree%200").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let reference = kron(&["query", run_dir.to_str().unwrap(), "0"]);
+    let ref_out = String::from_utf8_lossy(&reference.stdout).to_string();
+    let degree_line = ref_out
+        .lines()
+        .find(|l| l.contains("degree"))
+        .unwrap()
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .to_string();
+    assert_eq!(body.trim(), degree_line, "server vs `kron query`");
+
+    let (status, body) = client
+        .post("/batch", b"degree 0\ntri_vertex 7\ntri_edge 0 7\n")
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.lines().count(), 3, "{body}");
+
+    let (status, body) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"mismatch_count\":0"), "{body}");
+    assert!(body.contains("\"source\":\"cross-check:4\""), "{body}");
+    drop(client);
+
+    let out = server.terminate();
+    assert!(
+        out.status.success(),
+        "clean run must exit 0; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("shutdown:"), "{stderr}");
+    assert!(stderr.contains("cross-check: 0 mismatches"), "{stderr}");
+}
+
+#[test]
+fn serve_listen_sampled_mismatch_exits_nonzero_after_sigterm() {
+    let run_dir = server_run_dir("listen_tamper");
+    // flip one column id in shard 0 — detectable only by cross-checking
+    let manifest = std::fs::read_to_string(run_dir.join("shard_00000.json")).unwrap();
+    let artifact = manifest
+        .split('"')
+        .find(|s| s.ends_with(".csr"))
+        .unwrap()
+        .to_string();
+    let path = run_dir.join(&artifact);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let at = bytes.len() - 8;
+    let word = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) ^ 1;
+    bytes[at..at + 8].copy_from_slice(&word.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    // --no-verify: the sampling audit tier skips open-time rehashing —
+    // live cross-checks are what must catch this
+    let server = ServerChild::spawn(
+        &run_dir,
+        &["--source", "cross-check:1", "--no-verify", "--threads", "2"],
+    );
+    let mut client = server.client();
+    // hammer every row: with rate 1 every query is checked, so the
+    // tampered row is guaranteed to reconcile against the oracle
+    let n = 36u64; // clique(6) ⊗ clique(6)
+    let file: String = (0..n).map(|v| format!("neighbors {v}\n")).collect();
+    let (status, _body) = client.post("/batch", file.as_bytes()).unwrap();
+    assert_eq!(status, 200, "tampered answers still serve (artifact wins)");
+
+    let (_, stats) = client.get("/stats").unwrap();
+    assert!(
+        !stats.contains("\"mismatch_count\":0"),
+        "stats must surface the mismatch: {stats}"
+    );
+    assert!(stats.contains("\"mismatches\":[{"), "{stats}");
+    drop(client);
+
+    let out = server.terminate();
+    assert!(
+        !out.status.success(),
+        "a run with sampled mismatches must exit nonzero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mismatch"), "{stderr}");
+    assert!(stderr.contains("corrupt or stale"), "{stderr}");
+}
+
+#[test]
+fn serve_listen_rejects_bad_listen_addresses_and_sources() {
+    let run_dir = server_run_dir("listen_bad");
+    let out = kron(&[
+        "serve",
+        run_dir.to_str().unwrap(),
+        "--listen",
+        "definitely-not-an-address",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("binding"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = kron(&[
+        "serve",
+        run_dir.to_str().unwrap(),
+        "--listen",
+        "127.0.0.1:0",
+        "--source",
+        "cross-check:0",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("sampling rate"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // without --listen, --queries is still required (and the error now
+    // mentions both modes)
+    let out = kron(&["serve", run_dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--listen"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

@@ -36,10 +36,23 @@ impl Query {
         let mut tok = line.split_whitespace();
         let kw = tok.next().ok_or("empty query")?;
         let mut arg = |name: &str| -> Result<u64, String> {
-            tok.next()
-                .ok_or_else(|| format!("{kw}: missing <{name}>"))?
-                .parse()
-                .map_err(|_| format!("{kw}: <{name}> must be a vertex id"))
+            let raw = tok
+                .next()
+                .ok_or_else(|| format!("{kw}: missing <{name}>"))?;
+            // The server echoes these errors to remote clients, so
+            // distinguish a number that is simply too large from a token
+            // that is not a number at all.
+            raw.parse().map_err(|e: std::num::ParseIntError| {
+                if *e.kind() == std::num::IntErrorKind::PosOverflow {
+                    format!(
+                        "{kw}: <{name}> {raw:?} overflows the vertex id range \
+                         (max {})",
+                        u64::MAX
+                    )
+                } else {
+                    format!("{kw}: <{name}> must be a vertex id (got {raw:?})")
+                }
+            })
         };
         let q = match kw {
             "degree" => Query::Degree(arg("v")?),
@@ -119,8 +132,9 @@ impl std::fmt::Display for Answer {
     }
 }
 
-/// Answer one query, returning the wedge checks it performed.
-fn answer(engine: &ServeEngine, q: Query) -> (Result<Answer, ServeError>, u64) {
+/// Answer one query, returning the wedge checks it performed. Shared by
+/// [`run_batch`] and the HTTP server's per-request path.
+pub(crate) fn answer(engine: &ServeEngine, q: Query) -> (Result<Answer, ServeError>, u64) {
     match q {
         Query::Degree(v) => (engine.degree(v).map(Answer::Count), 0),
         Query::Neighbors(v) => (engine.neighbors(v).map(|r| Answer::Row(r.into_owned())), 0),
@@ -176,7 +190,16 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    fn from_latencies(
+    /// Build a report from raw per-query latency samples.
+    ///
+    /// This is the aggregation [`run_batch`] uses; it is public so other
+    /// drivers measuring their own latencies (the HTTP server's rolling
+    /// window, `bench_serve`'s loopback client) produce directly
+    /// comparable rows. The mean is computed from the total nanoseconds
+    /// as `u128` divided by the exact sample count — batches larger than
+    /// `u32::MAX` queries must not silently truncate the divisor (the
+    /// old `Duration::checked_div(count as u32)` path did).
+    pub fn from_samples(
         source: AnswerSource,
         mut lat: Vec<Duration>,
         errors: usize,
@@ -196,7 +219,13 @@ impl QueryStats {
                 lat[((queries - 1) as f64 * q).round() as usize]
             }
         };
-        let total: Duration = lat.iter().sum();
+        let total_nanos: u128 = lat.iter().map(Duration::as_nanos).sum();
+        let mean = if queries == 0 {
+            Duration::ZERO
+        } else {
+            // mean ≤ max sample, so the quotient always fits a u64
+            Duration::from_nanos(u64::try_from(total_nanos / queries as u128).unwrap_or(u64::MAX))
+        };
         QueryStats {
             source,
             queries,
@@ -206,7 +235,7 @@ impl QueryStats {
             wall,
             wedge_checks,
             min: lat.first().copied().unwrap_or(Duration::ZERO),
-            mean: total.checked_div(queries.max(1) as u32).unwrap_or_default(),
+            mean,
             p50: pick(0.50),
             p99: pick(0.99),
             max: lat.last().copied().unwrap_or(Duration::ZERO),
@@ -222,7 +251,7 @@ impl QueryStats {
     pub fn to_json(&self) -> Json {
         let us = |d: Duration| Json::num(d.as_secs_f64() * 1e6);
         Json::obj(vec![
-            ("source", Json::str(self.source.as_str())),
+            ("source", Json::str(&self.source.to_string())),
             ("queries", Json::num(self.queries)),
             ("errors", Json::num(self.errors)),
             ("mismatches", Json::num(self.mismatches)),
@@ -310,7 +339,7 @@ pub fn run_batch(engine: &ServeEngine, queries: &[Query]) -> BatchOutcome {
         latencies.push(lat);
         answers.push(res);
     }
-    let stats = QueryStats::from_latencies(
+    let stats = QueryStats::from_samples(
         engine.source(),
         latencies,
         errors,
@@ -473,6 +502,71 @@ mod tests {
         }
         assert!(out.stats.qps().is_finite());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_from_known_latency_vector_pin_mean_and_percentiles() {
+        // sorted: 1 1 2 2 3 3 4 5 9 100 µs (n = 10, total 130 µs)
+        let lat: Vec<Duration> = [5u64, 1, 2, 100, 4, 3, 2, 1, 9, 3]
+            .iter()
+            .map(|&us| Duration::from_micros(us))
+            .collect();
+        let s = QueryStats::from_samples(
+            AnswerSource::Artifact,
+            lat,
+            0,
+            0,
+            1,
+            Duration::from_millis(1),
+            0,
+        );
+        assert_eq!(s.queries, 10);
+        assert_eq!(s.min, Duration::from_micros(1));
+        // mean = 130 µs / 10, exact in nanoseconds — no u32 divisor cast
+        assert_eq!(s.mean, Duration::from_micros(13));
+        // index picks: p50 → round(9·0.50) = 5 → 3 µs; p99 → round(9·0.99) = 9 → 100 µs
+        assert_eq!(s.p50, Duration::from_micros(3));
+        assert_eq!(s.p99, Duration::from_micros(100));
+        assert_eq!(s.max, Duration::from_micros(100));
+
+        // sub-microsecond means stay exact too (floor of 4 ns / 3)
+        let tiny: Vec<Duration> = [1u64, 1, 2]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        let s = QueryStats::from_samples(
+            AnswerSource::Artifact,
+            tiny,
+            0,
+            0,
+            1,
+            Duration::from_micros(1),
+            0,
+        );
+        assert_eq!(s.mean, Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn parse_distinguishes_overflow_from_malformed_vertex_ids() {
+        // 2^64 exactly: one past u64::MAX — an overflow, not a typo
+        let err = parse_queries("degree 18446744073709551616\n").unwrap_err();
+        assert!(err.contains("overflows"), "{err}");
+        assert!(err.contains(&u64::MAX.to_string()), "{err}");
+        // wildly out of range is still overflow
+        let err = Query::parse("tri_edge 1 99999999999999999999999999").unwrap_err();
+        assert!(err.contains("overflows"), "{err}");
+        // non-numeric tokens stay "must be a vertex id", naming the token
+        for bad in ["degree x", "degree -3", "tri_vertex 1e3", "has_edge 0 0x10"] {
+            let err = Query::parse(bad).unwrap_err();
+            assert!(err.contains("must be a vertex id"), "{bad:?} → {err}");
+            assert!(!err.contains("overflows"), "{bad:?} → {err}");
+        }
+        // u64::MAX itself parses fine (the engine rejects it as out of
+        // range later, which is a different, per-run answer)
+        assert_eq!(
+            Query::parse(&format!("degree {}", u64::MAX)).unwrap(),
+            Query::Degree(u64::MAX)
+        );
     }
 
     #[test]

@@ -238,6 +238,20 @@ impl RoutingReport {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// The report as a JSON object (the shape `/stats` serves).
+    pub fn to_json(&self) -> kron_stream::json::Json {
+        use kron_stream::json::Json;
+        Json::obj(vec![
+            (
+                "shard_fetches",
+                Json::Arr(self.shard_fetches.iter().map(Json::num).collect()),
+            ),
+            ("cache_hits", Json::num(self.cache_hits)),
+            ("cache_misses", Json::num(self.cache_misses)),
+            ("cache_hit_rate", Json::num(self.hit_rate())),
+        ])
+    }
 }
 
 impl std::fmt::Display for RoutingReport {

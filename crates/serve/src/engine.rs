@@ -74,26 +74,53 @@ pub enum AnswerSource {
     /// disagreement — a live conformance monitor for corrupted or stale
     /// run directories.
     CrossCheck,
+    /// Cross-check **1 in N** queries (`--source cross-check:N`): the
+    /// sampled queries pay both paths and reconcile like
+    /// [`AnswerSource::CrossCheck`]; the rest are pure artifact walks.
+    /// Sampling is deterministic by the engine's query counter (queries
+    /// `0, N, 2N, …` in arrival order are checked), so a q-query run
+    /// always checks exactly `⌈q/N⌉` of them — the always-on production
+    /// audit mode: artifact-path cost, continuous conformance signal.
+    CrossCheckSampled(u64),
 }
 
 impl AnswerSource {
-    /// Canonical name, as accepted by `--source` on the CLI.
+    /// Canonical *kind* name, as accepted by `--source` on the CLI.
+    /// [`AnswerSource::CrossCheckSampled`] reports its base kind
+    /// (`"cross-check"`); the `Display` impl renders the full spelling
+    /// with the sampling rate (`"cross-check:8"`).
     pub fn as_str(self) -> &'static str {
         match self {
             AnswerSource::Artifact => "artifact",
             AnswerSource::Oracle => "oracle",
-            AnswerSource::CrossCheck => "cross-check",
+            AnswerSource::CrossCheck | AnswerSource::CrossCheckSampled(_) => "cross-check",
         }
     }
 
-    /// Parse a canonical name.
+    /// Parse a canonical name (`artifact`, `oracle`, `cross-check`, or
+    /// `cross-check:N` with `N ≥ 1`).
     pub fn parse(s: &str) -> Result<AnswerSource, String> {
+        if let Some(rate) = s
+            .strip_prefix("cross-check:")
+            .or_else(|| s.strip_prefix("crosscheck:"))
+        {
+            let n: u64 = rate
+                .parse()
+                .map_err(|_| format!("cross-check sampling rate {rate:?} must be an integer"))?;
+            if n == 0 {
+                return Err("cross-check sampling rate must be ≥ 1 (cross-check:N \
+                     checks 1 in N queries)"
+                    .into());
+            }
+            return Ok(AnswerSource::CrossCheckSampled(n));
+        }
         match s {
             "artifact" => Ok(AnswerSource::Artifact),
             "oracle" => Ok(AnswerSource::Oracle),
             "cross-check" | "crosscheck" => Ok(AnswerSource::CrossCheck),
             other => Err(format!(
-                "unknown answer source {other:?} (expected artifact, oracle, or cross-check)"
+                "unknown answer source {other:?} (expected artifact, oracle, \
+                 cross-check, or cross-check:N)"
             )),
         }
     }
@@ -101,7 +128,10 @@ impl AnswerSource {
 
 impl std::fmt::Display for AnswerSource {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.as_str())
+        match self {
+            AnswerSource::CrossCheckSampled(n) => write!(f, "cross-check:{n}"),
+            other => f.write_str(other.as_str()),
+        }
     }
 }
 
@@ -115,6 +145,18 @@ pub struct Mismatch {
     pub artifact: String,
     /// What the closed-form oracle answered.
     pub oracle: String,
+}
+
+impl Mismatch {
+    /// The mismatch as a JSON object (the shape `/stats` serves).
+    pub fn to_json(&self) -> kron_stream::json::Json {
+        use kron_stream::json::Json;
+        Json::obj(vec![
+            ("query", Json::str(&self.query)),
+            ("artifact", Json::str(&self.artifact)),
+            ("oracle", Json::str(&self.oracle)),
+        ])
+    }
 }
 
 impl std::fmt::Display for Mismatch {
@@ -137,8 +179,9 @@ pub struct OpenOptions {
     /// (see [`ServeEngine::open_with`]).
     pub verify_checksums: bool,
     /// Which machinery answers queries. Default [`AnswerSource::Artifact`].
-    /// [`AnswerSource::Oracle`] and [`AnswerSource::CrossCheck`] load the
-    /// factor copies at open and fail if they are missing or stale.
+    /// [`AnswerSource::Oracle`], [`AnswerSource::CrossCheck`], and
+    /// [`AnswerSource::CrossCheckSampled`] load the factor copies at open
+    /// and fail if they are missing or stale.
     pub source: AnswerSource,
     /// Capacity (in rows) of the LRU over hot decoded rows consulted by
     /// the artifact triangle kernels; `0` disables it (pure zero-copy).
@@ -158,6 +201,16 @@ impl Default for OpenOptions {
 /// Detail of a cross-check disagreement kept in the log; the counter keeps
 /// counting past this many.
 const MISMATCH_LOG_CAP: usize = 64;
+
+/// Which machinery one particular query runs through, after sampling.
+/// [`AnswerSource::CrossCheckSampled`] resolves to `Check` for 1-in-N
+/// queries and `Artifact` for the rest; the other sources map 1:1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum QueryPath {
+    Artifact,
+    Oracle,
+    Check,
+}
 
 /// A neighbor row fetched for intersection: either borrowed straight from
 /// a shard mapping or an owned copy out of the row cache.
@@ -206,6 +259,11 @@ pub struct ServeEngine {
     routing: RoutingStats,
     mismatch_count: AtomicU64,
     mismatch_log: Mutex<Vec<Mismatch>>,
+    /// Queries answered so far — drives the deterministic 1-in-N pick of
+    /// [`AnswerSource::CrossCheckSampled`].
+    query_counter: AtomicU64,
+    /// Queries that actually ran both paths (sampled cross-checks).
+    sampled: AtomicU64,
 }
 
 impl ServeEngine {
@@ -239,6 +297,13 @@ impl ServeEngine {
     /// mapped byte. Audit artifact contents with `verify-shards` or a
     /// cross-check/artifact engine.
     pub fn open_with(dir: &Path, opts: &OpenOptions) -> Result<ServeEngine, ServeError> {
+        // Reject an impossible config before paying for the open (a
+        // checksum-verified open rehashes every shard byte).
+        if let AnswerSource::CrossCheckSampled(0) = opts.source {
+            return Err(ServeError::Open(
+                "cross-check sampling rate must be ≥ 1".into(),
+            ));
+        }
         let set = if opts.verify_checksums && opts.source != AnswerSource::Oracle {
             ShardSet::open_verified(dir)?
         } else {
@@ -246,9 +311,9 @@ impl ServeEngine {
         };
         let oracle = match opts.source {
             AnswerSource::Artifact => None,
-            AnswerSource::Oracle | AnswerSource::CrossCheck => {
-                Some(FactorOracle::load(dir, set.run())?)
-            }
+            AnswerSource::Oracle
+            | AnswerSource::CrossCheck
+            | AnswerSource::CrossCheckSampled(_) => Some(FactorOracle::load(dir, set.run())?),
         };
         let routing = RoutingStats::new(set.num_shards());
         Ok(ServeEngine {
@@ -259,6 +324,8 @@ impl ServeEngine {
             routing,
             mismatch_count: AtomicU64::new(0),
             mismatch_log: Mutex::new(Vec::new()),
+            query_counter: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
         })
     }
 
@@ -279,9 +346,49 @@ impl ServeEngine {
     }
 
     /// Cross-check disagreements observed so far (0 outside
-    /// [`AnswerSource::CrossCheck`] mode).
+    /// [`AnswerSource::CrossCheck`] / [`AnswerSource::CrossCheckSampled`]
+    /// modes).
     pub fn mismatch_count(&self) -> u64 {
         self.mismatch_count.load(Ordering::Relaxed)
+    }
+
+    /// Queries that ran **both** paths so far. In
+    /// [`AnswerSource::CrossCheckSampled`] mode this counts the sampled
+    /// 1-in-N queries (exactly `⌈q/N⌉` after `q` queries); in
+    /// [`AnswerSource::CrossCheck`] mode every query is checked, and the
+    /// counter matches the query count; 0 otherwise.
+    pub fn sampled_checks(&self) -> u64 {
+        self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Queries answered so far, in any mode.
+    pub fn queries_answered(&self) -> u64 {
+        self.query_counter.load(Ordering::Relaxed)
+    }
+
+    /// Resolve which machinery answers *this* query: bumps the query
+    /// counter and, for the sampled source, deterministically picks
+    /// queries `0, N, 2N, …` for the double-path check.
+    fn path(&self) -> QueryPath {
+        let i = self.query_counter.fetch_add(1, Ordering::Relaxed);
+        match self.source {
+            AnswerSource::Artifact => QueryPath::Artifact,
+            AnswerSource::Oracle => QueryPath::Oracle,
+            AnswerSource::CrossCheck => {
+                self.sampled.fetch_add(1, Ordering::Relaxed);
+                QueryPath::Check
+            }
+            AnswerSource::CrossCheckSampled(n) => {
+                // n ≥ 1 is enforced at open; max(1) keeps a hand-rolled
+                // OpenOptions from ever dividing by zero.
+                if i.is_multiple_of(n.max(1)) {
+                    self.sampled.fetch_add(1, Ordering::Relaxed);
+                    QueryPath::Check
+                } else {
+                    QueryPath::Artifact
+                }
+            }
+        }
     }
 
     /// Snapshot of the recorded disagreements (detail is kept for the
@@ -386,10 +493,10 @@ impl ServeEngine {
     /// `KronProduct::neighbors`): zero-copy from the mapping in artifact
     /// mode, materialized from the factor rows in oracle mode.
     pub fn neighbors(&self, v: u64) -> Result<Cow<'_, [u64]>, ServeError> {
-        match self.source {
-            AnswerSource::Artifact => Ok(Cow::Borrowed(self.row(v)?)),
-            AnswerSource::Oracle => Ok(Cow::Owned(self.need_oracle()?.neighbors(v)?)),
-            AnswerSource::CrossCheck => {
+        match self.path() {
+            QueryPath::Artifact => Ok(Cow::Borrowed(self.row(v)?)),
+            QueryPath::Oracle => Ok(Cow::Owned(self.need_oracle()?.neighbors(v)?)),
+            QueryPath::Check => {
                 let art = self.row(v);
                 let ora = self.need_oracle()?.neighbors(v);
                 // Compare borrowed against owned directly — the agree path
@@ -441,10 +548,10 @@ impl ServeEngine {
 
     /// Degree of `v`, self loop excluded (`d_C = (C − I∘C)·1`, §III-A).
     pub fn degree(&self, v: u64) -> Result<u64, ServeError> {
-        match self.source {
-            AnswerSource::Artifact => self.degree_artifact(v),
-            AnswerSource::Oracle => self.need_oracle()?.degree(v),
-            AnswerSource::CrossCheck => {
+        match self.path() {
+            QueryPath::Artifact => self.degree_artifact(v),
+            QueryPath::Oracle => self.need_oracle()?.degree(v),
+            QueryPath::Check => {
                 let art = self.degree_artifact(v);
                 let ora = self.need_oracle()?.degree(v);
                 self.reconcile(|| format!("degree {v}"), &art, &ora, u64::to_string);
@@ -467,10 +574,10 @@ impl ServeEngine {
     /// Whether `{u, v}` is an adjacency entry of the product (loops
     /// included: `has_edge(v, v)` is `true` iff `v` has a self loop).
     pub fn has_edge(&self, u: u64, v: u64) -> Result<bool, ServeError> {
-        match self.source {
-            AnswerSource::Artifact => self.has_edge_artifact(u, v),
-            AnswerSource::Oracle => self.need_oracle()?.has_edge(u, v),
-            AnswerSource::CrossCheck => {
+        match self.path() {
+            QueryPath::Artifact => self.has_edge_artifact(u, v),
+            QueryPath::Oracle => self.need_oracle()?.has_edge(u, v),
+            QueryPath::Check => {
                 let art = self.has_edge_artifact(u, v);
                 let ora = self.need_oracle()?.has_edge(u, v);
                 self.reconcile(|| format!("has_edge {u} {v}"), &art, &ora, bool::to_string);
@@ -497,10 +604,10 @@ impl ServeEngine {
     /// independently (through the hot-row LRU when one is configured).
     /// Oracle path: `O(1)` from factor terms.
     pub fn vertex_triangles_with_checks(&self, v: u64) -> Result<(u64, u64), ServeError> {
-        match self.source {
-            AnswerSource::Artifact => self.vertex_triangles_artifact(v),
-            AnswerSource::Oracle => Ok((self.need_oracle()?.vertex_triangles(v)?, 0)),
-            AnswerSource::CrossCheck => {
+        match self.path() {
+            QueryPath::Artifact => self.vertex_triangles_artifact(v),
+            QueryPath::Oracle => Ok((self.need_oracle()?.vertex_triangles(v)?, 0)),
+            QueryPath::Check => {
                 let art = self.vertex_triangles_artifact(v);
                 let ora = self.need_oracle()?.vertex_triangles(v);
                 // compare counts only — wedge checks are accounting, not answers
@@ -546,10 +653,10 @@ impl ServeEngine {
         u: u64,
         v: u64,
     ) -> Result<Option<(u64, u64)>, ServeError> {
-        match self.source {
-            AnswerSource::Artifact => self.edge_triangles_artifact(u, v),
-            AnswerSource::Oracle => Ok(self.need_oracle()?.edge_triangles(u, v)?.map(|d| (d, 0))),
-            AnswerSource::CrossCheck => {
+        match self.path() {
+            QueryPath::Artifact => self.edge_triangles_artifact(u, v),
+            QueryPath::Oracle => Ok(self.need_oracle()?.edge_triangles(u, v)?.map(|d| (d, 0))),
+            QueryPath::Check => {
                 let art = self.edge_triangles_artifact(u, v);
                 let ora = self.need_oracle()?.edge_triangles(u, v);
                 let art_d = art
@@ -792,6 +899,95 @@ mod tests {
             AnswerSource::CrossCheck
         );
         assert!(AnswerSource::parse("mmap").is_err());
+        // sampled spellings round-trip through Display
+        for n in [1u64, 8, 1000] {
+            let s = AnswerSource::CrossCheckSampled(n);
+            assert_eq!(AnswerSource::parse(&s.to_string()).unwrap(), s);
+            assert_eq!(s.as_str(), "cross-check");
+        }
+        assert_eq!(
+            AnswerSource::parse("cross-check:8").unwrap(),
+            AnswerSource::CrossCheckSampled(8)
+        );
+        assert!(AnswerSource::parse("cross-check:0").is_err());
+        assert!(AnswerSource::parse("cross-check:-1").is_err());
+        assert!(AnswerSource::parse("cross-check:x").is_err());
+    }
+
+    #[test]
+    fn sampled_cross_check_checks_exactly_ceil_q_over_n() {
+        let dir = tmpdir("sampled");
+        let c = product();
+        {
+            let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+            cfg.shards = 2;
+            stream_product(&c, &cfg).unwrap();
+        }
+        for n in [1u64, 3, 4, 7, 1000] {
+            let e = ServeEngine::open_with(
+                &dir,
+                &OpenOptions {
+                    source: AnswerSource::CrossCheckSampled(n),
+                    ..OpenOptions::default()
+                },
+            )
+            .unwrap();
+            let q = 26u64; // not a multiple of any sampled n above
+            for i in 0..q {
+                let v = i % c.num_vertices();
+                assert_eq!(e.degree(v).unwrap(), c.degree(v));
+            }
+            assert_eq!(e.queries_answered(), q);
+            assert_eq!(e.sampled_checks(), q.div_ceil(n), "rate 1 in {n}");
+            assert_eq!(e.mismatch_count(), 0, "healthy dir must check clean");
+        }
+        // rate 0 is rejected at open, not divided by
+        assert!(matches!(
+            ServeEngine::open_with(
+                &dir,
+                &OpenOptions {
+                    source: AnswerSource::CrossCheckSampled(0),
+                    ..OpenOptions::default()
+                },
+            ),
+            Err(ServeError::Open(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampled_cross_check_still_catches_tampering_on_sampled_queries() {
+        let dir = tmpdir("sampled_tamper");
+        let c = product();
+        {
+            let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+            cfg.shards = 2;
+            stream_product(&c, &cfg).unwrap();
+        }
+        let m = kron_stream::load_manifest(&dir, 0).unwrap();
+        let path = dir.join(m.file.as_deref().unwrap());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let rows = (m.vertices.end - m.vertices.start) as usize;
+        let col0 = 32 + 8 * (rows + 1);
+        bytes[col0] ^= 0x04; // corrupt the first column word in place
+        std::fs::write(&path, &bytes).unwrap();
+        // structural open (checksums off) + check every query (rate 1)
+        let e = ServeEngine::open_with(
+            &dir,
+            &OpenOptions {
+                verify_checksums: false,
+                source: AnswerSource::CrossCheckSampled(1),
+                ..OpenOptions::default()
+            },
+        )
+        .unwrap();
+        let victim = (m.vertices.start..m.vertices.end)
+            .find(|&v| !c.neighbors(v).is_empty())
+            .unwrap();
+        let _ = e.neighbors(victim);
+        assert!(e.mismatch_count() > 0, "tampered row must flag");
+        assert_eq!(e.sampled_checks(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

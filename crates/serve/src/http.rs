@@ -1,0 +1,495 @@
+//! Minimal HTTP/1.1 framing over `std::net` — exactly what `kron serve
+//! --listen` needs, and nothing more.
+//!
+//! The build environment has no crate registry, so there is no hyper or
+//! tiny_http to lean on; this module hand-rolls the subset of RFC 9112
+//! the server speaks: requests with optional bodies, keep-alive
+//! connections, percent-encoded query strings, and fixed
+//! `Content-Length` responses (no chunked transfer coding, no trailers,
+//! no upgrades). It also ships a small blocking [`Client`] so the
+//! integration tests and `bench_serve`'s loopback workload exercise the
+//! real wire format instead of reimplementing it.
+//!
+//! Parsing is **incremental**: [`Conn`] owns a byte buffer that survives
+//! read timeouts, so a server worker can poll a keep-alive connection
+//! with a short read timeout (checking its shutdown flag between polls)
+//! without ever losing a partially received request.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Hard cap on a request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+
+/// Hard cap on a request body (a `POST /batch` query file).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after the
+    /// response (`Connection: close`, or an HTTP/1.0 request).
+    pub close: bool,
+}
+
+impl Request {
+    /// First query parameter named `name`, if any.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of one [`Conn::next_request`] poll.
+#[derive(Debug)]
+pub enum NextRequest {
+    /// A complete request arrived.
+    Request(Request),
+    /// The read timed out with no complete request buffered — the caller
+    /// should check its shutdown flag and poll again.
+    Idle,
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+}
+
+/// A server-side connection: a stream plus the bytes received so far.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Wrap an accepted stream.
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Poll for the next request. Returns [`NextRequest::Idle`] on a read
+    /// timeout (any bytes already received stay buffered), and an error
+    /// for malformed or oversized requests — after which the connection
+    /// must be dropped (the buffer may be mid-request).
+    pub fn next_request(&mut self) -> io::Result<NextRequest> {
+        loop {
+            if let Some((req, consumed)) = parse_request(&self.buf)
+                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?
+            {
+                self.buf.drain(..consumed);
+                return Ok(NextRequest::Request(req));
+            }
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(NextRequest::Closed)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-request",
+                        ))
+                    }
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(NextRequest::Idle)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Write a complete response with a fixed `Content-Length`.
+    pub fn respond(&mut self, status: u16, content_type: &str, body: &[u8]) -> io::Result<()> {
+        write_response(&mut self.stream, status, content_type, body)
+    }
+}
+
+/// The standard reason phrase for the status codes this server uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write one HTTP/1.1 response (keep-alive; the server closes by
+/// dropping the stream when the request asked for `Connection: close`).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Try to parse one complete request off the front of `buf`. Returns the
+/// request and the number of bytes it consumed, `None` if more bytes are
+/// needed, or an error message for a malformed/oversized request.
+#[allow(clippy::type_complexity)]
+fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, String> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Err(format!("request head exceeds {MAX_HEAD} bytes"));
+        }
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "request head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or("missing method")?;
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if parts.next().is_some() {
+        return Err(format!("malformed request line {request_line:?}"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(format!("unsupported protocol version {version:?}"));
+    }
+    let mut content_length = 0usize;
+    let mut close = version == "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header line {line:?}"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                if content_length > MAX_BODY {
+                    return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+                }
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v == "close" {
+                    close = true;
+                } else if v == "keep-alive" {
+                    close = false;
+                }
+            }
+            "transfer-encoding" => {
+                return Err("chunked transfer coding is not supported".into());
+            }
+            _ => {}
+        }
+    }
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw, false)?;
+    let mut query = Vec::new();
+    for pair in query_raw.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.push((percent_decode(k, true)?, percent_decode(v, true)?));
+    }
+    Ok(Some((
+        Request {
+            method: method.to_string(),
+            path,
+            query,
+            body: buf[body_start..total].to_vec(),
+            close,
+        },
+        total,
+    )))
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Percent-decode a path or query component. In query components (`+` is
+/// a space per the form encoding every HTTP client emits); in paths it is
+/// literal.
+pub fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| format!("truncated percent escape in {s:?}"))?;
+                let hex = std::str::from_utf8(hex).map_err(|_| "bad percent escape")?;
+                out.push(
+                    u8::from_str_radix(hex, 16)
+                        .map_err(|_| format!("bad percent escape %{hex} in {s:?}"))?,
+                );
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("percent-decoded {s:?} is not UTF-8"))
+}
+
+/// Percent-encode a string for use as one query-component value
+/// (everything but unreserved characters is `%XX`-escaped).
+pub fn encode_query_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// A blocking keep-alive HTTP/1.1 client for tests and benchmarks.
+///
+/// One TCP connection, one in-flight request at a time; responses must
+/// carry `Content-Length` (which this module's server always does).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to a server address.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The peer (server) address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// `GET path` → `(status, body)`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with a body → `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, String)> {
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: kron\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+        loop {
+            if let Some(head_end) = find_head_end(&self.buf) {
+                let head = std::str::from_utf8(&self.buf[..head_end])
+                    .map_err(|_| bad("response head is not UTF-8".into()))?;
+                let mut lines = head.split("\r\n");
+                let status_line = lines.next().unwrap_or("");
+                let status: u16 = status_line
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+                let mut content_length = 0usize;
+                for line in lines {
+                    if let Some((name, value)) = line.split_once(':') {
+                        if name.trim().eq_ignore_ascii_case("content-length") {
+                            content_length = value
+                                .trim()
+                                .parse()
+                                .map_err(|_| bad(format!("bad Content-Length {value:?}")))?;
+                        }
+                    }
+                }
+                let total = head_end + 4 + content_length;
+                if self.buf.len() >= total {
+                    let body = String::from_utf8_lossy(&self.buf[head_end + 4..total]).into_owned();
+                    self.buf.drain(..total);
+                    return Ok((status, body));
+                }
+            }
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed mid-response",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> (Request, usize) {
+        parse_request(bytes).unwrap().expect("complete request")
+    }
+
+    #[test]
+    fn request_line_query_and_body_parse() {
+        let raw =
+            b"POST /batch?x=1&name=a%20b+c HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+        let (req, consumed) = parse_all(raw);
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/batch");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("name"), Some("a b c"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.body, b"hello");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_the_full_request() {
+        let raw = b"GET /query?q=degree%205 HTTP/1.1\r\nHost: h\r\n\r\n";
+        for cut in 0..raw.len() {
+            assert!(
+                parse_request(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+        let (req, consumed) = parse_all(raw);
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.query_param("q"), Some("degree 5"));
+    }
+
+    #[test]
+    fn pipelined_requests_consume_one_at_a_time() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (first, consumed) = parse_all(raw);
+        assert_eq!(first.path, "/healthz");
+        assert!(!first.close);
+        let (second, consumed2) = parse_all(&raw[consumed..]);
+        assert_eq!(second.path, "/stats");
+        assert!(second.close);
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close() {
+        let (req, _) = parse_all(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(req.close);
+        let (req, _) = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_hangs() {
+        for raw in [
+            &b"FROB\r\n\r\n"[..],
+            b"GET /x HTTP/2\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /%zz HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(parse_request(raw).is_err(), "{raw:?} must be rejected");
+        }
+        // an oversized head errors instead of buffering forever
+        let huge = vec![b'a'; MAX_HEAD + 5];
+        assert!(parse_request(&huge).is_err());
+        // an oversized declared body errors up front
+        let raw = format!(
+            "POST /b HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(parse_request(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn percent_coding_roundtrips() {
+        let line = "tri_edge 12 34";
+        let enc = encode_query_component(line);
+        assert_eq!(enc, "tri_edge%2012%2034");
+        assert_eq!(percent_decode(&enc, true).unwrap(), line);
+        assert_eq!(percent_decode("a+b", true).unwrap(), "a b");
+        assert_eq!(percent_decode("a+b", false).unwrap(), "a+b");
+        assert!(percent_decode("%g1", true).is_err());
+        assert!(percent_decode("%2", true).is_err());
+    }
+
+    #[test]
+    fn responses_carry_exact_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"ok\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok\n"), "{text}");
+        assert_eq!(reason(422), "Unprocessable Entity");
+    }
+}

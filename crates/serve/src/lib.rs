@@ -29,7 +29,13 @@
 //! * [`OpenOptions`] — validation depth, answer source, and an optional
 //!   LRU of hot decoded rows ([`RowCache`]) with per-shard routing stats
 //!   ([`RoutingReport`]) for skewed artifact loads;
-//! * [`parse_queries`] — the `kron serve --queries file.txt` line format.
+//! * [`parse_queries`] — the `kron serve --queries file.txt` line format;
+//! * [`Server`] — the long-lived TCP/HTTP front end (`kron serve
+//!   --listen`): open and validate once, then answer `/query`, `/batch`,
+//!   `/stats`, and `/healthz` over a hand-rolled std-only HTTP/1.1 layer
+//!   ([`http`]) until a shutdown flag flips. Pair it with
+//!   [`AnswerSource::CrossCheckSampled`] (`--source cross-check:N`) for
+//!   always-on 1-in-N conformance auditing at artifact-path cost.
 //!
 //! Semantics match the in-memory oracles exactly: degrees exclude self
 //! loops, triangles ignore loops (the paper's Rem. 3), and every answer
@@ -81,9 +87,12 @@
 mod batch;
 mod cache;
 mod engine;
+pub mod http;
 mod oracle;
+mod server;
 
 pub use batch::{parse_queries, run_batch, Answer, BatchOutcome, Query, QueryStats};
 pub use cache::{RoutingReport, RowCache};
 pub use engine::{AnswerSource, Mismatch, OpenOptions, ServeEngine, ServeError};
 pub use oracle::FactorOracle;
+pub use server::{Server, ServerOptions, ServerReport};

@@ -1,0 +1,590 @@
+//! The long-lived serving process: a TCP/HTTP front end over
+//! [`ServeEngine`].
+//!
+//! PR 2/3 made point queries cheap — but every `kron serve --queries`
+//! invocation still paid process startup, shard validation, and (in
+//! oracle modes) factor parsing. [`Server`] amortizes all of that across
+//! the process lifetime: open once, `mmap` once, then answer over
+//! loopback or the network until told to stop. Combined with
+//! [`AnswerSource::CrossCheckSampled`] this is the ROADMAP's production
+//! posture: artifact-cost serving with an always-on 1-in-N conformance
+//! audit against the paper's closed forms.
+//!
+//! Design constraints shape the implementation:
+//!
+//! * **std only** (no crate registry): a hand-rolled HTTP/1.1 subset
+//!   ([`crate::http`]) over `std::net::TcpListener`.
+//! * **thread-per-connection, capped**: every accepted connection gets
+//!   its own handler thread (blocking reads with a short timeout, so
+//!   shutdown is never blocked on an idle keep-alive peer); the accept
+//!   loop pauses at the configured connection cap, leaving further peers
+//!   in the kernel backlog. A fixed worker pool was rejected — an idle
+//!   keep-alive connection would pin its worker and starve the queue.
+//! * **graceful shutdown via an atomic flag**: [`Server::run`] borrows a
+//!   caller-owned `AtomicBool` (the CLI sets it from SIGTERM/SIGINT, the
+//!   tests from a scope thread). On shutdown the listener stops
+//!   accepting, queued connections finish their in-flight request, and
+//!   `run` returns a [`ServerReport`] the caller turns into an exit
+//!   code (nonzero if any sampled query disagreed with the oracle).
+//!
+//! The wire protocol (endpoints, status codes, JSON shapes) is specified
+//! normatively in `ARCHITECTURE.md` § "Serving over the network".
+
+use crate::batch::{self, Query, QueryStats};
+use crate::engine::ServeEngine;
+use crate::http::{self, Conn, NextRequest};
+use kron_stream::json::Json;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How long a worker blocks on a quiet connection before checking the
+/// shutdown flag.
+const POLL_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Per-query latencies kept for the `/stats` rolling window.
+const RECENT_LATENCIES: usize = 4096;
+
+/// Hard cap on one `/batch` response body. The *request* cap lives in
+/// [`http::MAX_BODY`]; answers amplify, so the response needs its own.
+const MAX_BATCH_RESPONSE: usize = 64 * 1024 * 1024;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug, Default)]
+pub struct ServerOptions {
+    /// Maximum concurrent connection-handler threads (the server is
+    /// thread-per-connection: an idle keep-alive peer owns its thread, so
+    /// this caps *connections*, not requests); `0` means 64. When the cap
+    /// is reached, further connections wait in the kernel's accept
+    /// backlog until a handler frees up.
+    pub threads: usize,
+}
+
+/// Default connection cap: queries are blocking-I/O bound, not CPU
+/// bound, so far more handler threads than cores is the right shape.
+const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+impl ServerOptions {
+    fn max_connections(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            DEFAULT_MAX_CONNECTIONS
+        }
+    }
+}
+
+/// Totals of one server run, returned by [`Server::run`] after shutdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerReport {
+    /// HTTP requests handled (all endpoints).
+    pub requests: u64,
+    /// Requests rejected as malformed (bad framing, bad query syntax).
+    pub bad_requests: u64,
+    /// Queries answered (each `/query`, plus each line of every
+    /// `/batch`).
+    pub queries: u64,
+    /// Queries that returned an engine error (out-of-range, corrupt).
+    pub query_errors: u64,
+    /// Queries that ran both answer paths (see
+    /// [`ServeEngine::sampled_checks`]).
+    pub sampled_checks: u64,
+    /// Artifact/oracle disagreements recorded over the whole run.
+    pub mismatches: u64,
+}
+
+impl std::fmt::Display for ServerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests ({} malformed), {} queries ({} errors), \
+             {} sampled cross-checks, {} mismatches",
+            self.requests,
+            self.bad_requests,
+            self.queries,
+            self.query_errors,
+            self.sampled_checks,
+            self.mismatches
+        )
+    }
+}
+
+/// Counters and the latency window shared by all workers.
+struct ServerState<'e> {
+    engine: &'e ServeEngine,
+    started: Instant,
+    threads: usize,
+    requests: AtomicU64,
+    bad_requests: AtomicU64,
+    queries: AtomicU64,
+    query_errors: AtomicU64,
+    wedge_checks: AtomicU64,
+    /// Rolling window of the most recent per-query latencies; `/stats`
+    /// derives its percentile block from this.
+    recent: Mutex<Vec<Duration>>,
+}
+
+impl ServerState<'_> {
+    /// Record one answered query.
+    fn record_query(&self, lat: Duration, is_err: bool, checks: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.query_errors
+            .fetch_add(u64::from(is_err), Ordering::Relaxed);
+        self.wedge_checks.fetch_add(checks, Ordering::Relaxed);
+        let mut recent = self.recent.lock().unwrap();
+        if recent.len() >= RECENT_LATENCIES {
+            // overwrite round-robin: cheap, and percentiles of a rolling
+            // window do not care about intra-window order
+            let i = (self.queries.load(Ordering::Relaxed) as usize) % RECENT_LATENCIES;
+            recent[i] = lat;
+        } else {
+            recent.push(lat);
+        }
+    }
+
+    fn report(&self) -> ServerReport {
+        ServerReport {
+            requests: self.requests.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            query_errors: self.query_errors.load(Ordering::Relaxed),
+            sampled_checks: self.engine.sampled_checks(),
+            mismatches: self.engine.mismatch_count(),
+        }
+    }
+
+    /// The `/stats` document.
+    fn stats_json(&self) -> Json {
+        let recent = self.recent.lock().unwrap().clone();
+        // Latencies are the rolling window; the scalar fields (errors,
+        // mismatches, wedge checks, wall = uptime) are run totals, so the
+        // row never contradicts the top-level counters beside it.
+        let window = QueryStats::from_samples(
+            self.engine.source(),
+            recent,
+            self.query_errors.load(Ordering::Relaxed) as usize,
+            self.engine.mismatch_count(),
+            self.threads,
+            self.started.elapsed(),
+            self.wedge_checks.load(Ordering::Relaxed),
+        );
+        Json::obj(vec![
+            ("source", Json::str(&self.engine.source().to_string())),
+            (
+                "uptime_secs",
+                Json::num(self.started.elapsed().as_secs_f64()),
+            ),
+            ("threads", Json::num(self.threads)),
+            ("requests", Json::num(self.requests.load(Ordering::Relaxed))),
+            (
+                "bad_requests",
+                Json::num(self.bad_requests.load(Ordering::Relaxed)),
+            ),
+            ("queries", Json::num(self.queries.load(Ordering::Relaxed))),
+            (
+                "errors",
+                Json::num(self.query_errors.load(Ordering::Relaxed)),
+            ),
+            ("sampled_checks", Json::num(self.engine.sampled_checks())),
+            ("mismatch_count", Json::num(self.engine.mismatch_count())),
+            ("recent", window.to_json()),
+            ("routing", self.engine.routing().to_json()),
+            (
+                "mismatches",
+                Json::Arr(
+                    self.engine
+                        .mismatches()
+                        .iter()
+                        .map(|m| m.to_json())
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A bound, not-yet-running server.
+///
+/// Binding and running are split so the caller can learn the actual
+/// address (`--listen 127.0.0.1:0` binds an ephemeral port) before the
+/// blocking [`Server::run`] call.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Bind the listening socket. The listener is placed in
+    /// non-blocking mode so the accept loop can interleave shutdown
+    /// checks.
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server { listener })
+    }
+
+    /// The bound address (with the real port for `:0` binds).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until `shutdown` becomes `true`, then drain and return the
+    /// run's totals.
+    ///
+    /// Accepted connections are handed to a pool of
+    /// `opts.threads` workers; each worker serves its connection's
+    /// keep-alive request stream to completion. On shutdown: no new
+    /// connections are accepted, already-queued connections still get
+    /// their in-flight request answered, idle keep-alive connections are
+    /// closed at the next poll tick (≤ ~100 ms).
+    pub fn run(
+        &self,
+        engine: &ServeEngine,
+        opts: &ServerOptions,
+        shutdown: &AtomicBool,
+    ) -> io::Result<ServerReport> {
+        let max_connections = opts.max_connections();
+        let state = ServerState {
+            engine,
+            started: Instant::now(),
+            threads: max_connections,
+            requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            query_errors: AtomicU64::new(0),
+            wedge_checks: AtomicU64::new(0),
+            recent: Mutex::new(Vec::new()),
+        };
+        // Thread per connection, capped: a fixed worker pool would pin a
+        // worker to every idle keep-alive peer and starve queued
+        // connections, so instead each accepted connection gets its own
+        // handler thread and the accept loop pauses at the cap (pending
+        // peers wait in the kernel backlog — natural backpressure).
+        let active = AtomicUsize::new(0);
+        // Transient accept failures (a peer resetting before accept —
+        // ECONNABORTED — or momentary fd pressure) must not end the run:
+        // a silent early exit would still report "clean" to the shutdown
+        // contract. Retry with backoff; only a listener that fails
+        // persistently (dead fd) ends the loop.
+        const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
+        let mut accept_errors = 0u32;
+        std::thread::scope(|s| {
+            while !shutdown.load(Ordering::SeqCst) {
+                if active.load(Ordering::SeqCst) >= max_connections {
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accept_errors = 0;
+                        active.fetch_add(1, Ordering::SeqCst);
+                        let state = &state;
+                        let active = &active;
+                        s.spawn(move || {
+                            handle_connection(state, stream, shutdown);
+                            active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        accept_errors += 1;
+                        if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                            // persistently broken listener: give up; the
+                            // in-flight handlers drain and the report
+                            // still comes back
+                            eprintln!("kron serve: accept failing persistently, stopping: {e}");
+                            break;
+                        }
+                        eprintln!("kron serve: accept error (retrying): {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+            // scope exit joins every handler: each notices the shutdown
+            // flag at its next poll tick (≤ ~100 ms) or after finishing
+            // its in-flight request
+        });
+        Ok(state.report())
+    }
+}
+
+/// Serve one connection's request stream until it closes, errors, or the
+/// server shuts down.
+fn handle_connection(state: &ServerState<'_>, stream: TcpStream, shutdown: &AtomicBool) {
+    // On BSD-derived platforms an accepted socket inherits the listener's
+    // O_NONBLOCK (Linux does not); force blocking mode so the idle poll
+    // is paced by the read timeout instead of spinning on WouldBlock.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(POLL_READ_TIMEOUT)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut conn = Conn::new(stream);
+    loop {
+        match conn.next_request() {
+            Ok(NextRequest::Closed) => break,
+            Ok(NextRequest::Idle) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Ok(NextRequest::Request(req)) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let close = req.close;
+                let (status, content_type, body) = route(state, &req);
+                if status == 400 {
+                    state.bad_requests.fetch_add(1, Ordering::Relaxed);
+                }
+                if conn.respond(status, content_type, &body).is_err() {
+                    break;
+                }
+                if close || shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // framing error: answer 400 if the socket still takes
+                // writes, then drop the connection (state is mid-request)
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                state.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.respond(400, "text/plain", b"error: malformed request\n");
+                break;
+            }
+            Err(_) => break, // transport error (reset, mid-request EOF):
+                             // no request was received — not a bad one
+        }
+    }
+}
+
+/// Dispatch one request to its endpoint.
+fn route(state: &ServerState<'_>, req: &http::Request) -> (u16, &'static str, Vec<u8>) {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    const JSON: &str = "application/json";
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, TEXT, b"ok\n".to_vec()),
+        ("GET", "/query") => {
+            let Some(line) = req.query_param("q") else {
+                return (400, TEXT, b"error: missing query parameter q\n".to_vec());
+            };
+            match Query::parse(line) {
+                Err(e) => (400, TEXT, format!("error: {e}\n").into_bytes()),
+                Ok(query) => {
+                    let t0 = Instant::now();
+                    let (res, checks) = batch::answer(state.engine, query);
+                    state.record_query(t0.elapsed(), res.is_err(), checks);
+                    match res {
+                        Ok(a) => (200, TEXT, format!("{a}\n").into_bytes()),
+                        Err(e) => (422, TEXT, format!("error: {e}\n").into_bytes()),
+                    }
+                }
+            }
+        }
+        ("POST", "/batch") => {
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return (400, TEXT, b"error: body is not UTF-8\n".to_vec());
+            };
+            match batch::parse_queries(text) {
+                Err(e) => (400, TEXT, format!("error: {e}\n").into_bytes()),
+                Ok(queries) => {
+                    // sequential on purpose: answers come back in input
+                    // order by construction, identical to `run_batch`
+                    // output, and concurrency comes from the connection
+                    // pool rather than intra-batch fan-out
+                    let mut lines = String::new();
+                    for &q in &queries {
+                        let t0 = Instant::now();
+                        let (res, checks) = batch::answer(state.engine, q);
+                        state.record_query(t0.elapsed(), res.is_err(), checks);
+                        match res {
+                            Ok(a) => lines.push_str(&format!("{q} = {a}\n")),
+                            Err(e) => lines.push_str(&format!("{q} = error: {e}\n")),
+                        }
+                        // The request body is capped, but answers amplify
+                        // (one `neighbors <hub>` line can render thousands
+                        // of ids); keep the response bounded too instead
+                        // of buffering gigabytes for one request.
+                        if lines.len() > MAX_BATCH_RESPONSE {
+                            return (
+                                413,
+                                TEXT,
+                                format!(
+                                    "error: batch response exceeds {MAX_BATCH_RESPONSE} \
+                                     bytes — split the batch\n"
+                                )
+                                .into_bytes(),
+                            );
+                        }
+                    }
+                    (200, TEXT, lines.into_bytes())
+                }
+            }
+        }
+        ("GET", "/stats") => (200, JSON, format!("{}\n", state.stats_json()).into_bytes()),
+        (_, "/healthz" | "/query" | "/batch" | "/stats") => (
+            405,
+            TEXT,
+            b"error: method not allowed for this endpoint\n".to_vec(),
+        ),
+        _ => (404, TEXT, b"error: no such endpoint\n".to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AnswerSource, OpenOptions};
+    use crate::http::Client;
+    use kron::KronProduct;
+    use kron_graph::Graph;
+    use kron_stream::{stream_product, OutputFormat, StreamConfig};
+
+    fn run_dir(name: &str) -> (std::path::PathBuf, KronProduct) {
+        let dir =
+            std::env::temp_dir().join(format!("kron_server_unit_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let c = KronProduct::new(a.clone(), a);
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+        cfg.shards = 2;
+        stream_product(&c, &cfg).unwrap();
+        (dir, c)
+    }
+
+    #[test]
+    fn endpoints_answer_and_shutdown_is_graceful() {
+        let (dir, c) = run_dir("endpoints");
+        let engine = ServeEngine::open_verified(&dir).unwrap();
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = AtomicBool::new(false);
+        let report = std::thread::scope(|s| {
+            let run = s.spawn(|| server.run(&engine, &ServerOptions::default(), &stop));
+            let mut client = Client::connect(addr).unwrap();
+            let (status, body) = client.get("/healthz").unwrap();
+            assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+            let (status, body) = client.get("/query?q=degree%205").unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body.trim().parse::<u64>().unwrap(), c.degree(5));
+
+            // parse error → 400; engine error (out of range) → 422
+            let (status, body) = client.get("/query?q=frobnicate%201").unwrap();
+            assert_eq!(status, 400, "{body}");
+            let oob = format!("/query?q=degree%20{}", c.num_vertices());
+            let (status, body) = client.get(&oob).unwrap();
+            assert_eq!(status, 422, "{body}");
+            assert!(body.contains("outside all shard row ranges"), "{body}");
+
+            let (status, body) = client
+                .post(
+                    "/batch",
+                    b"degree 0\ntri_vertex 5\n# comment\nhas_edge 0 5\n",
+                )
+                .unwrap();
+            assert_eq!(status, 200);
+            let lines: Vec<&str> = body.lines().collect();
+            assert_eq!(lines.len(), 3);
+            assert_eq!(lines[0], format!("degree 0 = {}", c.degree(0)));
+            assert_eq!(
+                lines[1],
+                format!("tri_vertex 5 = {}", c.vertex_triangles(5))
+            );
+
+            let (status, body) = client.get("/stats").unwrap();
+            assert_eq!(status, 200);
+            let doc = Json::parse(&body).unwrap();
+            // 1 good /query + 1 engine-err /query + 3 batch lines = 5
+            // queries; the parse-failed /query (400) never reached the
+            // engine, so it counts as a bad request, not a query error
+            assert_eq!(doc.req("queries").unwrap().as_u64(), Some(5));
+            assert_eq!(doc.req("errors").unwrap().as_u64(), Some(1));
+            assert_eq!(doc.req("bad_requests").unwrap().as_u64(), Some(1));
+            assert_eq!(doc.req("mismatch_count").unwrap().as_u64(), Some(0));
+            assert!(doc.req("recent").unwrap().get("p99").is_none()); // QueryStats names it p99_us
+            assert!(doc.req("recent").unwrap().get("p99_us").is_some());
+            assert!(doc.req("routing").unwrap().get("shard_fetches").is_some());
+
+            let (status, _) = client.get("/nope").unwrap();
+            assert_eq!(status, 404);
+            let (status, _) = client.post("/healthz", b"").unwrap();
+            assert_eq!(status, 405);
+
+            stop.store(true, Ordering::SeqCst);
+            run.join().unwrap().unwrap()
+        });
+        assert_eq!(report.queries, 5);
+        assert_eq!(report.query_errors, 1);
+        assert_eq!(report.bad_requests, 1);
+        assert_eq!(report.mismatches, 0);
+        assert!(report.requests >= 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_framing_gets_400_and_close() {
+        let (dir, _c) = run_dir("framing");
+        let engine = ServeEngine::open_verified(&dir).unwrap();
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let run = s.spawn(|| server.run(&engine, &ServerOptions { threads: 2 }, &stop));
+            use std::io::{Read, Write};
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            raw.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            raw.read_to_string(&mut resp).unwrap(); // server closes after 400
+            assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+            stop.store(true, Ordering::SeqCst);
+            let report = run.join().unwrap().unwrap();
+            assert_eq!(report.bad_requests, 1);
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampled_source_reports_through_stats_endpoint() {
+        let (dir, c) = run_dir("sampled_stats");
+        let engine = ServeEngine::open_with(
+            &dir,
+            &OpenOptions {
+                source: AnswerSource::CrossCheckSampled(4),
+                ..OpenOptions::default()
+            },
+        )
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let run = s.spawn(|| server.run(&engine, &ServerOptions { threads: 1 }, &stop));
+            let mut client = Client::connect(addr).unwrap();
+            let mut batch = String::new();
+            for v in 0..c.num_vertices() {
+                batch.push_str(&format!("degree {v}\n"));
+            }
+            let (status, _) = client.post("/batch", batch.as_bytes()).unwrap();
+            assert_eq!(status, 200);
+            let (_, body) = client.get("/stats").unwrap();
+            let doc = Json::parse(&body).unwrap();
+            assert_eq!(doc.req("source").unwrap().as_str(), Some("cross-check:4"));
+            assert_eq!(
+                doc.req("sampled_checks").unwrap().as_u64(),
+                Some(c.num_vertices().div_ceil(4))
+            );
+            assert_eq!(doc.req("mismatch_count").unwrap().as_u64(), Some(0));
+            stop.store(true, Ordering::SeqCst);
+            run.join().unwrap().unwrap();
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -31,18 +31,14 @@ pub const HEADER: u64 = 32;
 /// Exact file size of a shard with the given dimensions, or `None` if
 /// the dimensions are corrupt enough to overflow (an attacker- or
 /// corruption-supplied header must not panic the reader).
+///
+/// This is the **only** size computation for the format: there is
+/// deliberately no panicking variant, so header-derived dimensions can
+/// never wrap or abort no matter which call path reaches them.
 pub fn file_size_checked(num_rows: u64, nnz: u64) -> Option<u64> {
     let offsets = num_rows.checked_add(1)?.checked_mul(8)?;
     let cols = nnz.checked_mul(8)?;
     HEADER.checked_add(offsets)?.checked_add(cols)
-}
-
-/// Exact file size of a shard with the given dimensions.
-///
-/// # Panics
-/// Panics on overflow — use [`file_size_checked`] for untrusted headers.
-pub fn file_size(num_rows: u64, nnz: u64) -> u64 {
-    file_size_checked(num_rows, nnz).expect("shard dimensions overflow")
 }
 
 /// Zero-copy reader over an on-disk CSR shard.
@@ -186,7 +182,7 @@ mod tests {
         sink.push(12, 0).unwrap();
         let (name, bytes) = sink.finish().unwrap().unwrap();
         assert_eq!(name, "s.csr");
-        assert_eq!(bytes, file_size(3, 3));
+        assert_eq!(Some(bytes), file_size_checked(3, 3));
         let r = CsrReader::open(&dir.join("s.csr")).unwrap();
         assert_eq!(r.vertex_lo(), 10);
         assert_eq!(r.num_rows(), 3);

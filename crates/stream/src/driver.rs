@@ -113,19 +113,32 @@ fn make_sink<'a>(
     spec: &ShardSpec,
     format: OutputFormat,
     product: &'a KronProduct,
-) -> std::io::Result<Box<dyn EdgeSink + 'a>> {
+) -> Result<Box<dyn EdgeSink + 'a>, StreamError> {
+    // A format with no artifact name ([`OutputFormat::Count`]) must never
+    // reach the file-backed arms; surface a mismatch as a shard error
+    // rather than panicking, so a refactored call path degrades to a
+    // failed run instead of an abort.
+    let named = || {
+        format.artifact_name(spec.index).ok_or_else(|| {
+            StreamError::Shard(
+                spec.index,
+                format!("format {:?} has no artifact file name", format.as_str()),
+            )
+        })
+    };
+    let io_err = |e: std::io::Error| StreamError::Shard(spec.index, e.to_string());
     Ok(match format {
         OutputFormat::Count => Box::new(CountSink::default()),
-        OutputFormat::Edges => Box::new(EdgeListSink::create(
-            dir,
-            &format.artifact_name(spec.index).unwrap(),
-        )?),
-        OutputFormat::Csr => Box::new(CsrSink::create(
-            dir,
-            &format.artifact_name(spec.index).unwrap(),
-            spec.stats.vertices.start,
-            product.row_lengths_in_rows(spec.stats.rows.clone()),
-        )?),
+        OutputFormat::Edges => Box::new(EdgeListSink::create(dir, &named()?).map_err(io_err)?),
+        OutputFormat::Csr => Box::new(
+            CsrSink::create(
+                dir,
+                &named()?,
+                spec.stats.vertices.start,
+                product.row_lengths_in_rows(spec.stats.rows.clone()),
+            )
+            .map_err(io_err)?,
+        ),
     })
 }
 
@@ -264,7 +277,6 @@ pub fn stream_product(
                     continue;
                 }
                 let result = make_sink(dir, spec, cfg.format, product)
-                    .map_err(|e| StreamError::Shard(spec.index, e.to_string()))
                     .and_then(|mut sink| run_shard(product, spec, cfg.format, sink.as_mut()))
                     .and_then(|m| {
                         write_json_atomic(dir, &manifest_name(spec.index), &m.to_json())

@@ -244,7 +244,10 @@ impl<I: Iterator<Item = u64>> EdgeSink for CsrSink<I> {
             ));
         }
         let bytes = commit(&self.dir, &self.name, &self.tmp, &mut self.writer)?;
-        debug_assert_eq!(bytes, crate::csr::file_size(self.num_rows, self.nnz));
+        debug_assert_eq!(
+            Some(bytes),
+            crate::csr::file_size_checked(self.num_rows, self.nnz)
+        );
         Ok(Some((self.name.clone(), bytes)))
     }
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end smoke of `kron serve --listen`: generate a small CSR run
+# directory, start the server with sampled cross-checking, exercise every
+# endpoint with a scripted client, then assert a clean graceful shutdown
+# (exit 0 — meaning no sampled query disagreed with the closed-form
+# oracle). Run from the repo root; CI calls it after the release build.
+set -euo pipefail
+
+BIN=${KRON_BIN:-target/release/kron}
+work=$(mktemp -d)
+server_pid=""
+trap '[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null; rm -rf "$work"' EXIT
+
+echo "== generate a run directory"
+"$BIN" gen holme-kim --n 40 --m 2 --seed 7 --out "$work/a.tsv"
+"$BIN" stream "$work/a.tsv" "$work/a.tsv" --out "$work/run" --shards 4 --format csr
+"$BIN" verify-shards "$work/run"
+
+echo "== start the server (ephemeral port, cross-check 1 in 4)"
+"$BIN" serve "$work/run" --listen 127.0.0.1:0 --source cross-check:4 \
+    > "$work/stdout.txt" 2> "$work/stderr.txt" &
+server_pid=$!
+for _ in $(seq 100); do
+    grep -q '^listening on ' "$work/stdout.txt" 2>/dev/null && break
+    sleep 0.1
+done
+addr=$(sed -n 's|^listening on http://||p' "$work/stdout.txt" | head -1)
+[ -n "$addr" ] || { echo "server never printed its address"; exit 1; }
+echo "   bound at $addr"
+
+echo "== healthz / query / batch / stats"
+[ "$(curl -fsS "http://$addr/healthz")" = "ok" ]
+degree=$(curl -fsS "http://$addr/query?q=degree%2057")
+echo "   degree 57 = $degree"
+[ "$degree" -ge 0 ] 2>/dev/null
+printf 'degree 57\ntri_vertex 57\ntri_edge 57 58\nneighbors 3\n' \
+    | curl -fsS --data-binary @- "http://$addr/batch" | tee "$work/batch.txt"
+[ "$(wc -l < "$work/batch.txt")" -eq 4 ]
+grep -q '^degree 57 = ' "$work/batch.txt"
+stats=$(curl -fsS "http://$addr/stats")
+echo "$stats" | grep -q '"mismatch_count":0'
+echo "$stats" | grep -q '"source":"cross-check:4"'
+echo "$stats" | grep -vq '"sampled_checks":0'
+# malformed queries are 400s, not crashes
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/query?q=frobnicate")
+[ "$code" = 400 ]
+# out-of-range vertices are 422s
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/query?q=degree%2099999999")
+[ "$code" = 422 ]
+
+echo "== graceful shutdown (SIGTERM → exit 0 on a clean cross-check record)"
+kill -TERM "$server_pid"
+status=0
+wait "$server_pid" || status=$?
+server_pid=""
+[ "$status" -eq 0 ] || { echo "server exited $status on a clean run"; exit 1; }
+grep -q 'cross-check: 0 mismatches' "$work/stderr.txt"
+echo "server smoke OK (exit $status)"
