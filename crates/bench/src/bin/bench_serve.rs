@@ -132,6 +132,7 @@ fn main() {
                 verify_checksums: false,
                 source,
                 row_cache,
+                ..OpenOptions::default()
             },
         )
         .expect("open engine")
@@ -211,6 +212,111 @@ fn main() {
         assert_eq!(stats.errors, 0, "server/degree_http: queries must not fail");
         print_row("server", "degree_http", &stats);
         results.push(("server".to_string(), "degree_http", stats));
+    }
+
+    // Cluster loopback workload: two shard-subset nodes + a forwarding
+    // router over the same run directory, driven with the same degree and
+    // tri_vertex mixes. The degree row measures pure routing overhead
+    // (one extra hop, no cross-node rows); the tri_vertex row pays real
+    // node-to-node /row fetches for every non-resident neighbor.
+    if shards >= 2 {
+        use kron_serve::http::{encode_query_component, Client};
+        use kron_serve::{PeerSpec, Router, Server, ServerOptions};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let split = shards / 2;
+        let node0_srv = Server::bind("127.0.0.1:0").expect("bind node 0");
+        let node1_srv = Server::bind("127.0.0.1:0").expect("bind node 1");
+        let front = Server::bind("127.0.0.1:0").expect("bind router");
+        let (addr0, addr1) = (
+            node0_srv.local_addr().unwrap(),
+            node1_srv.local_addr().unwrap(),
+        );
+        let node = |subset: std::ops::Range<usize>, peers: Vec<PeerSpec>| {
+            ServeEngine::open_with(
+                &dir,
+                &OpenOptions {
+                    verify_checksums: false,
+                    row_cache: cache_rows,
+                    shard_subset: Some(subset),
+                    peers,
+                    ..OpenOptions::default()
+                },
+            )
+            .expect("open cluster node")
+        };
+        let node0 = node(
+            0..split,
+            vec![PeerSpec {
+                shards: split..shards,
+                addr: addr1.to_string(),
+            }],
+        );
+        let node1 = node(
+            split..shards,
+            vec![PeerSpec {
+                shards: 0..split,
+                addr: addr0.to_string(),
+            }],
+        );
+        let stop = AtomicBool::new(false);
+        let opts = ServerOptions::default();
+        let cluster_rows = std::thread::scope(|s| {
+            let h0 = s.spawn(|| node0_srv.run(&node0, &opts, &stop));
+            let h1 = s.spawn(|| node1_srv.run(&node1, &opts, &stop));
+            let router = Router::discover(
+                &[addr0.to_string(), addr1.to_string()],
+                std::time::Duration::from_secs(5),
+            )
+            .expect("discover cluster");
+            let (stop_ref, opts_ref, front_ref) = (&stop, &opts, &front);
+            let hr = s.spawn(move || router.run(front_ref, opts_ref, stop_ref));
+            let mut client = Client::connect(front.local_addr().unwrap()).expect("connect router");
+            let mut rows = Vec::new();
+            for (kind, queries) in [
+                ("degree_http", &mixes[0].1),
+                ("tri_vertex_http", &mixes[3].1),
+            ] {
+                let t0 = Instant::now();
+                let mut lats = Vec::with_capacity(queries.len());
+                let mut errors = 0usize;
+                for q in queries.iter() {
+                    let path = format!("/query?q={}", encode_query_component(&q.to_string()));
+                    let q0 = Instant::now();
+                    let (status, _body) = client.get(&path).expect("routed GET /query");
+                    lats.push(q0.elapsed());
+                    errors += usize::from(status != 200);
+                }
+                let stats = QueryStats::from_samples(
+                    AnswerSource::Artifact,
+                    lats,
+                    errors,
+                    0,
+                    1,
+                    t0.elapsed(),
+                    0,
+                );
+                assert_eq!(stats.errors, 0, "cluster/{kind}: queries must not fail");
+                print_row("cluster", kind, &stats);
+                rows.push((kind, stats));
+            }
+            drop(client);
+            stop.store(true, Ordering::SeqCst);
+            let rep0 = h0.join().unwrap().expect("node 0 run");
+            let rep1 = h1.join().unwrap().expect("node 1 run");
+            hr.join().unwrap().expect("router run");
+            assert!(
+                rep0.rows_served + rep1.rows_served > 0,
+                "the tri_vertex mix must cross the node boundary"
+            );
+            eprintln!(
+                "cluster rows served across the wire: {}",
+                rep0.rows_served + rep1.rows_served
+            );
+            rows
+        });
+        for (kind, stats) in cluster_rows {
+            results.push(("cluster".to_string(), kind, stats));
+        }
     }
 
     // Oracle speedup on the triangle point queries — the paper's closed

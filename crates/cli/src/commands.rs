@@ -4,7 +4,10 @@ use crate::args::ParsedArgs;
 use kron::{human_count, product_truss, validate, KronProduct, ProductStats};
 use kron_gen::deterministic;
 use kron_graph::{read_edge_list_path, write_edge_list_path, Graph};
-use kron_serve::{parse_queries, run_batch, AnswerSource, OpenOptions, ServeEngine};
+use kron_serve::{
+    parse_queries, parse_shard_range, run_batch, AnswerSource, OpenOptions, PeerSpec, Router,
+    ServeEngine,
+};
 use kron_stream::{stream_product, verify_shards, OutputFormat, StreamConfig};
 use kron_triangles::count_triangles;
 use std::time::Instant;
@@ -54,6 +57,7 @@ USAGE:
       artifact triangle kernels on skewed loads
   kron serve <DIR> --listen ADDR [--threads T] [--no-verify]
              [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
+             [--shards A..B --peers A..B=ADDR[,A..B=ADDR...]]
       long-lived HTTP server over the same engine: open + validate once,
       then answer GET /query?q=<query-line>, POST /batch (body = query
       file), GET /stats (JSON counters + latency window + routing +
@@ -62,7 +66,21 @@ USAGE:
       `listening on http://…`). --threads sizes the connection pool.
       Graceful shutdown on SIGTERM/ctrl-c: in-flight requests finish,
       totals go to stderr, and the exit code is nonzero if any
-      cross-checked query disagreed with the closed-form oracle
+      cross-checked query disagreed with the closed-form oracle.
+      --shards A..B turns the server into one node of a cluster: it
+      memory-maps only shards [A, B) of the run directory and fetches
+      non-resident rows from the --peers nodes (each spelled
+      A..B=HOST:PORT; the claim plus the peer ranges must tile every
+      shard exactly once). Nodes also answer GET /shards (their claim)
+      and the internal GET /row?shard=S&v=V row fetch
+  kron route --peers ADDR[,ADDR...] --listen ADDR [--threads T]
+      stateless front end for a cluster of `kron serve --shards` nodes:
+      learns each peer's claim from GET /shards at startup, then
+      forwards /query and /batch to the owning node by vertex range
+      (answers byte-identical to a single node serving the whole run),
+      merges /stats across peers, and fans /healthz out to all of them.
+      Start the nodes first; the router exits at startup if a peer is
+      unreachable or the claims leave a gap or overlap
   kron verify-shards <DIR> [--rehash]
       re-check every shard manifest (shard_NNNNN.json) and artifact in DIR
       against the closed-form factor statistics; failures name the
@@ -89,6 +107,7 @@ pub fn run(p: &ParsedArgs) -> Result<(), String> {
         "validate" => cmd_validate(p),
         "stream" => cmd_stream(p),
         "serve" => cmd_serve(p),
+        "route" => cmd_route(p),
         "verify-shards" => cmd_verify_shards(p),
         "help" | "--help" => {
             println!("{USAGE}");
@@ -417,12 +436,29 @@ fn open_serve_engine(dir: &str, opts: &OpenOptions) -> Result<ServeEngine, Strin
     let t0 = Instant::now();
     let engine = ServeEngine::open_with(std::path::Path::new(dir), opts)
         .map_err(|e| format!("{dir}: {e}"))?;
+    let set = engine.shard_set();
+    let resident = if set.is_complete() {
+        format!("{} shard(s)", set.num_shards())
+    } else {
+        let s = set.subset();
+        format!(
+            "shards {}..{} of {} (cluster node; peers: {})",
+            s.start,
+            s.end,
+            set.num_shards(),
+            engine
+                .remote_peers()
+                .iter()
+                .map(PeerSpec::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    };
     eprintln!(
-        "opened {} shard(s), {} mapped bytes, {} entries in {:.2?} \
+        "opened {resident}, {} mapped bytes, {} entries in {:.2?} \
          (checksums {}, source: {}{})",
-        engine.shard_set().num_shards(),
-        engine.shard_set().mapped_bytes(),
-        human_count(engine.shard_set().total_entries()),
+        set.mapped_bytes(),
+        human_count(set.total_entries()),
         t0.elapsed(),
         if opts.source == AnswerSource::Oracle {
             // pure oracle mode never reads artifact contents; the engine
@@ -475,10 +511,24 @@ fn cmd_serve_listen(
 fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
     let dir = p.pos(0, "dir")?;
     let threads: usize = p.opt("threads", 0)?;
+    let shard_subset = match p.options.get("shards") {
+        Some(s) => Some(parse_shard_range(s).map_err(|e| format!("--shards: {e}"))?),
+        None => None,
+    };
+    let peers = match p.options.get("peers") {
+        Some(s) => PeerSpec::parse_list(s).map_err(|e| format!("--peers: {e}"))?,
+        None => Vec::new(),
+    };
+    if shard_subset.is_none() && !peers.is_empty() {
+        return Err("--peers requires --shards A..B (this node's own claim)".into());
+    }
     let opts = OpenOptions {
         verify_checksums: !p.flag("no-verify"),
         source: parse_source(p)?,
         row_cache: p.opt("cache", 0usize)?,
+        shard_subset,
+        peers,
+        ..OpenOptions::default()
     };
     if let Some(addr) = p.options.get("listen") {
         return cmd_serve_listen(dir, addr, &opts, threads);
@@ -527,6 +577,49 @@ fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
     if failed > 0 {
         return Err(format!("{failed} of {} queries failed", queries.len()));
     }
+    Ok(())
+}
+
+/// `kron route --peers ADDR,… --listen ADDR` — the stateless cluster
+/// front end. Start the `kron serve --shards` nodes first.
+fn cmd_route(p: &ParsedArgs) -> Result<(), String> {
+    let addr = p
+        .options
+        .get("listen")
+        .ok_or_else(|| "missing required option --listen ADDR".to_string())?;
+    let peer_addrs: Vec<String> = p
+        .options
+        .get("peers")
+        .ok_or_else(|| "missing required option --peers ADDR[,ADDR...]".to_string())?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    let threads: usize = p.opt("threads", 0)?;
+    let t0 = Instant::now();
+    let router = Router::discover(&peer_addrs, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("discovering peers: {e}"))?;
+    eprintln!(
+        "routing {} vertices across {} node(s) (discovered in {:.2?}):",
+        router.num_vertices(),
+        peer_addrs.len(),
+        t0.elapsed()
+    );
+    for line in router.peer_summary() {
+        eprintln!("  {line}");
+    }
+    let front = kron_serve::Server::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = front.local_addr().map_err(|e| e.to_string())?;
+    // Same contract as `kron serve --listen`: the bound address goes to
+    // stdout, flushed, so scripts can capture the ephemeral port.
+    println!("listening on http://{local}");
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    let shutdown = crate::signals::install_shutdown_flag();
+    let report = router
+        .run(&front, &kron_serve::ServerOptions { threads }, shutdown)
+        .map_err(|e| e.to_string())?;
+    eprintln!("shutdown: {report}");
     Ok(())
 }
 

@@ -15,6 +15,8 @@
 //!            [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
 //! kron serve <DIR> --listen ADDR [--threads T] [--no-verify]
 //!            [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
+//!            [--shards A..B --peers A..B=ADDR,...]
+//! kron route --peers ADDR[,ADDR...] --listen ADDR [--threads T]
 //! kron verify-shards <DIR> [--rehash]
 //! ```
 //!
@@ -38,7 +40,13 @@
 //! forms. The `--listen` server follows the same contract at shutdown:
 //! after SIGTERM/ctrl-c it exits `0` only if no cross-checked query
 //! (every query under `cross-check`, 1 in N under `cross-check:N`)
-//! disagreed with the closed-form oracle during the entire run.
+//! disagreed with the closed-form oracle during the entire run — and a
+//! cluster node (`--shards A..B`) applies that contract to queries it
+//! answered with *remote* rows too, so a tampered artifact anywhere in
+//! the cluster fails the node that served its bytes to a client.
+//! `kron route` exits `1` only when it cannot start (unreachable peer,
+//! gap/overlap in the claimed shard ranges); query-time peer failures
+//! surface to clients as `502` responses, never as silent exits.
 
 mod args;
 mod commands;

@@ -638,12 +638,18 @@ impl ServerChild {
     /// Spawn `kron serve <dir> --listen 127.0.0.1:0 <extra…>` and read
     /// the bound address off the first stdout line.
     fn spawn(run_dir: &std::path::Path, extra: &[&str]) -> ServerChild {
+        let mut args = vec!["serve".to_string(), run_dir.display().to_string()];
+        args.extend(["--listen", "127.0.0.1:0"].map(String::from));
+        args.extend(extra.iter().map(|s| s.to_string()));
+        Self::spawn_args(&args)
+    }
+
+    /// Spawn any `kron` subcommand that prints a `listening on http://…`
+    /// banner (`serve --listen`, `route`) and read the bound address.
+    fn spawn_args(args: &[String]) -> ServerChild {
         use std::io::BufRead;
         let mut child = Command::new(env!("CARGO_BIN_EXE_kron"))
-            .arg("serve")
-            .arg(run_dir)
-            .args(["--listen", "127.0.0.1:0"])
-            .args(extra)
+            .args(args)
             .stdout(std::process::Stdio::piped())
             .stderr(std::process::Stdio::piped())
             .spawn()
@@ -858,6 +864,161 @@ fn serve_listen_rejects_bad_listen_addresses_and_sources() {
     assert!(!out.status.success());
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("--listen"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn cluster_nodes_and_router_serve_end_to_end() {
+    let run_dir = server_run_dir("cluster"); // 3 CSR shards
+                                             // Node 1 first (shards 2..3). Its peer entry completes the ownership
+                                             // map but is never dialed by the queries below (everything routed to
+                                             // node 1 is single-row), so a dead address is fine here.
+    let node1 = ServerChild::spawn(
+        &run_dir,
+        &["--shards", "2..3", "--peers", "0..2=127.0.0.1:1"],
+    );
+    // Node 0 (shards 0..2) gets node 1's real address and audits every
+    // answer — including ones assembled from node 1's rows.
+    let peers0 = format!("2..3={}", node1.addr);
+    let node0 = ServerChild::spawn(
+        &run_dir,
+        &[
+            "--shards",
+            "0..2",
+            "--peers",
+            &peers0,
+            "--source",
+            "cross-check:1",
+        ],
+    );
+    // The router in front of both, plus a whole-run reference server.
+    let router = ServerChild::spawn_args(&[
+        "route".into(),
+        "--peers".into(),
+        format!("{},{}", node0.addr, node1.addr),
+        "--listen".into(),
+        "127.0.0.1:0".into(),
+    ]);
+    let reference = ServerChild::spawn(&run_dir, &[]);
+
+    let mut via_router = router.client();
+    let mut via_single = reference.client();
+    assert_eq!(
+        via_router.get("/healthz").unwrap(),
+        (200, "ok\n".to_string())
+    );
+
+    // Single-row queries across the whole product, cross-shard triangle
+    // queries on node 0's vertices (its peer table is fully real), and
+    // an out-of-range probe: all byte-identical to the single server.
+    let mut queries: Vec<String> = Vec::new();
+    for v in 0..36 {
+        queries.push(format!("degree {v}"));
+        queries.push(format!("neighbors {v}"));
+    }
+    for v in 0..24 {
+        // vertices 0..24 live in shards 0..2 → routed to node 0
+        queries.push(format!("tri_vertex {v}"));
+        queries.push(format!("tri_edge {v} {}", (v + 1) % 36));
+    }
+    queries.push("degree 36".into());
+    for q in &queries {
+        let path = format!("/query?q={}", kron_serve::http::encode_query_component(q));
+        assert_eq!(
+            via_router.get(&path).unwrap(),
+            via_single.get(&path).unwrap(),
+            "cluster diverged from single node on {q}"
+        );
+    }
+    let body: String = queries.iter().map(|q| format!("{q}\n")).collect();
+    assert_eq!(
+        via_router.post("/batch", body.as_bytes()).unwrap(),
+        via_single.post("/batch", body.as_bytes()).unwrap(),
+        "batch diverged"
+    );
+
+    // merged stats: two peers, zero mismatches, real cross-node traffic
+    let (status, stats) = via_router.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"role\":\"router\""), "{stats}");
+    assert!(stats.contains("\"mismatch_count\":0"), "{stats}");
+    assert!(!stats.contains("\"rows_served\":0}"), "{stats}");
+    drop((via_router, via_single));
+
+    // graceful shutdowns, clean exits all around (node 0 certifies its
+    // cross-checked run — remote rows included — against the oracle)
+    let out = router.terminate();
+    assert!(out.status.success(), "router exit: {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("shutdown:"), "{stderr}");
+    let out = node0.terminate();
+    assert!(
+        out.status.success(),
+        "node 0 must exit 0 on a clean cross-checked run; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cross-check: 0 mismatches"),
+        "node 0 stderr must certify the run"
+    );
+    assert!(node1.terminate().status.success());
+}
+
+#[test]
+fn cluster_flag_errors_are_rejected_up_front() {
+    let run_dir = server_run_dir("cluster_flags");
+    // --peers without --shards
+    let out = kron(&[
+        "serve",
+        run_dir.to_str().unwrap(),
+        "--listen",
+        "127.0.0.1:0",
+        "--peers",
+        "0..1=127.0.0.1:1",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--shards"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // incomplete ownership map
+    let out = kron(&[
+        "serve",
+        run_dir.to_str().unwrap(),
+        "--listen",
+        "127.0.0.1:0",
+        "--shards",
+        "0..2",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("incomplete"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // a claim the manifests do not cover
+    let out = kron(&[
+        "serve",
+        run_dir.to_str().unwrap(),
+        "--listen",
+        "127.0.0.1:0",
+        "--shards",
+        "0..9",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not covered"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // the router refuses an unreachable peer at startup
+    let out = kron(&["route", "--peers", "127.0.0.1:1", "--listen", "127.0.0.1:0"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("discovering peers"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );

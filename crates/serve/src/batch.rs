@@ -32,6 +32,12 @@ impl Query {
     /// Keywords: `degree v`, `neighbors v`, `has_edge u v`,
     /// `tri_vertex v`, `tri_edge u v`. Blank lines and `#` comments are
     /// handled by [`parse_queries`].
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown keyword, the missing/extra argument,
+    /// or the token that is not a vertex id (overflow is distinguished
+    /// from malformed input — the server echoes these to remote clients).
     pub fn parse(line: &str) -> Result<Query, String> {
         let mut tok = line.split_whitespace();
         let kw = tok.next().ok_or("empty query")?;
@@ -72,6 +78,18 @@ impl Query {
         }
         Ok(q)
     }
+
+    /// The vertex whose **primary row** answers this query — the one a
+    /// cluster router routes on. For two-vertex queries (`has_edge`,
+    /// `tri_edge`) that is the first vertex: the engine reads `u`'s row
+    /// first and fetches `v`'s (possibly from a peer) only when needed,
+    /// so the node owning `u` answers with at most one remote fetch.
+    pub fn routing_vertex(self) -> u64 {
+        match self {
+            Query::Degree(v) | Query::Neighbors(v) | Query::VertexTriangles(v) => v,
+            Query::HasEdge(u, _) | Query::EdgeTriangles(u, _) => u,
+        }
+    }
 }
 
 impl std::fmt::Display for Query {
@@ -88,6 +106,11 @@ impl std::fmt::Display for Query {
 
 /// Parse a whole query file: one query per line, blank lines and lines
 /// starting with `#` ignored. Errors name the offending line number.
+///
+/// # Errors
+///
+/// The first failing line's [`Query::parse`] message, prefixed with
+/// its 1-based line number.
 pub fn parse_queries(text: &str) -> Result<Vec<Query>, String> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {

@@ -158,6 +158,7 @@ pub struct RoutingStats {
     per_shard: Vec<AtomicU64>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    remote_fetches: AtomicU64,
 }
 
 impl RoutingStats {
@@ -167,6 +168,7 @@ impl RoutingStats {
             per_shard: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            remote_fetches: AtomicU64::new(0),
         }
     }
 
@@ -174,6 +176,13 @@ impl RoutingStats {
     #[inline]
     pub fn record_fetch(&self, shard: usize) {
         self.per_shard[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one row fetched from a cluster peer (also counted in its
+    /// shard's [`RoutingStats::record_fetch`] by the engine).
+    #[inline]
+    pub fn record_remote(&self) {
+        self.remote_fetches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one cache hit.
@@ -198,6 +207,7 @@ impl RoutingStats {
                 .collect(),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            remote_fetches: self.remote_fetches.load(Ordering::Relaxed),
         }
     }
 }
@@ -206,13 +216,17 @@ impl RoutingStats {
 /// (`ServeEngine::routing`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoutingReport {
-    /// Row fetches routed to each shard, by shard index. Cache hits are
+    /// Row fetches routed to each shard, by run-wide shard index (in a
+    /// cluster this covers non-resident shards too). Cache hits are
     /// *not* included — a hit never reaches a shard.
     pub shard_fetches: Vec<u64>,
     /// Row fetches served from the cache.
     pub cache_hits: u64,
     /// Row fetches that missed the cache (and went to a shard).
     pub cache_misses: u64,
+    /// Row fetches that crossed the wire to a cluster peer (a subset of
+    /// the non-resident shards' `shard_fetches`); 0 on a single node.
+    pub remote_fetches: u64,
 }
 
 impl RoutingReport {
@@ -250,6 +264,7 @@ impl RoutingReport {
             ("cache_hits", Json::num(self.cache_hits)),
             ("cache_misses", Json::num(self.cache_misses)),
             ("cache_hit_rate", Json::num(self.hit_rate())),
+            ("remote_fetches", Json::num(self.remote_fetches)),
         ])
     }
 }
@@ -263,7 +278,11 @@ impl std::fmt::Display for RoutingReport {
             self.cache_hits,
             self.cache_misses,
             self.hit_rate() * 100.0
-        )
+        )?;
+        if self.remote_fetches > 0 {
+            write!(f, "; {} remote row fetches", self.remote_fetches)?;
+        }
+        Ok(())
     }
 }
 
@@ -374,14 +393,21 @@ mod tests {
         r.record_miss();
         r.record_miss();
         r.record_miss();
+        r.record_remote();
         let rep = r.report();
         assert_eq!(rep.shard_fetches, vec![1, 0, 2]);
         assert_eq!(rep.total_fetches(), 3);
         assert_eq!(rep.cache_hits, 1);
         assert_eq!(rep.cache_misses, 3);
+        assert_eq!(rep.remote_fetches, 1);
         assert!((rep.hit_rate() - 0.25).abs() < 1e-12);
         let text = rep.to_string();
         assert!(text.contains("hit rate"), "{text}");
+        assert!(text.contains("1 remote row fetches"), "{text}");
+        assert_eq!(
+            rep.to_json().req("remote_fetches").unwrap().as_u64(),
+            Some(1)
+        );
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Multi-node shard-subset serving: peer specs and the remote-row client.
+//!
+//! One machine stops being enough exactly when the paper's products get
+//! interesting: a trillion-entry CSR run directory does not fit one
+//! node's disks or page cache. The cluster answer keeps the wire protocol
+//! and the run-directory format unchanged and splits only *residency*:
+//! each node opens a contiguous **shard subset**
+//! ([`kron_stream::ShardSet::open_subset`]) of the same run directory and
+//! serves every query it receives — local rows zero-copy off its own
+//! mappings, non-resident rows fetched from the owning peer over the
+//! internal `GET /row?shard=S&v=V` endpoint (a raw little-endian `u64`
+//! row; see `ARCHITECTURE.md` § "Cluster serving" for the normative wire
+//! format).
+//!
+//! The **ownership map** has two layers, both static:
+//!
+//! * *shard → vertex range* comes from the run directory's manifests —
+//!   every node reads all of them (they are small JSON files), so routing
+//!   any product vertex to its owning shard needs no network round trip;
+//! * *shard → node* comes from the command line: each node is started
+//!   with `--shards a..b` (its own claim) and `--peers a..b=ADDR,…`
+//!   ([`PeerSpec`]) for every other node. The claim plus the peer ranges
+//!   must tile `0..shards` disjointly, or the engine refuses to open —
+//!   a cluster with an ownership gap would otherwise fail at query time.
+//!
+//! Peers are contacted lazily (first non-resident row fetch), so nodes
+//! can start in any order. Fetched rows flow through the engine's
+//! hot-row [`crate::RowCache`] when one is configured — remote rows are
+//! exactly the expensive-fetch case the LRU exists for.
+//!
+//! ## Example
+//!
+//! ```
+//! use kron_serve::PeerSpec;
+//!
+//! let peers = PeerSpec::parse_list("0..2=10.0.0.1:8080,2..4=10.0.0.2:8080").unwrap();
+//! assert_eq!(peers.len(), 2);
+//! assert_eq!(peers[0].shards, 0..2);
+//! assert_eq!(peers[1].addr, "10.0.0.2:8080");
+//! assert_eq!(peers[1].to_string(), "2..4=10.0.0.2:8080");
+//! ```
+
+use crate::engine::ServeError;
+use crate::http::Client;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default node-to-node fetch timeout (connect and read): long enough
+/// for a loaded peer, short enough that a dead one surfaces as a bounded
+/// [`ServeError::Remote`] instead of a stalled query.
+pub const DEFAULT_PEER_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One peer of a cluster node: the contiguous shard range it serves and
+/// the address its server listens on.
+///
+/// The CLI spelling is `a..b=HOST:PORT` (`a..b` end-exclusive, matching
+/// the manifests' ranges); `--peers` takes a comma-separated list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerSpec {
+    /// The run-wide shard indices `[start, end)` this peer serves.
+    pub shards: Range<usize>,
+    /// The peer's `host:port`.
+    pub addr: String,
+}
+
+/// Parse a shard range spelled `a..b` (end-exclusive, `a < b`).
+///
+/// # Errors
+///
+/// Returns a message naming the offending token when the spelling is not
+/// `a..b` with integers `a < b`.
+pub fn parse_shard_range(s: &str) -> Result<Range<usize>, String> {
+    let (lo, hi) = s
+        .split_once("..")
+        .ok_or_else(|| format!("shard range {s:?} must be spelled a..b (end-exclusive)"))?;
+    let parse = |tok: &str| -> Result<usize, String> {
+        tok.parse()
+            .map_err(|_| format!("shard range {s:?}: {tok:?} is not a shard index"))
+    };
+    let (lo, hi) = (parse(lo)?, parse(hi)?);
+    if lo >= hi {
+        return Err(format!("shard range {s:?} is empty (need a < b)"));
+    }
+    Ok(lo..hi)
+}
+
+impl PeerSpec {
+    /// Parse one `a..b=HOST:PORT` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token when the range or
+    /// address part is missing or malformed.
+    pub fn parse(s: &str) -> Result<PeerSpec, String> {
+        let (range, addr) = s
+            .split_once('=')
+            .ok_or_else(|| format!("peer {s:?} must be spelled a..b=HOST:PORT"))?;
+        let shards = parse_shard_range(range)?;
+        if addr.is_empty() {
+            return Err(format!("peer {s:?} has an empty address"));
+        }
+        Ok(PeerSpec {
+            shards,
+            addr: addr.to_string(),
+        })
+    }
+
+    /// Parse a comma-separated `--peers` list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-entry [`PeerSpec::parse`] failure, or a
+    /// message for an empty list.
+    pub fn parse_list(s: &str) -> Result<Vec<PeerSpec>, String> {
+        let specs: Vec<PeerSpec> = s
+            .split(',')
+            .filter(|t| !t.is_empty())
+            .map(PeerSpec::parse)
+            .collect::<Result<_, _>>()?;
+        if specs.is_empty() {
+            return Err("peer list is empty".into());
+        }
+        Ok(specs)
+    }
+}
+
+impl std::fmt::Display for PeerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}..{}={}",
+            self.shards.start, self.shards.end, self.addr
+        )
+    }
+}
+
+/// The remote side of a cluster node's engine: shard → peer resolution
+/// plus a small per-peer pool of keep-alive [`Client`] connections.
+///
+/// Fetches are blocking with a bounded timeout; a transport failure is
+/// retried once on a fresh connection (the peer may have restarted and
+/// the pooled connection gone stale) before surfacing as
+/// [`ServeError::Remote`].
+pub(crate) struct RemoteShards {
+    peers: Vec<RemotePeer>,
+    /// Run-wide shard index → index into `peers` (`None` = resident
+    /// locally).
+    by_shard: Vec<Option<usize>>,
+    timeout: Duration,
+}
+
+struct RemotePeer {
+    spec: PeerSpec,
+    /// Idle keep-alive connections to this peer; fetches pop one (or
+    /// dial) and push it back on success, so concurrent batch workers
+    /// fan out over parallel connections instead of serializing.
+    pool: Mutex<Vec<Client>>,
+}
+
+impl std::fmt::Debug for RemoteShards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShards")
+            .field(
+                "peers",
+                &self
+                    .peers
+                    .iter()
+                    .map(|p| p.spec.to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl RemoteShards {
+    /// Build the shard → peer table, enforcing that `own` plus the peer
+    /// ranges tile `0..num_shards` disjointly (the complete ownership
+    /// map).
+    pub(crate) fn new(
+        specs: &[PeerSpec],
+        own: Range<usize>,
+        num_shards: usize,
+        timeout: Duration,
+    ) -> Result<RemoteShards, ServeError> {
+        let mut by_shard: Vec<Option<usize>> = vec![None; num_shards];
+        let mut claimed = vec![false; num_shards];
+        for s in own.clone() {
+            claimed[s] = true;
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            if spec.shards.end > num_shards {
+                return Err(ServeError::Open(format!(
+                    "peer {spec}: run has only {num_shards} shards"
+                )));
+            }
+            for s in spec.shards.clone() {
+                if claimed[s] {
+                    return Err(ServeError::Open(format!(
+                        "ownership map overlap: shard {s} claimed by peer {spec} is \
+                         already owned (own range {}..{} or an earlier peer)",
+                        own.start, own.end
+                    )));
+                }
+                claimed[s] = true;
+                by_shard[s] = Some(i);
+            }
+        }
+        if let Some(gap) = claimed.iter().position(|&c| !c) {
+            return Err(ServeError::Open(format!(
+                "ownership map incomplete: shard {gap} is neither resident \
+                 (own range {}..{}) nor assigned to any --peers entry",
+                own.start, own.end
+            )));
+        }
+        Ok(RemoteShards {
+            peers: specs
+                .iter()
+                .map(|spec| RemotePeer {
+                    spec: spec.clone(),
+                    pool: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            by_shard,
+            timeout,
+        })
+    }
+
+    /// The configured peer specs, in `--peers` order.
+    pub(crate) fn specs(&self) -> Vec<PeerSpec> {
+        self.peers.iter().map(|p| p.spec.clone()).collect()
+    }
+
+    /// Fetch the adjacency row of `v` from the peer owning `shard`.
+    pub(crate) fn fetch(&self, shard: usize, v: u64) -> Result<Arc<[u64]>, ServeError> {
+        let peer = &self.peers[self.by_shard[shard]
+            .expect("fetch() is only called for shards the table maps to a peer")];
+        let path = format!("/row?shard={shard}&v={v}");
+        let fail = |detail: String| {
+            ServeError::Remote(format!(
+                "peer {} (/row shard {shard} v {v}): {detail}",
+                peer.spec
+            ))
+        };
+        // Pop a pooled keep-alive connection or dial a fresh one; retry a
+        // transport failure once on a fresh dial (a pooled connection may
+        // have gone stale across a peer restart).
+        let pooled = peer.pool.lock().unwrap().pop();
+        let had_pooled = pooled.is_some();
+        let mut client = match pooled {
+            Some(c) => c,
+            None => Client::connect_timeout(peer.spec.addr.as_str(), self.timeout)
+                .map_err(|e| fail(format!("connect: {e}")))?,
+        };
+        let (status, body) = match client.get_bytes(&path) {
+            Ok(r) => r,
+            Err(first) => {
+                drop(client); // stale — never pool it again
+                if !had_pooled {
+                    return Err(fail(format!("fetch: {first}")));
+                }
+                client = Client::connect_timeout(peer.spec.addr.as_str(), self.timeout)
+                    .map_err(|e| fail(format!("reconnect after {first}: {e}")))?;
+                client
+                    .get_bytes(&path)
+                    .map_err(|e| fail(format!("fetch (retried): {e}")))?
+            }
+        };
+        // The connection framed a full response either way — reusable.
+        peer.pool.lock().unwrap().push(client);
+        if status != 200 {
+            // the peer's text/plain error body explains (not owned here /
+            // out of range / malformed) — config skew between nodes
+            return Err(fail(format!(
+                "status {status}: {}",
+                String::from_utf8_lossy(&body).trim()
+            )));
+        }
+        if body.len() % 8 != 0 {
+            return Err(fail(format!(
+                "body of {} bytes is not a whole number of u64 words",
+                body.len()
+            )));
+        }
+        Ok(body
+            .chunks_exact(8)
+            .map(|w| u64::from_le_bytes(w.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_specs_parse_and_roundtrip() {
+        let p = PeerSpec::parse("3..7=127.0.0.1:9000").unwrap();
+        assert_eq!(p.shards, 3..7);
+        assert_eq!(p.addr, "127.0.0.1:9000");
+        assert_eq!(PeerSpec::parse(&p.to_string()).unwrap(), p);
+
+        let list = PeerSpec::parse_list("0..1=a:1,1..2=b:2").unwrap();
+        assert_eq!(list.len(), 2);
+
+        for bad in [
+            "0..1",     // no address
+            "=x:1",     // no range
+            "1..1=x:1", // empty range
+            "2..1=x:1", // backwards
+            "a..b=x:1", // not integers
+            "0..1=",    // empty address
+            "",         // empty list
+        ] {
+            assert!(
+                PeerSpec::parse_list(bad).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+        assert!(parse_shard_range("0-4").is_err(), "only a..b is accepted");
+    }
+
+    #[test]
+    fn ownership_map_must_tile_disjointly() {
+        let t = DEFAULT_PEER_TIMEOUT;
+        let spec = |s: &str| PeerSpec::parse(s).unwrap();
+        // complete: own 0..2, peers cover 2..6
+        assert!(RemoteShards::new(&[spec("2..4=a:1"), spec("4..6=b:1")], 0..2, 6, t).is_ok());
+        // gap: shard 5 unowned
+        let err = RemoteShards::new(&[spec("2..5=a:1")], 0..2, 6, t).unwrap_err();
+        assert!(err.to_string().contains("incomplete"), "{err}");
+        assert!(err.to_string().contains("shard 5"), "{err}");
+        // overlap with own range
+        let err = RemoteShards::new(&[spec("1..6=a:1")], 0..2, 6, t).unwrap_err();
+        assert!(err.to_string().contains("overlap"), "{err}");
+        // overlap between peers
+        let err = RemoteShards::new(&[spec("2..5=a:1"), spec("4..6=b:1")], 0..2, 6, t).unwrap_err();
+        assert!(err.to_string().contains("overlap"), "{err}");
+        // beyond the run
+        let err = RemoteShards::new(&[spec("2..9=a:1")], 0..2, 6, t).unwrap_err();
+        assert!(err.to_string().contains("only 6 shards"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_peer_is_a_bounded_remote_error() {
+        let remote = RemoteShards::new(
+            // port 1 on loopback: nothing listens there
+            &[PeerSpec::parse("1..2=127.0.0.1:1").unwrap()],
+            0..1,
+            2,
+            Duration::from_millis(200),
+        )
+        .unwrap();
+        let err = remote.fetch(1, 5).unwrap_err();
+        assert!(matches!(err, ServeError::Remote(_)), "{err}");
+        assert!(err.to_string().contains("127.0.0.1:1"), "{err}");
+    }
+}

@@ -1,7 +1,9 @@
-//! The point-query engine: paper statistics answered off mmap'd rows, in
-//! closed form from factor copies, or both at once with cross-checking.
+//! The point-query engine: paper statistics answered off mmap'd rows (or
+//! peers' mappings, in a cluster), in closed form from factor copies, or
+//! both at once with cross-checking.
 
 use crate::cache::{RoutingReport, RoutingStats, RowCache};
+use crate::cluster::{PeerSpec, RemoteShards};
 use crate::oracle::FactorOracle;
 use kron_stream::{ShardSet, StreamError};
 use kron_triangles::slice;
@@ -9,6 +11,7 @@ use std::borrow::Cow;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Errors of the serving subsystem.
 #[derive(Clone, Debug)]
@@ -29,6 +32,12 @@ pub enum ServeError {
     /// The factor-copy oracle failed to load or validate, or a query
     /// needed an oracle the engine was opened without.
     Oracle(String),
+    /// A non-resident row could not be fetched from the peer owning its
+    /// shard (unreachable peer, timeout, or a non-200 `/row` answer).
+    /// The message names the peer, its shard range, and the row. The
+    /// query — not the engine — fails; the next query retries from
+    /// scratch.
+    Remote(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -44,6 +53,7 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::Corrupt(m) => write!(f, "corrupt artifact: {m}"),
             ServeError::Oracle(m) => write!(f, "oracle error: {m}"),
+            ServeError::Remote(m) => write!(f, "remote row fetch failed: {m}"),
         }
     }
 }
@@ -99,6 +109,10 @@ impl AnswerSource {
 
     /// Parse a canonical name (`artifact`, `oracle`, `cross-check`, or
     /// `cross-check:N` with `N ≥ 1`).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unrecognized source or the bad sampling rate.
     pub fn parse(s: &str) -> Result<AnswerSource, String> {
         if let Some(rate) = s
             .strip_prefix("cross-check:")
@@ -169,14 +183,17 @@ impl std::fmt::Display for Mismatch {
     }
 }
 
-/// How to open a run directory: validation depth, answer source, and the
-/// hot-row cache size.
+/// How to open a run directory: validation depth, answer source, the
+/// hot-row cache size, and (for a cluster node) the claimed shard subset
+/// plus the peers serving the rest.
 #[derive(Clone, Debug)]
 pub struct OpenOptions {
     /// Recompute every shard's content checksum once at open
     /// (see [`ShardSet::open_verified`]). Default `true`. Ignored in pure
     /// [`AnswerSource::Oracle`] mode, which never reads artifact contents
-    /// (see [`ServeEngine::open_with`]).
+    /// (see [`ServeEngine::open_with`]). With a [`OpenOptions::shard_subset`],
+    /// only the claimed shards' contents are hashed (the rest are not
+    /// resident).
     pub verify_checksums: bool,
     /// Which machinery answers queries. Default [`AnswerSource::Artifact`].
     /// [`AnswerSource::Oracle`], [`AnswerSource::CrossCheck`], and
@@ -185,7 +202,21 @@ pub struct OpenOptions {
     pub source: AnswerSource,
     /// Capacity (in rows) of the LRU over hot decoded rows consulted by
     /// the artifact triangle kernels; `0` disables it (pure zero-copy).
+    /// In a cluster, remote rows flow through the same LRU.
     pub row_cache: usize,
+    /// Open only this contiguous shard range (`kron serve --shards a..b`):
+    /// the multi-node case. `None` (the default) opens every shard. A
+    /// partial subset requires [`OpenOptions::peers`] covering every
+    /// non-claimed shard — the ownership map must be complete at open.
+    pub shard_subset: Option<std::ops::Range<usize>>,
+    /// The other nodes of the cluster and the shard ranges they serve
+    /// (`--peers a..b=ADDR,…`). Together with the claimed subset these
+    /// must tile `0..shards` disjointly. Empty (the default) for a
+    /// single-node engine.
+    pub peers: Vec<PeerSpec>,
+    /// Connect/read timeout for node-to-node row fetches. Default
+    /// [`crate::cluster::DEFAULT_PEER_TIMEOUT`].
+    pub peer_timeout: Duration,
 }
 
 impl Default for OpenOptions {
@@ -194,6 +225,9 @@ impl Default for OpenOptions {
             verify_checksums: true,
             source: AnswerSource::Artifact,
             row_cache: 0,
+            shard_subset: None,
+            peers: Vec::new(),
+            peer_timeout: crate::cluster::DEFAULT_PEER_TIMEOUT,
         }
     }
 }
@@ -212,11 +246,20 @@ enum QueryPath {
     Check,
 }
 
-/// A neighbor row fetched for intersection: either borrowed straight from
-/// a shard mapping or an owned copy out of the row cache.
+/// A row fetched for an artifact-path query: either borrowed straight
+/// from a resident shard mapping, or an owned copy (out of the row cache
+/// or fetched from a peer).
 enum FetchedRow<'a> {
     Mapped(&'a [u64]),
     Cached(Arc<[u64]>),
+}
+
+/// Why a row fetch failed: no shard owns the vertex (out of range — or
+/// corruption, when the vertex came from a mapped row), or the owning
+/// peer could not produce it.
+enum RowFetch {
+    Unrouted,
+    Failed(ServeError),
 }
 
 impl std::ops::Deref for FetchedRow<'_> {
@@ -256,6 +299,9 @@ pub struct ServeEngine {
     source: AnswerSource,
     oracle: Option<FactorOracle>,
     cache: Option<RowCache>,
+    /// Peer table for non-resident shards (`None` on a single-node
+    /// engine whose subset is complete).
+    remote: Option<RemoteShards>,
     routing: RoutingStats,
     mismatch_count: AtomicU64,
     mismatch_log: Mutex<Vec<Mismatch>>,
@@ -270,6 +316,11 @@ impl ServeEngine {
     /// Open a run directory with structural validation only (manifest /
     /// header cross-checks and range tiling; no content hashing), serving
     /// from the artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Open`] when the run directory is missing, malformed,
+    /// or structurally inconsistent.
     pub fn open(dir: &Path) -> Result<ServeEngine, ServeError> {
         Self::open_with(
             dir,
@@ -283,6 +334,11 @@ impl ServeEngine {
     /// Open a run directory, verifying every shard's content checksum
     /// once, serving from the artifact; afterwards queries trust the
     /// mappings.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Open`] as for [`ServeEngine::open`], plus any shard
+    /// whose mapped contents fail the manifest checksum.
     pub fn open_verified(dir: &Path) -> Result<ServeEngine, ServeError> {
         Self::open_with(dir, &OpenOptions::default())
     }
@@ -296,6 +352,15 @@ impl ServeEngine {
     /// startup stays `O(nnz(A) + nnz(B))` instead of re-hashing every
     /// mapped byte. Audit artifact contents with `verify-shards` or a
     /// cross-check/artifact engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Open`] for a directory that fails the requested
+    /// validation depth, an impossible `cross-check:0` rate, or an
+    /// incomplete/overlapping cluster ownership map
+    /// (subset + peers must tile every shard exactly once);
+    /// [`ServeError::Oracle`] when an oracle-loading source finds the
+    /// factor copies missing or stale.
     pub fn open_with(dir: &Path, opts: &OpenOptions) -> Result<ServeEngine, ServeError> {
         // Reject an impossible config before paying for the open (a
         // checksum-verified open rehashes every shard byte).
@@ -304,10 +369,25 @@ impl ServeEngine {
                 "cross-check sampling rate must be ≥ 1".into(),
             ));
         }
-        let set = if opts.verify_checksums && opts.source != AnswerSource::Oracle {
-            ShardSet::open_verified(dir)?
+        let verify = opts.verify_checksums && opts.source != AnswerSource::Oracle;
+        let set = match (&opts.shard_subset, verify) {
+            (None, true) => ShardSet::open_verified(dir)?,
+            (None, false) => ShardSet::open(dir)?,
+            (Some(s), true) => ShardSet::open_subset_verified(dir, s.clone())?,
+            (Some(s), false) => ShardSet::open_subset(dir, s.clone())?,
+        };
+        // A partial subset (or any configured peers) needs the full
+        // ownership map up front: every non-resident shard must have
+        // exactly one serving peer, and no peer may claim a resident one.
+        let remote = if !set.is_complete() || !opts.peers.is_empty() {
+            Some(RemoteShards::new(
+                &opts.peers,
+                set.subset(),
+                set.num_shards(),
+                opts.peer_timeout,
+            )?)
         } else {
-            ShardSet::open(dir)?
+            None
         };
         let oracle = match opts.source {
             AnswerSource::Artifact => None,
@@ -321,6 +401,7 @@ impl ServeEngine {
             source: opts.source,
             oracle,
             cache: (opts.row_cache > 0).then(|| RowCache::new(opts.row_cache)),
+            remote,
             routing,
             mismatch_count: AtomicU64::new(0),
             mismatch_log: Mutex::new(Vec::new()),
@@ -402,6 +483,12 @@ impl ServeEngine {
         self.routing.report()
     }
 
+    /// The cluster peers this engine fetches non-resident rows from, in
+    /// `--peers` order (empty on a single-node engine).
+    pub fn remote_peers(&self) -> Vec<PeerSpec> {
+        self.remote.as_ref().map_or_else(Vec::new, |r| r.specs())
+    }
+
     /// Product vertex count `n_C`.
     pub fn num_vertices(&self) -> u64 {
         self.set.num_vertices()
@@ -417,35 +504,80 @@ impl ServeEngine {
         })
     }
 
-    /// Fetch a row straight from its owning shard, recording the route.
-    fn shard_row(&self, v: u64) -> Option<&[u64]> {
-        let shard = self.set.route(v)?;
+    /// Fetch the row of `v` wherever it lives, recording the route:
+    /// zero-copy from a resident shard's mapping, or over the wire from
+    /// the peer owning its shard. `cache_local` controls whether
+    /// *resident* rows also flow through the LRU (neighbor fetches do;
+    /// primary row reads stay zero-copy) — remote rows always do when a
+    /// cache is configured, because the wire round trip is exactly the
+    /// expensive fetch the LRU exists to absorb.
+    fn fetch_row(&self, v: u64, cache_local: bool) -> Result<FetchedRow<'_>, RowFetch> {
+        let Some(shard) = self.set.route(v) else {
+            return Err(RowFetch::Unrouted);
+        };
+        let local = self.set.local(shard);
+        let cache = self
+            .cache
+            .as_ref()
+            .filter(|_| cache_local || local.is_none());
+        if let Some(cache) = cache {
+            if let Some(row) = cache.get(v) {
+                self.routing.record_hit();
+                return Ok(FetchedRow::Cached(row));
+            }
+            self.routing.record_miss();
+        }
         self.routing.record_fetch(shard);
-        self.set.shards()[shard].reader.row(v)
+        match local {
+            Some(open) => {
+                // routing guarantees v is inside the shard's range, and
+                // the open validated the mapped header against it
+                let row = open.reader.row(v).ok_or(RowFetch::Unrouted)?;
+                match cache {
+                    Some(cache) => {
+                        let arc: Arc<[u64]> = row.into();
+                        cache.insert(v, arc.clone());
+                        Ok(FetchedRow::Cached(arc))
+                    }
+                    None => Ok(FetchedRow::Mapped(row)),
+                }
+            }
+            None => {
+                let remote = self.remote.as_ref().ok_or_else(|| {
+                    // unreachable by construction (a partial subset cannot
+                    // open without a complete peer table), but degrade to
+                    // an error rather than a panic if it ever regresses
+                    RowFetch::Failed(ServeError::Remote(format!(
+                        "shard {shard} is not resident and no peer is configured"
+                    )))
+                })?;
+                self.routing.record_remote();
+                let arc = remote.fetch(shard, v).map_err(RowFetch::Failed)?;
+                if let Some(cache) = &self.cache {
+                    cache.insert(v, arc.clone());
+                }
+                Ok(FetchedRow::Cached(arc))
+            }
+        }
     }
 
-    /// The adjacency row of `v`, or an out-of-range error (artifact path).
-    fn row(&self, v: u64) -> Result<&[u64], ServeError> {
-        self.shard_row(v).ok_or(ServeError::VertexOutOfRange {
-            vertex: v,
-            num_vertices: self.set.num_vertices(),
+    /// The adjacency row of `v` for a primary read, or an out-of-range /
+    /// remote-fetch error (artifact path).
+    fn row(&self, v: u64) -> Result<FetchedRow<'_>, ServeError> {
+        self.fetch_row(v, false).map_err(|e| match e {
+            RowFetch::Unrouted => ServeError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.set.num_vertices(),
+            },
+            RowFetch::Failed(e) => e,
         })
     }
 
     /// Fetch a neighbor row for intersection: through the LRU when one is
-    /// configured, zero-copy from the mapping otherwise.
-    fn neighbor_row(&self, u: u64) -> Option<FetchedRow<'_>> {
-        let Some(cache) = &self.cache else {
-            return self.shard_row(u).map(FetchedRow::Mapped);
-        };
-        if let Some(row) = cache.get(u) {
-            self.routing.record_hit();
-            return Some(FetchedRow::Cached(row));
-        }
-        self.routing.record_miss();
-        let arc: Arc<[u64]> = self.shard_row(u)?.into();
-        cache.insert(u, arc.clone());
-        Some(FetchedRow::Cached(arc))
+    /// configured, zero-copy from the mapping otherwise, over the wire
+    /// for non-resident shards.
+    fn neighbor_row(&self, u: u64) -> Result<FetchedRow<'_>, RowFetch> {
+        self.fetch_row(u, true)
     }
 
     /// Record one cross-check disagreement: bump the counter, and keep
@@ -473,6 +605,13 @@ impl ServeEngine {
     ) {
         let agree = match (artifact, oracle) {
             (Ok(a), Ok(o)) => a == o,
+            // A remote-fetch failure observed nothing about the artifact
+            // bytes — there is no verdict to record. Counting it would
+            // poison the node's exit-code certification (and the
+            // documented "corrupt or stale — re-verify" supervisor
+            // contract) over a network blip; the query itself already
+            // failed loudly with the remote error.
+            (Err(ServeError::Remote(_)), _) => true,
             // Both failing (e.g. both out-of-range) is agreement; one side
             // failing while the other answers is exactly what cross-check
             // exists to flag.
@@ -491,10 +630,22 @@ impl ServeEngine {
 
     /// The sorted adjacency row of `v` (self loop included, matching
     /// `KronProduct::neighbors`): zero-copy from the mapping in artifact
-    /// mode, materialized from the factor rows in oracle mode.
+    /// mode (an owned copy for a non-resident row), materialized from the
+    /// factor rows in oracle mode.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] for `v ≥ n_C`; in a cluster,
+    /// [`ServeError::Remote`] when the owning peer cannot produce the row.
     pub fn neighbors(&self, v: u64) -> Result<Cow<'_, [u64]>, ServeError> {
+        fn as_cow(row: FetchedRow<'_>) -> Cow<'_, [u64]> {
+            match row {
+                FetchedRow::Mapped(r) => Cow::Borrowed(r),
+                FetchedRow::Cached(r) => Cow::Owned(r.to_vec()),
+            }
+        }
         match self.path() {
-            QueryPath::Artifact => Ok(Cow::Borrowed(self.row(v)?)),
+            QueryPath::Artifact => Ok(as_cow(self.row(v)?)),
             QueryPath::Oracle => Ok(Cow::Owned(self.need_oracle()?.neighbors(v)?)),
             QueryPath::Check => {
                 let art = self.row(v);
@@ -502,7 +653,9 @@ impl ServeEngine {
                 // Compare borrowed against owned directly — the agree path
                 // (every query on a healthy run) must not copy the row.
                 let agree = match (&art, &ora) {
-                    (Ok(a), Ok(o)) => *a == o.as_slice(),
+                    (Ok(a), Ok(o)) => **a == *o.as_slice(),
+                    // no verdict on a remote-fetch failure (see reconcile)
+                    (Err(ServeError::Remote(_)), _) => true,
                     (Err(_), Err(_)) => true,
                     _ => false,
                 };
@@ -536,17 +689,22 @@ impl ServeEngine {
                         show(ora.as_ref().map(|r| r.as_slice())),
                     );
                 }
-                Ok(Cow::Borrowed(art?))
+                Ok(as_cow(art?))
             }
         }
     }
 
     fn degree_artifact(&self, v: u64) -> Result<u64, ServeError> {
         let row = self.row(v)?;
-        Ok(row.len() as u64 - u64::from(slice::contains_sorted(row, v)))
+        Ok(row.len() as u64 - u64::from(slice::contains_sorted(&row, v)))
     }
 
     /// Degree of `v`, self loop excluded (`d_C = (C − I∘C)·1`, §III-A).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] for `v ≥ n_C`; in a cluster,
+    /// [`ServeError::Remote`] when the owning peer cannot produce the row.
     pub fn degree(&self, v: u64) -> Result<u64, ServeError> {
         match self.path() {
             QueryPath::Artifact => self.degree_artifact(v),
@@ -568,11 +726,16 @@ impl ServeEngine {
                 num_vertices: self.set.num_vertices(),
             });
         }
-        Ok(slice::contains_sorted(row, v))
+        Ok(slice::contains_sorted(&row, v))
     }
 
     /// Whether `{u, v}` is an adjacency entry of the product (loops
     /// included: `has_edge(v, v)` is `true` iff `v` has a self loop).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] for either id ≥ `n_C`; in a
+    /// cluster, [`ServeError::Remote`] when `u`'s row is not fetchable.
     pub fn has_edge(&self, u: u64, v: u64) -> Result<bool, ServeError> {
         match self.path() {
             QueryPath::Artifact => self.has_edge_artifact(u, v),
@@ -589,9 +752,22 @@ impl ServeEngine {
     fn vertex_triangles_artifact(&self, v: u64) -> Result<(u64, u64), ServeError> {
         let row_v = self.row(v)?;
         // In a checksum-verified set every column id resolves (the shards
-        // tile 0..n_C); a failed neighbor-row fetch means tampering.
-        slice::vertex_triangles_rows(row_v, v, |u| self.neighbor_row(u)).map_err(|u| {
-            ServeError::Corrupt(format!("row {v} lists neighbor {u} outside every shard"))
+        // tile 0..n_C); an *unrouted* neighbor means tampering, while in
+        // a cluster a routed-but-unfetchable neighbor is a remote fault
+        // carried out of the kernel via `fetch_failure`.
+        let mut fetch_failure: Option<ServeError> = None;
+        slice::vertex_triangles_rows(&row_v, v, |u| match self.neighbor_row(u) {
+            Ok(row) => Some(row),
+            Err(RowFetch::Unrouted) => None,
+            Err(RowFetch::Failed(e)) => {
+                fetch_failure = Some(e);
+                None
+            }
+        })
+        .map_err(|u| {
+            fetch_failure.take().unwrap_or_else(|| {
+                ServeError::Corrupt(format!("row {v} lists neighbor {u} outside every shard"))
+            })
         })
     }
 
@@ -603,6 +779,13 @@ impl ServeEngine {
     /// neighbors may live in any shard, so each row fetch routes
     /// independently (through the hot-row LRU when one is configured).
     /// Oracle path: `O(1)` from factor terms.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] for `v ≥ n_C`;
+    /// [`ServeError::Corrupt`] when a mapped row lists a neighbor outside
+    /// every shard; in a cluster, [`ServeError::Remote`] when a needed
+    /// row's owning peer cannot produce it.
     pub fn vertex_triangles_with_checks(&self, v: u64) -> Result<(u64, u64), ServeError> {
         match self.path() {
             QueryPath::Artifact => self.vertex_triangles_artifact(v),
@@ -619,6 +802,10 @@ impl ServeEngine {
     }
 
     /// Triangle participation `t_C(v)` (Def. 5).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::vertex_triangles_with_checks`].
     pub fn vertex_triangles(&self, v: u64) -> Result<u64, ServeError> {
         Ok(self.vertex_triangles_with_checks(v)?.0)
     }
@@ -631,16 +818,19 @@ impl ServeEngine {
                 num_vertices: self.set.num_vertices(),
             });
         }
-        if !slice::contains_sorted(row_u, v) {
+        if !slice::contains_sorted(&row_u, v) {
             return Ok(None);
         }
         if u == v {
             return Ok(Some((0, 0)));
         }
-        let row_v = self.neighbor_row(v).ok_or_else(|| {
-            ServeError::Corrupt(format!("row {u} lists neighbor {v} outside every shard"))
+        let row_v = self.neighbor_row(v).map_err(|e| match e {
+            RowFetch::Unrouted => {
+                ServeError::Corrupt(format!("row {u} lists neighbor {v} outside every shard"))
+            }
+            RowFetch::Failed(e) => e,
         })?;
-        Ok(Some(slice::edge_triangles_rows(row_u, &row_v, u, v)))
+        Ok(Some(slice::edge_triangles_rows(&row_u, &row_v, u, v)))
     }
 
     /// Triangle participation `Δ_C[{u, v}]` of the edge `{u, v}` (Def. 6)
@@ -648,6 +838,11 @@ impl ServeEngine {
     /// adjacency entry, `Ok(Some((0, 0)))` for a self loop (the Δ diagonal
     /// is zero), otherwise the sorted intersection of the two rows (or its
     /// closed-form equal in oracle mode, with 0 checks).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeEngine::vertex_triangles_with_checks`],
+    /// over the two endpoint rows.
     pub fn edge_triangles_with_checks(
         &self,
         u: u64,
@@ -679,6 +874,10 @@ impl ServeEngine {
 
     /// Triangle participation `Δ_C[{u, v}]`, or `None` if `{u, v}` is not
     /// an edge — same contract as `KronProduct::edge_triangles`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::edge_triangles_with_checks`].
     pub fn edge_triangles(&self, u: u64, v: u64) -> Result<Option<u64>, ServeError> {
         Ok(self.edge_triangles_with_checks(u, v)?.map(|(d, _)| d))
     }

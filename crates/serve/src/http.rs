@@ -83,6 +83,12 @@ impl Conn {
     /// timeout (any bytes already received stay buffered), and an error
     /// for malformed or oversized requests — after which the connection
     /// must be dropped (the buffer may be mid-request).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for malformed or oversized requests (the connection
+    /// must be dropped — the buffer may be mid-request), `UnexpectedEof`
+    /// for a peer closing mid-request, or any transport error.
     pub fn next_request(&mut self) -> io::Result<NextRequest> {
         loop {
             if let Some((req, consumed)) = parse_request(&self.buf)
@@ -119,6 +125,10 @@ impl Conn {
     }
 
     /// Write a complete response with a fixed `Content-Length`.
+    ///
+    /// # Errors
+    ///
+    /// Any transport error while writing.
     pub fn respond(&mut self, status: u16, content_type: &str, body: &[u8]) -> io::Result<()> {
         write_response(&mut self.stream, status, content_type, body)
     }
@@ -134,6 +144,8 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -250,6 +262,11 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// Percent-decode a path or query component. In query components (`+` is
 /// a space per the form encoding every HTTP client emits); in paths it is
 /// literal.
+///
+/// # Errors
+///
+/// A message naming the truncated or non-hex percent escape, or a
+/// decode that is not UTF-8.
 pub fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
@@ -306,11 +323,44 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a server address.
+    /// Connect to a server address (30 s read timeout).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address does not resolve or the TCP connect fails.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Self::configure(stream, Duration::from_secs(30))
+    }
+
+    /// Connect with an explicit connect **and** read timeout — the
+    /// cluster's node-to-node row fetches use this so a dead peer
+    /// surfaces as a bounded error instead of a stalled query.
+    ///
+    /// Every resolved socket address is tried in order (matching
+    /// `TcpStream::connect`'s behavior — a peer spelled `localhost:…`
+    /// must work whichever of `::1`/`127.0.0.1` the node bound).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address does not resolve, or no resolved address
+    /// accepts a connection within `timeout` (the last attempt's error).
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let mut last = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Self::configure(stream, timeout),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn configure(stream: TcpStream, read_timeout: Duration) -> io::Result<Client> {
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(read_timeout))?;
         Ok(Client {
             stream,
             buf: Vec::new(),
@@ -318,21 +368,47 @@ impl Client {
     }
 
     /// The peer (server) address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the socket is no longer connected.
     pub fn peer_addr(&self) -> io::Result<SocketAddr> {
         self.stream.peer_addr()
     }
 
     /// `GET path` → `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure, or a response this module cannot frame
+    /// (missing `Content-Length`, malformed head).
     pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        let (status, body) = self.request("GET", path, b"")?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+
+    /// `GET path` → `(status, raw body bytes)` — for binary endpoints
+    /// (the cluster's `/row` rows are little-endian `u64` words, which a
+    /// lossy UTF-8 conversion would corrupt).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::get`].
+    pub fn get_bytes(&mut self, path: &str) -> io::Result<(u16, Vec<u8>)> {
         self.request("GET", path, b"")
     }
 
     /// `POST path` with a body → `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::get`].
     pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<(u16, String)> {
-        self.request("POST", path, body)
+        let (status, resp) = self.request("POST", path, body)?;
+        Ok((status, String::from_utf8_lossy(&resp).into_owned()))
     }
 
-    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, String)> {
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
         write!(
             self.stream,
             "{method} {path} HTTP/1.1\r\nHost: kron\r\nContent-Length: {}\r\n\r\n",
@@ -343,7 +419,7 @@ impl Client {
         self.read_response()
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, String)> {
+    fn read_response(&mut self) -> io::Result<(u16, Vec<u8>)> {
         let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
         loop {
             if let Some(head_end) = find_head_end(&self.buf) {
@@ -369,7 +445,7 @@ impl Client {
                 }
                 let total = head_end + 4 + content_length;
                 if self.buf.len() >= total {
-                    let body = String::from_utf8_lossy(&self.buf[head_end + 4..total]).into_owned();
+                    let body = self.buf[head_end + 4..total].to_vec();
                     self.buf.drain(..total);
                     return Ok((status, body));
                 }

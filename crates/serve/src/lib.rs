@@ -35,7 +35,19 @@
 //!   `/stats`, and `/healthz` over a hand-rolled std-only HTTP/1.1 layer
 //!   ([`http`]) until a shutdown flag flips. Pair it with
 //!   [`AnswerSource::CrossCheckSampled`] (`--source cross-check:N`) for
-//!   always-on 1-in-N conformance auditing at artifact-path cost.
+//!   always-on 1-in-N conformance auditing at artifact-path cost;
+//! * [`cluster`] — multi-node serving (`kron serve --shards a..b
+//!   --peers …`): each node memory-maps only its claimed shard subset
+//!   ([`kron_stream::ShardSet::open_subset`]) and fetches non-resident
+//!   rows from the owning peer over the internal `GET /row` endpoint
+//!   (through the [`RowCache`], which caches remote rows too), while
+//!   serving the *unchanged* single-node wire protocol — including
+//!   cross-checking answers assembled from peers' bytes;
+//! * [`Router`] — the stateless forwarding front end (`kron route`):
+//!   discovers each node's claim via `GET /shards`, forwards `/query`
+//!   and `/batch` to the owning node by vertex range (answers
+//!   byte-identical to a single node over the whole run directory),
+//!   and merges `/stats` across the cluster.
 //!
 //! Semantics match the in-memory oracles exactly: degrees exclude self
 //! loops, triangles ignore loops (the paper's Rem. 3), and every answer
@@ -86,13 +98,17 @@
 
 mod batch;
 mod cache;
+pub mod cluster;
 mod engine;
 pub mod http;
 mod oracle;
+pub mod router;
 mod server;
 
 pub use batch::{parse_queries, run_batch, Answer, BatchOutcome, Query, QueryStats};
 pub use cache::{RoutingReport, RowCache};
+pub use cluster::{parse_shard_range, PeerSpec};
 pub use engine::{AnswerSource, Mismatch, OpenOptions, ServeEngine, ServeError};
 pub use oracle::FactorOracle;
+pub use router::{Router, RouterReport};
 pub use server::{Server, ServerOptions, ServerReport};

@@ -43,6 +43,12 @@ impl std::fmt::Debug for FactorOracle {
 impl FactorOracle {
     /// Load the factor copies named by `run` from `dir` and build the
     /// implicit product, rejecting factors that disagree with `run.json`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Oracle`] naming the factor copy that is missing,
+    /// unreadable, or inconsistent with `run.json` (vertex counts,
+    /// adjacency nnz, closed-form triangle sum).
     pub fn load(dir: &Path, run: &RunSummary) -> Result<FactorOracle, ServeError> {
         let read = |name: &str| -> Result<kron_graph::Graph, ServeError> {
             read_edge_list_path(dir.join(name))
@@ -110,6 +116,11 @@ impl FactorOracle {
     }
 
     /// Degree of `v` in closed form (loops excluded, §III-A).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] for `v ≥ n_C` — identical to the
+    /// artifact path on the same inputs.
     pub fn degree(&self, v: u64) -> Result<u64, ServeError> {
         self.check_vertex(v)?;
         Ok(self.product.degree(v))
@@ -117,6 +128,11 @@ impl FactorOracle {
 
     /// The sorted adjacency row of `v`, materialized from the factor rows
     /// (self loop included, identical to the on-disk CSR row).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] for `v ≥ n_C` — identical to the
+    /// artifact path on the same inputs.
     pub fn neighbors(&self, v: u64) -> Result<Vec<u64>, ServeError> {
         self.check_vertex(v)?;
         Ok(self.product.neighbors(v))
@@ -124,6 +140,11 @@ impl FactorOracle {
 
     /// Whether `{u, v}` is an adjacency entry: `C_uv = A_ij·B_kl`, two
     /// binary searches in factor rows.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] for either id ≥ `n_C` — identical to the
+    /// artifact path on the same inputs.
     pub fn has_edge(&self, u: u64, v: u64) -> Result<bool, ServeError> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
@@ -132,6 +153,11 @@ impl FactorOracle {
 
     /// Triangle participation `t_C(v)` in `O(1)` from factor terms
     /// (Thm. 1 / Cor. 1 / the general §III-B formula).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] for `v ≥ n_C` — identical to the
+    /// artifact path on the same inputs.
     pub fn vertex_triangles(&self, v: u64) -> Result<u64, ServeError> {
         self.check_vertex(v)?;
         Ok(self.product.vertex_triangles(v))
@@ -139,6 +165,11 @@ impl FactorOracle {
 
     /// Triangle participation `Δ_C[{u, v}]` (Thm. 2 / Cor. 2 / §III-C), or
     /// `None` if `{u, v}` is not an edge; self loops report `Some(0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] for either id ≥ `n_C` — identical to the
+    /// artifact path on the same inputs.
     pub fn edge_triangles(&self, u: u64, v: u64) -> Result<Option<u64>, ServeError> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;

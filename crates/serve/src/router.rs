@@ -1,0 +1,596 @@
+//! The stateless forwarding router: one address in front of a cluster of
+//! shard-subset nodes, speaking the **unchanged single-node wire
+//! protocol** to clients.
+//!
+//! `kron route --peers ADDR,ADDR,… --listen ADDR` owns no shards, opens
+//! no run directory, and keeps no query state — it learns each peer's
+//! claimed vertex range once at startup (`GET /shards`), validates that
+//! the claims tile the whole product disjointly, and then:
+//!
+//! * forwards `GET /query` to the node owning the query's routing vertex
+//!   ([`crate::Query::routing_vertex`]) and relays the answer verbatim;
+//! * splits `POST /batch` bodies into per-node sub-batches, forwards them,
+//!   and reassembles the answer lines **in input order** — byte-identical
+//!   to what one node serving the whole run directory would produce;
+//! * merges `GET /stats` across peers (per-peer documents plus summed
+//!   totals; see `ARCHITECTURE.md` § "Cluster serving" for the normative
+//!   merge rules);
+//! * fans `GET /healthz` out to every peer (`ok` only when all are).
+//!
+//! A peer failure surfaces as `502 Bad Gateway` naming the peer — the
+//! router never invents an answer. Parse errors (`400`) are produced by
+//! the router itself with the same messages a node would emit, so clients
+//! cannot tell a router from a node on the error path either.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use kron_serve::{Router, Server, ServerOptions};
+//! use std::sync::atomic::AtomicBool;
+//! use std::time::Duration;
+//!
+//! // Two nodes already serve shard subsets at these addresses.
+//! let router = Router::discover(
+//!     &["10.0.0.1:8080".into(), "10.0.0.2:8080".into()],
+//!     Duration::from_secs(5),
+//! )
+//! .unwrap();
+//! let front = Server::bind("0.0.0.0:8080").unwrap();
+//! let stop = AtomicBool::new(false);
+//! let report = router
+//!     .run(&front, &ServerOptions::default(), &stop)
+//!     .unwrap();
+//! println!("{report}");
+//! ```
+
+use crate::batch::{self, Query};
+use crate::http::{self, encode_query_component, Client};
+use crate::server::{serve_connections, LoopCounters, Server, ServerOptions, MAX_BATCH_RESPONSE};
+use kron_stream::json::Json;
+use std::io;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One discovered peer: its address, its claim, and a pool of idle
+/// keep-alive connections.
+struct RouterPeer {
+    addr: String,
+    shards: Range<usize>,
+    vertices: Range<u64>,
+    pool: Mutex<Vec<Client>>,
+}
+
+/// Totals of one router run, returned by [`Router::run`] after shutdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouterReport {
+    /// HTTP requests handled (all endpoints).
+    pub requests: u64,
+    /// Requests rejected as malformed (bad framing, bad query syntax).
+    pub bad_requests: u64,
+    /// Query lines forwarded to peers (each `/query`, plus each line of
+    /// every `/batch`).
+    pub queries: u64,
+    /// Forwards that failed (unreachable peer, non-200 upstream answer
+    /// where one was required, short sub-batch response).
+    pub forward_errors: u64,
+}
+
+impl std::fmt::Display for RouterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests ({} malformed), {} queries forwarded, {} forward errors",
+            self.requests, self.bad_requests, self.queries, self.forward_errors
+        )
+    }
+}
+
+/// Per-run router state shared by connection handlers.
+struct RouterState<'r> {
+    router: &'r Router,
+    started: Instant,
+    http: LoopCounters,
+    queries: AtomicU64,
+    forward_errors: AtomicU64,
+}
+
+/// A stateless query router over a set of shard-subset nodes.
+///
+/// Build one with [`Router::discover`], then drive it with
+/// [`Router::run`] over a bound [`Server`] listener.
+pub struct Router {
+    peers: Vec<RouterPeer>,
+    num_vertices: u64,
+    num_shards: usize,
+    timeout: Duration,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("peers", &self.peer_summary())
+            .field("num_vertices", &self.num_vertices)
+            .finish()
+    }
+}
+
+impl Router {
+    /// Contact every peer's `GET /shards` once and build the routing
+    /// table. Peers may be listed in any order; their claims are sorted
+    /// by vertex range and must tile the whole product disjointly.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending peer when one is unreachable,
+    /// answers malformed JSON, disagrees with the others on the run's
+    /// shape (`shards` / `num_vertices`), or leaves a gap/overlap in the
+    /// claimed ranges.
+    pub fn discover(peer_addrs: &[String], timeout: Duration) -> Result<Router, String> {
+        if peer_addrs.is_empty() {
+            return Err("router needs at least one peer".into());
+        }
+        let mut peers = Vec::with_capacity(peer_addrs.len());
+        let mut shape: Option<(u64, u64)> = None; // (shards, num_vertices)
+        for addr in peer_addrs {
+            let fail = |detail: String| format!("peer {addr}: {detail}");
+            let mut client = Client::connect_timeout(addr.as_str(), timeout)
+                .map_err(|e| fail(format!("connect: {e}")))?;
+            let (status, body) = client
+                .get("/shards")
+                .map_err(|e| fail(format!("GET /shards: {e}")))?;
+            if status != 200 {
+                return Err(fail(format!("GET /shards answered {status}")));
+            }
+            let doc = Json::parse(&body).map_err(|e| fail(format!("/shards JSON: {e}")))?;
+            let num = |key: &str| -> Result<u64, String> {
+                doc.req(key)
+                    .and_then(|v| v.as_u64().ok_or_else(|| format!("{key} is not an integer")))
+                    .map_err(|e| fail(format!("/shards: {e}")))
+            };
+            let subset = doc
+                .req("subset")
+                .ok()
+                .and_then(Json::as_arr)
+                .filter(|a| a.len() == 2)
+                .and_then(|a| Some((a[0].as_usize()?, a[1].as_usize()?)))
+                .ok_or_else(|| fail("/shards: subset is not [lo, hi]".into()))?;
+            // All peers must describe the same run.
+            let this_shape = (num("shards")?, num("num_vertices")?);
+            match shape {
+                None => shape = Some(this_shape),
+                Some(expect) if expect != this_shape => {
+                    return Err(fail(format!(
+                        "serves a different run ({} shards / {} vertices, \
+                         expected {} / {})",
+                        this_shape.0, this_shape.1, expect.0, expect.1
+                    )))
+                }
+                Some(_) => {}
+            }
+            peers.push(RouterPeer {
+                addr: addr.clone(),
+                shards: subset.0..subset.1,
+                vertices: num("vertex_lo")?..num("vertex_hi")?,
+                pool: Mutex::new(vec![client]),
+            });
+        }
+        let (num_shards, num_vertices) = shape.expect("at least one peer");
+        // The claims must tile the run disjointly and completely.
+        peers.sort_by_key(|p| p.shards.start);
+        let mut next_shard = 0usize;
+        let mut next_vertex = 0u64;
+        for p in &peers {
+            if p.shards.start != next_shard {
+                return Err(format!(
+                    "peer {} claims shards {}..{}, but the next unclaimed shard \
+                     is {next_shard} (gap or overlap in the cluster's ownership map)",
+                    p.addr, p.shards.start, p.shards.end
+                ));
+            }
+            if p.vertices.start != next_vertex {
+                return Err(format!(
+                    "peer {} claims vertices {}..{}, expected the range to start \
+                     at {next_vertex}",
+                    p.addr, p.vertices.start, p.vertices.end
+                ));
+            }
+            next_shard = p.shards.end;
+            next_vertex = p.vertices.end;
+        }
+        if next_shard as u64 != num_shards || next_vertex != num_vertices {
+            return Err(format!(
+                "peers claim shards 0..{next_shard} / vertices 0..{next_vertex}, \
+                 run has {num_shards} shards / {num_vertices} vertices \
+                 (a node is missing from --peers)"
+            ));
+        }
+        Ok(Router {
+            peers,
+            num_vertices,
+            num_shards: num_shards as usize,
+            timeout,
+        })
+    }
+
+    /// One `addr → shards a..b, vertices x..y` line per peer, for startup
+    /// narration.
+    pub fn peer_summary(&self) -> Vec<String> {
+        self.peers
+            .iter()
+            .map(|p| {
+                format!(
+                    "{} → shards {}..{}, vertices {}..{}",
+                    p.addr, p.shards.start, p.shards.end, p.vertices.start, p.vertices.end
+                )
+            })
+            .collect()
+    }
+
+    /// Product vertex count of the routed run.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Index of the peer owning `v`'s row. Out-of-range vertices go to
+    /// the first peer: its engine produces the exact out-of-range error
+    /// a single-node server would, keeping the client-visible bytes
+    /// identical. `/query` and `/batch` both route through here, so the
+    /// policy cannot diverge between them.
+    fn peer_index_for(&self, v: u64) -> usize {
+        let i = self.peers.partition_point(|p| p.vertices.end <= v);
+        if i < self.peers.len() {
+            i
+        } else {
+            0
+        }
+    }
+
+    /// The peer owning `v`'s row (see [`Router::peer_index_for`]).
+    fn peer_for(&self, v: u64) -> &RouterPeer {
+        &self.peers[self.peer_index_for(v)]
+    }
+
+    /// Forward one request to `peer`, pooling connections and retrying a
+    /// stale pooled connection once, like the engine's row fetches.
+    fn forward(
+        &self,
+        peer: &RouterPeer,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, String), String> {
+        let fail = |detail: String| format!("peer {}: {detail}", peer.addr);
+        let do_req = |client: &mut Client| -> io::Result<(u16, String)> {
+            match method {
+                "GET" => client.get(path),
+                _ => client.post(path, body),
+            }
+        };
+        let pooled = peer.pool.lock().unwrap().pop();
+        let had_pooled = pooled.is_some();
+        let mut client = match pooled {
+            Some(c) => c,
+            None => Client::connect_timeout(peer.addr.as_str(), self.timeout)
+                .map_err(|e| fail(format!("connect: {e}")))?,
+        };
+        let resp = match do_req(&mut client) {
+            Ok(r) => r,
+            Err(first) => {
+                drop(client);
+                if !had_pooled {
+                    return Err(fail(format!("{method} {path}: {first}")));
+                }
+                client = Client::connect_timeout(peer.addr.as_str(), self.timeout)
+                    .map_err(|e| fail(format!("reconnect after {first}: {e}")))?;
+                do_req(&mut client).map_err(|e| fail(format!("{method} {path} (retried): {e}")))?
+            }
+        };
+        peer.pool.lock().unwrap().push(client);
+        Ok(resp)
+    }
+
+    /// Route until `shutdown` becomes `true`, accepting on the bound
+    /// `front` listener, then return the run's totals. Mirrors
+    /// [`Server::run`]'s connection model and shutdown contract exactly;
+    /// the router itself records no mismatches (those live on the
+    /// nodes — see `/stats`).
+    ///
+    /// # Errors
+    ///
+    /// Like [`Server::run`], the loop itself does not fail; the
+    /// `io::Result` is kept for interface stability.
+    pub fn run(
+        &self,
+        front: &Server,
+        opts: &ServerOptions,
+        shutdown: &AtomicBool,
+    ) -> io::Result<RouterReport> {
+        let state = RouterState {
+            router: self,
+            started: Instant::now(),
+            http: LoopCounters::new(),
+            queries: AtomicU64::new(0),
+            forward_errors: AtomicU64::new(0),
+        };
+        serve_connections(
+            front.listener(),
+            opts.max_connections(),
+            "kron route",
+            shutdown,
+            &state.http,
+            &|req| route(&state, req),
+        );
+        Ok(RouterReport {
+            requests: state.http.requests.load(Ordering::Relaxed),
+            bad_requests: state.http.bad_requests.load(Ordering::Relaxed),
+            queries: state.queries.load(Ordering::Relaxed),
+            forward_errors: state.forward_errors.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// A peer's slot in a [`fan_out`] round: `None` when the peer was
+/// skipped, otherwise the forward's outcome.
+type FanOutSlot<'r> = (&'r RouterPeer, Option<Result<(u16, String), String>>);
+
+/// Forward `method path` to every peer concurrently — a hung peer costs
+/// the caller one timeout, not one per peer. `body_of(i)` returns the
+/// body for peer `i`, or `None` to skip it (a batch with no queries for
+/// a node must not fail on that node being unreachable). Results come
+/// back in peer order, `None` for skipped peers.
+fn fan_out<'r>(
+    r: &'r Router,
+    method: &'static str,
+    path: &str,
+    body_of: &(impl Fn(usize) -> Option<&'r [u8]> + Sync),
+) -> Vec<FanOutSlot<'r>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = r
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| body_of(i).map(|body| s.spawn(move || r.forward(p, method, path, body))))
+            .collect();
+        r.peers
+            .iter()
+            .zip(handles)
+            .map(|(p, h)| (p, h.map(|h| h.join().unwrap())))
+            .collect()
+    })
+}
+
+/// Dispatch one request: parse/validate locally (same errors as a node),
+/// forward the rest.
+fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Vec<u8>) {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    const JSON: &str = "application/json";
+    let r = state.router;
+    let gateway_err = |detail: String| -> (u16, &'static str, Vec<u8>) {
+        state.forward_errors.fetch_add(1, Ordering::Relaxed);
+        (502, TEXT, format!("error: {detail}\n").into_bytes())
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            // Probe every peer concurrently: one hung node must cost the
+            // probe one timeout, not one per peer — monitoring timeouts
+            // are usually shorter than peers × 5 s.
+            for (p, res) in fan_out(r, "GET", "/healthz", &|_| Some(&[][..])) {
+                match res.expect("healthz skips no peer") {
+                    Ok((200, _)) => {}
+                    Ok((status, _)) => {
+                        return (
+                            503,
+                            TEXT,
+                            format!("error: peer {} unhealthy (status {status})\n", p.addr)
+                                .into_bytes(),
+                        )
+                    }
+                    Err(e) => return (503, TEXT, format!("error: {e}\n").into_bytes()),
+                }
+            }
+            (200, TEXT, b"ok\n".to_vec())
+        }
+        ("GET", "/query") => {
+            let Some(line) = req.query_param("q") else {
+                return (400, TEXT, b"error: missing query parameter q\n".to_vec());
+            };
+            match Query::parse(line) {
+                Err(e) => (400, TEXT, format!("error: {e}\n").into_bytes()),
+                Ok(query) => {
+                    state.queries.fetch_add(1, Ordering::Relaxed);
+                    let peer = r.peer_for(query.routing_vertex());
+                    let path = format!("/query?q={}", encode_query_component(&query.to_string()));
+                    match r.forward(peer, "GET", &path, b"") {
+                        // relay the node's answer verbatim, whatever its
+                        // status — the router adds nothing on this path
+                        Ok((status, body)) => (status, TEXT, body.into_bytes()),
+                        Err(e) => gateway_err(e),
+                    }
+                }
+            }
+        }
+        ("POST", "/batch") => {
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return (400, TEXT, b"error: body is not UTF-8\n".to_vec());
+            };
+            match batch::parse_queries(text) {
+                Err(e) => (400, TEXT, format!("error: {e}\n").into_bytes()),
+                Ok(queries) => {
+                    state
+                        .queries
+                        .fetch_add(queries.len() as u64, Ordering::Relaxed);
+                    // Split into per-peer sub-batches (input order is
+                    // preserved within each), forward them concurrently
+                    // (wall clock tracks the slowest node, not the sum),
+                    // then reassemble the answer lines by original index —
+                    // byte-identical to a single node walking the batch in
+                    // order.
+                    let mut by_peer: Vec<(Vec<usize>, String)> = r
+                        .peers
+                        .iter()
+                        .map(|_| (Vec::new(), String::new()))
+                        .collect();
+                    for (i, q) in queries.iter().enumerate() {
+                        let peer_idx = r.peer_index_for(q.routing_vertex());
+                        by_peer[peer_idx].0.push(i);
+                        by_peer[peer_idx].1.push_str(&format!("{q}\n"));
+                    }
+                    let responses = fan_out(r, "POST", "/batch", &|i: usize| {
+                        let (indices, body) = &by_peer[i];
+                        (!indices.is_empty()).then_some(body.as_bytes())
+                    });
+                    let mut lines: Vec<Option<String>> = vec![None; queries.len()];
+                    let mut total_len = 0usize;
+                    for ((peer, res), (indices, _)) in responses.into_iter().zip(&by_peer) {
+                        let Some(res) = res else {
+                            continue; // no queries route to this peer
+                        };
+                        let (status, resp) = match res {
+                            Ok(x) => x,
+                            Err(e) => return gateway_err(e),
+                        };
+                        if status != 200 {
+                            return gateway_err(format!(
+                                "peer {}: /batch answered {status}: {}",
+                                peer.addr,
+                                resp.trim()
+                            ));
+                        }
+                        let answer_lines: Vec<&str> = resp.lines().collect();
+                        if answer_lines.len() != indices.len() {
+                            return gateway_err(format!(
+                                "peer {}: /batch returned {} lines for {} queries",
+                                peer.addr,
+                                answer_lines.len(),
+                                indices.len()
+                            ));
+                        }
+                        for (&i, line) in indices.iter().zip(answer_lines) {
+                            total_len += line.len() + 1;
+                            lines[i] = Some(line.to_string());
+                        }
+                        if total_len > MAX_BATCH_RESPONSE {
+                            return (
+                                413,
+                                TEXT,
+                                format!(
+                                    "error: batch response exceeds {MAX_BATCH_RESPONSE} \
+                                     bytes — split the batch\n"
+                                )
+                                .into_bytes(),
+                            );
+                        }
+                    }
+                    let mut out = String::with_capacity(total_len);
+                    for line in lines.into_iter().flatten() {
+                        out.push_str(&line);
+                        out.push('\n');
+                    }
+                    (200, TEXT, out.into_bytes())
+                }
+            }
+        }
+        ("GET", "/stats") => {
+            // Merge rule (normative in ARCHITECTURE.md): per-peer docs
+            // verbatim under `peers` (ascending vertex range), the named
+            // counters summed under `totals`, the router's own counters
+            // at the top level. Any peer failing makes the whole merge a
+            // 502 — a partial cluster total would silently under-count.
+            let mut peer_docs = Vec::with_capacity(r.peers.len());
+            let mut totals = [0u64; 6];
+            const KEYS: [&str; 6] = [
+                "queries",
+                "errors",
+                "bad_requests",
+                "sampled_checks",
+                "mismatch_count",
+                "rows_served",
+            ];
+            for p in &r.peers {
+                let (status, body) = match r.forward(p, "GET", "/stats", b"") {
+                    Ok(x) => x,
+                    Err(e) => return gateway_err(e),
+                };
+                if status != 200 {
+                    return gateway_err(format!("peer {}: /stats answered {status}", p.addr));
+                }
+                let doc = match Json::parse(&body) {
+                    Ok(d) => d,
+                    Err(e) => return gateway_err(format!("peer {}: /stats JSON: {e}", p.addr)),
+                };
+                for (i, key) in KEYS.iter().enumerate() {
+                    totals[i] += doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+                }
+                peer_docs.push(Json::obj(vec![
+                    ("peer", Json::str(&p.addr)),
+                    (
+                        "shards",
+                        Json::Arr(vec![Json::num(p.shards.start), Json::num(p.shards.end)]),
+                    ),
+                    ("vertex_lo", Json::num(p.vertices.start)),
+                    ("vertex_hi", Json::num(p.vertices.end)),
+                    ("stats", doc),
+                ]));
+            }
+            let doc = Json::obj(vec![
+                ("role", Json::str("router")),
+                (
+                    "uptime_secs",
+                    Json::num(state.started.elapsed().as_secs_f64()),
+                ),
+                (
+                    "requests",
+                    Json::num(state.http.requests.load(Ordering::Relaxed)),
+                ),
+                (
+                    "bad_requests",
+                    Json::num(state.http.bad_requests.load(Ordering::Relaxed)),
+                ),
+                ("queries", Json::num(state.queries.load(Ordering::Relaxed))),
+                (
+                    "forward_errors",
+                    Json::num(state.forward_errors.load(Ordering::Relaxed)),
+                ),
+                (
+                    "totals",
+                    Json::Obj(
+                        KEYS.iter()
+                            .zip(totals)
+                            .map(|(k, v)| (k.to_string(), Json::num(v)))
+                            .collect(),
+                    ),
+                ),
+                ("peers", Json::Arr(peer_docs)),
+            ]);
+            (200, JSON, format!("{doc}\n").into_bytes())
+        }
+        ("GET", "/shards") => {
+            // The cluster presents as one complete node — a router (or a
+            // router of routers) in front of it needs nothing else.
+            let doc = Json::obj(vec![
+                ("shards", Json::num(r.num_shards)),
+                (
+                    "subset",
+                    Json::Arr(vec![Json::num(0), Json::num(r.num_shards)]),
+                ),
+                ("vertex_lo", Json::num(0)),
+                ("vertex_hi", Json::num(r.num_vertices)),
+                ("num_vertices", Json::num(r.num_vertices)),
+            ]);
+            (200, JSON, format!("{doc}\n").into_bytes())
+        }
+        ("GET", "/row") => (
+            404,
+            TEXT,
+            b"error: the router serves no rows (fetch from the owning node)\n".to_vec(),
+        ),
+        (_, "/healthz" | "/query" | "/batch" | "/stats" | "/row" | "/shards") => (
+            405,
+            TEXT,
+            b"error: method not allowed for this endpoint\n".to_vec(),
+        ),
+        _ => (404, TEXT, b"error: no such endpoint\n".to_vec()),
+    }
+}

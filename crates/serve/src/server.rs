@@ -52,7 +52,9 @@ const RECENT_LATENCIES: usize = 4096;
 
 /// Hard cap on one `/batch` response body. The *request* cap lives in
 /// [`http::MAX_BODY`]; answers amplify, so the response needs its own.
-const MAX_BATCH_RESPONSE: usize = 64 * 1024 * 1024;
+/// Shared with the router, whose merged responses must obey the same
+/// bound the nodes do (the byte-identical contract).
+pub(crate) const MAX_BATCH_RESPONSE: usize = 64 * 1024 * 1024;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug, Default)]
@@ -70,7 +72,7 @@ pub struct ServerOptions {
 const DEFAULT_MAX_CONNECTIONS: usize = 64;
 
 impl ServerOptions {
-    fn max_connections(&self) -> usize {
+    pub(crate) fn max_connections(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
@@ -91,6 +93,8 @@ pub struct ServerReport {
     pub queries: u64,
     /// Queries that returned an engine error (out-of-range, corrupt).
     pub query_errors: u64,
+    /// Raw adjacency rows served to cluster peers over `GET /row`.
+    pub rows_served: u64,
     /// Queries that ran both answer paths (see
     /// [`ServeEngine::sampled_checks`]).
     pub sampled_checks: u64,
@@ -103,14 +107,31 @@ impl std::fmt::Display for ServerReport {
         write!(
             f,
             "{} requests ({} malformed), {} queries ({} errors), \
-             {} sampled cross-checks, {} mismatches",
+             {} rows served to peers, {} sampled cross-checks, {} mismatches",
             self.requests,
             self.bad_requests,
             self.queries,
             self.query_errors,
+            self.rows_served,
             self.sampled_checks,
             self.mismatches
         )
+    }
+}
+
+/// The request/framing counters every HTTP front end in this crate keeps
+/// (the query server here, the forwarding router in [`crate::router`]).
+pub(crate) struct LoopCounters {
+    pub(crate) requests: AtomicU64,
+    pub(crate) bad_requests: AtomicU64,
+}
+
+impl LoopCounters {
+    pub(crate) fn new() -> LoopCounters {
+        LoopCounters {
+            requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+        }
     }
 }
 
@@ -119,10 +140,10 @@ struct ServerState<'e> {
     engine: &'e ServeEngine,
     started: Instant,
     threads: usize,
-    requests: AtomicU64,
-    bad_requests: AtomicU64,
+    http: LoopCounters,
     queries: AtomicU64,
     query_errors: AtomicU64,
+    rows_served: AtomicU64,
     wedge_checks: AtomicU64,
     /// Rolling window of the most recent per-query latencies; `/stats`
     /// derives its percentile block from this.
@@ -149,10 +170,11 @@ impl ServerState<'_> {
 
     fn report(&self) -> ServerReport {
         ServerReport {
-            requests: self.requests.load(Ordering::Relaxed),
-            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            requests: self.http.requests.load(Ordering::Relaxed),
+            bad_requests: self.http.bad_requests.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             query_errors: self.query_errors.load(Ordering::Relaxed),
+            rows_served: self.rows_served.load(Ordering::Relaxed),
             sampled_checks: self.engine.sampled_checks(),
             mismatches: self.engine.mismatch_count(),
         }
@@ -180,15 +202,22 @@ impl ServerState<'_> {
                 Json::num(self.started.elapsed().as_secs_f64()),
             ),
             ("threads", Json::num(self.threads)),
-            ("requests", Json::num(self.requests.load(Ordering::Relaxed))),
+            (
+                "requests",
+                Json::num(self.http.requests.load(Ordering::Relaxed)),
+            ),
             (
                 "bad_requests",
-                Json::num(self.bad_requests.load(Ordering::Relaxed)),
+                Json::num(self.http.bad_requests.load(Ordering::Relaxed)),
             ),
             ("queries", Json::num(self.queries.load(Ordering::Relaxed))),
             (
                 "errors",
                 Json::num(self.query_errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "rows_served",
+                Json::num(self.rows_served.load(Ordering::Relaxed)),
             ),
             ("sampled_checks", Json::num(self.engine.sampled_checks())),
             ("mismatch_count", Json::num(self.engine.mismatch_count())),
@@ -222,6 +251,11 @@ impl Server {
     /// Bind the listening socket. The listener is placed in
     /// non-blocking mode so the accept loop can interleave shutdown
     /// checks.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address does not parse, is in use, or cannot be
+    /// bound.
     pub fn bind(addr: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -229,8 +263,19 @@ impl Server {
     }
 
     /// The bound address (with the real port for `:0` binds).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the socket is gone (never, in practice, on a freshly
+    /// bound listener).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound listener, for other front ends in this crate (the
+    /// router) reusing the same accept loop.
+    pub(crate) fn listener(&self) -> &TcpListener {
+        &self.listener
     }
 
     /// Serve until `shutdown` becomes `true`, then drain and return the
@@ -242,6 +287,13 @@ impl Server {
     /// connections are accepted, already-queued connections still get
     /// their in-flight request answered, idle keep-alive connections are
     /// closed at the next poll tick (≤ ~100 ms).
+    ///
+    /// # Errors
+    ///
+    /// The accept loop itself never returns an I/O error (transient
+    /// accept failures retry; a persistently dead listener ends the run
+    /// with whatever totals accumulated); the `io::Result` is kept for
+    /// interface stability.
     pub fn run(
         &self,
         engine: &ServeEngine,
@@ -253,72 +305,103 @@ impl Server {
             engine,
             started: Instant::now(),
             threads: max_connections,
-            requests: AtomicU64::new(0),
-            bad_requests: AtomicU64::new(0),
+            http: LoopCounters::new(),
             queries: AtomicU64::new(0),
             query_errors: AtomicU64::new(0),
+            rows_served: AtomicU64::new(0),
             wedge_checks: AtomicU64::new(0),
             recent: Mutex::new(Vec::new()),
         };
-        // Thread per connection, capped: a fixed worker pool would pin a
-        // worker to every idle keep-alive peer and starve queued
-        // connections, so instead each accepted connection gets its own
-        // handler thread and the accept loop pauses at the cap (pending
-        // peers wait in the kernel backlog — natural backpressure).
-        let active = AtomicUsize::new(0);
-        // Transient accept failures (a peer resetting before accept —
-        // ECONNABORTED — or momentary fd pressure) must not end the run:
-        // a silent early exit would still report "clean" to the shutdown
-        // contract. Retry with backoff; only a listener that fails
-        // persistently (dead fd) ends the loop.
-        const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
-        let mut accept_errors = 0u32;
-        std::thread::scope(|s| {
-            while !shutdown.load(Ordering::SeqCst) {
-                if active.load(Ordering::SeqCst) >= max_connections {
-                    std::thread::sleep(ACCEPT_POLL);
-                    continue;
-                }
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        accept_errors = 0;
-                        active.fetch_add(1, Ordering::SeqCst);
-                        let state = &state;
-                        let active = &active;
-                        s.spawn(move || {
-                            handle_connection(state, stream, shutdown);
-                            active.fetch_sub(1, Ordering::SeqCst);
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        accept_errors += 1;
-                        if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
-                            // persistently broken listener: give up; the
-                            // in-flight handlers drain and the report
-                            // still comes back
-                            eprintln!("kron serve: accept failing persistently, stopping: {e}");
-                            break;
-                        }
-                        eprintln!("kron serve: accept error (retrying): {e}");
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                }
-            }
-            // scope exit joins every handler: each notices the shutdown
-            // flag at its next poll tick (≤ ~100 ms) or after finishing
-            // its in-flight request
-        });
+        serve_connections(
+            &self.listener,
+            max_connections,
+            "kron serve",
+            shutdown,
+            &state.http,
+            &|req| route(&state, req),
+        );
         Ok(state.report())
     }
 }
 
+/// The shared front-end accept loop: thread-per-connection with a cap,
+/// graceful shutdown via the flag, transient accept-failure retry.
+/// `handle` dispatches one parsed request to its endpoint; `counters`
+/// picks up request/framing totals. Used by both [`Server`] and
+/// [`crate::router::Router`].
+pub(crate) fn serve_connections<H>(
+    listener: &TcpListener,
+    max_connections: usize,
+    name: &str,
+    shutdown: &AtomicBool,
+    counters: &LoopCounters,
+    handle: &H,
+) where
+    H: Fn(&http::Request) -> (u16, &'static str, Vec<u8>) + Sync,
+{
+    // Thread per connection, capped: a fixed worker pool would pin a
+    // worker to every idle keep-alive peer and starve queued
+    // connections, so instead each accepted connection gets its own
+    // handler thread and the accept loop pauses at the cap (pending
+    // peers wait in the kernel backlog — natural backpressure).
+    let active = AtomicUsize::new(0);
+    // Transient accept failures (a peer resetting before accept —
+    // ECONNABORTED — or momentary fd pressure) must not end the run:
+    // a silent early exit would still report "clean" to the shutdown
+    // contract. Retry with backoff; only a listener that fails
+    // persistently (dead fd) ends the loop.
+    const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
+    let mut accept_errors = 0u32;
+    std::thread::scope(|s| {
+        while !shutdown.load(Ordering::SeqCst) {
+            if active.load(Ordering::SeqCst) >= max_connections {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    accept_errors = 0;
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let active = &active;
+                    s.spawn(move || {
+                        handle_connection(counters, handle, stream, shutdown);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    accept_errors += 1;
+                    if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                        // persistently broken listener: give up; the
+                        // in-flight handlers drain and the report
+                        // still comes back
+                        eprintln!("{name}: accept failing persistently, stopping: {e}");
+                        break;
+                    }
+                    eprintln!("{name}: accept error (retrying): {e}");
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+        // scope exit joins every handler: each notices the shutdown
+        // flag at its next poll tick (≤ ~100 ms) or after finishing
+        // its in-flight request
+    });
+}
+
 /// Serve one connection's request stream until it closes, errors, or the
 /// server shuts down.
-fn handle_connection(state: &ServerState<'_>, stream: TcpStream, shutdown: &AtomicBool) {
+fn handle_connection<H>(
+    counters: &LoopCounters,
+    handle: &H,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+) where
+    H: Fn(&http::Request) -> (u16, &'static str, Vec<u8>) + Sync,
+{
     // On BSD-derived platforms an accepted socket inherits the listener's
     // O_NONBLOCK (Linux does not); force blocking mode so the idle poll
     // is paced by the read timeout instead of spinning on WouldBlock.
@@ -338,11 +421,11 @@ fn handle_connection(state: &ServerState<'_>, stream: TcpStream, shutdown: &Atom
                 }
             }
             Ok(NextRequest::Request(req)) => {
-                state.requests.fetch_add(1, Ordering::Relaxed);
+                counters.requests.fetch_add(1, Ordering::Relaxed);
                 let close = req.close;
-                let (status, content_type, body) = route(state, &req);
+                let (status, content_type, body) = handle(&req);
                 if status == 400 {
-                    state.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    counters.bad_requests.fetch_add(1, Ordering::Relaxed);
                 }
                 if conn.respond(status, content_type, &body).is_err() {
                     break;
@@ -354,8 +437,8 @@ fn handle_connection(state: &ServerState<'_>, stream: TcpStream, shutdown: &Atom
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // framing error: answer 400 if the socket still takes
                 // writes, then drop the connection (state is mid-request)
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                state.bad_requests.fetch_add(1, Ordering::Relaxed);
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                counters.bad_requests.fetch_add(1, Ordering::Relaxed);
                 let _ = conn.respond(400, "text/plain", b"error: malformed request\n");
                 break;
             }
@@ -365,10 +448,21 @@ fn handle_connection(state: &ServerState<'_>, stream: TcpStream, shutdown: &Atom
     }
 }
 
+/// Status for an engine error surfaced on `GET /query`: a remote-row
+/// fetch failure is the node's upstream failing (502), everything else
+/// is the query being unanswerable for this run (422).
+fn error_status(e: &crate::engine::ServeError) -> u16 {
+    match e {
+        crate::engine::ServeError::Remote(_) => 502,
+        _ => 422,
+    }
+}
+
 /// Dispatch one request to its endpoint.
 fn route(state: &ServerState<'_>, req: &http::Request) -> (u16, &'static str, Vec<u8>) {
     const TEXT: &str = "text/plain; charset=utf-8";
     const JSON: &str = "application/json";
+    const OCTETS: &str = "application/octet-stream";
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, TEXT, b"ok\n".to_vec()),
         ("GET", "/query") => {
@@ -383,10 +477,94 @@ fn route(state: &ServerState<'_>, req: &http::Request) -> (u16, &'static str, Ve
                     state.record_query(t0.elapsed(), res.is_err(), checks);
                     match res {
                         Ok(a) => (200, TEXT, format!("{a}\n").into_bytes()),
-                        Err(e) => (422, TEXT, format!("error: {e}\n").into_bytes()),
+                        Err(e) => (error_status(&e), TEXT, format!("error: {e}\n").into_bytes()),
                     }
                 }
             }
+        }
+        ("GET", "/row") => {
+            // The cluster-internal row fetch: raw little-endian u64 words
+            // of one resident adjacency row, straight off the mapping.
+            // Not a query — it bumps `rows_served`, never the engine's
+            // query counter (the *querying* node accounts the query).
+            let set = state.engine.shard_set();
+            let (Some(shard), Some(v)) = (req.query_param("shard"), req.query_param("v")) else {
+                return (
+                    400,
+                    TEXT,
+                    b"error: /row needs shard=S and v=V parameters\n".to_vec(),
+                );
+            };
+            let Ok(shard) = shard.parse::<usize>() else {
+                return (400, TEXT, b"error: shard must be a shard index\n".to_vec());
+            };
+            let Ok(v) = v.parse::<u64>() else {
+                return (400, TEXT, b"error: v must be a vertex id\n".to_vec());
+            };
+            let Some(range) = set.shard_vertices(shard) else {
+                return (
+                    404,
+                    TEXT,
+                    format!(
+                        "error: no shard {shard} in this run ({} shards)\n",
+                        set.num_shards()
+                    )
+                    .into_bytes(),
+                );
+            };
+            let Some(open) = set.local(shard) else {
+                let subset = set.subset();
+                return (
+                    404,
+                    TEXT,
+                    format!(
+                        "error: shard {shard} is not resident on this node \
+                         (serving {}..{})\n",
+                        subset.start, subset.end
+                    )
+                    .into_bytes(),
+                );
+            };
+            if !range.contains(&v) {
+                return (
+                    422,
+                    TEXT,
+                    format!(
+                        "error: vertex {v} outside shard {shard}'s vertex range \
+                         ({}..{})\n",
+                        range.start, range.end
+                    )
+                    .into_bytes(),
+                );
+            }
+            // in range of a validated resident shard ⇒ the row exists
+            let Some(row) = open.reader.row(v) else {
+                return (500, TEXT, b"error: resident row unavailable\n".to_vec());
+            };
+            state.rows_served.fetch_add(1, Ordering::Relaxed);
+            let mut body = Vec::with_capacity(row.len() * 8);
+            for w in row {
+                body.extend_from_slice(&w.to_le_bytes());
+            }
+            (200, OCTETS, body)
+        }
+        ("GET", "/shards") => {
+            // The node's slice of the ownership map — what a router (or a
+            // curious operator) needs to route by vertex range.
+            let set = state.engine.shard_set();
+            let subset = set.subset();
+            let span = set.subset_vertices();
+            let doc = Json::obj(vec![
+                ("shards", Json::num(set.num_shards())),
+                (
+                    "subset",
+                    Json::Arr(vec![Json::num(subset.start), Json::num(subset.end)]),
+                ),
+                ("vertex_lo", Json::num(span.start)),
+                ("vertex_hi", Json::num(span.end)),
+                ("num_vertices", Json::num(set.num_vertices())),
+            ]);
+            (200, JSON, format!("{doc}\n").into_bytes())
         }
         ("POST", "/batch") => {
             let Ok(text) = std::str::from_utf8(&req.body) else {
@@ -429,7 +607,7 @@ fn route(state: &ServerState<'_>, req: &http::Request) -> (u16, &'static str, Ve
             }
         }
         ("GET", "/stats") => (200, JSON, format!("{}\n", state.stats_json()).into_bytes()),
-        (_, "/healthz" | "/query" | "/batch" | "/stats") => (
+        (_, "/healthz" | "/query" | "/batch" | "/stats" | "/row" | "/shards") => (
             405,
             TEXT,
             b"error: method not allowed for this endpoint\n".to_vec(),
@@ -548,6 +726,76 @@ mod tests {
             let report = run.join().unwrap().unwrap();
             assert_eq!(report.bad_requests, 1);
         });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn row_and_shards_endpoints_speak_the_cluster_protocol() {
+        let (dir, c) = run_dir("cluster_endpoints");
+        let engine = ServeEngine::open_with(
+            &dir,
+            &OpenOptions {
+                shard_subset: Some(0..1),
+                peers: vec![crate::PeerSpec::parse("1..2=127.0.0.1:1").unwrap()],
+                ..OpenOptions::default()
+            },
+        )
+        .unwrap();
+        let set = engine.shard_set();
+        let span = set.subset_vertices();
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = AtomicBool::new(false);
+        let report = std::thread::scope(|s| {
+            let run = s.spawn(|| server.run(&engine, &ServerOptions::default(), &stop));
+            let mut client = Client::connect(addr).unwrap();
+
+            // /shards: the node's slice of the ownership map
+            let (status, body) = client.get("/shards").unwrap();
+            assert_eq!(status, 200);
+            let doc = Json::parse(&body).unwrap();
+            assert_eq!(doc.req("shards").unwrap().as_u64(), Some(2));
+            assert_eq!(
+                doc.req("subset").unwrap().as_arr().unwrap()[1].as_u64(),
+                Some(1)
+            );
+            assert_eq!(doc.req("vertex_lo").unwrap().as_u64(), Some(span.start));
+            assert_eq!(doc.req("vertex_hi").unwrap().as_u64(), Some(span.end));
+            assert_eq!(
+                doc.req("num_vertices").unwrap().as_u64(),
+                Some(c.num_vertices())
+            );
+
+            // /row: a resident row comes back as raw little-endian words
+            let v = span.start;
+            let (status, bytes) = client.get_bytes(&format!("/row?shard=0&v={v}")).unwrap();
+            assert_eq!(status, 200);
+            let row: Vec<u64> = bytes
+                .chunks_exact(8)
+                .map(|w| u64::from_le_bytes(w.try_into().unwrap()))
+                .collect();
+            assert_eq!(row, c.neighbors(v));
+
+            // non-resident shard → 404; out-of-shard vertex → 422;
+            // malformed → 400; unknown shard → 404
+            let (status, body) = client.get(&format!("/row?shard=1&v={}", span.end)).unwrap();
+            assert_eq!(status, 404, "{body}");
+            assert!(body.contains("not resident"), "{body}");
+            let (status, body) = client.get(&format!("/row?shard=0&v={}", span.end)).unwrap();
+            assert_eq!(status, 422, "{body}");
+            let (status, _) = client.get("/row?shard=0").unwrap();
+            assert_eq!(status, 400);
+            let (status, body) = client.get("/row?shard=9&v=0").unwrap();
+            assert_eq!(status, 404, "{body}");
+            assert!(body.contains("no shard 9"), "{body}");
+            let (status, _) = client.post("/row", b"").unwrap();
+            assert_eq!(status, 405);
+
+            stop.store(true, Ordering::SeqCst);
+            run.join().unwrap().unwrap()
+        });
+        assert_eq!(report.rows_served, 1, "only the 200 fetch counts");
+        assert_eq!(report.queries, 0, "/row is not a query");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -54,6 +54,12 @@ pub struct CsrReader {
 
 impl CsrReader {
     /// Map and validate a CSR shard file.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for a bad magic, a header that contradicts the file
+    /// size (with overflow-checked arithmetic), or non-monotone offsets;
+    /// any I/O error from opening or mapping the file.
     pub fn open(path: &Path) -> io::Result<CsrReader> {
         let file = File::open(path)?;
         let map = Mmap::map_readonly(&file)?;

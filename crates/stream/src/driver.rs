@@ -57,6 +57,11 @@ pub const RUN_FILE: &str = "run.json";
 /// Stream one shard through a sink, computing observed statistics, and
 /// return its manifest. Exposed for tests and benchmarks; the driver calls
 /// this per shard.
+///
+/// # Errors
+///
+/// [`StreamError::Shard`] when the sink fails or the observed shard
+/// statistics disagree with the closed forms.
 pub fn run_shard(
     product: &KronProduct,
     spec: &ShardSpec,
@@ -220,6 +225,12 @@ fn shard_is_complete(dir: &Path, spec: &ShardSpec, format: OutputFormat) -> bool
 }
 
 /// Load a shard's manifest from a run directory.
+///
+/// # Errors
+///
+/// [`StreamError::Io`] when the manifest file is missing or unreadable
+/// (the message names the path), [`StreamError::Manifest`] when it does
+/// not parse.
 pub fn load_manifest(dir: &Path, shard: usize) -> Result<ShardManifest, StreamError> {
     let path = dir.join(manifest_name(shard));
     let doc = read_json(&path).map_err(|e| StreamError::Io(e.to_string()))?;
@@ -233,6 +244,13 @@ pub fn load_manifest(dir: &Path, shard: usize) -> Result<ShardManifest, StreamEr
 /// lists (so the run is self-describing and re-verifiable), and a
 /// `run.json` summary. Shards run concurrently on `cfg.threads` workers;
 /// with `cfg.resume`, shards whose manifest already validates are skipped.
+///
+/// # Errors
+///
+/// [`StreamError::Config`] for an invalid configuration (zero/too many
+/// shards), [`StreamError::Io`] for directory/summary I/O failures, and
+/// [`StreamError::Shard`] naming the first shard whose generation or
+/// validation failed.
 pub fn stream_product(
     product: &KronProduct,
     cfg: &StreamConfig,

@@ -50,6 +50,10 @@ impl Json {
     }
 
     /// Required member lookup, with the key in the error.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing key.
     pub fn req(&self, key: &str) -> Result<&Json, String> {
         self.get(key).ok_or_else(|| format!("missing key {key:?}"))
     }
@@ -111,6 +115,10 @@ impl Json {
     }
 
     /// Parse a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// A message with the byte offset of the first syntax error.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;

@@ -28,6 +28,10 @@ impl OutputFormat {
     }
 
     /// Parse a canonical name.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unrecognized format.
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "edges" => Ok(OutputFormat::Edges),
@@ -127,6 +131,11 @@ pub struct ShardManifest {
 impl ShardManifest {
     /// Whether this manifest's closed-form fields match an expectation
     /// recomputed from the factors.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first field (range or closed-form statistic)
+    /// that disagrees with the expectation, and the shard index.
     pub fn matches_stats(&self, expect: &RowBlockStats) -> Result<(), String> {
         let check = |name: &str, got: u128, want: u128| {
             if got == want {
@@ -183,6 +192,10 @@ impl ShardManifest {
     }
 
     /// Deserialize from JSON.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or mistyped key.
     pub fn from_json(j: &Json) -> Result<Self, String> {
         let u128of = |key: &str| -> Result<u128, String> {
             j.req(key)?
@@ -280,6 +293,11 @@ impl RunSummary {
     }
 
     /// Deserialize from JSON.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or mistyped key, or a document whose
+    /// `magic` is not `"kron-stream-run"`.
     pub fn from_json(j: &Json) -> Result<Self, String> {
         if j.req("magic")?.as_str() != Some("kron-stream-run") {
             return Err("not a kron-stream run.json".into());
@@ -327,6 +345,10 @@ impl RunSummary {
 }
 
 /// Write a JSON document atomically (`.tmp` + rename).
+///
+/// # Errors
+///
+/// Any I/O error from the write or the rename.
 pub fn write_json_atomic(dir: &Path, name: &str, doc: &Json) -> io::Result<()> {
     let tmp = dir.join(format!("{name}.tmp"));
     std::fs::write(&tmp, format!("{doc}\n"))?;
@@ -336,6 +358,11 @@ pub fn write_json_atomic(dir: &Path, name: &str, doc: &Json) -> io::Result<()> {
 /// Read and parse a JSON document. Every error — missing file, unreadable
 /// file, parse failure — names the offending path, so a multi-shard
 /// directory failure is never ambiguous about which manifest it means.
+///
+/// # Errors
+///
+/// Any read failure, or `InvalidData` for unparseable JSON — both name
+/// the offending path.
 pub fn read_json(path: &Path) -> io::Result<Json> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;

@@ -52,6 +52,11 @@ mod sys {
 
 impl Mmap {
     /// Map `file` read-only in its entirety.
+    ///
+    /// # Errors
+    ///
+    /// Any `mmap(2)` failure (the empty-file case maps a dummy page and
+    /// cannot fail for that reason).
     pub fn map_readonly(file: &File) -> io::Result<Mmap> {
         let len = file.metadata()?.len();
         let len_usize = usize::try_from(len)

@@ -18,6 +18,17 @@
 //!   order-independent content checksum from the mapped columns and
 //!   compares it to the manifest. `O(nnz)`, done exactly once at open;
 //!   queries afterwards trust the mapping.
+//!
+//! A **subset open** ([`ShardSet::open_subset`] /
+//! [`ShardSet::open_subset_verified`]) is the multi-node entry point:
+//! one node of a cluster claims a contiguous shard range, memory-maps
+//! only those artifacts, and still learns the *full* ownership map —
+//! every manifest is read and validated (index, format, range
+//! contiguity, entry totals), so routing a vertex to its owning shard
+//! works for the whole product even though only the claimed shards are
+//! resident. Artifacts of non-claimed shards need not exist on the node
+//! at all (only the small JSON manifests must); a run directory whose
+//! manifests do not cover the claimed range is rejected at open.
 
 use crate::csr::CsrReader;
 use crate::driver::{load_manifest, RUN_FILE};
@@ -42,15 +53,26 @@ impl std::fmt::Debug for OpenShard {
     }
 }
 
-/// A complete CSR run directory, opened and validated once, with every
-/// shard memory-mapped and routable by product vertex.
+/// A CSR run directory, opened and validated once, with the claimed
+/// shards memory-mapped and *every* product vertex routable to its
+/// owning shard (resident here or not).
 ///
 /// [`ShardSet::open`] validates structure only; [`ShardSet::open_verified`]
-/// additionally recomputes every shard's content checksum once.
+/// additionally recomputes every shard's content checksum once. The
+/// `open_subset*` variants map only a claimed contiguous shard range —
+/// the multi-node case — while still reading every manifest for the
+/// ownership map.
 pub struct ShardSet {
     dir: PathBuf,
     run: RunSummary,
+    /// Product-vertex range of every shard of the run, by shard index —
+    /// the ownership map. Always complete, even for subset opens.
+    ranges: Vec<std::ops::Range<u64>>,
+    /// The opened (claimed) shards, in index order: shard
+    /// `subset.start + i` is `shards[i]`.
     shards: Vec<OpenShard>,
+    /// The claimed shard range. `0..ranges.len()` for a full open.
+    subset: std::ops::Range<usize>,
     num_vertices: u64,
 }
 
@@ -58,7 +80,8 @@ impl std::fmt::Debug for ShardSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardSet")
             .field("dir", &self.dir)
-            .field("shards", &self.shards.len())
+            .field("shards", &self.ranges.len())
+            .field("subset", &self.subset)
             .field("num_vertices", &self.num_vertices)
             .finish()
     }
@@ -67,17 +90,64 @@ impl std::fmt::Debug for ShardSet {
 impl ShardSet {
     /// Open a run directory with structural validation (headers, sizes,
     /// ranges — no content hashing).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `run.json` or any manifest is missing or malformed, the
+    /// run format is not CSR, the shard ranges do not tile `0..n_C`, or
+    /// any artifact's mapped header disagrees with its manifest.
     pub fn open(dir: &Path) -> Result<ShardSet, StreamError> {
-        Self::open_impl(dir, false)
+        Self::open_impl(dir, false, None)
     }
 
     /// Open a run directory and additionally verify every shard's content
     /// checksum against its manifest, once.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ShardSet::open`] rejects, plus any shard whose mapped
+    /// contents fail the manifest's stream hash.
     pub fn open_verified(dir: &Path) -> Result<ShardSet, StreamError> {
-        Self::open_impl(dir, true)
+        Self::open_impl(dir, true, None)
     }
 
-    fn open_impl(dir: &Path, verify: bool) -> Result<ShardSet, StreamError> {
+    /// Open only the claimed contiguous shard range `subset`, with
+    /// structural validation of the claimed artifacts. Every manifest of
+    /// the run is still read and validated (the ownership map must be
+    /// complete), but artifacts outside `subset` are neither opened nor
+    /// required to exist on this node.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ShardSet::open`] rejects for the claimed shards, plus
+    /// an empty claim or one not covered by the run's manifests
+    /// (`subset.end > shards` or `subset.start ≥ subset.end`).
+    pub fn open_subset(
+        dir: &Path,
+        subset: std::ops::Range<usize>,
+    ) -> Result<ShardSet, StreamError> {
+        Self::open_impl(dir, false, Some(subset))
+    }
+
+    /// Like [`ShardSet::open_subset`], additionally verifying the content
+    /// checksum of every *claimed* shard once (non-claimed shards have no
+    /// resident contents to hash).
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardSet::open_subset`] and [`ShardSet::open_verified`].
+    pub fn open_subset_verified(
+        dir: &Path,
+        subset: std::ops::Range<usize>,
+    ) -> Result<ShardSet, StreamError> {
+        Self::open_impl(dir, true, Some(subset))
+    }
+
+    fn open_impl(
+        dir: &Path,
+        verify: bool,
+        subset: Option<std::ops::Range<usize>>,
+    ) -> Result<ShardSet, StreamError> {
         let run_doc = read_json(&dir.join(RUN_FILE)).map_err(|e| StreamError::Io(e.to_string()))?;
         let run = RunSummary::from_json(&run_doc).map_err(StreamError::Manifest)?;
         crate::driver::check_shard_count(run.shards)
@@ -97,7 +167,28 @@ impl ShardSet {
             ))
         })?;
 
-        let mut shards = Vec::with_capacity(run.shards);
+        let subset = match subset {
+            None => 0..run.shards,
+            Some(s) => {
+                if s.start >= s.end {
+                    return Err(StreamError::Config(format!(
+                        "claimed shard range {}..{} is empty",
+                        s.start, s.end
+                    )));
+                }
+                if s.end > run.shards {
+                    return Err(StreamError::Config(format!(
+                        "claimed shard range {}..{} is not covered by this run's \
+                         manifests (run has {} shards)",
+                        s.start, s.end, run.shards
+                    )));
+                }
+                s
+            }
+        };
+
+        let mut ranges = Vec::with_capacity(run.shards);
+        let mut shards = Vec::with_capacity(subset.end - subset.start);
         let mut next_vertex = 0u64;
         let mut total_entries = 0u128;
         for index in 0..run.shards {
@@ -128,7 +219,13 @@ impl ShardSet {
             }
             next_vertex = manifest.vertices.end;
             total_entries += manifest.entries;
+            ranges.push(manifest.vertices.clone());
 
+            // Non-claimed shards contribute their manifest to the
+            // ownership map only; their artifacts may live on other nodes.
+            if !subset.contains(&index) {
+                continue;
+            }
             let name = manifest
                 .file
                 .as_deref()
@@ -176,7 +273,9 @@ impl ShardSet {
         Ok(ShardSet {
             dir: dir.to_path_buf(),
             run,
+            ranges,
             shards,
+            subset,
             num_vertices,
         })
     }
@@ -201,41 +300,76 @@ impl ShardSet {
         self.run.total_entries
     }
 
-    /// Number of shards.
+    /// Number of shards **of the run** (the ownership map covers all of
+    /// them, whether resident here or not).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.ranges.len()
     }
 
-    /// Total mapped artifact bytes.
+    /// The claimed (resident) shard range. Equals `0..num_shards()` for
+    /// a full open.
+    pub fn subset(&self) -> std::ops::Range<usize> {
+        self.subset.clone()
+    }
+
+    /// Whether every shard of the run is resident (a full open).
+    pub fn is_complete(&self) -> bool {
+        self.subset == (0..self.ranges.len())
+    }
+
+    /// Product-vertex range of shard `index` (resident or not), from the
+    /// ownership map. `None` for an out-of-range shard index.
+    pub fn shard_vertices(&self, index: usize) -> Option<std::ops::Range<u64>> {
+        self.ranges.get(index).cloned()
+    }
+
+    /// Product-vertex span covered by the claimed subset,
+    /// `[first claimed shard's lo, last claimed shard's hi)`.
+    pub fn subset_vertices(&self) -> std::ops::Range<u64> {
+        self.ranges[self.subset.start].start..self.ranges[self.subset.end - 1].end
+    }
+
+    /// Total mapped artifact bytes (claimed shards only).
     pub fn mapped_bytes(&self) -> u64 {
         self.shards.iter().map(|s| s.manifest.file_bytes).sum()
     }
 
-    /// The opened shards, in index order.
+    /// The opened (claimed) shards, in index order: entry `i` is shard
+    /// `subset().start + i`. Prefer [`ShardSet::local`] to look one up by
+    /// its run-wide shard index.
     pub fn shards(&self) -> &[OpenShard] {
         &self.shards
     }
 
-    /// Route a product vertex to the index of the shard owning its row,
-    /// or `None` if `v` lies outside every shard's vertex range.
+    /// The opened shard with run-wide index `shard`, or `None` when that
+    /// shard is outside the claimed subset (its rows live on another
+    /// node).
+    pub fn local(&self, shard: usize) -> Option<&OpenShard> {
+        self.subset
+            .contains(&shard)
+            .then(|| &self.shards[shard - self.subset.start])
+    }
+
+    /// Route a product vertex to the run-wide index of the shard owning
+    /// its row (resident here or not), or `None` if `v` lies outside
+    /// every shard's vertex range.
     ///
     /// Shard vertex ranges are contiguous and ascending (they tile
     /// `0..n_C`), so routing is a binary search over the range ends;
     /// empty shards (a plan with more shards than left-factor rows) are
     /// skipped naturally because no vertex satisfies their empty range.
     pub fn route(&self, v: u64) -> Option<usize> {
-        let i = self
-            .shards
-            .partition_point(|s| s.manifest.vertices.end <= v);
-        (i < self.shards.len() && self.shards[i].manifest.vertices.contains(&v)).then_some(i)
+        let i = self.ranges.partition_point(|r| r.end <= v);
+        (i < self.ranges.len() && self.ranges[i].contains(&v)).then_some(i)
     }
 
     /// The adjacency row of product vertex `v` as a zero-copy slice into
     /// the owning shard's mapping (sorted ascending, self loop included),
-    /// or `None` if `v` is outside every shard.
+    /// or `None` if `v` is outside every shard **or its shard is not
+    /// resident in this set's subset**.
     pub fn row(&self, v: u64) -> Option<&[u64]> {
         let shard = self.route(v)?;
-        self.shards[shard].reader.row(v)
+        self.local(shard)?.reader.row(v)
     }
 }
 
@@ -373,6 +507,94 @@ mod tests {
             err.to_string().contains(name),
             "error must name the file: {err}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subset_open_maps_only_claimed_shards_but_routes_everything() {
+        let dir = tmpdir("subset");
+        let c = product();
+        streamed(&dir, &c, 4);
+        let full = ShardSet::open(&dir).unwrap();
+        assert!(full.is_complete());
+        let set = ShardSet::open_subset_verified(&dir, 1..3).unwrap();
+        assert!(!set.is_complete());
+        assert_eq!(set.num_shards(), 4);
+        assert_eq!(set.subset(), 1..3);
+        assert_eq!(set.shards().len(), 2);
+        assert_eq!(set.num_vertices(), c.num_vertices());
+        let span = set.subset_vertices();
+        for v in 0..c.num_vertices() {
+            // the ownership map routes every vertex of the product…
+            let shard = set.route(v).expect("in range");
+            assert_eq!(shard, full.route(v).unwrap(), "route {v}");
+            assert_eq!(
+                set.shard_vertices(shard).unwrap(),
+                full.shards()[shard].manifest.vertices
+            );
+            // …but only claimed rows are resident
+            if span.contains(&v) {
+                assert_eq!(set.row(v).unwrap(), c.neighbors(v).as_slice());
+                assert!(set.local(shard).is_some());
+            } else {
+                assert!(set.row(v).is_none());
+                assert!(set.local(shard).is_none());
+            }
+        }
+        assert!(set.mapped_bytes() < full.mapped_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subset_open_rejects_claims_the_manifests_do_not_cover() {
+        let dir = tmpdir("subset_bad_claim");
+        let c = product();
+        streamed(&dir, &c, 3);
+        let backwards = std::ops::Range { start: 5, end: 4 };
+        for bad in [0..4, 3..5, 2..2, backwards] {
+            let err = ShardSet::open_subset(&dir, bad.clone()).unwrap_err();
+            assert!(matches!(err, StreamError::Config(_)), "{bad:?}: {err}");
+        }
+        // a claim needs every manifest (the ownership map is run-wide)…
+        std::fs::remove_file(dir.join(crate::manifest_name(2))).unwrap();
+        assert!(ShardSet::open_subset(&dir, 0..1).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subset_open_tolerates_missing_non_claimed_artifacts_only() {
+        let dir = tmpdir("subset_missing");
+        let c = product();
+        streamed(&dir, &c, 3);
+        // a non-claimed artifact may live on another node entirely
+        let other = load_manifest(&dir, 2).unwrap();
+        std::fs::remove_file(dir.join(other.file.as_deref().unwrap())).unwrap();
+        let set = ShardSet::open_subset_verified(&dir, 0..2).unwrap();
+        for v in set.subset_vertices() {
+            assert_eq!(set.row(v).unwrap(), c.neighbors(v).as_slice());
+        }
+        // …but a *claimed* artifact must be present and valid
+        assert!(ShardSet::open_subset(&dir, 2..3).is_err());
+        assert!(ShardSet::open_subset(&dir, 0..3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subset_open_verified_hashes_only_claimed_contents() {
+        let dir = tmpdir("subset_verify");
+        let c = product();
+        streamed(&dir, &c, 3);
+        // tamper shard 2's contents: a 0..2 claim cannot see it, a claim
+        // covering shard 2 must reject it
+        let m = load_manifest(&dir, 2).unwrap();
+        let path = dir.join(m.file.as_deref().unwrap());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let rows = (m.vertices.end - m.vertices.start) as usize;
+        bytes[32 + 8 * (rows + 1)] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ShardSet::open_subset_verified(&dir, 0..2).is_ok());
+        let err = ShardSet::open_subset_verified(&dir, 1..3).unwrap_err();
+        assert!(matches!(err, StreamError::Shard(2, _)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

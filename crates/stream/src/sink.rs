@@ -96,6 +96,10 @@ pub struct EdgeListSink {
 
 impl EdgeListSink {
     /// Open `<dir>/<name>.tmp` for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the artifact file.
     pub fn create(dir: &Path, name: &str) -> io::Result<Self> {
         let (tmp, writer) = tmp_writer(dir, name)?;
         Ok(Self {

@@ -40,6 +40,11 @@ fn shard_err(shard: usize, msg: String) -> StreamError {
 /// With `rehash`, each shard's entry stream is additionally regenerated
 /// from the factors and compared against the manifest checksum — this
 /// re-does the generation work and is the strongest (slowest) check.
+///
+/// # Errors
+///
+/// The first failing check, always naming the offending manifest or
+/// artifact file and the shard index.
 pub fn verify_shards(dir: &Path, rehash: bool) -> Result<VerifyReport, StreamError> {
     let run_doc = read_json(&dir.join(RUN_FILE)).map_err(|e| StreamError::Io(e.to_string()))?;
     let run = RunSummary::from_json(&run_doc).map_err(StreamError::Manifest)?;

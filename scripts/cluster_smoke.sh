@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the cluster path: generate a CSR run directory,
+# serve it three ways at once — one whole-run server, and a 2-node
+# shard-subset cluster behind a `kron route` front end — and assert the
+# routed answers are byte-identical to the single node's. Finishes with
+# graceful shutdowns and the cluster's cross-check certification (node 0
+# audits every answer it assembles, remote rows included).
+# Run from the repo root; CI calls it after the release build.
+set -euo pipefail
+
+BIN=${KRON_BIN:-target/release/kron}
+work=$(mktemp -d)
+pids=()
+trap 'for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$work"' EXIT
+
+# The cluster nodes need each other's address up front (the ownership map
+# is static), so pick two ports deterministically-ish and verify the
+# binds below instead of using :0.
+P0=$((21000 + $$ % 9000))
+P1=$((P0 + 1))
+
+start() { # name, logfile prefix, args...
+    local name=$1; shift
+    "$BIN" "$@" > "$work/$name.out" 2> "$work/$name.err" &
+    pids+=($!)
+    eval "${name}_pid=$!"
+    for _ in $(seq 100); do
+        grep -q '^listening on ' "$work/$name.out" 2>/dev/null && break
+        sleep 0.1
+    done
+    local addr
+    addr=$(sed -n 's|^listening on http://||p' "$work/$name.out" | head -1)
+    [ -n "$addr" ] || { echo "$name never printed its address"; cat "$work/$name.err"; exit 1; }
+    eval "${name}_addr=$addr"
+    echo "   $name at $addr"
+}
+
+stop() { # name → asserts exit 0
+    local name=$1 pid_var="${1}_pid" status=0
+    local pid=${!pid_var}
+    kill -TERM "$pid"
+    wait "$pid" || status=$?
+    [ "$status" -eq 0 ] || { echo "$name exited $status"; cat "$work/$name.err"; exit 1; }
+}
+
+echo "== generate a run directory (4 CSR shards)"
+"$BIN" gen holme-kim --n 40 --m 2 --seed 7 --out "$work/a.tsv"
+"$BIN" stream "$work/a.tsv" "$work/a.tsv" --out "$work/run" --shards 4 --format csr
+"$BIN" verify-shards "$work/run"
+
+echo "== start the whole-run reference server and the 2-node cluster"
+start single serve "$work/run" --listen 127.0.0.1:0
+start node0 serve "$work/run" --listen "127.0.0.1:$P0" --shards 0..2 \
+    --peers "2..4=127.0.0.1:$P1" --source cross-check:4 --cache 1024
+start node1 serve "$work/run" --listen "127.0.0.1:$P1" --shards 2..4 \
+    --peers "0..2=127.0.0.1:$P0"
+start router route --peers "127.0.0.1:$P0,127.0.0.1:$P1" --listen 127.0.0.1:0
+
+echo "== routed answers must be byte-identical to the single node's"
+{
+    for v in 0 7 57 199 1599; do
+        echo "degree $v"
+        echo "neighbors $v"
+        echo "tri_vertex $v"
+        echo "has_edge $v $(( (v + 3) % 1600 ))"
+        echo "tri_edge $v $(( (v + 1) % 1600 ))"
+    done
+    echo "degree 1600"        # out of range: in-band error line
+} > "$work/queries.txt"
+curl -fsS --data-binary @"$work/queries.txt" "http://$single_addr/batch" > "$work/batch_single.txt"
+curl -fsS --data-binary @"$work/queries.txt" "http://$router_addr/batch" > "$work/batch_routed.txt"
+diff "$work/batch_single.txt" "$work/batch_routed.txt" \
+    || { echo "routed /batch diverged from the single node"; exit 1; }
+for q in 'degree%2057' 'tri_vertex%2057' 'neighbors%203' 'tri_edge%2057%2058'; do
+    one=$(curl -fsS "http://$single_addr/query?q=$q")
+    routed=$(curl -fsS "http://$router_addr/query?q=$q")
+    [ "$one" = "$routed" ] || { echo "routed /query?q=$q diverged: $one vs $routed"; exit 1; }
+done
+# error paths are identical too (422 out of range through both)
+for addr in "$single_addr" "$router_addr"; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/query?q=degree%209999999")
+    [ "$code" = 422 ] || { echo "$addr: expected 422, got $code"; exit 1; }
+done
+
+echo "== cluster health and merged stats"
+[ "$(curl -fsS "http://$router_addr/healthz")" = "ok" ]
+stats=$(curl -fsS "http://$router_addr/stats")
+echo "$stats" | grep -q '"role":"router"'
+echo "$stats" | grep -q '"mismatch_count":0'
+# tri_vertex queries crossed the node boundary: rows moved over the wire
+echo "$stats" | grep -vq '"rows_served":0}' \
+    || { echo "no /row traffic — the cluster never clustered"; exit 1; }
+
+echo "== graceful shutdowns (router, then nodes, then the reference)"
+stop router
+stop node0
+grep -q 'cross-check: 0 mismatches' "$work/node0.err" \
+    || { echo "node 0 did not certify its cross-checked run"; cat "$work/node0.err"; exit 1; }
+stop node1
+stop single
+pids=()
+echo "cluster smoke OK"

@@ -345,6 +345,7 @@ fn large_scale_serving_sources_and_cache() {
                 verify_checksums: false,
                 source,
                 row_cache,
+                ..OpenOptions::default()
             },
         )
         .unwrap()
