@@ -1,0 +1,201 @@
+//! Direction-optimizing BFS / k-hop over a complete shard set.
+//!
+//! Classic push/pull with a frontier bitmap: small frontiers *push*
+//! (scan each frontier row, collect unvisited neighbors), large
+//! frontiers *pull* (scan every unvisited row, test membership against
+//! the frontier bitmap). The switch is a deterministic size heuristic —
+//! pull once the frontier covers more than 5% of the graph — so a run's
+//! level structure, and therefore its result document, never depends on
+//! thread count.
+//!
+//! Kronecker products have no edge directions and every row is resident
+//! on a complete set, so the only per-level state is two bitmaps and the
+//! sorted frontier vector; levels are expanded chunk-parallel across the
+//! shard plan and merged in plan order.
+
+use crate::{check_stop, resident_row, row_chunks, AnalyzeError, BitSet, KernelSpec};
+use kron_stream::json::Json;
+use kron_stream::ShardSet;
+use rayon::prelude::*;
+use std::sync::atomic::AtomicBool;
+
+/// Pull once the frontier exceeds n/PULL_DIVISOR vertices.
+const PULL_DIVISOR: u64 = 20;
+
+/// The deterministic outcome of one BFS run.
+pub(crate) struct BfsResult {
+    pub source: u64,
+    pub depth_limit: Option<u64>,
+    pub vertices: u64,
+    pub reached: u64,
+    pub eccentricity: u64,
+    /// `levels[d]` = vertices first reached at depth `d` (`levels[0] = 1`).
+    pub levels: Vec<u64>,
+    pub push_rounds: u64,
+    pub pull_rounds: u64,
+}
+
+impl BfsResult {
+    pub(crate) fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("kernel", Json::str("bfs")),
+            ("source", Json::num(self.source)),
+        ];
+        if let Some(k) = self.depth_limit {
+            pairs.push(("depth_limit", Json::num(k)));
+        }
+        pairs.extend([
+            ("vertices", Json::num(self.vertices)),
+            ("reached", Json::num(self.reached)),
+            ("unreached", Json::num(self.vertices - self.reached)),
+            ("eccentricity", Json::num(self.eccentricity)),
+            (
+                "levels",
+                Json::Arr(self.levels.iter().map(Json::num).collect()),
+            ),
+            ("push_rounds", Json::num(self.push_rounds)),
+            ("pull_rounds", Json::num(self.pull_rounds)),
+        ]);
+        Json::obj(pairs)
+    }
+}
+
+pub(crate) fn run(
+    set: &ShardSet,
+    spec: &KernelSpec,
+    stop: &AtomicBool,
+) -> Result<BfsResult, AnalyzeError> {
+    let n = set.num_vertices();
+    let len = crate::dense_len(set)?;
+    if spec.source >= n {
+        return Err(AnalyzeError::Open(format!(
+            "source vertex {} out of range (product has {n} vertices)",
+            spec.source
+        )));
+    }
+    let mut visited = BitSet::new(len);
+    visited.set(spec.source);
+    let mut frontier = vec![spec.source];
+    let mut levels = vec![1u64];
+    let (mut push_rounds, mut pull_rounds) = (0u64, 0u64);
+
+    loop {
+        if spec.depth.is_some_and(|k| levels.len() as u64 > k) {
+            break;
+        }
+        check_stop(stop)?;
+        let use_pull = (frontier.len() as u64).saturating_mul(PULL_DIVISOR) > n;
+        let candidates = if use_pull {
+            pull_rounds += 1;
+            pull_round(set, &frontier, &visited, len, stop)?
+        } else {
+            push_rounds += 1;
+            push_round(set, &frontier, &visited, n, stop)?
+        };
+        // Serial merge: dedup against the visited bitmap in plan order.
+        let mut next: Vec<u64> = Vec::new();
+        for v in candidates {
+            if visited.set(v) {
+                next.push(v);
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        next.sort_unstable();
+        levels.push(next.len() as u64);
+        frontier = next;
+    }
+
+    Ok(BfsResult {
+        source: spec.source,
+        depth_limit: spec.depth,
+        vertices: n,
+        reached: levels.iter().sum(),
+        eccentricity: levels.len() as u64 - 1,
+        levels,
+        push_rounds,
+        pull_rounds,
+    })
+}
+
+/// Expand the sorted frontier by scanning its own rows. Strict about
+/// columns: a neighbor id outside the product is corruption.
+fn push_round(
+    set: &ShardSet,
+    frontier: &[u64],
+    visited: &BitSet,
+    n: u64,
+    stop: &AtomicBool,
+) -> Result<Vec<u64>, AnalyzeError> {
+    let pieces = rayon::current_num_threads().max(1) * 4;
+    let chunk = frontier.len().div_ceil(pieces).max(1);
+    let parts: Vec<Result<Vec<u64>, AnalyzeError>> = frontier
+        .chunks(chunk)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|slice| {
+            let mut out = Vec::new();
+            for &v in slice {
+                check_stop(stop)?;
+                for &u in resident_row(set, v)? {
+                    if u >= n {
+                        return Err(AnalyzeError::Corrupt(format!(
+                            "row {v} names vertex {u}, but the product has only {n}"
+                        )));
+                    }
+                    if !visited.test(u) {
+                        out.push(u);
+                    }
+                }
+            }
+            Ok(out)
+        })
+        .collect();
+    let mut merged = Vec::new();
+    for part in parts {
+        merged.extend(part?);
+    }
+    Ok(merged)
+}
+
+/// Expand by scanning every unvisited row against the frontier bitmap.
+fn pull_round(
+    set: &ShardSet,
+    frontier: &[u64],
+    visited: &BitSet,
+    len: usize,
+    stop: &AtomicBool,
+) -> Result<Vec<u64>, AnalyzeError> {
+    let mut front_bits = BitSet::new(len);
+    for &v in frontier {
+        front_bits.set(v);
+    }
+    let parts: Vec<Result<Vec<u64>, AnalyzeError>> = row_chunks(set)
+        .into_par_iter()
+        .map(|(shard, range)| {
+            let reader = &set.local(shard).expect("resident shard").reader;
+            let mut out = Vec::new();
+            for v in range {
+                if v % 4096 == 0 {
+                    check_stop(stop)?;
+                }
+                if visited.test(v) {
+                    continue;
+                }
+                let row = reader.row(v).ok_or_else(|| {
+                    AnalyzeError::Corrupt(format!("shard {shard} is missing row {v}"))
+                })?;
+                if row.iter().any(|&u| u < len as u64 && front_bits.test(u)) {
+                    out.push(v);
+                }
+            }
+            Ok(out)
+        })
+        .collect();
+    let mut merged = Vec::new();
+    for part in parts {
+        merged.extend(part?);
+    }
+    Ok(merged)
+}

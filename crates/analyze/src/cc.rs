@@ -1,0 +1,129 @@
+//! Connected components by synchronous min-label propagation.
+//!
+//! Every vertex starts labeled with its own id; each round every vertex
+//! adopts the minimum label among itself and its neighbors, reading only
+//! the *previous* round's labels (Jacobi style). Min labels propagate
+//! one hop per round, so the pass converges in `eccentricity + 1` rounds
+//! and — because updates are computed against a frozen snapshot and
+//! applied serially in plan order — the round count and every label are
+//! independent of thread count.
+
+use crate::{check_stop, row_chunks, AnalyzeError};
+use kron_stream::json::Json;
+use kron_stream::ShardSet;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
+
+/// The deterministic outcome of one components pass.
+pub(crate) struct CcResult {
+    pub vertices: u64,
+    pub components: u64,
+    pub largest: u64,
+    pub isolated: u64,
+    pub rounds: u64,
+    /// component size → number of components of that size
+    pub size_histogram: BTreeMap<u64, u64>,
+}
+
+impl CcResult {
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kernel", Json::str("cc")),
+            ("vertices", Json::num(self.vertices)),
+            ("components", Json::num(self.components)),
+            ("largest", Json::num(self.largest)),
+            ("isolated", Json::num(self.isolated)),
+            ("rounds", Json::num(self.rounds)),
+            (
+                "size_histogram",
+                crate::histogram_json(&self.size_histogram),
+            ),
+        ])
+    }
+}
+
+/// One chunk's propagation sweep: the `(vertex, lowered label)` updates
+/// it wants applied, plus how many empty rows it saw.
+type ChunkSweep = (Vec<(u64, u64)>, u64);
+
+pub(crate) fn run(set: &ShardSet, stop: &AtomicBool) -> Result<CcResult, AnalyzeError> {
+    let n = set.num_vertices();
+    crate::dense_len(set)?;
+    let mut labels: Vec<u64> = (0..n).collect();
+    let chunks = row_chunks(set);
+    let mut rounds = 0u64;
+    let mut isolated;
+
+    loop {
+        check_stop(stop)?;
+        let parts: Vec<Result<ChunkSweep, AnalyzeError>> = chunks
+            .clone()
+            .into_par_iter()
+            .map(|(shard, range)| {
+                let reader = &set.local(shard).expect("resident shard").reader;
+                let mut updates = Vec::new();
+                let mut empty = 0u64;
+                for v in range {
+                    if v % 4096 == 0 {
+                        check_stop(stop)?;
+                    }
+                    let row = reader.row(v).ok_or_else(|| {
+                        AnalyzeError::Corrupt(format!("shard {shard} is missing row {v}"))
+                    })?;
+                    if row.is_empty() {
+                        empty += 1;
+                        continue;
+                    }
+                    let mut m = labels[v as usize];
+                    for &u in row {
+                        if u >= n {
+                            return Err(AnalyzeError::Corrupt(format!(
+                                "row {v} names vertex {u}, but the product has only {n}"
+                            )));
+                        }
+                        m = m.min(labels[u as usize]);
+                    }
+                    if m < labels[v as usize] {
+                        updates.push((v, m));
+                    }
+                }
+                Ok((updates, empty))
+            })
+            .collect();
+        rounds += 1;
+        let mut changed = false;
+        let mut empty_total = 0u64;
+        for part in parts {
+            let (updates, empty) = part?;
+            empty_total += empty;
+            for (v, m) in updates {
+                labels[v as usize] = m;
+                changed = true;
+            }
+        }
+        isolated = empty_total;
+        if !changed {
+            break;
+        }
+    }
+
+    let mut sizes: BTreeMap<u64, u64> = BTreeMap::new();
+    for &l in &labels {
+        *sizes.entry(l).or_insert(0) += 1;
+    }
+    let mut size_histogram: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut largest = 0u64;
+    for &size in sizes.values() {
+        *size_histogram.entry(size).or_insert(0) += 1;
+        largest = largest.max(size);
+    }
+    Ok(CcResult {
+        vertices: n,
+        components: sizes.len() as u64,
+        largest,
+        isolated,
+        rounds,
+        size_histogram,
+    })
+}

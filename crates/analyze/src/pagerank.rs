@@ -1,0 +1,179 @@
+//! PageRank power iteration over a complete shard set.
+//!
+//! Pull formulation on the symmetric adjacency (self loops count like
+//! any other entry): each iteration computes
+//! `rank'[v] = (1−d)/n + d·(dangling/n + Σ_{u ∈ N(v)} rank[u]/deg(u))`
+//! with damping `d = 0.85`, where `dangling` is the mass parked on
+//! zero-row vertices, redistributed uniformly. Iteration stops when the
+//! L1 residual `Σ|rank' − rank|` drops to the spec tolerance or the
+//! iteration cap is hit.
+//!
+//! Determinism: per-row sums run left-to-right over the sorted row, the
+//! dangling and residual reductions are serial scans in vertex order,
+//! and chunk outputs are concatenated in plan order — so the float
+//! results (and their shortest-round-trip JSON rendering) are identical
+//! for every thread count.
+
+use crate::{check_stop, row_chunks, AnalyzeError, KernelSpec};
+use kron_stream::json::Json;
+use kron_stream::ShardSet;
+use rayon::prelude::*;
+use std::sync::atomic::AtomicBool;
+
+/// The damping factor, fixed at the customary value.
+const DAMPING: f64 = 0.85;
+
+/// The deterministic outcome of one PageRank run.
+pub(crate) struct PagerankResult {
+    pub vertices: u64,
+    pub tol: f64,
+    pub max_iters: u64,
+    pub iterations: u64,
+    pub residual: f64,
+    pub dangling: u64,
+    pub sum: f64,
+    /// `(vertex, rank)`, rank-descending, vertex id breaking ties.
+    pub top: Vec<(u64, f64)>,
+}
+
+impl PagerankResult {
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kernel", Json::str("pagerank")),
+            ("vertices", Json::num(self.vertices)),
+            ("damping", Json::num(DAMPING)),
+            ("tol", Json::num(self.tol)),
+            ("max_iters", Json::num(self.max_iters)),
+            ("iterations", Json::num(self.iterations)),
+            ("residual", Json::num(self.residual)),
+            ("dangling", Json::num(self.dangling)),
+            ("sum", Json::num(self.sum)),
+            (
+                "top",
+                Json::Arr(
+                    self.top
+                        .iter()
+                        .map(|&(v, r)| {
+                            Json::obj(vec![("vertex", Json::num(v)), ("rank", Json::num(r))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+pub(crate) fn run(
+    set: &ShardSet,
+    spec: &KernelSpec,
+    stop: &AtomicBool,
+) -> Result<PagerankResult, AnalyzeError> {
+    let n = set.num_vertices();
+    let len = crate::dense_len(set)?;
+    if len == 0 {
+        return Err(AnalyzeError::Open(
+            "pagerank needs at least one vertex".into(),
+        ));
+    }
+    let nf = len as f64;
+    let chunks = row_chunks(set);
+
+    // One shard-ordered pass for 1/deg(v); 0.0 marks a dangling vertex.
+    let inv_parts: Vec<Result<Vec<f64>, AnalyzeError>> = chunks
+        .clone()
+        .into_par_iter()
+        .map(|(shard, range)| {
+            let reader = &set.local(shard).expect("resident shard").reader;
+            let mut out = Vec::with_capacity((range.end - range.start) as usize);
+            for v in range {
+                if v % 4096 == 0 {
+                    check_stop(stop)?;
+                }
+                let row = reader.row(v).ok_or_else(|| {
+                    AnalyzeError::Corrupt(format!("shard {shard} is missing row {v}"))
+                })?;
+                out.push(if row.is_empty() {
+                    0.0
+                } else {
+                    1.0 / row.len() as f64
+                });
+            }
+            Ok(out)
+        })
+        .collect();
+    let mut inv_deg: Vec<f64> = Vec::with_capacity(len);
+    for part in inv_parts {
+        inv_deg.extend(part?);
+    }
+    let dangling_count = inv_deg.iter().filter(|&&x| x == 0.0).count() as u64;
+
+    let mut rank = vec![1.0 / nf; len];
+    let mut iterations = 0u64;
+    let mut residual = f64::INFINITY;
+    while iterations < spec.max_iters && residual > spec.tol {
+        check_stop(stop)?;
+        // Serial reductions keep float order fixed across thread counts.
+        let dangling_mass: f64 = rank
+            .iter()
+            .zip(&inv_deg)
+            .filter(|&(_, &inv)| inv == 0.0)
+            .map(|(&r, _)| r)
+            .sum();
+        let base = (1.0 - DAMPING) / nf + DAMPING * dangling_mass / nf;
+        let parts: Vec<Result<Vec<f64>, AnalyzeError>> = chunks
+            .clone()
+            .into_par_iter()
+            .map(|(shard, range)| {
+                let reader = &set.local(shard).expect("resident shard").reader;
+                let mut out = Vec::with_capacity((range.end - range.start) as usize);
+                for v in range {
+                    if v % 4096 == 0 {
+                        check_stop(stop)?;
+                    }
+                    let row = reader.row(v).ok_or_else(|| {
+                        AnalyzeError::Corrupt(format!("shard {shard} is missing row {v}"))
+                    })?;
+                    let mut s = 0.0;
+                    for &u in row {
+                        if u >= n {
+                            return Err(AnalyzeError::Corrupt(format!(
+                                "row {v} names vertex {u}, but the product has only {n}"
+                            )));
+                        }
+                        s += rank[u as usize] * inv_deg[u as usize];
+                    }
+                    out.push(base + DAMPING * s);
+                }
+                Ok(out)
+            })
+            .collect();
+        let mut next: Vec<f64> = Vec::with_capacity(len);
+        for part in parts {
+            next.extend(part?);
+        }
+        residual = rank.iter().zip(&next).map(|(&a, &b)| (a - b).abs()).sum();
+        rank = next;
+        iterations += 1;
+    }
+
+    let mut order: Vec<u64> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        rank[b as usize]
+            .total_cmp(&rank[a as usize])
+            .then(a.cmp(&b))
+    });
+    order.truncate(spec.top_k);
+    let top = order.into_iter().map(|v| (v, rank[v as usize])).collect();
+    Ok(PagerankResult {
+        vertices: n,
+        tol: spec.tol,
+        max_iters: spec.max_iters,
+        iterations,
+        // A 0-iteration run never measured a residual; report 0 rather
+        // than the infinity sentinel (which is not a JSON number).
+        residual: if iterations == 0 { 0.0 } else { residual },
+        dangling: dangling_count,
+        sum: rank.iter().sum(),
+        top,
+    })
+}

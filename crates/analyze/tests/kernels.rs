@@ -1,0 +1,359 @@
+//! Whole-graph kernels vs. serial references and closed forms.
+//!
+//! Every kernel is checked three ways: against an independent serial
+//! reference over the materialized product, for byte-identical output
+//! across thread counts (the determinism contract the server job API
+//! relies on), and — for the census — against the paper's closed forms,
+//! including the tampered-artifact failure path.
+
+use kron::KronProduct;
+use kron_analyze::{load_product, run_kernel, AnalyzeError, Kernel, KernelSpec};
+use kron_gen::deterministic::{clique, cycle, hub_cycle, path};
+use kron_graph::Graph;
+use kron_stream::json::Json;
+use kron_stream::{stream_product, OutputFormat, ShardSet, StreamConfig};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kron_analyze_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn streamed(name: &str, c: &KronProduct, shards: usize) -> PathBuf {
+    let dir = tmpdir(name);
+    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+    cfg.shards = shards;
+    stream_product(c, &cfg).unwrap();
+    dir
+}
+
+fn run(set: &ShardSet, spec: &KernelSpec) -> Result<Json, AnalyzeError> {
+    run_kernel(set, spec, &AtomicBool::new(false))
+}
+
+fn num(doc: &Json, key: &str) -> u128 {
+    doc.get(key)
+        .and_then(Json::as_u128)
+        .unwrap_or_else(|| panic!("{key} missing in {doc}"))
+}
+
+#[test]
+fn bfs_matches_a_serial_reference() {
+    let c = KronProduct::new(hub_cycle(), path(4));
+    let dir = streamed("bfs", &c, 3);
+    let set = ShardSet::open(&dir).unwrap();
+    for source in [0, 5, c.num_vertices() - 1] {
+        let mut spec = KernelSpec::new(Kernel::Bfs);
+        spec.source = source;
+        let doc = run(&set, &spec).unwrap();
+
+        // serial reference
+        let n = c.num_vertices();
+        let mut depth = vec![u64::MAX; n as usize];
+        depth[source as usize] = 0;
+        let mut queue = VecDeque::from([source]);
+        while let Some(v) = queue.pop_front() {
+            for u in c.neighbors(v) {
+                if depth[u as usize] == u64::MAX {
+                    depth[u as usize] = depth[v as usize] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        let reached = depth.iter().filter(|&&d| d != u64::MAX).count() as u128;
+        let ecc = depth
+            .iter()
+            .filter(|&&d| d != u64::MAX)
+            .max()
+            .copied()
+            .unwrap();
+        let mut levels = vec![0u128; ecc as usize + 1];
+        for &d in depth.iter().filter(|&&d| d != u64::MAX) {
+            levels[d as usize] += 1;
+        }
+
+        assert_eq!(num(&doc, "reached"), reached, "source {source}");
+        assert_eq!(num(&doc, "eccentricity"), ecc as u128);
+        let got_levels: Vec<u128> = doc
+            .get("levels")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|l| l.as_u128().unwrap())
+            .collect();
+        assert_eq!(got_levels, levels, "source {source}");
+        assert_eq!(num(&doc, "reached") + num(&doc, "unreached"), n as u128);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bfs_depth_limit_truncates_levels() {
+    let c = KronProduct::new(cycle(9), clique(2));
+    let dir = streamed("khop", &c, 2);
+    let set = ShardSet::open(&dir).unwrap();
+    let full = run(&set, &KernelSpec::new(Kernel::Bfs)).unwrap();
+    let mut spec = KernelSpec::new(Kernel::Bfs);
+    spec.depth = Some(2);
+    let capped = run(&set, &spec).unwrap();
+    let levels = |d: &Json| d.get("levels").unwrap().as_arr().unwrap().len();
+    assert!(levels(&full) > 3, "cycle(9) product is deeper than 2 hops");
+    assert_eq!(levels(&capped), 3, "levels 0..=2 only");
+    assert_eq!(capped.get("depth_limit").and_then(Json::as_u64), Some(2));
+    assert!(num(&capped, "reached") < num(&full, "reached"));
+
+    spec.source = c.num_vertices();
+    assert!(matches!(run(&set, &spec), Err(AnalyzeError::Open(_))));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cc_matches_a_serial_flood_fill() {
+    // A factor with an isolated vertex makes whole product rows empty.
+    let a = Graph::from_edges(5, [(0, 1), (1, 2), (3, 3)]);
+    let c = KronProduct::new(a, clique(3));
+    let dir = streamed("cc", &c, 4);
+    let set = ShardSet::open(&dir).unwrap();
+    let doc = run(&set, &KernelSpec::new(Kernel::Cc)).unwrap();
+
+    let n = c.num_vertices();
+    let mut label = vec![u64::MAX; n as usize];
+    let mut sizes: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut isolated = 0u64;
+    for s in 0..n {
+        if c.neighbors(s).is_empty() {
+            isolated += 1;
+        }
+        if label[s as usize] != u64::MAX {
+            continue;
+        }
+        let mut size = 0u64;
+        let mut queue = VecDeque::from([s]);
+        label[s as usize] = s;
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for u in c.neighbors(v) {
+                if label[u as usize] == u64::MAX {
+                    label[u as usize] = s;
+                    queue.push_back(u);
+                }
+            }
+        }
+        sizes.insert(s, size);
+    }
+    let largest = sizes.values().max().copied().unwrap();
+
+    assert_eq!(num(&doc, "components"), sizes.len() as u128);
+    assert_eq!(num(&doc, "largest"), largest as u128);
+    assert_eq!(num(&doc, "isolated"), isolated as u128);
+    let hist_total: u128 = doc
+        .get("size_histogram")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|pair| {
+            let p = pair.as_arr().unwrap();
+            p[0].as_u128().unwrap() * p[1].as_u128().unwrap()
+        })
+        .sum();
+    assert_eq!(hist_total, n as u128, "component sizes must tile the graph");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pagerank_matches_a_serial_reference_bit_for_bit() {
+    let a = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (4, 4)]);
+    let c = KronProduct::new(a, clique(3));
+    let dir = streamed("pagerank", &c, 3);
+    let set = ShardSet::open(&dir).unwrap();
+    let spec = KernelSpec::new(Kernel::Pagerank);
+    let doc = run(&set, &spec).unwrap();
+
+    // Serial reference with the exact same arithmetic.
+    let n = c.num_vertices() as usize;
+    let nf = n as f64;
+    let d = 0.85f64;
+    let rows: Vec<Vec<u64>> = (0..n as u64).map(|v| c.neighbors(v)).collect();
+    let inv: Vec<f64> = rows
+        .iter()
+        .map(|r| {
+            if r.is_empty() {
+                0.0
+            } else {
+                1.0 / r.len() as f64
+            }
+        })
+        .collect();
+    let mut rank = vec![1.0 / nf; n];
+    let mut iterations = 0u64;
+    let mut residual = f64::INFINITY;
+    while iterations < spec.max_iters && residual > spec.tol {
+        let dangling: f64 = rank
+            .iter()
+            .zip(&inv)
+            .filter(|&(_, &i)| i == 0.0)
+            .map(|(&r, _)| r)
+            .sum();
+        let base = (1.0 - d) / nf + d * dangling / nf;
+        let next: Vec<f64> = (0..n)
+            .map(|v| {
+                let mut s = 0.0;
+                for &u in &rows[v] {
+                    s += rank[u as usize] * inv[u as usize];
+                }
+                base + d * s
+            })
+            .collect();
+        residual = rank.iter().zip(&next).map(|(&x, &y)| (x - y).abs()).sum();
+        rank = next;
+        iterations += 1;
+    }
+
+    assert_eq!(num(&doc, "iterations"), iterations as u128);
+    assert!(doc.get("residual").unwrap().as_f64().unwrap() <= spec.tol);
+    let sum = doc.get("sum").unwrap().as_f64().unwrap();
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "rank mass must be conserved, got {sum}"
+    );
+    // top-k must agree with the reference ranking, values bit-for-bit
+    let mut order: Vec<u64> = (0..n as u64).collect();
+    order.sort_by(|&x, &y| {
+        rank[y as usize]
+            .total_cmp(&rank[x as usize])
+            .then(x.cmp(&y))
+    });
+    for (slot, entry) in doc.get("top").unwrap().as_arr().unwrap().iter().enumerate() {
+        let v = entry.get("vertex").unwrap().as_u64().unwrap();
+        assert_eq!(v, order[slot], "top slot {slot}");
+        assert_eq!(
+            entry.get("rank").unwrap().as_f64().unwrap(),
+            rank[v as usize],
+            "rank of vertex {v} must be bit-identical to the reference"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn census_validates_a_clean_artifact_against_the_closed_forms() {
+    let c = KronProduct::new(hub_cycle(), clique(3));
+    let dir = streamed("census", &c, 3);
+    let set = ShardSet::open(&dir).unwrap();
+    let doc = run(&set, &KernelSpec::new(Kernel::TriCensus)).unwrap();
+
+    assert_eq!(num(&doc, "entries"), c.nnz());
+    assert_eq!(
+        num(&doc, "total_triangle_participation"),
+        c.total_triangle_participation()
+    );
+    assert_eq!(num(&doc, "triangles"), c.total_triangles());
+    let validation = doc.get("validation").unwrap();
+    assert_eq!(validation.get("ok").and_then(Json::as_bool), Some(true));
+
+    // degree histogram, entry by entry, against the factor closed form
+    let expected = kron::distributions::degree_histogram(&c);
+    let got: BTreeMap<u64, u128> = doc
+        .get("degree_histogram")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|pair| {
+            let p = pair.as_arr().unwrap();
+            (p[0].as_u64().unwrap(), p[1].as_u128().unwrap())
+        })
+        .collect();
+    assert_eq!(got, expected);
+
+    // the loaded product used for validation is the documented one
+    let loaded = load_product(&set).unwrap();
+    assert_eq!(loaded.num_vertices(), c.num_vertices());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Flip the last column word of the last shard to a different in-range
+/// vertex: structurally valid, statistically wrong.
+fn tamper_last_col(dir: &std::path::Path) {
+    let mut shards: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csr"))
+        .collect();
+    shards.sort();
+    let path = shards.last().unwrap();
+    let mut bytes = std::fs::read(path).unwrap();
+    let at = bytes.len() - 8;
+    let old = u64::from_le_bytes(bytes[at..].try_into().unwrap());
+    bytes[at..].copy_from_slice(&(old ^ 1).to_le_bytes());
+    std::fs::write(path, &bytes).unwrap();
+}
+
+#[test]
+fn census_flags_a_tampered_shard_unless_validation_is_off() {
+    let c = KronProduct::new(clique(3), clique(3));
+    let dir = streamed("tamper", &c, 3);
+    tamper_last_col(&dir);
+    let set = ShardSet::open(&dir).unwrap();
+    let err = run(&set, &KernelSpec::new(Kernel::TriCensus)).unwrap_err();
+    let AnalyzeError::Validation(doc) = err else {
+        panic!("tampered shard must fail validation, got {err}");
+    };
+    let validation = doc.get("validation").unwrap();
+    assert_eq!(validation.get("ok").and_then(Json::as_bool), Some(false));
+
+    // with validation off the recount completes and simply reports
+    // whatever the (corrupt) artifact contains
+    let mut spec = KernelSpec::new(Kernel::TriCensus);
+    spec.validate = false;
+    let doc = run(&set, &spec).unwrap();
+    assert!(doc.get("validation").is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn results_are_byte_identical_across_thread_counts() {
+    let c = KronProduct::new(hub_cycle(), path(3));
+    let dir = streamed("determinism", &c, 4);
+    let set = ShardSet::open(&dir).unwrap();
+    for kernel in [Kernel::Bfs, Kernel::Cc, Kernel::Pagerank, Kernel::TriCensus] {
+        let spec = KernelSpec::new(kernel);
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial = run(&set, &spec).unwrap().to_string();
+        std::env::set_var("RAYON_NUM_THREADS", "7");
+        let parallel = run(&set, &spec).unwrap().to_string();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(
+            serial,
+            parallel,
+            "{} diverged across thread counts",
+            kernel.name()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kernels_cancel_cooperatively_and_reject_subsets() {
+    let c = KronProduct::new(hub_cycle(), clique(3));
+    let dir = streamed("cancel", &c, 3);
+    let set = ShardSet::open(&dir).unwrap();
+    let stopped = AtomicBool::new(true);
+    for kernel in [Kernel::Bfs, Kernel::Cc, Kernel::Pagerank, Kernel::TriCensus] {
+        assert!(matches!(
+            run_kernel(&set, &KernelSpec::new(kernel), &stopped),
+            Err(AnalyzeError::Cancelled)
+        ));
+    }
+    let subset = ShardSet::open_subset(&dir, 0..2).unwrap();
+    assert!(matches!(
+        run(&subset, &KernelSpec::new(Kernel::Cc)),
+        Err(AnalyzeError::Open(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

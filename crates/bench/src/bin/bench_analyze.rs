@@ -1,0 +1,262 @@
+//! Whole-graph analytics experiment: per-kernel throughput (adjacency
+//! entries/sec) single-threaded vs parallel over the shard plan, plus
+//! the isolation measurement the async job API exists for — point-query
+//! p99 over the loopback HTTP server with and without a long PageRank
+//! job grinding in the background.
+//!
+//! ```text
+//! bench_analyze [--n N] [--shards S] [--queries Q] [--json]
+//! ```
+//!
+//! With `--json`, results are written to `BENCH_analyze.json` in the
+//! current directory so the analytics-performance trajectory is tracked
+//! across PRs (siblings: `BENCH_stream.json`, `BENCH_serve.json`). The
+//! `p99_under_job` block is the one to watch: its `ratio` should stay
+//! near 1.0 — jobs run on their own threads and cap their kernel
+//! parallelism at cores − 1, so a whole-graph pass must not tax
+//! point-query tail latency wherever the machine has a spare core (a
+//! single-core host necessarily timeshares; the block records `cores`
+//! so the ratio is interpretable).
+
+use kron::KronProduct;
+use kron_analyze::{run_kernel, Kernel, KernelSpec};
+use kron_bench::web_factor;
+use kron_serve::http::{encode_query_component, Client};
+use kron_serve::{AnswerSource, Query, QueryStats, ServeEngine, Server, ServerOptions};
+use kron_stream::json::Json;
+use kron_stream::{stream_product, OutputFormat, StreamConfig};
+use rand::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// One timed kernel run at a fixed thread setting.
+struct KernelRow {
+    kernel: &'static str,
+    threads: usize,
+    secs: f64,
+    /// Adjacency entries swept per second: `nnz / secs` for the
+    /// single-pass kernels, `nnz · iterations / secs` for PageRank.
+    entries_per_sec: f64,
+    doc: Json,
+}
+
+fn run_timed(engine: &ServeEngine, kernel: Kernel, nnz: u128, threads: usize) -> KernelRow {
+    // The rayon shim reads RAYON_NUM_THREADS on every call, so the
+    // setting takes effect immediately; 0 means "whatever the machine
+    // has" (the variable is cleared).
+    if threads == 0 {
+        std::env::remove_var("RAYON_NUM_THREADS");
+    } else {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    }
+    let spec = KernelSpec::new(kernel);
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let doc = run_kernel(engine.shard_set(), &spec, &stop).expect("kernel run");
+    let secs = t0.elapsed().as_secs_f64();
+    let passes = match kernel {
+        Kernel::Pagerank => doc
+            .req("iterations")
+            .ok()
+            .and_then(Json::as_u64)
+            .unwrap_or(1)
+            .max(1),
+        _ => 1,
+    };
+    KernelRow {
+        kernel: kernel.name(),
+        threads,
+        secs,
+        entries_per_sec: (nnz as f64 * passes as f64) / secs.max(1e-9),
+        doc,
+    }
+}
+
+fn percentile_us(stats: &QueryStats) -> f64 {
+    stats.p99.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let json_out = args.iter().any(|a| a == "--json");
+    let n: usize = opt("--n").and_then(|v| v.parse().ok()).unwrap_or(400);
+    let shards: usize = opt("--shards").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let q: usize = opt("--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let saved_threads = std::env::var("RAYON_NUM_THREADS").ok();
+
+    let prod = KronProduct::new(web_factor(n), web_factor(n));
+    let nnz = prod.nnz();
+    let dir = std::env::temp_dir().join(format!("kron_bench_analyze_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+    cfg.shards = shards;
+    let t0 = Instant::now();
+    stream_product(&prod, &cfg).expect("stream csr shards");
+    let gen_secs = t0.elapsed().as_secs_f64();
+    let engine = ServeEngine::open_verified(&dir).expect("open + verify shard set");
+    eprintln!(
+        "product: {nnz} entries over {} vertices; {shards} shards generated in {gen_secs:.2}s",
+        engine.num_vertices()
+    );
+
+    // Per-kernel throughput, one thread vs all of them. The result
+    // documents are asserted byte-identical across the two runs — the
+    // determinism contract the server job API depends on.
+    let mut kernel_rows: Vec<KernelRow> = Vec::new();
+    for kernel in [Kernel::Bfs, Kernel::Cc, Kernel::Pagerank, Kernel::TriCensus] {
+        let single = run_timed(&engine, kernel, nnz, 1);
+        let parallel = run_timed(&engine, kernel, nnz, 0);
+        assert_eq!(
+            single.doc.to_string(),
+            parallel.doc.to_string(),
+            "{}: result must not depend on thread count",
+            kernel.name()
+        );
+        println!(
+            "{:<11} 1 thread {:>10.2}s {:>12.0} entries/s   parallel {:>8.2}s \
+             {:>12.0} entries/s   ×{:.2}",
+            kernel.name(),
+            single.secs,
+            single.entries_per_sec,
+            parallel.secs,
+            parallel.entries_per_sec,
+            single.secs / parallel.secs.max(1e-9),
+        );
+        kernel_rows.push(single);
+        kernel_rows.push(parallel);
+    }
+    match &saved_threads {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+
+    // Point-query p99 with and without a whole-graph job in flight: the
+    // same degree mix over loopback HTTP, then again while an endless
+    // PageRank (tol -1 is unreachable) grinds in the job pool, then the
+    // job is cancelled cooperatively.
+    let mut rng = StdRng::seed_from_u64(2018);
+    let n_c = engine.num_vertices();
+    let paths: Vec<String> = (0..q)
+        .map(|_| {
+            let query = Query::Degree(rng.gen_range(0..n_c));
+            format!("/query?q={}", encode_query_component(&query.to_string()))
+        })
+        .collect();
+    let server = Server::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let stop = AtomicBool::new(false);
+    let (baseline, under_job) = std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(&engine, &ServerOptions::default(), &stop));
+        let mut client = Client::connect(addr).expect("connect to server");
+        fn sweep(client: &mut Client, paths: &[String], label: &str) -> QueryStats {
+            let t0 = Instant::now();
+            let mut lats = Vec::with_capacity(paths.len());
+            let mut errors = 0usize;
+            for path in paths {
+                let q0 = Instant::now();
+                let (status, _body) = client.get(path).expect("GET /query");
+                lats.push(q0.elapsed());
+                errors += usize::from(status != 200);
+            }
+            let stats = QueryStats::from_samples(
+                AnswerSource::Artifact,
+                lats,
+                errors,
+                0,
+                1,
+                t0.elapsed(),
+                0,
+            );
+            assert_eq!(stats.errors, 0, "{label}: point queries must not fail");
+            stats
+        }
+
+        let baseline = sweep(&mut client, &paths, "baseline");
+
+        let (status, accepted) = client
+            .post(
+                "/jobs",
+                br#"{"kernel":"pagerank","tol":-1,"iters":1000000000000}"#,
+            )
+            .expect("POST /jobs");
+        assert_eq!(status, 202, "job submission: {accepted}");
+        let under_job = sweep(&mut client, &paths, "under-job");
+
+        let (status, body) = client.delete("/jobs/1").expect("DELETE /jobs/1");
+        assert_eq!(status, 202, "job cancel: {body}");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (_, body) = client.get("/jobs/1").expect("GET /jobs/1");
+            if !body.contains("\"state\":\"running\"") {
+                assert!(body.contains("\"error\":\"cancelled\""), "{body}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never observed its cancel");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        drop(client);
+        stop.store(true, Ordering::SeqCst);
+        let report = run.join().unwrap().expect("server run");
+        assert_eq!(report.jobs_cancelled, 1, "exactly the one cancelled job");
+        assert_eq!(report.job_validation_failures, 0);
+        (baseline, under_job)
+    });
+    let ratio = percentile_us(&under_job) / percentile_us(&baseline).max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    eprintln!(
+        "point-query p99: {:.1}µs idle, {:.1}µs with a PageRank job in flight \
+         (×{ratio:.2} on {cores} core(s); job workers leave one core free, so \
+         flatness needs cores ≥ 2)",
+        percentile_us(&baseline),
+        percentile_us(&under_job),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if json_out {
+        let doc = Json::obj(vec![
+            ("bench", Json::str("analyze")),
+            ("factor_n", Json::num(n)),
+            ("shards", Json::num(shards)),
+            ("product_entries", Json::num(nnz)),
+            (
+                "kernels",
+                Json::Arr(
+                    kernel_rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("kernel", Json::str(r.kernel)),
+                                ("threads", Json::num(r.threads)),
+                                ("secs", Json::num(r.secs)),
+                                ("entries_per_sec", Json::num(r.entries_per_sec)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "p99_under_job",
+                Json::obj(vec![
+                    ("baseline_p99_us", Json::num(percentile_us(&baseline))),
+                    ("under_job_p99_us", Json::num(percentile_us(&under_job))),
+                    ("ratio", Json::num(ratio)),
+                    ("cores", Json::num(cores)),
+                    ("queries", Json::num(baseline.queries)),
+                ]),
+            ),
+        ]);
+        std::fs::write("BENCH_analyze.json", format!("{doc}\n")).expect("write BENCH_analyze.json");
+        eprintln!(
+            "wrote BENCH_analyze.json ({} kernel rows)",
+            kernel_rows.len()
+        );
+    }
+}

@@ -41,6 +41,19 @@ USAGE:
               [--threads T] [--resume]
       generate A (x) B as N validated shards (formats: edges | csr | count);
       every shard gets a JSON manifest with closed-form checksums
+  kron analyze <DIR> --kernel bfs|cc|pagerank|tri-census [--source V]
+               [--depth K] [--tol T] [--iters N] [--top K] [--threads T]
+               [--no-validate]
+      whole-graph kernels over the CSR run directory DIR, parallel
+      across the shard plan, result as one JSON document on stdout:
+      bfs (direction-optimizing, from --source, optionally --depth
+      hops), cc (connected components by label propagation), pagerank
+      (to --tol within --iters iterations, --top ranked vertices),
+      tri-census (recount every degree and triangle from the artifact
+      and check the totals against the paper's closed forms — mismatch
+      prints the report and exits nonzero; --no-validate skips the
+      check). Results are byte-identical for any --threads. SIGTERM/
+      ctrl-c cancels cooperatively: no verdict, exit 0
   kron serve <DIR> --queries FILE [--threads T] [--no-verify]
              [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
       answer a batch of point queries over the CSR run directory DIR;
@@ -55,7 +68,7 @@ USAGE:
       queries (deterministic by query counter — the always-on audit mode
       at artifact cost). --cache keeps an LRU of ROWS hot rows for the
       artifact triangle kernels on skewed loads
-  kron serve <DIR> --listen ADDR [--threads T] [--no-verify]
+  kron serve <DIR> --listen ADDR [--threads T] [--jobs J] [--no-verify]
              [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
              [--shards A..B --peers A..B=ADDR[,A..B=ADDR...]]
       long-lived HTTP server over the same engine: open + validate once,
@@ -67,6 +80,16 @@ USAGE:
       Graceful shutdown on SIGTERM/ctrl-c: in-flight requests finish,
       totals go to stderr, and the exit code is nonzero if any
       cross-checked query disagreed with the closed-form oracle.
+      The server also runs the analyze kernels as async jobs:
+      POST /jobs (body = {\"kernel\":\"…\", …}) returns an id, GET
+      /jobs/<ID> polls running/done/failed (result document inline on
+      completion), DELETE /jobs/<ID> cancels cooperatively. At most J
+      jobs run at once (--jobs, default 2; beyond the cap POST answers
+      429), on separate threads from the connection pool so point-query
+      latency stays flat. Job counters ride along in /stats, SIGTERM
+      cancels running jobs cooperatively, and a job whose result
+      contradicts the closed forms fails the job, keeps the mismatch
+      report pollable, and makes the server exit nonzero at shutdown.
       --shards A..B turns the server into one node of a cluster: it
       memory-maps only shards [A, B) of the run directory and fetches
       non-resident rows from the --peers nodes (each spelled
@@ -90,9 +113,10 @@ USAGE:
 EXIT CODES:
   0  success
   1  command failed: unknown subcommand, missing argument, I/O or
-     validation error, out-of-range query, or any cross-check mismatch
-     (artifact and closed-form oracle disagree: the run directory is
-     corrupt or stale)
+     validation error, out-of-range query, any cross-check mismatch, or
+     an analyze validation failure — recounted whole-graph totals or a
+     finished server job contradicting the closed forms (artifact and
+     closed-form oracle disagree: the run directory is corrupt or stale)
   2  the command line itself could not be parsed (no subcommand)";
 
 /// Dispatch a parsed command line.
@@ -106,6 +130,7 @@ pub fn run(p: &ParsedArgs) -> Result<(), String> {
         "truss" => cmd_truss(p),
         "validate" => cmd_validate(p),
         "stream" => cmd_stream(p),
+        "analyze" => cmd_analyze(p),
         "serve" => cmd_serve(p),
         "route" => cmd_route(p),
         "verify-shards" => cmd_verify_shards(p),
@@ -480,11 +505,68 @@ fn open_serve_engine(dir: &str, opts: &OpenOptions) -> Result<ServeEngine, Strin
 }
 
 /// `kron serve <DIR> --listen ADDR` — the long-lived HTTP server.
+/// `kron analyze <DIR> --kernel K` — run one whole-graph kernel over the
+/// run directory and print its result document. Same kernels, same spec
+/// defaults, same JSON as a server job, so the two surfaces are
+/// byte-comparable.
+fn cmd_analyze(p: &ParsedArgs) -> Result<(), String> {
+    let dir = p.pos(0, "dir")?;
+    let kernel = kron_analyze::Kernel::parse(p.options.get("kernel").ok_or_else(|| {
+        "missing required option --kernel bfs|cc|pagerank|tri-census".to_string()
+    })?)?;
+    let mut spec = kron_analyze::KernelSpec::new(kernel);
+    spec.source = p.opt("source", spec.source)?;
+    if p.options.contains_key("depth") {
+        spec.depth = Some(p.opt("depth", 0u64)?);
+    }
+    spec.tol = p.opt("tol", spec.tol)?;
+    spec.max_iters = p.opt("iters", spec.max_iters)?;
+    spec.top_k = p.opt("top", spec.top_k)?;
+    spec.validate = !p.flag("no-validate");
+    let threads: usize = p.opt("threads", 0)?;
+    if threads > 0 {
+        // the shim rayon sizes its pool from this on every call
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    }
+    // Structural open only: the kernels recount everything and tri-census
+    // checks the totals against the closed forms, which is a stronger
+    // verdict than re-hashing bytes (`kron verify-shards` does that).
+    let set = kron_stream::ShardSet::open(std::path::Path::new(dir))
+        .map_err(|e| format!("opening {dir}: {e}"))?;
+    let stop = crate::signals::install_shutdown_flag();
+    match kron_analyze::run_kernel(&set, &spec, stop) {
+        Ok(doc) => {
+            println!("{doc}");
+            Ok(())
+        }
+        // A signal is an operator's decision, not a failure: stop
+        // cooperatively, print no verdict, exit 0 — the same contract as
+        // a clean server shutdown with no mismatches.
+        Err(kron_analyze::AnalyzeError::Cancelled) => {
+            eprintln!("analyze: cancelled by signal before completion; no verdict");
+            Ok(())
+        }
+        // Validation failure still prints the full result document
+        // (stdout, like success) so the mismatch report is scriptable;
+        // the nonzero exit carries the verdict.
+        Err(kron_analyze::AnalyzeError::Validation(doc)) => {
+            println!("{doc}");
+            Err(
+                "validation failed: recounted totals contradict the closed forms \
+                 (artifact corrupt or stale)"
+                    .into(),
+            )
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 fn cmd_serve_listen(
     dir: &str,
     addr: &str,
     opts: &OpenOptions,
     threads: usize,
+    jobs: usize,
 ) -> Result<(), String> {
     let engine = open_serve_engine(dir, opts)?;
     let server = kron_serve::Server::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -497,9 +579,24 @@ fn cmd_serve_listen(
     std::io::stdout().flush().ok();
     let shutdown = crate::signals::install_shutdown_flag();
     let report = server
-        .run(&engine, &kron_serve::ServerOptions { threads }, shutdown)
+        .run(
+            &engine,
+            &kron_serve::ServerOptions { threads, jobs },
+            shutdown,
+        )
         .map_err(|e| e.to_string())?;
     eprintln!("shutdown: {report}");
+    // Job validation failures are the whole-graph analogue of cross-check
+    // mismatches and fail the run under any --source. Cancelled jobs
+    // (SIGTERM mid-kernel) deliberately do not: cancellation says nothing
+    // about the artifact.
+    if report.job_validation_failures > 0 {
+        return Err(format!(
+            "{} analytics job(s) contradicted the closed forms \
+             (artifact corrupt or stale)",
+            report.job_validation_failures
+        ));
+    }
     match opts.source {
         AnswerSource::CrossCheck | AnswerSource::CrossCheckSampled(_) => {
             crosscheck_verdict(&engine)
@@ -531,7 +628,8 @@ fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
         ..OpenOptions::default()
     };
     if let Some(addr) = p.options.get("listen") {
-        return cmd_serve_listen(dir, addr, &opts, threads);
+        let jobs: usize = p.opt("jobs", 0)?;
+        return cmd_serve_listen(dir, addr, &opts, threads, jobs);
     }
     let file = p.options.get("queries").ok_or_else(|| {
         "missing required option --queries FILE (or --listen ADDR for the server)".to_string()
@@ -617,7 +715,14 @@ fn cmd_route(p: &ParsedArgs) -> Result<(), String> {
     std::io::stdout().flush().ok();
     let shutdown = crate::signals::install_shutdown_flag();
     let report = router
-        .run(&front, &kron_serve::ServerOptions { threads }, shutdown)
+        .run(
+            &front,
+            &kron_serve::ServerOptions {
+                threads,
+                ..Default::default()
+            },
+            shutdown,
+        )
         .map_err(|e| e.to_string())?;
     eprintln!("shutdown: {report}");
     Ok(())

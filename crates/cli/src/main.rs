@@ -11,9 +11,12 @@
 //! kron truss <a.tsv> <b.tsv>
 //! kron validate <a.tsv> <b.tsv> [--samples N] [--full]
 //! kron stream <a.tsv> <b.tsv> --out DIR [--shards N] [--format F] [--resume]
+//! kron analyze <DIR> --kernel bfs|cc|pagerank|tri-census [--source V]
+//!              [--depth K] [--tol T] [--iters N] [--top K] [--threads T]
+//!              [--no-validate]
 //! kron serve <DIR> --queries FILE [--threads T] [--no-verify]
 //!            [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
-//! kron serve <DIR> --listen ADDR [--threads T] [--no-verify]
+//! kron serve <DIR> --listen ADDR [--threads T] [--jobs J] [--no-verify]
 //!            [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
 //!            [--shards A..B --peers A..B=ADDR,...]
 //! kron route --peers ADDR[,ADDR...] --listen ADDR [--threads T]
@@ -25,9 +28,11 @@
 //! * `0` — success.
 //! * `1` — the command failed: unknown subcommand, missing argument, I/O
 //!   or validation error, an out-of-range query, (for `kron serve`) any
-//!   individual query in the batch failing, or (for
+//!   individual query in the batch failing, (for
 //!   `--source cross-check`) any disagreement between the artifact and
-//!   the closed-form oracle. The error on stderr names the offending
+//!   the closed-form oracle, or (for `kron analyze` and server analytics
+//!   jobs) recounted whole-graph totals contradicting the closed forms.
+//!   The error on stderr names the offending
 //!   file — `verify-shards` and `serve` failures always include the
 //!   specific manifest or artifact path, and cross-check failures print
 //!   each mismatching query with both answers.
@@ -47,6 +52,12 @@
 //! `kron route` exits `1` only when it cannot start (unreachable peer,
 //! gap/overlap in the claimed shard ranges); query-time peer failures
 //! surface to clients as `502` responses, never as silent exits.
+//! `kron analyze` applies the same two rules: a finished recount that
+//! contradicts the closed forms exits `1` (the mismatch report still
+//! prints on stdout), while SIGTERM/ctrl-c mid-kernel cancels
+//! cooperatively and exits `0` with no verdict — and the `--listen`
+//! server treats its analytics jobs identically (a validation-failed
+//! job fails the run at shutdown; a cancelled one does not).
 
 mod args;
 mod commands;

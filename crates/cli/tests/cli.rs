@@ -945,6 +945,13 @@ fn cluster_nodes_and_router_serve_end_to_end() {
     assert!(stats.contains("\"role\":\"router\""), "{stats}");
     assert!(stats.contains("\"mismatch_count\":0"), "{stats}");
     assert!(!stats.contains("\"rows_served\":0}"), "{stats}");
+
+    // unknown paths answer 501 (not 404): /jobs exists on the nodes but
+    // is node-local, so the router names what it does serve instead
+    let (status, body) = via_router.get("/jobs/1").unwrap();
+    assert_eq!(status, 501, "{body}");
+    assert!(body.contains("node-local"), "{body}");
+    assert!(body.contains("\"supported\""), "{body}");
     drop((via_router, via_single));
 
     // graceful shutdowns, clean exits all around (node 0 certifies its
@@ -1021,5 +1028,290 @@ fn cluster_flag_errors_are_rejected_up_front() {
         String::from_utf8_lossy(&out.stderr).contains("discovering peers"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// `kron analyze` and the server's async job API: the two surfaces must
+// produce byte-identical result documents, validation must catch a
+// tampered artifact on both, and SIGTERM must cancel cooperatively.
+
+/// A randomized (seeded holme-kim ⊗ clique) sharded CSR run directory —
+/// irregular degrees, a nontrivial shard plan.
+fn analyze_run_dir(name: &str) -> std::path::PathBuf {
+    let dir = tmpdir();
+    let a = dir.join(format!("{name}_hk.tsv"));
+    let b = dir.join(format!("{name}_k4.tsv"));
+    assert!(kron(&[
+        "gen",
+        "holme-kim",
+        "--n",
+        "14",
+        "--m",
+        "3",
+        "--pt",
+        "0.75",
+        "--seed",
+        "97",
+        "--out",
+        a.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    assert!(
+        kron(&["gen", "clique", "--n", "4", "--out", b.to_str().unwrap()])
+            .status
+            .success()
+    );
+    let run_dir = dir.join(format!("{name}_run"));
+    let _ = std::fs::remove_dir_all(&run_dir);
+    assert!(kron(&[
+        "stream",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--out",
+        run_dir.to_str().unwrap(),
+        "--shards",
+        "5",
+        "--format",
+        "csr",
+    ])
+    .status
+    .success());
+    run_dir
+}
+
+/// Poll `GET /jobs/<id>` until the job settles; panics after 30 s.
+fn poll_job(client: &mut kron_serve::http::Client, id: u64) -> kron_stream::json::Json {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let (status, body) = client.get(&format!("/jobs/{id}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = kron_stream::json::Json::parse(&body).unwrap();
+        if doc.req("state").unwrap().as_str() != Some("running") {
+            return doc;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job {id} never settled: {body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn analyze_cli_and_server_jobs_agree_byte_for_byte() {
+    let run_dir = analyze_run_dir("surfaces");
+    let server = ServerChild::spawn(&run_dir, &[]);
+    let mut client = server.client();
+    let specs: [(&[&str], &str); 4] = [
+        (
+            &["--kernel", "bfs", "--source", "3"],
+            r#"{"kernel":"bfs","source":3}"#,
+        ),
+        (&["--kernel", "cc"], r#"{"kernel":"cc"}"#),
+        (
+            &["--kernel", "pagerank", "--tol", "1e-10", "--top", "5"],
+            r#"{"kernel":"pagerank","tol":1e-10,"top":5}"#,
+        ),
+        (&["--kernel", "tri-census"], r#"{"kernel":"tri-census"}"#),
+    ];
+    for (i, (cli_args, job_body)) in specs.iter().enumerate() {
+        let mut args = vec!["analyze", run_dir.to_str().unwrap()];
+        args.extend_from_slice(cli_args);
+        // a throttled CLI run and the server's default pool must still
+        // agree byte-for-byte: results are thread-count independent
+        args.extend_from_slice(&["--threads", "2"]);
+        let out = kron(&args);
+        assert!(
+            out.status.success(),
+            "analyze {cli_args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let cli_doc = String::from_utf8(out.stdout).unwrap();
+
+        let (status, body) = client.post("/jobs", job_body.as_bytes()).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let doc = poll_job(&mut client, i as u64 + 1);
+        assert_eq!(
+            doc.req("state").unwrap().as_str(),
+            Some("done"),
+            "{job_body}: {doc}"
+        );
+        let job_doc = doc.req("result").unwrap().to_string();
+        assert_eq!(
+            cli_doc.trim_end(),
+            job_doc,
+            "CLI and job result differ for {job_body}"
+        );
+    }
+    drop(client);
+    let out = server.terminate();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("4 jobs (0 failed, 0 cancelled, 0 validation failures)"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn analyze_validation_catches_a_tampered_shard_on_both_surfaces() {
+    let run_dir = analyze_run_dir("tampered");
+    // flip one in-range column id in the last shard: structurally valid
+    // CSR, wrong statistics — only validation can tell
+    let mut shards: Vec<std::path::PathBuf> = std::fs::read_dir(&run_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csr"))
+        .collect();
+    shards.sort();
+    let artifact = shards.last().unwrap();
+    let mut bytes = std::fs::read(artifact).unwrap();
+    let at = bytes.len() - 8;
+    let old = u64::from_le_bytes(bytes[at..].try_into().unwrap());
+    bytes[at..].copy_from_slice(&(old ^ 1).to_le_bytes());
+    std::fs::write(artifact, &bytes).unwrap();
+
+    // CLI: nonzero exit, mismatch report on stdout, verdict on stderr
+    let out = kron(&[
+        "analyze",
+        run_dir.to_str().unwrap(),
+        "--kernel",
+        "tri-census",
+    ]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"validation\":{\"ok\":false"), "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("contradict the closed forms"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --no-validate: the recount itself succeeds, no verdict claimed
+    let out = kron(&[
+        "analyze",
+        run_dir.to_str().unwrap(),
+        "--kernel",
+        "tri-census",
+        "--no-validate",
+    ]);
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("validation"));
+
+    // server: the job fails with the report, and the run exits nonzero
+    // (--no-verify: checksums would reject the open; the *job* must catch it)
+    let server = ServerChild::spawn(&run_dir, &["--no-verify"]);
+    let mut client = server.client();
+    let (status, _) = client.post("/jobs", br#"{"kernel":"tri-census"}"#).unwrap();
+    assert_eq!(status, 202);
+    let doc = poll_job(&mut client, 1);
+    assert_eq!(doc.req("state").unwrap().as_str(), Some("failed"), "{doc}");
+    assert!(
+        doc.req("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("validation failed"),
+        "{doc}"
+    );
+    drop(client);
+    let out = server.terminate();
+    assert!(
+        !out.status.success(),
+        "job validation failure must fail the run"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("contradicted the closed forms"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn analyze_sigterm_cancels_cooperatively_and_exits_zero() {
+    let run_dir = analyze_run_dir("sigterm");
+    // an endless kernel: unreachable (negative) tolerance, huge budget
+    let mut child = Command::new(env!("CARGO_BIN_EXE_kron"))
+        .args([
+            "analyze",
+            run_dir.to_str().unwrap(),
+            "--kernel",
+            "pagerank",
+            "--tol",
+            "-1",
+            "--iters",
+            "1000000000000",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("analyze spawns");
+    // let it get into the iteration loop before signalling
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    assert!(Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs")
+        .success());
+    for _ in 0..200 {
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(
+        child.try_wait().unwrap().is_some(),
+        "analyze must exit within 10s of SIGTERM"
+    );
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "cooperative cancel exits 0; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cancelled by signal"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "",
+        "no verdict printed"
+    );
+}
+
+#[test]
+fn serve_sigterm_with_a_running_job_exits_zero() {
+    let run_dir = analyze_run_dir("job_sigterm");
+    let server = ServerChild::spawn(&run_dir, &["--source", "cross-check:4"]);
+    let mut client = server.client();
+    let (status, _) = client
+        .post(
+            "/jobs",
+            br#"{"kernel":"pagerank","tol":-1,"iters":1000000000000}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 202);
+    // confirm it is actually running, then SIGTERM with it in flight
+    let doc = {
+        let (status, body) = client.get("/jobs/1").unwrap();
+        assert_eq!(status, 200);
+        kron_stream::json::Json::parse(&body).unwrap()
+    };
+    assert_eq!(doc.req("state").unwrap().as_str(), Some("running"));
+    drop(client);
+    let out = server.terminate();
+    assert!(
+        out.status.success(),
+        "cancelled jobs must not fail the run; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("1 jobs (0 failed, 1 cancelled, 0 validation failures)"),
+        "{stderr}"
     );
 }

@@ -138,12 +138,15 @@ impl Conn {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -405,6 +408,16 @@ impl Client {
     /// Same as [`Client::get`].
     pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<(u16, String)> {
         let (status, resp) = self.request("POST", path, body)?;
+        Ok((status, String::from_utf8_lossy(&resp).into_owned()))
+    }
+
+    /// `DELETE path` → `(status, body)` — the job API's cancel verb.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::get`].
+    pub fn delete(&mut self, path: &str) -> io::Result<(u16, String)> {
+        let (status, resp) = self.request("DELETE", path, b"")?;
         Ok((status, String::from_utf8_lossy(&resp).into_owned()))
     }
 

@@ -43,6 +43,15 @@
 //!   (through the [`RowCache`], which caches remote rows too), while
 //!   serving the *unchanged* single-node wire protocol — including
 //!   cross-checking answers assembled from peers' bytes;
+//! * **analytics jobs** — the server also runs [`kron_analyze`]
+//!   whole-graph kernels asynchronously: `POST /jobs` submits a kernel
+//!   spec and returns an id immediately, `GET /jobs/<id>` polls
+//!   `running`/`done`/`failed` (with the full result document on
+//!   completion), `DELETE /jobs/<id>` requests cooperative cancel. The
+//!   job pool is bounded (`--jobs`, default 2) so a whole-graph PageRank
+//!   never crowds out point-query latency; job counters ride along in
+//!   `/stats`, and a job whose result contradicts the closed forms fails
+//!   with the mismatch report attached;
 //! * [`Router`] — the stateless forwarding front end (`kron route`):
 //!   discovers each node's claim via `GET /shards`, forwards `/query`
 //!   and `/batch` to the owning node by vertex range (answers
@@ -101,6 +110,7 @@ mod cache;
 pub mod cluster;
 mod engine;
 pub mod http;
+mod jobs;
 mod oracle;
 pub mod router;
 mod server;

@@ -591,6 +591,18 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
             TEXT,
             b"error: method not allowed for this endpoint\n".to_vec(),
         ),
-        _ => (404, TEXT, b"error: no such endpoint\n".to_vec()),
+        // 501, not 404: the path may well exist on the nodes (the
+        // analytics-job API under /jobs is node-local state — an id
+        // minted by one node means nothing to its peers, so the router
+        // deliberately does not forward it). Name what *is* served so a
+        // client landing here can tell "wrong tier" from "no such thing".
+        _ => (
+            501,
+            JSON,
+            b"{\"error\":\"not implemented by the router\",\
+              \"supported\":[\"/healthz\",\"/query\",\"/batch\",\"/stats\",\"/shards\"],\
+              \"note\":\"/jobs is node-local: submit to a node, not the router\"}\n"
+                .to_vec(),
+        ),
     }
 }

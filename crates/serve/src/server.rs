@@ -65,6 +65,11 @@ pub struct ServerOptions {
     /// is reached, further connections wait in the kernel's accept
     /// backlog until a handler frees up.
     pub threads: usize,
+    /// Maximum analytics jobs running concurrently (`POST /jobs` beyond
+    /// the cap is rejected with 429, never queued); `0` means 2. Job
+    /// workers are separate from connection handlers, so a saturated job
+    /// pool leaves point-query latency untouched.
+    pub jobs: usize,
 }
 
 /// Default connection cap: queries are blocking-I/O bound, not CPU
@@ -77,6 +82,14 @@ impl ServerOptions {
             self.threads
         } else {
             DEFAULT_MAX_CONNECTIONS
+        }
+    }
+
+    pub(crate) fn max_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            crate::jobs::DEFAULT_MAX_JOBS
         }
     }
 }
@@ -100,6 +113,20 @@ pub struct ServerReport {
     pub sampled_checks: u64,
     /// Artifact/oracle disagreements recorded over the whole run.
     pub mismatches: u64,
+    /// Analytics jobs submitted over `POST /jobs` (admitted, not
+    /// rejected).
+    pub jobs_submitted: u64,
+    /// Jobs that failed for any reason other than cancellation
+    /// (validation mismatch, corrupt artifact, incomplete subset).
+    pub jobs_failed: u64,
+    /// Jobs ended by cooperative cancel (`DELETE /jobs/<id>` or server
+    /// shutdown). Not counted in `jobs_failed`: a cancelled job says
+    /// nothing about the artifact, so it never fails the run.
+    pub jobs_cancelled: u64,
+    /// Jobs whose finished result contradicted the closed forms — the
+    /// job-level analogue of `mismatches`, and like it a nonzero-exit
+    /// condition for the CLI.
+    pub job_validation_failures: u64,
 }
 
 impl std::fmt::Display for ServerReport {
@@ -107,14 +134,19 @@ impl std::fmt::Display for ServerReport {
         write!(
             f,
             "{} requests ({} malformed), {} queries ({} errors), \
-             {} rows served to peers, {} sampled cross-checks, {} mismatches",
+             {} rows served to peers, {} sampled cross-checks, {} mismatches, \
+             {} jobs ({} failed, {} cancelled, {} validation failures)",
             self.requests,
             self.bad_requests,
             self.queries,
             self.query_errors,
             self.rows_served,
             self.sampled_checks,
-            self.mismatches
+            self.mismatches,
+            self.jobs_submitted,
+            self.jobs_failed,
+            self.jobs_cancelled,
+            self.job_validation_failures
         )
     }
 }
@@ -148,6 +180,8 @@ struct ServerState<'e> {
     /// Rolling window of the most recent per-query latencies; `/stats`
     /// derives its percentile block from this.
     recent: Mutex<Vec<Duration>>,
+    /// Analytics-job registry behind `POST /jobs` (see [`crate::jobs`]).
+    jobs: crate::jobs::JobRegistry,
 }
 
 impl ServerState<'_> {
@@ -177,6 +211,10 @@ impl ServerState<'_> {
             rows_served: self.rows_served.load(Ordering::Relaxed),
             sampled_checks: self.engine.sampled_checks(),
             mismatches: self.engine.mismatch_count(),
+            jobs_submitted: self.jobs.submitted(),
+            jobs_failed: self.jobs.jobs_failed(),
+            jobs_cancelled: self.jobs.jobs_cancelled(),
+            job_validation_failures: self.jobs.validation_failures(),
         }
     }
 
@@ -223,6 +261,7 @@ impl ServerState<'_> {
             ("mismatch_count", Json::num(self.engine.mismatch_count())),
             ("recent", window.to_json()),
             ("routing", self.engine.routing().to_json()),
+            ("jobs", self.jobs.stats_json()),
             (
                 "mismatches",
                 Json::Arr(
@@ -311,15 +350,25 @@ impl Server {
             rows_served: AtomicU64::new(0),
             wedge_checks: AtomicU64::new(0),
             recent: Mutex::new(Vec::new()),
+            jobs: crate::jobs::JobRegistry::new(opts.max_jobs()),
         };
-        serve_connections(
-            &self.listener,
-            max_connections,
-            "kron serve",
-            shutdown,
-            &state.http,
-            &|req| route(&state, req),
-        );
+        // Job workers are scoped threads spawned by `POST /jobs`
+        // handlers; the scope exit is the shutdown barrier for them.
+        // Once the accept loop has drained, every still-running job is
+        // cancelled cooperatively so the join never waits on a
+        // long-running kernel — this is also what makes SIGTERM during
+        // a job exit cleanly.
+        std::thread::scope(|scope| {
+            serve_connections(
+                &self.listener,
+                max_connections,
+                "kron serve",
+                shutdown,
+                &state.http,
+                &|req| route(&state, scope, req),
+            );
+            state.jobs.cancel_all();
+        });
         Ok(state.report())
     }
 }
@@ -459,7 +508,16 @@ fn error_status(e: &crate::engine::ServeError) -> u16 {
 }
 
 /// Dispatch one request to its endpoint.
-fn route(state: &ServerState<'_>, req: &http::Request) -> (u16, &'static str, Vec<u8>) {
+///
+/// `scope` is the job-worker scope owned by [`Server::run`]: `POST
+/// /jobs` spawns its kernel worker there, so the run's scope exit (after
+/// `cancel_all`) is the single join point for both connection handlers
+/// and job workers.
+fn route<'s>(
+    state: &'s ServerState<'s>,
+    scope: &'s std::thread::Scope<'s, '_>,
+    req: &http::Request,
+) -> (u16, &'static str, Vec<u8>) {
     const TEXT: &str = "text/plain; charset=utf-8";
     const JSON: &str = "application/json";
     const OCTETS: &str = "application/octet-stream";
@@ -607,7 +665,73 @@ fn route(state: &ServerState<'_>, req: &http::Request) -> (u16, &'static str, Ve
             }
         }
         ("GET", "/stats") => (200, JSON, format!("{}\n", state.stats_json()).into_bytes()),
-        (_, "/healthz" | "/query" | "/batch" | "/stats" | "/row" | "/shards") => (
+        ("POST", "/jobs") => {
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return (400, TEXT, b"error: body is not UTF-8\n".to_vec());
+            };
+            let spec =
+                match Json::parse(text).and_then(|doc| kron_analyze::KernelSpec::from_json(&doc)) {
+                    Err(e) => return (400, TEXT, format!("error: {e}\n").into_bytes()),
+                    Ok(spec) => spec,
+                };
+            let kernel = spec.kernel.name();
+            match state.jobs.submit(kernel, spec) {
+                Err((running, cap)) => (
+                    429,
+                    JSON,
+                    format!(
+                        "{{\"error\":\"job pool is full\",\"running\":{running},\
+                         \"cap\":{cap}}}\n"
+                    )
+                    .into_bytes(),
+                ),
+                Ok(entry) => {
+                    let id = entry.id;
+                    let engine = state.engine;
+                    let registry = &state.jobs;
+                    scope.spawn(move || crate::jobs::execute(engine, registry, &entry));
+                    (
+                        202,
+                        JSON,
+                        format!("{{\"id\":{id},\"kernel\":\"{kernel}\",\"state\":\"running\"}}\n")
+                            .into_bytes(),
+                    )
+                }
+            }
+        }
+        // Precedence on `/jobs/<id>`: the id must parse (400), the job
+        // must exist (404), then the method must fit (405).
+        (method, path) if path.starts_with("/jobs/") => {
+            let Ok(id) = path["/jobs/".len()..].parse::<u64>() else {
+                return (
+                    400,
+                    TEXT,
+                    b"error: job id must be a decimal number\n".to_vec(),
+                );
+            };
+            let Some(job) = state.jobs.lookup(id) else {
+                return (404, TEXT, format!("error: no job {id}\n").into_bytes());
+            };
+            match method {
+                "GET" => (200, JSON, format!("{}\n", job.to_json()).into_bytes()),
+                "DELETE" => {
+                    // Idempotent: cancelling a finished (or already
+                    // cancelled) job re-raises a flag nobody reads.
+                    job.stop.store(true, Ordering::SeqCst);
+                    (
+                        202,
+                        JSON,
+                        format!("{{\"id\":{id},\"cancel_requested\":true}}\n").into_bytes(),
+                    )
+                }
+                _ => (
+                    405,
+                    TEXT,
+                    b"error: method not allowed for this endpoint\n".to_vec(),
+                ),
+            }
+        }
+        (_, "/healthz" | "/query" | "/batch" | "/stats" | "/row" | "/shards" | "/jobs") => (
             405,
             TEXT,
             b"error: method not allowed for this endpoint\n".to_vec(),
@@ -715,7 +839,16 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let stop = AtomicBool::new(false);
         std::thread::scope(|s| {
-            let run = s.spawn(|| server.run(&engine, &ServerOptions { threads: 2 }, &stop));
+            let run = s.spawn(|| {
+                server.run(
+                    &engine,
+                    &ServerOptions {
+                        threads: 2,
+                        ..Default::default()
+                    },
+                    &stop,
+                )
+            });
             use std::io::{Read, Write};
             let mut raw = std::net::TcpStream::connect(addr).unwrap();
             raw.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
@@ -814,7 +947,16 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let stop = AtomicBool::new(false);
         std::thread::scope(|s| {
-            let run = s.spawn(|| server.run(&engine, &ServerOptions { threads: 1 }, &stop));
+            let run = s.spawn(|| {
+                server.run(
+                    &engine,
+                    &ServerOptions {
+                        threads: 1,
+                        ..Default::default()
+                    },
+                    &stop,
+                )
+            });
             let mut client = Client::connect(addr).unwrap();
             let mut batch = String::new();
             for v in 0..c.num_vertices() {

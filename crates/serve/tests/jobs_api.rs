@@ -1,0 +1,330 @@
+//! Lifecycle tests for the async analytics-job API (`POST /jobs`,
+//! `GET /jobs/<id>`, `DELETE /jobs/<id>`): submission and completion,
+//! the pinned 429 at the pool cap, cooperative cancel (explicit and via
+//! server shutdown), validation failure surfacing, and the wire's error
+//! statuses.
+
+use kron::KronProduct;
+use kron_gen::deterministic::clique;
+use kron_serve::http::Client;
+use kron_serve::{ServeEngine, Server, ServerOptions, ServerReport};
+use kron_stream::json::Json;
+use kron_stream::{stream_product, OutputFormat, StreamConfig};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn run_dir(name: &str) -> (PathBuf, KronProduct) {
+    let dir = std::env::temp_dir().join(format!("kron_jobs_api_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let c = KronProduct::new(clique(3), clique(3));
+    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+    cfg.shards = 3;
+    stream_product(&c, &cfg).unwrap();
+    (dir, c)
+}
+
+/// Flip one in-range column id in the last shard: structurally valid,
+/// wrong statistics — exactly what validation exists to catch.
+fn tamper_last_col(dir: &Path) {
+    let mut shards: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csr"))
+        .collect();
+    shards.sort();
+    let path = shards.last().unwrap();
+    let mut bytes = std::fs::read(path).unwrap();
+    let at = bytes.len() - 8;
+    let old = u64::from_le_bytes(bytes[at..].try_into().unwrap());
+    bytes[at..].copy_from_slice(&(old ^ 1).to_le_bytes());
+    std::fs::write(path, &bytes).unwrap();
+}
+
+/// Run `f` against a live server, then shut it down and return the
+/// report.
+fn with_server<F>(engine: &ServeEngine, opts: ServerOptions, f: F) -> ServerReport
+where
+    F: FnOnce(SocketAddr) + Send,
+{
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(engine, &opts, &stop));
+        // raise the shutdown flag even if `f` panics — otherwise the
+        // scope join waits on the server forever and the assertion
+        // message is never seen
+        struct StopOnDrop<'a>(&'a AtomicBool);
+        impl Drop for StopOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let guard = StopOnDrop(&stop);
+        f(addr);
+        drop(guard);
+        run.join().unwrap().unwrap()
+    })
+}
+
+/// Poll `GET /jobs/<id>` until the job leaves `running` (or panic after
+/// 30 s — every kernel here is either tiny or cancelled).
+fn poll_until_settled(client: &mut Client, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = client.get(&format!("/jobs/{id}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        if doc.req("state").unwrap().as_str() != Some("running") {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "job {id} never settled: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A job spec that runs forever until cancelled: an unreachable
+/// (negative) tolerance with an absurd iteration budget. Tolerance 0
+/// would not do — on a tiny graph the ranks hit a floating-point fixed
+/// point and the residual becomes exactly 0.0 within milliseconds. Each
+/// iteration checks the stop flag, so cancel is still prompt.
+const ENDLESS_PAGERANK: &[u8] = br#"{"kernel":"pagerank","tol":-1,"iters":1000000000000}"#;
+
+#[test]
+fn jobs_run_to_done_and_results_carry_validation() {
+    let (dir, c) = run_dir("done");
+    let engine = ServeEngine::open_verified(&dir).unwrap();
+    let report = with_server(&engine, ServerOptions::default(), |addr| {
+        let mut client = Client::connect(addr).unwrap();
+
+        let (status, body) = client.post("/jobs", br#"{"kernel":"tri-census"}"#).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.req("id").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.req("kernel").unwrap().as_str(), Some("tri-census"));
+        assert_eq!(doc.req("state").unwrap().as_str(), Some("running"));
+
+        let doc = poll_until_settled(&mut client, 1);
+        assert_eq!(doc.req("state").unwrap().as_str(), Some("done"), "{doc}");
+        let result = doc.req("result").unwrap();
+        assert_eq!(
+            result
+                .req("total_triangle_participation")
+                .unwrap()
+                .as_u128(),
+            Some(c.total_triangle_participation())
+        );
+        assert_eq!(
+            result
+                .req("validation")
+                .unwrap()
+                .req("ok")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+
+        // a second job gets the next id and also completes
+        let (status, body) = client
+            .post("/jobs", br#"{"kernel":"bfs","source":0}"#)
+            .unwrap();
+        assert_eq!(status, 202, "{body}");
+        assert_eq!(
+            Json::parse(&body).unwrap().req("id").unwrap().as_u64(),
+            Some(2)
+        );
+        let doc = poll_until_settled(&mut client, 2);
+        assert_eq!(doc.req("state").unwrap().as_str(), Some("done"));
+        assert_eq!(
+            doc.req("result").unwrap().req("reached").unwrap().as_u64(),
+            Some(c.num_vertices())
+        );
+
+        let (_, body) = client.get("/stats").unwrap();
+        let stats = Json::parse(&body).unwrap();
+        let jobs = stats.req("jobs").unwrap();
+        assert_eq!(jobs.req("submitted").unwrap().as_u64(), Some(2));
+        assert_eq!(jobs.req("done").unwrap().as_u64(), Some(2));
+        assert_eq!(jobs.req("running").unwrap().as_u64(), Some(0));
+        assert_eq!(jobs.req("failed").unwrap().as_u64(), Some(0));
+    });
+    assert_eq!(report.jobs_submitted, 2);
+    assert_eq!(report.jobs_failed, 0);
+    assert_eq!(report.jobs_cancelled, 0);
+    assert_eq!(report.job_validation_failures, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pool_cap_pins_429_and_point_queries_stay_served() {
+    let (dir, c) = run_dir("cap");
+    let engine = ServeEngine::open_verified(&dir).unwrap();
+    let opts = ServerOptions {
+        jobs: 1,
+        ..Default::default()
+    };
+    let report = with_server(&engine, opts, |addr| {
+        let mut client = Client::connect(addr).unwrap();
+
+        let (status, _) = client.post("/jobs", ENDLESS_PAGERANK).unwrap();
+        assert_eq!(status, 202);
+
+        // the pool is full: the next submission is rejected, not queued
+        let (status, body) = client.post("/jobs", br#"{"kernel":"cc"}"#).unwrap();
+        assert_eq!(status, 429, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.req("error").unwrap().as_str(), Some("job pool is full"));
+        assert_eq!(doc.req("running").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.req("cap").unwrap().as_u64(), Some(1));
+
+        // …but point queries are still answered while the job spins
+        let (status, body) = client.get("/query?q=degree%200").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.trim().parse::<u64>().unwrap(), c.degree(0));
+
+        // cooperative cancel frees the slot
+        let (status, body) = client.delete("/jobs/1").unwrap();
+        assert_eq!(status, 202, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.req("cancel_requested").unwrap().as_bool(), Some(true));
+        let doc = poll_until_settled(&mut client, 1);
+        assert_eq!(doc.req("state").unwrap().as_str(), Some("failed"));
+        assert_eq!(doc.req("error").unwrap().as_str(), Some("cancelled"));
+        assert!(doc.get("result").is_none(), "{doc}");
+
+        // slot free again: a new submission is admitted and finishes
+        // (with id 2 — the rejected submission never consumed an id)
+        let (status, body) = client.post("/jobs", br#"{"kernel":"cc"}"#).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let id = Json::parse(&body)
+            .unwrap()
+            .req("id")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(id, 2);
+        let doc = poll_until_settled(&mut client, id);
+        assert_eq!(doc.req("state").unwrap().as_str(), Some("done"));
+        assert_eq!(
+            doc.req("result")
+                .unwrap()
+                .req("components")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+
+        let (_, body) = client.get("/stats").unwrap();
+        let jobs = Json::parse(&body).unwrap().req("jobs").unwrap().clone();
+        assert_eq!(jobs.req("rejected").unwrap().as_u64(), Some(1));
+        assert_eq!(jobs.req("cancelled").unwrap().as_u64(), Some(1));
+        assert_eq!(jobs.req("failed").unwrap().as_u64(), Some(0));
+    });
+    assert_eq!(report.jobs_submitted, 2, "the 429 submission never counts");
+    assert_eq!(report.jobs_cancelled, 1);
+    assert_eq!(report.jobs_failed, 0, "cancelled is not failed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_cancels_running_jobs_cooperatively() {
+    let (dir, _c) = run_dir("shutdown");
+    let engine = ServeEngine::open_verified(&dir).unwrap();
+    // no DELETE: flipping the server's shutdown flag alone must cancel
+    // the endless job, or run() would never return
+    let report = with_server(&engine, ServerOptions::default(), |addr| {
+        let mut client = Client::connect(addr).unwrap();
+        let (status, _) = client.post("/jobs", ENDLESS_PAGERANK).unwrap();
+        assert_eq!(status, 202);
+    });
+    assert_eq!(report.jobs_submitted, 1);
+    assert_eq!(report.jobs_cancelled, 1);
+    assert_eq!(report.jobs_failed, 0);
+    assert_eq!(report.job_validation_failures, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tampered_artifact_fails_the_job_with_the_mismatch_report() {
+    let (dir, _c) = run_dir("tampered");
+    tamper_last_col(&dir);
+    // structural open only: checksums would catch the tamper at startup,
+    // and this test is about the *job* catching it at whole-graph scale
+    let engine = ServeEngine::open(&dir).unwrap();
+    let report = with_server(&engine, ServerOptions::default(), |addr| {
+        let mut client = Client::connect(addr).unwrap();
+        let (status, _) = client.post("/jobs", br#"{"kernel":"tri-census"}"#).unwrap();
+        assert_eq!(status, 202);
+        let doc = poll_until_settled(&mut client, 1);
+        assert_eq!(doc.req("state").unwrap().as_str(), Some("failed"), "{doc}");
+        assert!(
+            doc.req("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("validation failed"),
+            "{doc}"
+        );
+        // the failed job keeps its full result document, mismatch fields
+        // included, so the poller sees exactly what diverged
+        let validation = doc.req("result").unwrap().req("validation").unwrap();
+        assert_eq!(validation.req("ok").unwrap().as_bool(), Some(false));
+
+        let (_, body) = client.get("/stats").unwrap();
+        let jobs = Json::parse(&body).unwrap().req("jobs").unwrap().clone();
+        assert_eq!(jobs.req("validation_failures").unwrap().as_u64(), Some(1));
+        assert_eq!(jobs.req("failed").unwrap().as_u64(), Some(1));
+    });
+    assert_eq!(report.jobs_failed, 1);
+    assert_eq!(report.job_validation_failures, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn job_wire_rejects_malformed_requests_with_the_pinned_statuses() {
+    let (dir, _c) = run_dir("wire");
+    let engine = ServeEngine::open_verified(&dir).unwrap();
+    let report = with_server(&engine, ServerOptions::default(), |addr| {
+        let mut client = Client::connect(addr).unwrap();
+
+        for (body, needle) in [
+            (&b"not json"[..], "error:"),
+            (br#"{"kernel":"frobnicate"}"#, "unknown kernel"),
+            (br#"{"source":3}"#, "kernel"),
+            (br#"{"kernel":"bfs","sauce":1}"#, "sauce"),
+        ] {
+            let (status, resp) = client.post("/jobs", body).unwrap();
+            assert_eq!(status, 400, "{resp}");
+            assert!(resp.contains(needle), "{resp}");
+        }
+
+        let (status, _) = client.get("/jobs/7").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client.delete("/jobs/7").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client.get("/jobs/xyz").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = client.get("/jobs").unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = client.delete("/jobs").unwrap();
+        assert_eq!(status, 405);
+
+        // a settled job answers GET but refuses POST
+        let (status, _) = client.post("/jobs", br#"{"kernel":"cc"}"#).unwrap();
+        assert_eq!(status, 202);
+        poll_until_settled(&mut client, 1);
+        let (status, _) = client.post("/jobs/1", b"").unwrap();
+        assert_eq!(status, 405);
+        // cancel after completion is an accepted no-op
+        let (status, _) = client.delete("/jobs/1").unwrap();
+        assert_eq!(status, 202);
+        let doc = poll_until_settled(&mut client, 1);
+        assert_eq!(doc.req("state").unwrap().as_str(), Some("done"));
+    });
+    assert_eq!(report.jobs_submitted, 1);
+    // 4 rejected bodies + the unparsable id
+    assert_eq!(report.bad_requests, 5);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -152,6 +152,21 @@ impl CsrReader {
         Some(&self.cols()[lo..hi])
     }
 
+    /// Iterate `(p, row)` pairs in ascending vertex order, one per
+    /// covered product vertex. Each row is a zero-copy sorted slice into
+    /// the mapping — the shard-ordered traversal whole-graph kernels
+    /// stream over.
+    pub fn rows(&self) -> impl Iterator<Item = (u64, &[u64])> + '_ {
+        let offsets = self.offsets();
+        let cols = self.cols();
+        (0..self.num_rows as usize).map(move |r| {
+            (
+                self.vertex_lo + r as u64,
+                &cols[offsets[r] as usize..offsets[r + 1] as usize],
+            )
+        })
+    }
+
     /// Iterate all `(p, q)` entries in row-major order.
     pub fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         let offsets = self.offsets();
@@ -201,6 +216,12 @@ mod tests {
         assert_eq!(
             r.entries().collect::<Vec<_>>(),
             vec![(10, 3), (10, 7), (12, 0)]
+        );
+        let rows: Vec<(u64, Vec<u64>)> = r.rows().map(|(p, row)| (p, row.to_vec())).collect();
+        assert_eq!(
+            rows,
+            vec![(10, vec![3, 7]), (11, vec![]), (12, vec![0])],
+            "rows() must visit every vertex in order, empty rows included"
         );
     }
 

@@ -371,6 +371,18 @@ impl ShardSet {
         let shard = self.route(v)?;
         self.local(shard)?.reader.row(v)
     }
+
+    /// Iterate `(vertex, row)` pairs of the resident shard with run-wide
+    /// index `shard`, in ascending vertex order, or `None` when that
+    /// shard is not in the claimed subset. Rows are zero-copy sorted
+    /// slices into the shard's mapping.
+    ///
+    /// This is the shard-ordered traversal the whole-graph kernels in
+    /// `kron-analyze` stream over: one call per shard of the plan, each
+    /// walking its vertex range without touching the routing table.
+    pub fn shard_rows(&self, shard: usize) -> Option<impl Iterator<Item = (u64, &[u64])> + '_> {
+        self.local(shard).map(|o| o.reader.rows())
+    }
 }
 
 #[cfg(test)]
@@ -542,6 +554,26 @@ mod tests {
             }
         }
         assert!(set.mapped_bytes() < full.mapped_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_rows_streams_every_resident_row_in_order() {
+        let dir = tmpdir("shard_rows");
+        let c = product();
+        streamed(&dir, &c, 4);
+        let set = ShardSet::open_subset(&dir, 1..3).unwrap();
+        assert!(set.shard_rows(0).is_none(), "non-resident shard");
+        assert!(set.shard_rows(3).is_none(), "non-resident shard");
+        let mut seen = Vec::new();
+        for shard in set.subset() {
+            for (v, row) in set.shard_rows(shard).unwrap() {
+                assert_eq!(row, c.neighbors(v).as_slice(), "vertex {v}");
+                seen.push(v);
+            }
+        }
+        let span = set.subset_vertices();
+        assert_eq!(seen, (span.start..span.end).collect::<Vec<_>>());
         std::fs::remove_dir_all(&dir).ok();
     }
 

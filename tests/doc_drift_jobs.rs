@@ -1,0 +1,188 @@
+//! Doc-drift guard for ARCHITECTURE.md § "Analytics jobs".
+//!
+//! The `/jobs` wire examples in the spec are normative: this test
+//! re-reads them **out of the markdown**, rebuilds exactly the run
+//! directory they describe (the 3-vertex triangle squared, 3 CSR
+//! shards), replays the documented request bytes against a live node —
+//! submit, poll to completion, re-fetch, cancel-after-done — and
+//! asserts the full responses, head and body, byte for byte. Editing
+//! the spec without changing the server (or vice versa) fails here,
+//! the same pattern `tests/doc_drift_cluster.rs` pins the cluster
+//! examples with.
+
+use kron::KronProduct;
+use kron_graph::Graph;
+use kron_serve::http::Client;
+use kron_serve::{ServeEngine, Server, ServerOptions};
+use kron_stream::{stream_product, OutputFormat, StreamConfig};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// The markdown between `heading` and the next heading of any level.
+fn section<'a>(md: &'a str, heading: &str) -> &'a str {
+    let start = md.find(heading).unwrap_or_else(|| {
+        panic!("ARCHITECTURE.md lost its {heading:?} section — the doc-drift pin needs it")
+    });
+    let rest = &md[start + heading.len()..];
+    let end = ["\n#### ", "\n### ", "\n## "]
+        .iter()
+        .filter_map(|h| rest.find(h))
+        .min()
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+/// Contents of every ```` ```lang ```` fence in `md`, in order.
+fn fenced(md: &str, lang: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = md;
+    let opener = format!("```{lang}\n");
+    while let Some(at) = rest.find(&opener) {
+        let body = &rest[at + opener.len()..];
+        let end = body.find("\n```").expect("unterminated fence");
+        out.push(body[..end].to_string());
+        rest = &body[end..];
+    }
+    out
+}
+
+/// A documented head block (`HTTP/1.1 200 OK` + header lines) as the
+/// exact bytes on the wire: CRLF line endings, blank line.
+fn wire(block: &str) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for line in block.lines() {
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.extend_from_slice(b"\r\n");
+    }
+    bytes.extend_from_slice(b"\r\n");
+    bytes
+}
+
+/// The `Content-Length:` a documented head declares.
+fn declared_length(block: &str) -> usize {
+    block
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("documented head has no Content-Length")
+        .parse()
+        .expect("documented Content-Length is not a number")
+}
+
+/// One documented exchange: request head (+ optional body), response
+/// head, response body. Job-API JSON response bodies end in a newline,
+/// which the fence cannot carry — the spec calls this out in prose.
+struct Exchange {
+    request: Vec<u8>,
+    response: Vec<u8>,
+}
+
+fn exchange(md: &str, heading: &str, request_has_body: bool) -> Exchange {
+    let sec = section(md, heading);
+    let http = fenced(sec, "http");
+    let json = fenced(sec, "json");
+    assert_eq!(
+        http.len(),
+        2,
+        "{heading} needs exactly a request head and a response head"
+    );
+    let mut request = wire(&http[0]);
+    let response_json = if request_has_body {
+        assert_eq!(json.len(), 2, "{heading} needs request + response bodies");
+        assert_eq!(
+            declared_length(&http[0]),
+            json[0].len(),
+            "the documented request head contradicts its own body"
+        );
+        request.extend_from_slice(json[0].as_bytes());
+        &json[1]
+    } else {
+        assert_eq!(json.len(), 1, "{heading} needs exactly a response body");
+        &json[0]
+    };
+    let body = format!("{response_json}\n");
+    assert_eq!(
+        declared_length(&http[1]),
+        body.len(),
+        "the documented response head contradicts its own body"
+    );
+    let mut response = wire(&http[1]);
+    response.extend_from_slice(body.as_bytes());
+    Exchange { request, response }
+}
+
+#[test]
+fn documented_job_exchanges_match_the_server_verbatim() {
+    let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/ARCHITECTURE.md"))
+        .expect("read ARCHITECTURE.md");
+    let post = exchange(&md, "#### `POST /jobs` wire example", true);
+    let get = exchange(&md, "#### `GET /jobs/1` wire example", false);
+    let delete = exchange(&md, "#### `DELETE /jobs/1` wire example", false);
+
+    // Exactly the documented run directory: the 3-vertex triangle
+    // squared, streamed as 3 CSR shards, served complete by one node.
+    let a = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+    let c = KronProduct::new(a.clone(), a);
+    let dir = std::env::temp_dir().join(format!("kron_doc_drift_jobs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+    cfg.shards = 3;
+    stream_product(&c, &cfg).unwrap();
+    let engine = ServeEngine::open(&dir).unwrap();
+
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(&engine, &ServerOptions::default(), &stop));
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut replay = |ex: &Exchange| {
+            stream.write_all(&ex.request).unwrap();
+            let mut got = vec![0u8; ex.response.len()];
+            stream.read_exact(&mut got).unwrap();
+            assert_eq!(
+                got,
+                ex.response,
+                "server response diverged from the documented bytes for {:?} \
+                 (got {:?})",
+                String::from_utf8_lossy(&ex.request)
+                    .lines()
+                    .next()
+                    .unwrap()
+                    .to_string(),
+                String::from_utf8_lossy(&got)
+            );
+        };
+
+        // The documented submission: a fresh server, so the id is 1.
+        replay(&post);
+
+        // Poll (on a second connection — the poll bytes are not the
+        // pinned exchange) until the job settles, then replay the
+        // documented GET and the documented cancel-after-done no-op,
+        // keep-alive on the original connection like a real operator.
+        let mut client = Client::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (status, body) = client.get("/jobs/1").unwrap();
+            assert_eq!(status, 200, "{body}");
+            if !body.contains("\"state\":\"running\"") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job 1 never settled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        replay(&get);
+        replay(&delete);
+
+        stop.store(true, Ordering::SeqCst);
+        drop(stream);
+        drop(client);
+        run.join().unwrap().unwrap();
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}

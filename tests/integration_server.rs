@@ -74,7 +74,16 @@ fn concurrent_clients_match_single_threaded_run_batch() {
     let stop = AtomicBool::new(false);
     const CLIENTS: usize = 6;
     let report = std::thread::scope(|s| {
-        let run = s.spawn(|| server.run(&engine, &ServerOptions { threads: 8 }, &stop));
+        let run = s.spawn(|| {
+            server.run(
+                &engine,
+                &ServerOptions {
+                    threads: 8,
+                    ..Default::default()
+                },
+                &stop,
+            )
+        });
         let workers: Vec<_> = (0..CLIENTS)
             .map(|k| {
                 let queries = &queries;
@@ -152,7 +161,16 @@ fn sampled_cross_check_samples_exactly_ceil_q_over_n_through_the_server() {
         let addr = server.local_addr().unwrap();
         let stop = AtomicBool::new(false);
         std::thread::scope(|s| {
-            let run = s.spawn(|| server.run(&engine, &ServerOptions { threads: 2 }, &stop));
+            let run = s.spawn(|| {
+                server.run(
+                    &engine,
+                    &ServerOptions {
+                        threads: 2,
+                        ..Default::default()
+                    },
+                    &stop,
+                )
+            });
             let mut client = Client::connect(addr).unwrap();
             let queries = mixed_queries(&c);
             let file: String = queries.iter().map(|q| format!("{q}\n")).collect();
@@ -219,7 +237,16 @@ fn tampered_run_dir_surfaces_mismatches_through_stats() {
     let addr = server.local_addr().unwrap();
     let stop = AtomicBool::new(false);
     let report = std::thread::scope(|s| {
-        let run = s.spawn(|| server.run(&engine, &ServerOptions { threads: 1 }, &stop));
+        let run = s.spawn(|| {
+            server.run(
+                &engine,
+                &ServerOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+                &stop,
+            )
+        });
         let mut client = Client::connect(addr).unwrap();
         let path = format!(
             "/query?q={}",
@@ -256,7 +283,16 @@ fn keep_alive_close_and_pipelining_behave() {
     let addr = server.local_addr().unwrap();
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
-        let run = s.spawn(|| server.run(&engine, &ServerOptions { threads: 2 }, &stop));
+        let run = s.spawn(|| {
+            server.run(
+                &engine,
+                &ServerOptions {
+                    threads: 2,
+                    ..Default::default()
+                },
+                &stop,
+            )
+        });
         // many requests over one connection (keep-alive)
         let mut client = Client::connect(addr).unwrap();
         for _ in 0..20 {
