@@ -4,7 +4,8 @@
 //! hot-row workload exercising the artifact path's LRU.
 //!
 //! ```text
-//! bench_serve [--n N] [--shards S] [--queries Q] [--cache ROWS] [--json]
+//! bench_serve [--n N] [--shards S] [--queries Q] [--cache ROWS]
+//!             [--conns C] [--json]
 //! ```
 //!
 //! With `--json`, results are written to `BENCH_serve.json` in the
@@ -12,6 +13,13 @@
 //! across PRs (the generation-side counterpart is `BENCH_stream.json`).
 //! The `oracle_speedup` block records how many times faster the
 //! closed-form oracle answers triangle point queries than the shard walk.
+//!
+//! The `server`/`concurrency_*` rows drive the event-loop server with
+//! 100 / 1000 / 10000 concurrent keep-alive connections (capped by
+//! `--conns`) via the `stress_serve` sibling binary run as a child
+//! process — at 10K sockets each side needs its own fd budget. The p99
+//! across the sweep is the "flat latency under concurrency" record the
+//! event loop is accepted against.
 
 use kron::KronProduct;
 use kron_bench::web_factor;
@@ -103,6 +111,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
     let cache_rows: usize = opt("--cache").and_then(|v| v.parse().ok()).unwrap_or(4096);
+    let conns_cap: usize = opt("--conns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
 
     let prod = KronProduct::new(web_factor(n), web_factor(n));
     let dir = std::env::temp_dir().join(format!("kron_bench_serve_{}", std::process::id()));
@@ -212,6 +223,99 @@ fn main() {
         assert_eq!(stats.errors, 0, "server/degree_http: queries must not fail");
         print_row("server", "degree_http", &stats);
         results.push(("server".to_string(), "degree_http", stats));
+    }
+
+    // Concurrency sweep: the event-loop server under 100 / 1000 / 10000
+    // concurrent keep-alive connections, driven by the `stress_serve`
+    // sibling binary as a child process (10K sockets per side want
+    // separate fd budgets). Rows land in the JSON report as
+    // engine "server", kind "concurrency_<N>".
+    let mut concurrency_rows: Vec<Json> = Vec::new();
+    {
+        use kron_serve::{Server, ServerOptions};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stress_bin = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("stress_serve")))
+            .filter(|p| p.exists());
+        match stress_bin {
+            None => eprintln!(
+                "concurrency sweep skipped: no stress_serve next to bench_serve \
+                 (build it with `cargo build --release -p kron-bench --bin stress_serve`)"
+            ),
+            Some(bin) => {
+                let server = Server::bind("127.0.0.1:0").expect("bind sweep server");
+                let addr = server.local_addr().expect("sweep local addr");
+                let stop = AtomicBool::new(false);
+                let sweep_opts = ServerOptions {
+                    // headroom above the largest sweep point so the cap
+                    // itself is never what shapes the latency
+                    max_conns: 12_000,
+                    ..Default::default()
+                };
+                std::thread::scope(|s| {
+                    let run = s.spawn(|| server.run(&artifact, &sweep_opts, &stop));
+                    for conns in [100usize, 1000, 10_000] {
+                        if conns > conns_cap {
+                            eprintln!("concurrency_{conns} skipped (--conns {conns_cap})");
+                            continue;
+                        }
+                        // enough rounds for stable percentiles at every
+                        // sweep point, ≥ 2 requests per connection at 10K
+                        let requests = (conns * 2).max(20_000);
+                        let out = std::process::Command::new(&bin)
+                            .args([
+                                addr.to_string(),
+                                "--conns".into(),
+                                conns.to_string(),
+                                "--requests".into(),
+                                requests.to_string(),
+                                "--threads".into(),
+                                "16".into(),
+                                "--json".into(),
+                            ])
+                            .output()
+                            .expect("spawn stress_serve");
+                        for line in String::from_utf8_lossy(&out.stderr).lines() {
+                            eprintln!("  [stress_serve] {line}");
+                        }
+                        assert!(
+                            out.status.success(),
+                            "concurrency_{conns}: stress_serve reported request errors"
+                        );
+                        let stdout = String::from_utf8_lossy(&out.stdout);
+                        let doc = stdout
+                            .lines()
+                            .rev()
+                            .find(|l| l.starts_with('{'))
+                            .and_then(|l| Json::parse(l).ok())
+                            .expect("stress_serve --json summary");
+                        let g = |k: &str| doc.req(k).ok().and_then(|v| v.as_f64()).unwrap_or(0.0);
+                        let kind = format!("concurrency_{conns}");
+                        println!(
+                            "{:<15} {kind:<14} {:>7} queries  {:>12.0} q/s  \
+                             p50 {:>8.1}µs  p99 {:>8.1}µs",
+                            "server",
+                            g("queries") as u64,
+                            g("qps"),
+                            g("p50_us"),
+                            g("p99_us"),
+                        );
+                        let Json::Obj(stat_pairs) = doc else {
+                            unreachable!("req() above proved doc is an object")
+                        };
+                        let mut pairs = vec![
+                            ("engine".to_string(), Json::str("server")),
+                            ("kind".to_string(), Json::str(&kind)),
+                        ];
+                        pairs.extend(stat_pairs.into_iter().filter(|(k, _)| k != "tool"));
+                        concurrency_rows.push(Json::Obj(pairs));
+                    }
+                    stop.store(true, Ordering::SeqCst);
+                    run.join().unwrap().expect("sweep server run");
+                });
+            }
+        }
     }
 
     // Cluster loopback workload: two shard-subset nodes + a forwarding
@@ -379,11 +483,16 @@ fn main() {
                             }
                             Json::Obj(pairs)
                         })
+                        .chain(concurrency_rows)
                         .collect(),
                 ),
             ),
         ]);
+        let rows = match doc.req("results") {
+            Ok(Json::Arr(rows)) => rows.len(),
+            _ => 0,
+        };
         std::fs::write("BENCH_serve.json", format!("{doc}\n")).expect("write BENCH_serve.json");
-        eprintln!("wrote BENCH_serve.json ({} rows)", results.len());
+        eprintln!("wrote BENCH_serve.json ({rows} rows)");
     }
 }

@@ -70,13 +70,22 @@ USAGE:
       artifact triangle kernels on skewed loads
   kron serve <DIR> --listen ADDR [--threads T] [--jobs J] [--no-verify]
              [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
+             [--max-conns N] [--idle-timeout SECS] [--io-timeout SECS]
              [--shards A..B --peers A..B=ADDR[,A..B=ADDR...]]
       long-lived HTTP server over the same engine: open + validate once,
       then answer GET /query?q=<query-line>, POST /batch (body = query
       file), GET /stats (JSON counters + latency window + routing +
-      mismatch log), GET /healthz. ADDR like 127.0.0.1:8080 (port 0
-      binds an ephemeral port; the bound address is printed on stdout as
-      `listening on http://…`). --threads sizes the connection pool.
+      connection gauges + mismatch log), GET /healthz. ADDR like
+      127.0.0.1:8080 (port 0 binds an ephemeral port; the bound address
+      is printed on stdout as `listening on http://…`). Connections ride
+      a poll(2) event loop on one thread — --threads sizes the request
+      worker pool (default 64), not the connection count; --max-conns
+      caps concurrently open sockets (default 10240, beyond it accepts
+      pause). --idle-timeout closes keep-alive connections idle between
+      requests (default 60s); --io-timeout bounds both how long a request
+      may take to arrive once its first byte shows up (expiry answers
+      408 and closes) and how long a stalled client may block response
+      writes (default 10s). Timeouts take fractional seconds.
       Graceful shutdown on SIGTERM/ctrl-c: in-flight requests finish,
       totals go to stderr, and the exit code is nonzero if any
       cross-checked query disagreed with the closed-form oracle.
@@ -97,6 +106,7 @@ USAGE:
       shard exactly once). Nodes also answer GET /shards (their claim)
       and the internal GET /row?shard=S&v=V row fetch
   kron route --peers ADDR[,ADDR...] --listen ADDR [--threads T]
+             [--max-conns N] [--idle-timeout SECS] [--io-timeout SECS]
       stateless front end for a cluster of `kron serve --shards` nodes:
       learns each peer's claim from GET /shards at startup, then
       forwards /query and /batch to the owning node by vertex range
@@ -561,12 +571,35 @@ fn cmd_analyze(p: &ParsedArgs) -> Result<(), String> {
     }
 }
 
+/// Parse the event-loop tuning flags shared by `kron serve --listen` and
+/// `kron route` into a [`kron_serve::ServerOptions`]. Absent or zero
+/// values stay at the crate defaults (worker pool 64, 10240 connections,
+/// 60s idle / 10s I/O timeouts); the timeout flags take fractional
+/// seconds.
+fn parse_server_options(p: &ParsedArgs) -> Result<kron_serve::ServerOptions, String> {
+    let idle: f64 = p.opt("idle-timeout", 0.0)?;
+    let io: f64 = p.opt("io-timeout", 0.0)?;
+    for (name, v) in [("idle-timeout", idle), ("io-timeout", io)] {
+        if v < 0.0 || !v.is_finite() {
+            return Err(format!(
+                "--{name}: expected a non-negative number of seconds"
+            ));
+        }
+    }
+    Ok(kron_serve::ServerOptions {
+        threads: p.opt("threads", 0)?,
+        jobs: p.opt("jobs", 0)?,
+        max_conns: p.opt("max-conns", 0)?,
+        idle_timeout: (idle > 0.0).then(|| std::time::Duration::from_secs_f64(idle)),
+        io_timeout: (io > 0.0).then(|| std::time::Duration::from_secs_f64(io)),
+    })
+}
+
 fn cmd_serve_listen(
     dir: &str,
     addr: &str,
     opts: &OpenOptions,
-    threads: usize,
-    jobs: usize,
+    server_opts: &kron_serve::ServerOptions,
 ) -> Result<(), String> {
     let engine = open_serve_engine(dir, opts)?;
     let server = kron_serve::Server::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -579,11 +612,7 @@ fn cmd_serve_listen(
     std::io::stdout().flush().ok();
     let shutdown = crate::signals::install_shutdown_flag();
     let report = server
-        .run(
-            &engine,
-            &kron_serve::ServerOptions { threads, jobs },
-            shutdown,
-        )
+        .run(&engine, server_opts, shutdown)
         .map_err(|e| e.to_string())?;
     eprintln!("shutdown: {report}");
     // Job validation failures are the whole-graph analogue of cross-check
@@ -628,8 +657,7 @@ fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
         ..OpenOptions::default()
     };
     if let Some(addr) = p.options.get("listen") {
-        let jobs: usize = p.opt("jobs", 0)?;
-        return cmd_serve_listen(dir, addr, &opts, threads, jobs);
+        return cmd_serve_listen(dir, addr, &opts, &parse_server_options(p)?);
     }
     let file = p.options.get("queries").ok_or_else(|| {
         "missing required option --queries FILE (or --listen ADDR for the server)".to_string()
@@ -693,7 +721,7 @@ fn cmd_route(p: &ParsedArgs) -> Result<(), String> {
         .filter(|s| !s.is_empty())
         .map(String::from)
         .collect();
-    let threads: usize = p.opt("threads", 0)?;
+    let server_opts = parse_server_options(p)?;
     let t0 = Instant::now();
     let router = Router::discover(&peer_addrs, std::time::Duration::from_secs(5))
         .map_err(|e| format!("discovering peers: {e}"))?;
@@ -715,14 +743,7 @@ fn cmd_route(p: &ParsedArgs) -> Result<(), String> {
     std::io::stdout().flush().ok();
     let shutdown = crate::signals::install_shutdown_flag();
     let report = router
-        .run(
-            &front,
-            &kron_serve::ServerOptions {
-                threads,
-                ..Default::default()
-            },
-            shutdown,
-        )
+        .run(&front, &server_opts, shutdown)
         .map_err(|e| e.to_string())?;
     eprintln!("shutdown: {report}");
     Ok(())

@@ -1,0 +1,801 @@
+//! The shared front-end connection engine: a readiness-based `poll(2)`
+//! event loop with a bounded worker pool.
+//!
+//! PR 4's thread-per-connection loop capped the serving tier at
+//! `--threads` concurrent keep-alive clients — each idle peer owned a
+//! whole (mostly sleeping) thread. This module replaces it with the
+//! shape the ROADMAP's "millions of users" north star asks for:
+//!
+//! * **one event thread** owns every socket: it `poll(2)`s the listener,
+//!   a wake pipe, and every connection that currently wants I/O, via the
+//!   [`crate::poll`] syscall shim (non-blocking sockets throughout);
+//! * **per-connection state machines** drive the incremental parser in
+//!   [`crate::http::RequestBuffer`]: bytes accumulate across partial
+//!   reads, complete requests are handed to the worker pool one at a
+//!   time per connection (so responses come back in request order even
+//!   for pipelined clients), responses drain on `POLLOUT`;
+//! * **a bounded worker pool** (`--threads`, default 64) executes parsed
+//!   requests off the event thread — request handling may block (remote
+//!   row fetches, router forwards), the event thread never does. A
+//!   finished worker pushes the rendered response bytes and pokes the
+//!   wake pipe;
+//! * **timeouts** protect the loop from slow clients: a *hard* deadline
+//!   of `io_timeout` from a request's first byte (a slow-loris drip
+//!   makes progress forever but never completes, so progress must not
+//!   extend it; expiry gets a best-effort 408 before the close), a
+//!   no-progress `io_timeout` on stalled response writes, and an
+//!   `idle_timeout` between requests on keep-alive connections.
+//!
+//! Timeout- or reset-closed connections are **transport** events: they
+//! count in the `/stats` `connections` object, never in `bad_requests`
+//! (PR 4's transport-vs-framing distinction, pinned by the regression
+//! suite). Shutdown semantics are unchanged from the blocking loop:
+//! stop accepting, close idle connections, drain in-flight requests,
+//! return — the caller (Server::run) then cancels jobs and certifies
+//! the exit code.
+//!
+//! The full lifecycle and timeout semantics are normative in
+//! `ARCHITECTURE.md` § "Connection lifecycle & timeouts".
+
+use crate::http::Request;
+use crate::server::LoopCounters;
+use kron_stream::json::Json;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Resolved event-loop tuning (defaults already applied by
+/// [`crate::ServerOptions`]).
+pub(crate) struct LoopConfig {
+    /// Request-execution threads in the worker pool.
+    pub(crate) workers: usize,
+    /// Open-connection cap; at the cap the listener is simply not
+    /// polled, leaving further peers in the kernel backlog.
+    pub(crate) max_conns: usize,
+    /// Keep-alive timeout between requests.
+    pub(crate) idle_timeout: Duration,
+    /// Slow-client timeout: request read (hard, from first byte) and
+    /// response write (no-progress).
+    pub(crate) io_timeout: Duration,
+}
+
+/// Connection-lifecycle counters, surfaced as the `/stats`
+/// `connections` object.
+pub(crate) struct ConnCounters {
+    /// Connections ever accepted.
+    pub(crate) accepted: AtomicU64,
+    /// Currently open connections (gauge).
+    pub(crate) open: AtomicU64,
+    /// High-water mark of `open`.
+    pub(crate) peak: AtomicU64,
+    /// Closed by the keep-alive idle timeout.
+    pub(crate) idle_closed: AtomicU64,
+    /// Closed by the slow-client read/write timeout.
+    pub(crate) timeout_closed: AtomicU64,
+    /// `poll(2)` calls made by the event thread — the busy-spin
+    /// regression metric (an idle loop must tick at ~10/s, not spin).
+    pub(crate) polls: AtomicU64,
+}
+
+impl ConnCounters {
+    pub(crate) fn new() -> ConnCounters {
+        ConnCounters {
+            accepted: AtomicU64::new(0),
+            open: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
+            timeout_closed: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+        }
+    }
+
+    /// The `"connections"` object in `/stats`.
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("open", Json::num(self.open.load(Ordering::Relaxed))),
+            ("accepted", Json::num(self.accepted.load(Ordering::Relaxed))),
+            ("peak", Json::num(self.peak.load(Ordering::Relaxed))),
+            (
+                "idle_closed",
+                Json::num(self.idle_closed.load(Ordering::Relaxed)),
+            ),
+            (
+                "timeout_closed",
+                Json::num(self.timeout_closed.load(Ordering::Relaxed)),
+            ),
+            ("polls", Json::num(self.polls.load(Ordering::Relaxed))),
+        ])
+    }
+}
+
+/// Accept and serve connections until `shutdown` flips, then drain
+/// in-flight requests and return. `handle` dispatches one parsed request
+/// to its endpoint (it runs on worker-pool threads and may block);
+/// `counters` picks up request/framing/connection totals. Used by both
+/// [`crate::Server`] and [`crate::Router`].
+pub(crate) fn serve_connections<H>(
+    listener: &TcpListener,
+    cfg: &LoopConfig,
+    name: &str,
+    shutdown: &AtomicBool,
+    counters: &LoopCounters,
+    handle: &H,
+) where
+    H: Fn(&Request) -> (u16, &'static str, Vec<u8>) + Sync,
+{
+    imp::serve(listener, cfg, name, shutdown, counters, handle);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::LoopConfig;
+    use crate::http::{self, Request, RequestBuffer};
+    use crate::poll::{self, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+    use crate::server::LoopCounters;
+    use std::collections::HashMap;
+    use std::io::{self, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Max poll timeout: the shutdown flag is re-checked at least this
+    /// often even with no I/O and no deadline (tests flip an AtomicBool
+    /// without sending a signal; the documented shutdown latency bound
+    /// of ≤ ~100 ms comes from here).
+    const TICK: Duration = Duration::from_millis(100);
+
+    /// One nonblocking `read(2)` worth of request bytes.
+    const READ_CHUNK: usize = 8192;
+
+    /// Per-wakeup read budget for one connection, so a firehose peer
+    /// cannot starve the rest of the poll set (POLLIN is
+    /// level-triggered; the remainder re-fires immediately).
+    const MAX_READ_PER_WAKEUP: usize = 256 * 1024;
+
+    /// Pacing after a transient accept failure (the listener may stay
+    /// readable, which would otherwise spin the loop hot).
+    const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(10);
+
+    /// Consecutive accept failures that end the run (dead listener).
+    const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
+
+    /// A finished request: connection id, rendered response bytes, and
+    /// whether the connection must close after them.
+    type Completion = (u64, Vec<u8>, bool);
+
+    pub(super) fn serve<H>(
+        listener: &TcpListener,
+        cfg: &LoopConfig,
+        name: &str,
+        shutdown: &AtomicBool,
+        counters: &LoopCounters,
+        handle: &H,
+    ) where
+        H: Fn(&Request) -> (u16, &'static str, Vec<u8>) + Sync,
+    {
+        let wake = match WakePipe::new() {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("{name}: cannot create wake pipe, not serving: {e}");
+                return;
+            }
+        };
+        let (req_tx, req_rx) = mpsc::channel::<(u64, Request)>();
+        let req_rx = Mutex::new(req_rx);
+        let done: Mutex<Vec<Completion>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..cfg.workers.max(1) {
+                let (req_rx, done, wake) = (&req_rx, &done, &wake);
+                s.spawn(move || worker(counters, handle, req_rx, done, wake));
+            }
+            event_loop(
+                listener, cfg, name, shutdown, counters, &wake, &req_tx, &done,
+            );
+            // hang up the request channel: workers drain what's queued
+            // (nothing — the loop only exits once no request is in
+            // flight), then exit on the recv error
+            drop(req_tx);
+        });
+    }
+
+    /// One worker-pool thread: take a parsed request, run the endpoint,
+    /// render the full response bytes, post the completion.
+    fn worker<H>(
+        counters: &LoopCounters,
+        handle: &H,
+        req_rx: &Mutex<mpsc::Receiver<(u64, Request)>>,
+        done: &Mutex<Vec<Completion>>,
+        wake: &WakePipe,
+    ) where
+        H: Fn(&Request) -> (u16, &'static str, Vec<u8>) + Sync,
+    {
+        loop {
+            // Holding the lock across recv serializes *dispatch*, not
+            // request execution: the lock is released the instant a
+            // request is taken.
+            let msg = req_rx.lock().unwrap().recv();
+            let Ok((id, req)) = msg else { return };
+            counters.requests.fetch_add(1, Ordering::Relaxed);
+            let close = req.close;
+            // An endpoint panic must not wedge its connection in the
+            // busy state (the shutdown drain would never finish):
+            // unwind to a 500 and keep serving.
+            let (status, content_type, body) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(&req)))
+                    .unwrap_or_else(|_| (500, "text/plain", b"error: internal error\n".to_vec()));
+            if status == 400 {
+                counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut bytes = Vec::with_capacity(body.len() + 96);
+            http::write_response(&mut bytes, status, content_type, &body)
+                .expect("writing to a Vec cannot fail");
+            done.lock().unwrap().push((id, bytes, close));
+            wake.notify();
+        }
+    }
+
+    /// What the caller should do with the connection after an I/O step.
+    enum Flow {
+        Keep,
+        Close,
+    }
+
+    /// Event-thread context threaded through the connection state
+    /// machine.
+    struct Ctx<'a> {
+        counters: &'a LoopCounters,
+        req_tx: &'a mpsc::Sender<(u64, Request)>,
+        io_timeout: Duration,
+        shutting: bool,
+        now: Instant,
+    }
+
+    /// One connection's state machine: reading (parser accumulating) →
+    /// busy (request at the worker pool) → writing (out buffer
+    /// draining) → back to reading/idle.
+    struct Connection {
+        stream: TcpStream,
+        parser: RequestBuffer,
+        out: Vec<u8>,
+        out_pos: usize,
+        /// A request from this connection is at the worker pool; at most
+        /// one, which is what keeps pipelined responses in order.
+        busy: bool,
+        close_after_write: bool,
+        /// The peer shut down its write side (half-close): serve what is
+        /// buffered, flush, then close.
+        read_closed: bool,
+        /// Hard deadline for completing a partially received request,
+        /// armed at its first byte. `None` between requests.
+        read_deadline: Option<Instant>,
+        /// Last instant the peer accepted response bytes.
+        last_write_progress: Instant,
+        /// Last instant a response finished (or the connection opened);
+        /// the keep-alive idle timeout measures from here.
+        idle_since: Instant,
+    }
+
+    impl Connection {
+        fn new(stream: TcpStream, now: Instant) -> Connection {
+            Connection {
+                stream,
+                parser: RequestBuffer::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                busy: false,
+                close_after_write: false,
+                read_closed: false,
+                read_deadline: None,
+                last_write_progress: now,
+                idle_since: now,
+            }
+        }
+
+        /// Response bytes still queued for the peer.
+        fn writing(&self) -> bool {
+            self.out_pos < self.out.len()
+        }
+
+        /// When this connection next needs timeout attention (none while
+        /// a worker owns its request — server-side work has no client
+        /// timeout).
+        fn deadline(&self, idle: Duration, io: Duration) -> Option<Instant> {
+            if self.busy {
+                return None;
+            }
+            Some(if self.writing() {
+                self.last_write_progress + io
+            } else if let Some(d) = self.read_deadline {
+                d
+            } else {
+                self.idle_since + idle
+            })
+        }
+
+        /// Drain readable bytes into the parser, then advance.
+        fn on_readable(&mut self, id: u64, ctx: &Ctx<'_>) -> Flow {
+            let mut budget = MAX_READ_PER_WAKEUP;
+            loop {
+                let mut chunk = [0u8; READ_CHUNK];
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        self.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.parser.push(&chunk[..n]);
+                        budget = budget.saturating_sub(n);
+                        if budget == 0 {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    // reset: a transport event, not a bad request
+                    Err(_) => return Flow::Close,
+                }
+            }
+            self.advance(id, ctx)
+        }
+
+        /// Start the next buffered request if the connection is free,
+        /// handle EOF, or arm the slow-client deadline.
+        fn advance(&mut self, id: u64, ctx: &Ctx<'_>) -> Flow {
+            if self.busy || self.writing() {
+                return Flow::Keep;
+            }
+            match self.parser.next_request() {
+                Ok(Some(req)) => {
+                    if ctx.shutting {
+                        // drain semantics: in-flight requests finish,
+                        // buffered *new* requests do not start
+                        return Flow::Close;
+                    }
+                    self.read_deadline = None;
+                    self.busy = true;
+                    self.close_after_write |= req.close;
+                    let _ = ctx.req_tx.send((id, req));
+                    Flow::Keep
+                }
+                Ok(None) => {
+                    if self.read_closed {
+                        // clean close between requests, or a request
+                        // truncated by the peer — nothing left to serve
+                        return Flow::Close;
+                    }
+                    if !self.parser.is_empty() && self.read_deadline.is_none() {
+                        // a request's first bytes arm a *hard* deadline:
+                        // a slow-loris drip makes progress forever but
+                        // never completes, so progress must not extend it
+                        self.read_deadline = Some(ctx.now + ctx.io_timeout);
+                    }
+                    Flow::Keep
+                }
+                Err(_) => {
+                    // framing error: a (malformed) request was received
+                    ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    ctx.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    self.queue_response(400, b"error: malformed request\n");
+                    self.close_after_write = true;
+                    self.drive_write(id, ctx)
+                }
+            }
+        }
+
+        /// Render an event-thread-originated response (400/408) into the
+        /// write buffer.
+        fn queue_response(&mut self, status: u16, body: &[u8]) {
+            let mut bytes = Vec::with_capacity(body.len() + 96);
+            http::write_response(&mut bytes, status, "text/plain", body)
+                .expect("writing to a Vec cannot fail");
+            self.out = bytes;
+            self.out_pos = 0;
+        }
+
+        /// Flush as much of the out buffer as the socket takes; on full
+        /// drain, close if asked to or move on to the next pipelined
+        /// request.
+        fn drive_write(&mut self, id: u64, ctx: &Ctx<'_>) -> Flow {
+            while self.writing() {
+                match self.stream.write(&self.out[self.out_pos..]) {
+                    Ok(0) => return Flow::Close,
+                    Ok(n) => {
+                        self.out_pos += n;
+                        self.last_write_progress = ctx.now;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Flow::Keep,
+                    Err(_) => return Flow::Close,
+                }
+            }
+            if !self.out.is_empty() {
+                self.out = Vec::new();
+                self.out_pos = 0;
+                self.idle_since = ctx.now;
+            }
+            if self.close_after_write || ctx.shutting {
+                // answered in full; keep-alive ends here (the client
+                // asked for close, or the server is draining)
+                return Flow::Close;
+            }
+            if self.read_closed && self.parser.is_empty() {
+                return Flow::Close; // half-close: last response flushed
+            }
+            self.advance(id, ctx)
+        }
+    }
+
+    /// Drop a connection and keep the open gauge exact.
+    fn remove(conns: &mut HashMap<u64, Connection>, counters: &LoopCounters, id: u64) {
+        if conns.remove(&id).is_some() {
+            counters
+                .conns
+                .open
+                .store(conns.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The event thread: owns every socket, never blocks on any of them.
+    #[allow(clippy::too_many_arguments)]
+    fn event_loop(
+        listener: &TcpListener,
+        cfg: &LoopConfig,
+        name: &str,
+        shutdown: &AtomicBool,
+        counters: &LoopCounters,
+        wake: &WakePipe,
+        req_tx: &mpsc::Sender<(u64, Request)>,
+        done: &Mutex<Vec<Completion>>,
+    ) {
+        let _ = listener.set_nonblocking(true); // already true via Server::bind
+        let mut conns: HashMap<u64, Connection> = HashMap::new();
+        let mut next_id = 0u64;
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        // connection id behind pollfds[i + 2] (after wake pipe, listener)
+        let mut slots: Vec<u64> = Vec::new();
+        let mut accept_errors = 0u32;
+        let mut listener_dead = false;
+
+        loop {
+            let shutting = shutdown.load(Ordering::SeqCst) || listener_dead;
+            if shutting {
+                // close everything with no request in flight and nothing
+                // left to flush; what remains is the drain set
+                let idle: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| !c.busy && !c.writing())
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in idle {
+                    remove(&mut conns, counters, id);
+                }
+                if conns.is_empty() {
+                    break;
+                }
+            }
+
+            // (re)build the poll set
+            pollfds.clear();
+            slots.clear();
+            pollfds.push(PollFd::new(wake.read_fd(), POLLIN));
+            let accepting = !shutting && conns.len() < cfg.max_conns;
+            pollfds.push(PollFd::new(
+                listener.as_raw_fd(),
+                if accepting { POLLIN } else { 0 },
+            ));
+            let now = Instant::now();
+            let mut next_deadline: Option<Instant> = None;
+            for (&id, c) in &conns {
+                let mut ev = 0i16;
+                if !c.busy && !c.read_closed && !c.writing() {
+                    ev |= POLLIN;
+                }
+                if c.writing() {
+                    ev |= POLLOUT;
+                }
+                if ev != 0 {
+                    pollfds.push(PollFd::new(c.stream.as_raw_fd(), ev));
+                    slots.push(id);
+                }
+                if let Some(d) = c.deadline(cfg.idle_timeout, cfg.io_timeout) {
+                    next_deadline = Some(next_deadline.map_or(d, |x| x.min(d)));
+                }
+            }
+            let timeout = next_deadline
+                .map_or(TICK, |d| d.saturating_duration_since(now))
+                .min(TICK);
+
+            counters.conns.polls.fetch_add(1, Ordering::Relaxed);
+            match poll::poll(&mut pollfds, timeout) {
+                Ok(_) => {}
+                // a signal (SIGTERM) landed: re-check the flag now
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("{name}: poll failed, stopping: {e}");
+                    listener_dead = true;
+                    continue;
+                }
+            }
+
+            let now = Instant::now();
+            let ctx = Ctx {
+                counters,
+                req_tx,
+                io_timeout: cfg.io_timeout,
+                shutting,
+                now,
+            };
+
+            // 1. completions from the worker pool (drain the wake pipe
+            // first, so a completion posted after the drain re-arms it)
+            if pollfds[0].revents() & POLLIN != 0 {
+                wake.drain();
+                let finished = std::mem::take(&mut *done.lock().unwrap());
+                for (id, bytes, close) in finished {
+                    let Some(c) = conns.get_mut(&id) else {
+                        continue;
+                    };
+                    c.busy = false;
+                    c.out = bytes;
+                    c.out_pos = 0;
+                    c.close_after_write |= close;
+                    c.last_write_progress = now;
+                    if matches!(c.drive_write(id, &ctx), Flow::Close) {
+                        remove(&mut conns, counters, id);
+                    }
+                }
+            }
+
+            // 2. new connections
+            if accepting && pollfds[1].revents() & POLLIN != 0 {
+                while conns.len() < cfg.max_conns {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            accept_errors = 0;
+                            // The event loop *requires* non-blocking
+                            // sockets. (The blocking loop force-cleared
+                            // O_NONBLOCK here to undo BSD accept
+                            // inheritance; the guard is now inverted —
+                            // set it explicitly on every platform.)
+                            if stream.set_nonblocking(true).is_err()
+                                || stream.set_nodelay(true).is_err()
+                            {
+                                continue;
+                            }
+                            next_id += 1;
+                            conns.insert(next_id, Connection::new(stream, now));
+                            counters.conns.accepted.fetch_add(1, Ordering::Relaxed);
+                            let open = conns.len() as u64;
+                            counters.conns.open.store(open, Ordering::Relaxed);
+                            counters.conns.peak.fetch_max(open, Ordering::Relaxed);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            // Transient accept failures (ECONNABORTED, fd
+                            // pressure) must not end the run; only a
+                            // persistently dead listener does — which
+                            // then drains in-flight work like a shutdown.
+                            accept_errors += 1;
+                            if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                                eprintln!("{name}: accept failing persistently, stopping: {e}");
+                                listener_dead = true;
+                            } else {
+                                eprintln!("{name}: accept error (retrying): {e}");
+                                std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // 3. per-connection readiness
+            for (i, &id) in slots.iter().enumerate() {
+                let re = pollfds[i + 2].revents();
+                if re == 0 {
+                    continue;
+                }
+                let err = re & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                let flow = {
+                    let Some(c) = conns.get_mut(&id) else {
+                        continue;
+                    };
+                    if !c.busy && !c.writing() && !c.read_closed && (re & POLLIN != 0 || err) {
+                        c.on_readable(id, &ctx)
+                    } else if c.writing() && (re & POLLOUT != 0 || err) {
+                        // an error condition on a writing connection
+                        // surfaces through the failed write
+                        c.drive_write(id, &ctx)
+                    } else {
+                        Flow::Keep
+                    }
+                };
+                if matches!(flow, Flow::Close) {
+                    remove(&mut conns, counters, id);
+                }
+            }
+
+            // 4. timeouts (phases 1–3 removed their casualties already,
+            // so nothing here is double-counted)
+            let mut expired: Vec<u64> = Vec::new();
+            for (&id, c) in conns.iter_mut() {
+                if c.busy {
+                    continue;
+                }
+                if c.writing() {
+                    if now.duration_since(c.last_write_progress) >= cfg.io_timeout {
+                        counters
+                            .conns
+                            .timeout_closed
+                            .fetch_add(1, Ordering::Relaxed);
+                        expired.push(id);
+                    }
+                } else if let Some(d) = c.read_deadline {
+                    if now >= d {
+                        // 408-style: tell the slow client why, best
+                        // effort, then close — the partial request can
+                        // never complete
+                        c.queue_response(408, b"error: request timed out\n");
+                        let _ = c.stream.write(&c.out);
+                        counters
+                            .conns
+                            .timeout_closed
+                            .fetch_add(1, Ordering::Relaxed);
+                        expired.push(id);
+                    }
+                } else if now.duration_since(c.idle_since) >= cfg.idle_timeout {
+                    counters.conns.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    expired.push(id);
+                }
+            }
+            for id in expired {
+                remove(&mut conns, counters, id);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    //! Non-unix fallback: the pre-event-loop blocking accept loop,
+    //! thread per connection with `max_conns` as the cap. Keeps the
+    //! same observable wire behavior and (approximate) timeout
+    //! semantics; `polls` stays 0 (there is no poll set to count).
+
+    use super::LoopConfig;
+    use crate::http::{Conn, NextRequest, Request};
+    use crate::server::LoopCounters;
+    use std::io;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    const POLL_READ_TIMEOUT: Duration = Duration::from_millis(100);
+    const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+    pub(super) fn serve<H>(
+        listener: &TcpListener,
+        cfg: &LoopConfig,
+        name: &str,
+        shutdown: &AtomicBool,
+        counters: &LoopCounters,
+        handle: &H,
+    ) where
+        H: Fn(&Request) -> (u16, &'static str, Vec<u8>) + Sync,
+    {
+        let active = AtomicUsize::new(0);
+        const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
+        let mut accept_errors = 0u32;
+        std::thread::scope(|s| {
+            while !shutdown.load(Ordering::SeqCst) {
+                if active.load(Ordering::SeqCst) >= cfg.max_conns {
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accept_errors = 0;
+                        counters.conns.accepted.fetch_add(1, Ordering::Relaxed);
+                        let open = active.fetch_add(1, Ordering::SeqCst) as u64 + 1;
+                        counters.conns.open.store(open, Ordering::Relaxed);
+                        counters.conns.peak.fetch_max(open, Ordering::Relaxed);
+                        let active = &active;
+                        s.spawn(move || {
+                            handle_connection(counters, cfg, handle, stream, shutdown);
+                            let left = active.fetch_sub(1, Ordering::SeqCst) as u64 - 1;
+                            counters.conns.open.store(left, Ordering::Relaxed);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        accept_errors += 1;
+                        if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                            eprintln!("{name}: accept failing persistently, stopping: {e}");
+                            break;
+                        }
+                        eprintln!("{name}: accept error (retrying): {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+        });
+    }
+
+    fn handle_connection<H>(
+        counters: &LoopCounters,
+        cfg: &LoopConfig,
+        handle: &H,
+        stream: TcpStream,
+        shutdown: &AtomicBool,
+    ) where
+        H: Fn(&Request) -> (u16, &'static str, Vec<u8>) + Sync,
+    {
+        // blocking loop: pace the idle poll with a short read timeout
+        if stream.set_nonblocking(false).is_err()
+            || stream.set_read_timeout(Some(POLL_READ_TIMEOUT)).is_err()
+            || stream.set_nodelay(true).is_err()
+        {
+            return;
+        }
+        let mut conn = Conn::new(stream);
+        let mut idle_since = Instant::now();
+        let mut request_started: Option<Instant> = None;
+        loop {
+            match conn.next_request() {
+                Ok(NextRequest::Closed) => break,
+                Ok(NextRequest::Idle) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let now = Instant::now();
+                    match request_started {
+                        Some(t0) if now.duration_since(t0) >= cfg.io_timeout => {
+                            let _ = conn.respond(408, "text/plain", b"error: request timed out\n");
+                            counters
+                                .conns
+                                .timeout_closed
+                                .fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Some(_) => {}
+                        None if conn.mid_request() => request_started = Some(now),
+                        None if now.duration_since(idle_since) >= cfg.idle_timeout => {
+                            counters.conns.idle_closed.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        None => {}
+                    }
+                }
+                Ok(NextRequest::Request(req)) => {
+                    request_started = None;
+                    counters.requests.fetch_add(1, Ordering::Relaxed);
+                    let close = req.close;
+                    let (status, content_type, body) = handle(&req);
+                    if status == 400 {
+                        counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if conn.respond(status, content_type, &body).is_err() {
+                        break;
+                    }
+                    idle_since = Instant::now();
+                    if close || shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    counters.requests.fetch_add(1, Ordering::Relaxed);
+                    counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = conn.respond(400, "text/plain", b"error: malformed request\n");
+                    break;
+                }
+                Err(_) => break, // transport error: not a bad request
+            }
+        }
+    }
+}

@@ -20,7 +20,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Hard cap on a request head (request line + headers).
-const MAX_HEAD: usize = 64 * 1024;
+pub const MAX_HEAD: usize = 64 * 1024;
 
 /// Hard cap on a request body (a `POST /batch` query file).
 pub const MAX_BODY: usize = 16 * 1024 * 1024;
@@ -63,11 +63,69 @@ pub enum NextRequest {
     Closed,
 }
 
+/// The incremental request parser, decoupled from any socket: bytes go
+/// in via [`RequestBuffer::push`] in whatever fragments the transport
+/// delivered them, complete requests come out of
+/// [`RequestBuffer::next_request`].
+///
+/// This is the state machine both server front ends share: the blocking
+/// [`Conn`] feeds it from timed reads, the `poll(2)` event loop feeds it
+/// from non-blocking reads. Parsing is split-point independent — any
+/// fragmentation of the same byte stream yields the same request
+/// sequence (the fuzz suite pins this).
+#[derive(Debug, Default)]
+pub struct RequestBuffer {
+    buf: Vec<u8>,
+}
+
+impl RequestBuffer {
+    /// An empty buffer.
+    pub fn new() -> RequestBuffer {
+        RequestBuffer::default()
+    }
+
+    /// Append received bytes (any fragmentation).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (received but not yet consumed by a
+    /// parsed request).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered — i.e. the connection sits cleanly
+    /// *between* requests (an EOF here is a clean close, not a truncated
+    /// request).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Parse one complete request off the front of the buffer, if the
+    /// bytes for one have arrived. `Ok(None)` means "need more bytes".
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for a malformed or oversized request; the caller
+    /// must answer 400 (best effort) and drop the connection — the
+    /// buffer may be mid-request and can never resynchronize.
+    pub fn next_request(&mut self) -> io::Result<Option<Request>> {
+        match parse_request(&self.buf).map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))? {
+            Some((req, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(req))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
 /// A server-side connection: a stream plus the bytes received so far.
 #[derive(Debug)]
 pub struct Conn {
     stream: TcpStream,
-    buf: Vec<u8>,
+    buf: RequestBuffer,
 }
 
 impl Conn {
@@ -75,7 +133,7 @@ impl Conn {
     pub fn new(stream: TcpStream) -> Conn {
         Conn {
             stream,
-            buf: Vec::new(),
+            buf: RequestBuffer::new(),
         }
     }
 
@@ -91,10 +149,7 @@ impl Conn {
     /// for a peer closing mid-request, or any transport error.
     pub fn next_request(&mut self) -> io::Result<NextRequest> {
         loop {
-            if let Some((req, consumed)) = parse_request(&self.buf)
-                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?
-            {
-                self.buf.drain(..consumed);
+            if let Some(req) = self.buf.next_request()? {
                 return Ok(NextRequest::Request(req));
             }
             let mut chunk = [0u8; 8192];
@@ -109,7 +164,7 @@ impl Conn {
                         ))
                     }
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.buf.push(&chunk[..n]),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e)
                     if matches!(
@@ -122,6 +177,13 @@ impl Conn {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Whether bytes of a not-yet-complete request are buffered — i.e.
+    /// an [`NextRequest::Idle`] poll caught the peer *mid-request*
+    /// (slow-client timeouts key off this).
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty()
     }
 
     /// Write a complete response with a fixed `Content-Length`.
@@ -141,6 +203,7 @@ pub fn reason(status: u16) -> &'static str {
         202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",

@@ -33,7 +33,10 @@
 //! * [`Server`] — the long-lived TCP/HTTP front end (`kron serve
 //!   --listen`): open and validate once, then answer `/query`, `/batch`,
 //!   `/stats`, and `/healthz` over a hand-rolled std-only HTTP/1.1 layer
-//!   ([`http`]) until a shutdown flag flips. Pair it with
+//!   ([`http`]) until a shutdown flag flips. Connections ride a
+//!   `poll(2)` event loop (10K+ concurrent keep-alive peers on one
+//!   node, with idle/slow-client timeouts); a bounded worker pool
+//!   executes the requests. Pair it with
 //!   [`AnswerSource::CrossCheckSampled`] (`--source cross-check:N`) for
 //!   always-on 1-in-N conformance auditing at artifact-path cost;
 //! * [`cluster`] — multi-node serving (`kron serve --shards a..b
@@ -102,16 +105,22 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the poll(2) syscall shim in `poll` is the one
+// place unsafe is allowed (it opts in per-module); every query path,
+// parser, and state machine above it stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
 mod cache;
 pub mod cluster;
 mod engine;
+mod event_loop;
 pub mod http;
 mod jobs;
 mod oracle;
+#[cfg(unix)]
+mod poll;
 pub mod router;
 mod server;
 

@@ -44,8 +44,9 @@
 //! ```
 
 use crate::batch::{self, Query};
+use crate::event_loop::serve_connections;
 use crate::http::{self, encode_query_component, Client};
-use crate::server::{serve_connections, LoopCounters, Server, ServerOptions, MAX_BATCH_RESPONSE};
+use crate::server::{LoopCounters, Server, ServerOptions, MAX_BATCH_RESPONSE};
 use kron_stream::json::Json;
 use std::io;
 use std::ops::Range;
@@ -316,7 +317,7 @@ impl Router {
         };
         serve_connections(
             front.listener(),
-            opts.max_connections(),
+            &opts.loop_config(),
             "kron route",
             shutdown,
             &state.http,
@@ -553,6 +554,7 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
                     "forward_errors",
                     Json::num(state.forward_errors.load(Ordering::Relaxed)),
                 ),
+                ("connections", state.http.conns.to_json()),
                 (
                     "totals",
                     Json::Obj(

@@ -14,38 +14,35 @@
 //!
 //! * **std only** (no crate registry): a hand-rolled HTTP/1.1 subset
 //!   ([`crate::http`]) over `std::net::TcpListener`.
-//! * **thread-per-connection, capped**: every accepted connection gets
-//!   its own handler thread (blocking reads with a short timeout, so
-//!   shutdown is never blocked on an idle keep-alive peer); the accept
-//!   loop pauses at the configured connection cap, leaving further peers
-//!   in the kernel backlog. A fixed worker pool was rejected — an idle
-//!   keep-alive connection would pin its worker and starve the queue.
+//! * **an event loop, not thread-per-connection**: one event thread
+//!   `poll(2)`s every socket (via the [`crate::poll`] syscall shim) and
+//!   a bounded worker pool (`--threads`) executes parsed requests, so
+//!   10K+ mostly idle keep-alive connections cost pollfd entries, not
+//!   threads. Idle/slow-client timeouts (`--idle-timeout`,
+//!   `--io-timeout`) bound what a misbehaving peer can hold. The loop
+//!   itself lives in [`crate::event_loop`].
 //! * **graceful shutdown via an atomic flag**: [`Server::run`] borrows a
 //!   caller-owned `AtomicBool` (the CLI sets it from SIGTERM/SIGINT, the
 //!   tests from a scope thread). On shutdown the listener stops
-//!   accepting, queued connections finish their in-flight request, and
-//!   `run` returns a [`ServerReport`] the caller turns into an exit
-//!   code (nonzero if any sampled query disagreed with the oracle).
+//!   accepting, in-flight requests drain, and `run` returns a
+//!   [`ServerReport`] the caller turns into an exit code (nonzero if any
+//!   sampled query disagreed with the oracle).
 //!
 //! The wire protocol (endpoints, status codes, JSON shapes) is specified
-//! normatively in `ARCHITECTURE.md` § "Serving over the network".
+//! normatively in `ARCHITECTURE.md` § "Serving over the network"; the
+//! connection state machine and timeout semantics in its "Connection
+//! lifecycle & timeouts" subsection.
 
 use crate::batch::{self, Query, QueryStats};
 use crate::engine::ServeEngine;
-use crate::http::{self, Conn, NextRequest};
+use crate::event_loop::{serve_connections, ConnCounters, LoopConfig};
+use crate::http;
 use kron_stream::json::Json;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-/// How long a worker blocks on a quiet connection before checking the
-/// shutdown flag.
-const POLL_READ_TIMEOUT: Duration = Duration::from_millis(100);
-
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
 /// Per-query latencies kept for the `/stats` rolling window.
 const RECENT_LATENCIES: usize = 4096;
@@ -59,29 +56,67 @@ pub(crate) const MAX_BATCH_RESPONSE: usize = 64 * 1024 * 1024;
 /// Server tuning knobs.
 #[derive(Clone, Debug, Default)]
 pub struct ServerOptions {
-    /// Maximum concurrent connection-handler threads (the server is
-    /// thread-per-connection: an idle keep-alive peer owns its thread, so
-    /// this caps *connections*, not requests); `0` means 64. When the cap
-    /// is reached, further connections wait in the kernel's accept
-    /// backlog until a handler frees up.
+    /// Request-execution worker threads. Connections are *not* tied to
+    /// threads (the event loop holds them all); this sizes the pool that
+    /// runs endpoint handlers, which may block on peer I/O — so more
+    /// threads than cores is the right shape. `0` means 64.
     pub threads: usize,
     /// Maximum analytics jobs running concurrently (`POST /jobs` beyond
     /// the cap is rejected with 429, never queued); `0` means 2. Job
-    /// workers are separate from connection handlers, so a saturated job
-    /// pool leaves point-query latency untouched.
+    /// workers are separate from the request worker pool, so a saturated
+    /// job pool leaves point-query latency untouched.
     pub jobs: usize,
+    /// Maximum concurrently open connections; `0` means 10240. At the
+    /// cap the listener is not polled, leaving further peers in the
+    /// kernel's accept backlog until a slot frees up.
+    pub max_conns: usize,
+    /// Keep-alive idle timeout — a connection with no request in
+    /// progress for this long is closed. `None` means 60 s.
+    pub idle_timeout: Option<Duration>,
+    /// Slow-client I/O timeout — a hard deadline for completing a
+    /// started request (armed at its first byte; a 1-byte-per-tick
+    /// slow-loris drip cannot extend it) and a no-progress bound on
+    /// response writes. `None` means 10 s.
+    pub io_timeout: Option<Duration>,
 }
 
-/// Default connection cap: queries are blocking-I/O bound, not CPU
-/// bound, so far more handler threads than cores is the right shape.
-const DEFAULT_MAX_CONNECTIONS: usize = 64;
+/// Default worker pool size: request handling is blocking-I/O bound
+/// (remote rows, router forwards), not CPU bound, so far more workers
+/// than cores is the right shape.
+const DEFAULT_WORKERS: usize = 64;
+
+/// Default open-connection cap. High enough for the 10K-connection
+/// bench target with headroom, low enough to stay under common fd
+/// rlimits with room for shards, pipes, and the listener.
+const DEFAULT_MAX_CONNS: usize = 10240;
+
+/// Default keep-alive idle timeout.
+const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default slow-client read/write timeout.
+const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 impl ServerOptions {
-    pub(crate) fn max_connections(&self) -> usize {
+    /// Worker-pool size with the default applied.
+    pub(crate) fn workers(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
-            DEFAULT_MAX_CONNECTIONS
+            DEFAULT_WORKERS
+        }
+    }
+
+    /// The resolved event-loop configuration.
+    pub(crate) fn loop_config(&self) -> LoopConfig {
+        LoopConfig {
+            workers: self.workers(),
+            max_conns: if self.max_conns > 0 {
+                self.max_conns
+            } else {
+                DEFAULT_MAX_CONNS
+            },
+            idle_timeout: self.idle_timeout.unwrap_or(DEFAULT_IDLE_TIMEOUT),
+            io_timeout: self.io_timeout.unwrap_or(DEFAULT_IO_TIMEOUT),
         }
     }
 
@@ -151,11 +186,15 @@ impl std::fmt::Display for ServerReport {
     }
 }
 
-/// The request/framing counters every HTTP front end in this crate keeps
-/// (the query server here, the forwarding router in [`crate::router`]).
+/// The request/framing/connection counters every HTTP front end in this
+/// crate keeps (the query server here, the forwarding router in
+/// [`crate::router`]). `bad_requests` counts *framing and syntax*
+/// rejections only; connections lost to resets or timeouts are
+/// transport events, accounted in `conns` and never here.
 pub(crate) struct LoopCounters {
     pub(crate) requests: AtomicU64,
     pub(crate) bad_requests: AtomicU64,
+    pub(crate) conns: ConnCounters,
 }
 
 impl LoopCounters {
@@ -163,6 +202,7 @@ impl LoopCounters {
         LoopCounters {
             requests: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            conns: ConnCounters::new(),
         }
     }
 }
@@ -259,6 +299,7 @@ impl ServerState<'_> {
             ),
             ("sampled_checks", Json::num(self.engine.sampled_checks())),
             ("mismatch_count", Json::num(self.engine.mismatch_count())),
+            ("connections", self.http.conns.to_json()),
             ("recent", window.to_json()),
             ("routing", self.engine.routing().to_json()),
             ("jobs", self.jobs.stats_json()),
@@ -320,16 +361,15 @@ impl Server {
     /// Serve until `shutdown` becomes `true`, then drain and return the
     /// run's totals.
     ///
-    /// Accepted connections are handed to a pool of
-    /// `opts.threads` workers; each worker serves its connection's
-    /// keep-alive request stream to completion. On shutdown: no new
-    /// connections are accepted, already-queued connections still get
-    /// their in-flight request answered, idle keep-alive connections are
-    /// closed at the next poll tick (≤ ~100 ms).
+    /// Connections live on the event loop; parsed requests are executed
+    /// by a pool of `opts.threads` workers. On shutdown: no new
+    /// connections are accepted, idle keep-alive connections are closed
+    /// at the next poll tick (≤ ~100 ms), in-flight requests are
+    /// answered and flushed, then `run` returns.
     ///
     /// # Errors
     ///
-    /// The accept loop itself never returns an I/O error (transient
+    /// The event loop itself never returns an I/O error (transient
     /// accept failures retry; a persistently dead listener ends the run
     /// with whatever totals accumulated); the `io::Result` is kept for
     /// interface stability.
@@ -339,11 +379,10 @@ impl Server {
         opts: &ServerOptions,
         shutdown: &AtomicBool,
     ) -> io::Result<ServerReport> {
-        let max_connections = opts.max_connections();
         let state = ServerState {
             engine,
             started: Instant::now(),
-            threads: max_connections,
+            threads: opts.workers(),
             http: LoopCounters::new(),
             queries: AtomicU64::new(0),
             query_errors: AtomicU64::new(0),
@@ -361,7 +400,7 @@ impl Server {
         std::thread::scope(|scope| {
             serve_connections(
                 &self.listener,
-                max_connections,
+                &opts.loop_config(),
                 "kron serve",
                 shutdown,
                 &state.http,
@@ -370,130 +409,6 @@ impl Server {
             state.jobs.cancel_all();
         });
         Ok(state.report())
-    }
-}
-
-/// The shared front-end accept loop: thread-per-connection with a cap,
-/// graceful shutdown via the flag, transient accept-failure retry.
-/// `handle` dispatches one parsed request to its endpoint; `counters`
-/// picks up request/framing totals. Used by both [`Server`] and
-/// [`crate::router::Router`].
-pub(crate) fn serve_connections<H>(
-    listener: &TcpListener,
-    max_connections: usize,
-    name: &str,
-    shutdown: &AtomicBool,
-    counters: &LoopCounters,
-    handle: &H,
-) where
-    H: Fn(&http::Request) -> (u16, &'static str, Vec<u8>) + Sync,
-{
-    // Thread per connection, capped: a fixed worker pool would pin a
-    // worker to every idle keep-alive peer and starve queued
-    // connections, so instead each accepted connection gets its own
-    // handler thread and the accept loop pauses at the cap (pending
-    // peers wait in the kernel backlog — natural backpressure).
-    let active = AtomicUsize::new(0);
-    // Transient accept failures (a peer resetting before accept —
-    // ECONNABORTED — or momentary fd pressure) must not end the run:
-    // a silent early exit would still report "clean" to the shutdown
-    // contract. Retry with backoff; only a listener that fails
-    // persistently (dead fd) ends the loop.
-    const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
-    let mut accept_errors = 0u32;
-    std::thread::scope(|s| {
-        while !shutdown.load(Ordering::SeqCst) {
-            if active.load(Ordering::SeqCst) >= max_connections {
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    accept_errors = 0;
-                    active.fetch_add(1, Ordering::SeqCst);
-                    let active = &active;
-                    s.spawn(move || {
-                        handle_connection(counters, handle, stream, shutdown);
-                        active.fetch_sub(1, Ordering::SeqCst);
-                    });
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    accept_errors += 1;
-                    if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
-                        // persistently broken listener: give up; the
-                        // in-flight handlers drain and the report
-                        // still comes back
-                        eprintln!("{name}: accept failing persistently, stopping: {e}");
-                        break;
-                    }
-                    eprintln!("{name}: accept error (retrying): {e}");
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-            }
-        }
-        // scope exit joins every handler: each notices the shutdown
-        // flag at its next poll tick (≤ ~100 ms) or after finishing
-        // its in-flight request
-    });
-}
-
-/// Serve one connection's request stream until it closes, errors, or the
-/// server shuts down.
-fn handle_connection<H>(
-    counters: &LoopCounters,
-    handle: &H,
-    stream: TcpStream,
-    shutdown: &AtomicBool,
-) where
-    H: Fn(&http::Request) -> (u16, &'static str, Vec<u8>) + Sync,
-{
-    // On BSD-derived platforms an accepted socket inherits the listener's
-    // O_NONBLOCK (Linux does not); force blocking mode so the idle poll
-    // is paced by the read timeout instead of spinning on WouldBlock.
-    if stream.set_nonblocking(false).is_err()
-        || stream.set_read_timeout(Some(POLL_READ_TIMEOUT)).is_err()
-        || stream.set_nodelay(true).is_err()
-    {
-        return;
-    }
-    let mut conn = Conn::new(stream);
-    loop {
-        match conn.next_request() {
-            Ok(NextRequest::Closed) => break,
-            Ok(NextRequest::Idle) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Ok(NextRequest::Request(req)) => {
-                counters.requests.fetch_add(1, Ordering::Relaxed);
-                let close = req.close;
-                let (status, content_type, body) = handle(&req);
-                if status == 400 {
-                    counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                }
-                if conn.respond(status, content_type, &body).is_err() {
-                    break;
-                }
-                if close || shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // framing error: answer 400 if the socket still takes
-                // writes, then drop the connection (state is mid-request)
-                counters.requests.fetch_add(1, Ordering::Relaxed);
-                counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                let _ = conn.respond(400, "text/plain", b"error: malformed request\n");
-                break;
-            }
-            Err(_) => break, // transport error (reset, mid-request EOF):
-                             // no request was received — not a bad one
-        }
     }
 }
 

@@ -1,0 +1,205 @@
+//! Property tests for the incremental HTTP request parser
+//! (`kron_serve::http::RequestBuffer`) — the state machine under every
+//! connection of the `poll(2)` event loop.
+//!
+//! The loop feeds the parser whatever fragments `read(2)` happens to
+//! return, so the invariants that matter are about *streams*, not
+//! single buffers:
+//!
+//! * **split invariance** — any fragmentation of the same byte stream
+//!   yields the same request sequence (a request must never parse
+//!   differently because a TCP segment boundary moved);
+//! * **garbage safety** — arbitrary bytes either parse, ask for more,
+//!   or fail with `InvalidData`; they never panic and never make the
+//!   parser loop without consuming input;
+//! * **cap enforcement** — the `MAX_HEAD`/`MAX_BODY` limits hold at
+//!   every split point: an oversized head errors before buffering
+//!   unboundedly, an oversized declared body errors as soon as the
+//!   head completes, wherever the fragment boundaries fall.
+
+use kron_serve::http::{encode_query_component, Request, RequestBuffer, MAX_BODY, MAX_HEAD};
+use proptest::prelude::*;
+
+/// Short printable string over a fixed 64-symbol alphabet.
+fn small_string(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..64u8, 0..max_len).prop_map(|v| {
+        const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _";
+        v.into_iter().map(|b| CHARSET[b as usize] as char).collect()
+    })
+}
+
+/// The wire bytes of one syntactically valid request: random method,
+/// path, query pairs, body (arbitrary bytes — it may contain `\r\n\r\n`,
+/// which must not confuse framing), and connection header.
+fn arb_request_bytes() -> impl Strategy<Value = Vec<u8>> {
+    (
+        (0..3usize, small_string(8)),
+        (
+            proptest::collection::vec((0..4usize, small_string(12)), 0..3),
+            proptest::collection::vec(0..=255u8, 0..300),
+        ),
+        0..3u8,
+    )
+        .prop_map(|((m, path), (pairs, body), conn)| {
+            let method = ["GET", "POST", "DELETE"][m];
+            let mut target = format!("/{}", encode_query_component(&path));
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                target.push(if i == 0 { '?' } else { '&' });
+                target.push_str(["q", "x", "v", "name"][*k]);
+                target.push('=');
+                target.push_str(&encode_query_component(v));
+            }
+            let mut bytes = format!(
+                "{method} {target} HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n",
+                body.len()
+            )
+            .into_bytes();
+            match conn {
+                1 => bytes.extend_from_slice(b"Connection: close\r\n"),
+                2 => bytes.extend_from_slice(b"Connection: keep-alive\r\n"),
+                _ => {}
+            }
+            bytes.extend_from_slice(b"\r\n");
+            bytes.extend_from_slice(&body);
+            bytes
+        })
+}
+
+/// Parse every complete request currently buffered.
+fn drain(buf: &mut RequestBuffer) -> Result<Vec<Request>, std::io::Error> {
+    let mut out = Vec::new();
+    loop {
+        match buf.next_request()? {
+            Some(r) => out.push(r),
+            None => return Ok(out),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_fragmentation_yields_the_same_request_sequence(
+        reqs in proptest::collection::vec(arb_request_bytes(), 1..4),
+        sizes in proptest::collection::vec(1..64usize, 1..16),
+    ) {
+        let stream: Vec<u8> = reqs.concat();
+
+        // reference: the whole (pipelined) stream in one push
+        let mut whole = RequestBuffer::new();
+        whole.push(&stream);
+        let reference = drain(&mut whole).expect("generated requests are valid");
+        prop_assert_eq!(reference.len(), reqs.len());
+        prop_assert!(whole.is_empty(), "reference left residue");
+
+        // same bytes, arbitrary chunking, parsing between every push
+        let mut frag = RequestBuffer::new();
+        let mut got = Vec::new();
+        let (mut i, mut k) = (0, 0);
+        while i < stream.len() {
+            let n = sizes[k % sizes.len()].min(stream.len() - i);
+            k += 1;
+            frag.push(&stream[i..i + n]);
+            i += n;
+            got.extend(drain(&mut frag).expect("split must not invent errors"));
+        }
+        prop_assert_eq!(got, reference);
+        prop_assert!(frag.is_empty(), "fragmented parse left residue");
+    }
+
+    #[test]
+    fn garbage_never_panics_and_always_makes_progress(
+        bytes in proptest::collection::vec(0..=255u8, 0..600),
+        sizes in proptest::collection::vec(1..48usize, 1..8),
+    ) {
+        let mut buf = RequestBuffer::new();
+        let (mut i, mut k) = (0, 0);
+        let mut steps = 0usize;
+        'outer: while i < bytes.len() {
+            let n = sizes[k % sizes.len()].min(bytes.len() - i);
+            k += 1;
+            buf.push(&bytes[i..i + n]);
+            i += n;
+            loop {
+                // Each parsed request consumes ≥ 16 bytes ("GET / HTTP/1.1"
+                // + CRLFCRLF), so the total parse work is linearly bounded
+                // — the loop cannot spin on an unconsumed buffer.
+                steps += 1;
+                prop_assert!(steps <= 2 * bytes.len() + 2, "parser failed to make progress");
+                match buf.next_request() {
+                    Ok(Some(_)) => {} // garbage can embed valid requests
+                    Ok(None) => break,
+                    Err(e) => {
+                        // the event loop answers 400 and drops the
+                        // connection on exactly this kind
+                        prop_assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_heads_error_at_whatever_split_point(
+        sizes in proptest::collection::vec(1024..16384usize, 1..12),
+        pad in 1..4096usize,
+    ) {
+        // an endless header line: no terminator ever arrives
+        let total = MAX_HEAD + pad;
+        let chunk = vec![b'a'; 16384];
+        let mut buf = RequestBuffer::new();
+        let (mut sent, mut k) = (0, 0);
+        let mut errored = false;
+        while sent < total {
+            let n = sizes[k % sizes.len()].min(total - sent);
+            k += 1;
+            buf.push(&chunk[..n]);
+            sent += n;
+            match buf.next_request() {
+                Ok(None) => prop_assert!(
+                    buf.len() <= MAX_HEAD,
+                    "parser buffered {} > MAX_HEAD without erroring",
+                    buf.len()
+                ),
+                Ok(Some(r)) => panic!("an 'aaaa…' stream is not a request: {r:?}"),
+                Err(_) => {
+                    errored = true;
+                    break;
+                }
+            }
+        }
+        prop_assert!(errored, "head cap never enforced at {sent} bytes buffered");
+    }
+
+    #[test]
+    fn oversized_declared_bodies_error_at_whatever_split_point(
+        excess in 1..1_000_000u64,
+        cut_seed in 0..10_000usize,
+    ) {
+        let head = format!(
+            "POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY as u64 + excess
+        );
+        let bytes = head.as_bytes();
+        let cut = cut_seed % (bytes.len() + 1);
+        let mut buf = RequestBuffer::new();
+        buf.push(&bytes[..cut]);
+        let first = buf.next_request();
+        if cut < bytes.len() {
+            // head incomplete (or complete-enough to already see the bad
+            // length): never a parsed request
+            prop_assert!(!matches!(first, Ok(Some(_))));
+            if first.is_ok() {
+                buf.push(&bytes[cut..]);
+                prop_assert!(
+                    buf.next_request().is_err(),
+                    "a {excess}-bytes-over body cap was admitted"
+                );
+            }
+        } else {
+            prop_assert!(first.is_err());
+        }
+    }
+}
