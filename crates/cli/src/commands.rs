@@ -102,18 +102,26 @@ USAGE:
       --shards A..B turns the server into one node of a cluster: it
       memory-maps only shards [A, B) of the run directory and fetches
       non-resident rows from the --peers nodes (each spelled
-      A..B=HOST:PORT; the claim plus the peer ranges must tile every
-      shard exactly once). Nodes also answer GET /shards (their claim)
-      and the internal GET /row?shard=S&v=V row fetch
+      A..B=HOST:PORT; the claim plus the peer ranges must cover every
+      shard — overlapping claims are replicas, rotated round-robin with
+      failover and health ejection on fetch errors). Nodes also answer
+      GET /shards (their claim) and the internal GET /row?shard=S&v=V
+      row fetch
   kron route --peers ADDR[,ADDR...] --listen ADDR [--threads T]
              [--max-conns N] [--idle-timeout SECS] [--io-timeout SECS]
+             [--rediscover SECS]
       stateless front end for a cluster of `kron serve --shards` nodes:
       learns each peer's claim from GET /shards at startup, then
-      forwards /query and /batch to the owning node by vertex range
-      (answers byte-identical to a single node serving the whole run),
-      merges /stats across peers, and fans /healthz out to all of them.
-      Start the nodes first; the router exits at startup if a peer is
-      unreachable or the claims leave a gap or overlap
+      forwards /query and /batch by vertex range, rotating round-robin
+      over the replicas of each vertex and failing over on connect
+      errors, timeouts, and 5xx answers (answers byte-identical to a
+      single node serving the whole run; a peer is ejected after 3
+      consecutive failures and re-admitted when a GET /healthz probe
+      succeeds), merges /stats across peers (down peers report
+      \"up\":false), and fans /healthz out to all of them. Start the
+      nodes first; the router exits at startup if a peer is unreachable
+      or the claims leave a shard uncovered. --rediscover SECS re-runs
+      discovery on that interval so nodes can join/leave a live cluster
   kron verify-shards <DIR> [--rehash]
       re-check every shard manifest (shard_NNNNN.json) and artifact in DIR
       against the closed-form factor statistics; failures name the
@@ -722,9 +730,16 @@ fn cmd_route(p: &ParsedArgs) -> Result<(), String> {
         .map(String::from)
         .collect();
     let server_opts = parse_server_options(p)?;
+    let rediscover: f64 = p.opt("rediscover", 0.0)?;
+    if rediscover < 0.0 || !rediscover.is_finite() {
+        return Err("--rediscover: expected a non-negative number of seconds".into());
+    }
     let t0 = Instant::now();
-    let router = Router::discover(&peer_addrs, std::time::Duration::from_secs(5))
+    let mut router = Router::discover(&peer_addrs, std::time::Duration::from_secs(5))
         .map_err(|e| format!("discovering peers: {e}"))?;
+    if rediscover > 0.0 {
+        router.set_rediscover(std::time::Duration::from_secs_f64(rediscover));
+    }
     eprintln!(
         "routing {} vertices across {} node(s) (discovered in {:.2?}):",
         router.num_vertices(),

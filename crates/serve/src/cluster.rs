@@ -1,4 +1,5 @@
-//! Multi-node shard-subset serving: peer specs and the remote-row client.
+//! Multi-node shard-subset serving: peer specs, replica-aware shard →
+//! peer resolution, and the remote-row client with failover.
 //!
 //! One machine stops being enough exactly when the paper's products get
 //! interesting: a trillion-entry CSR run directory does not fit one
@@ -7,55 +8,77 @@
 //! each node opens a contiguous **shard subset**
 //! ([`kron_stream::ShardSet::open_subset`]) of the same run directory and
 //! serves every query it receives — local rows zero-copy off its own
-//! mappings, non-resident rows fetched from the owning peer over the
-//! internal `GET /row?shard=S&v=V` endpoint (a raw little-endian `u64`
-//! row; see `ARCHITECTURE.md` § "Cluster serving" for the normative wire
-//! format).
+//! mappings, non-resident rows fetched from a peer over the internal
+//! `GET /row?shard=S&v=V` endpoint (a raw little-endian `u64` row; see
+//! `ARCHITECTURE.md` § "Cluster serving" for the normative wire format).
 //!
 //! The **ownership map** has two layers, both static:
 //!
 //! * *shard → vertex range* comes from the run directory's manifests —
 //!   every node reads all of them (they are small JSON files), so routing
 //!   any product vertex to its owning shard needs no network round trip;
-//! * *shard → node* comes from the command line: each node is started
-//!   with `--shards a..b` (its own claim) and `--peers a..b=ADDR,…`
-//!   ([`PeerSpec`]) for every other node. The claim plus the peer ranges
-//!   must tile `0..shards` disjointly, or the engine refuses to open —
-//!   a cluster with an ownership gap would otherwise fail at query time.
+//! * *shard → replica list* comes from the command line: each node is
+//!   started with `--shards a..b` (its own claim) and `--peers
+//!   a..b=ADDR,…` ([`PeerSpec`]) for every other node. Claims **may
+//!   overlap** — a shard claimed by several peers has several replicas,
+//!   and fetches rotate over them — but together with the own claim they
+//!   must **cover** `0..shards`, or the engine refuses to open (the
+//!   rejection names the first uncovered shard).
 //!
 //! Peers are contacted lazily (first non-resident row fetch), so nodes
-//! can start in any order. Fetched rows flow through the engine's
-//! hot-row [`crate::RowCache`] when one is configured — remote rows are
-//! exactly the expensive-fetch case the LRU exists for.
+//! can start in any order. A failed fetch (connect error, timeout, 5xx,
+//! or a malformed row body) transparently **fails over** to the next
+//! replica; per-peer consecutive-failure counters drive **health
+//! ejection** (`PeerHealth`): after `EJECT_AFTER` (3) consecutive
+//! failures a peer is marked down and skipped until a `GET /healthz`
+//! probe — allowed no sooner than a backoff that starts at
+//! `PROBE_BACKOFF_INITIAL` (500 ms) and doubles to `PROBE_BACKOFF_MAX`
+//! (8 s) — succeeds again. Fetched rows flow through the engine's hot-row
+//! [`crate::RowCache`] when one is configured — remote rows are exactly
+//! the expensive-fetch case the LRU exists for.
 //!
 //! ## Example
 //!
 //! ```
 //! use kron_serve::PeerSpec;
 //!
-//! let peers = PeerSpec::parse_list("0..2=10.0.0.1:8080,2..4=10.0.0.2:8080").unwrap();
+//! // Two replicas for shards 2..4: the same range, two addresses.
+//! let peers = PeerSpec::parse_list("2..4=10.0.0.1:8080,2..4=10.0.0.2:8080").unwrap();
 //! assert_eq!(peers.len(), 2);
-//! assert_eq!(peers[0].shards, 0..2);
-//! assert_eq!(peers[1].addr, "10.0.0.2:8080");
+//! assert_eq!(peers[0].shards, peers[1].shards);
 //! assert_eq!(peers[1].to_string(), "2..4=10.0.0.2:8080");
 //! ```
 
 use crate::engine::ServeError;
 use crate::http::Client;
+use kron_stream::json::Json;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default node-to-node fetch timeout (connect and read): long enough
 /// for a loaded peer, short enough that a dead one surfaces as a bounded
 /// [`ServeError::Remote`] instead of a stalled query.
 pub const DEFAULT_PEER_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Consecutive transport failures after which a peer is ejected
+/// (marked down and skipped until a health probe succeeds).
+pub(crate) const EJECT_AFTER: u64 = 3;
+
+/// Backoff before the first `/healthz` probe of an ejected peer.
+pub(crate) const PROBE_BACKOFF_INITIAL: Duration = Duration::from_millis(500);
+
+/// Cap on the probe backoff (doubles after every failed probe).
+pub(crate) const PROBE_BACKOFF_MAX: Duration = Duration::from_secs(8);
+
 /// One peer of a cluster node: the contiguous shard range it serves and
 /// the address its server listens on.
 ///
 /// The CLI spelling is `a..b=HOST:PORT` (`a..b` end-exclusive, matching
 /// the manifests' ranges); `--peers` takes a comma-separated list.
+/// Several entries may claim the same (or overlapping) ranges — they are
+/// replicas.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PeerSpec {
     /// The run-wide shard indices `[start, end)` this peer serves.
@@ -135,19 +158,171 @@ impl std::fmt::Display for PeerSpec {
     }
 }
 
-/// The remote side of a cluster node's engine: shard → peer resolution
-/// plus a small per-peer pool of keep-alive [`Client`] connections.
+/// What the health gate says about using a peer right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Gate {
+    /// Peer is up — use it.
+    Up,
+    /// Peer is down and its probe backoff has elapsed — probe `/healthz`
+    /// before using it.
+    ProbeDue,
+    /// Peer is down and the backoff has not elapsed — skip it.
+    Skip,
+}
+
+/// Per-peer health state and counters, shared by the node-side remote-row
+/// client and the router (both follow the same normative ejection/probe
+/// semantics — ARCHITECTURE.md § "Cluster serving").
 ///
-/// Fetches are blocking with a bounded timeout; a transport failure is
-/// retried once on a fresh connection (the peer may have restarted and
-/// the pooled connection gone stale) before surfacing as
-/// [`ServeError::Remote`].
+/// * a fetch/forward **success** resets the consecutive-failure count and
+///   restores a down peer;
+/// * a transport **failure** (connect error, timeout, 5xx, malformed row
+///   body) increments it; at [`EJECT_AFTER`] the peer is ejected: marked
+///   down, skipped by replica selection, and probed via `GET /healthz`
+///   no sooner than a backoff that starts at [`PROBE_BACKOFF_INITIAL`]
+///   and doubles (to [`PROBE_BACKOFF_MAX`]) after every failed probe.
+pub(crate) struct PeerHealth {
+    /// Epoch for the monotonic millisecond timestamps below.
+    epoch: Instant,
+    consecutive_failures: AtomicU64,
+    down: AtomicBool,
+    /// ms since `epoch` when the next `/healthz` probe may run.
+    next_probe_ms: AtomicU64,
+    /// Current probe backoff in ms.
+    backoff_ms: AtomicU64,
+    /// Successful fetches/forwards served by this peer.
+    fetches: AtomicU64,
+    /// Failed attempts on this peer that moved the caller on (or failed
+    /// the request, when it was the last replica).
+    failovers: AtomicU64,
+    /// Up → down transitions.
+    ejections: AtomicU64,
+}
+
+impl PeerHealth {
+    pub(crate) fn new() -> PeerHealth {
+        PeerHealth {
+            epoch: Instant::now(),
+            consecutive_failures: AtomicU64::new(0),
+            down: AtomicBool::new(false),
+            next_probe_ms: AtomicU64::new(0),
+            backoff_ms: AtomicU64::new(0),
+            fetches: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            ejections: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    pub(crate) fn is_up(&self) -> bool {
+        !self.down.load(Ordering::Relaxed)
+    }
+
+    /// May this peer be used right now (up, or down with the probe
+    /// backoff elapsed)?
+    pub(crate) fn gate(&self) -> Gate {
+        if self.is_up() {
+            Gate::Up
+        } else if self.now_ms() >= self.next_probe_ms.load(Ordering::Relaxed) {
+            Gate::ProbeDue
+        } else {
+            Gate::Skip
+        }
+    }
+
+    /// A successful fetch/forward (or probe): reset failures, restore a
+    /// down peer.
+    pub(crate) fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.backoff_ms.store(0, Ordering::Relaxed);
+        self.down.store(false, Ordering::Relaxed);
+    }
+
+    /// A request this peer answered (counted separately from health so a
+    /// probe-only success does not look like served traffic).
+    pub(crate) fn record_served(&self) {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A transport failure while the peer was (believed) up: bump the
+    /// failover counter and eject at [`EJECT_AFTER`] consecutive
+    /// failures.
+    pub(crate) fn record_failure(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        let n = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= EJECT_AFTER && !self.down.swap(true, Ordering::Relaxed) {
+            self.ejections.fetch_add(1, Ordering::Relaxed);
+            let backoff = PROBE_BACKOFF_INITIAL.as_millis() as u64;
+            self.backoff_ms.store(backoff, Ordering::Relaxed);
+            self.next_probe_ms
+                .store(self.now_ms() + backoff, Ordering::Relaxed);
+        }
+    }
+
+    /// A failed `/healthz` probe of a down peer: double the backoff (to
+    /// the cap) and push the next probe out.
+    pub(crate) fn record_probe_failure(&self) {
+        let cap = PROBE_BACKOFF_MAX.as_millis() as u64;
+        let doubled = (self.backoff_ms.load(Ordering::Relaxed) * 2)
+            .clamp(PROBE_BACKOFF_INITIAL.as_millis() as u64, cap);
+        self.backoff_ms.store(doubled, Ordering::Relaxed);
+        self.next_probe_ms
+            .store(self.now_ms() + doubled, Ordering::Relaxed);
+    }
+
+    /// The `/stats` `peers[]` health fields, in their normative order
+    /// (`up`, `fetches`, `failovers`, `ejections`).
+    pub(crate) fn stats_fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("up", Json::Bool(self.is_up())),
+            ("fetches", Json::num(self.fetches.load(Ordering::Relaxed))),
+            (
+                "failovers",
+                Json::num(self.failovers.load(Ordering::Relaxed)),
+            ),
+            (
+                "ejections",
+                Json::num(self.ejections.load(Ordering::Relaxed)),
+            ),
+        ]
+    }
+
+    #[cfg(test)]
+    pub(crate) fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+}
+
+/// One `GET /healthz` round trip on a fresh connection; `true` iff the
+/// peer answered 200 within `timeout`.
+pub(crate) fn probe_healthz(addr: &str, timeout: Duration) -> bool {
+    Client::connect_timeout(addr, timeout)
+        .and_then(|mut c| c.get("/healthz"))
+        .map(|(status, _)| status == 200)
+        .unwrap_or(false)
+}
+
+/// The remote side of a cluster node's engine: shard → replica-list
+/// resolution plus a small per-peer pool of keep-alive [`Client`]
+/// connections.
+///
+/// Fetches are blocking with a bounded timeout and rotate round-robin
+/// over a shard's replicas. A transport failure is retried once on a
+/// fresh connection (the peer may have restarted and the pooled
+/// connection gone stale), then **fails over** to the next replica;
+/// only when every replica has failed does the fetch surface as
+/// [`ServeError::Remote`] (naming each replica tried).
 pub(crate) struct RemoteShards {
     peers: Vec<RemotePeer>,
-    /// Run-wide shard index → index into `peers` (`None` = resident
-    /// locally).
-    by_shard: Vec<Option<usize>>,
+    /// Run-wide shard index → indices into `peers` of its replicas
+    /// (empty = resident locally only).
+    by_shard: Vec<Vec<usize>>,
     timeout: Duration,
+    /// Round-robin cursor over replicas, shared across shards.
+    rr: AtomicUsize,
 }
 
 struct RemotePeer {
@@ -156,6 +331,7 @@ struct RemotePeer {
     /// dial) and push it back on success, so concurrent batch workers
     /// fan out over parallel connections instead of serializing.
     pool: Mutex<Vec<Client>>,
+    health: PeerHealth,
 }
 
 impl std::fmt::Debug for RemoteShards {
@@ -173,20 +349,30 @@ impl std::fmt::Debug for RemoteShards {
     }
 }
 
+/// How one fetch attempt against one replica went down, for the failover
+/// loop: transport failures move on to the next replica, config skew
+/// (a non-5xx HTTP error: the peer answered, deterministically) does not
+/// — every replica of a consistent cluster would answer the same.
+enum Attempt {
+    Transport(String),
+    Skew(ServeError),
+}
+
 impl RemoteShards {
-    /// Build the shard → peer table, enforcing that `own` plus the peer
-    /// ranges tile `0..num_shards` disjointly (the complete ownership
-    /// map).
+    /// Build the shard → replica-list table, enforcing that `own` plus
+    /// the peer ranges **cover** `0..num_shards`. Overlapping claims are
+    /// replicas; a gap rejects the open, naming the first uncovered
+    /// shard.
     pub(crate) fn new(
         specs: &[PeerSpec],
         own: Range<usize>,
         num_shards: usize,
         timeout: Duration,
     ) -> Result<RemoteShards, ServeError> {
-        let mut by_shard: Vec<Option<usize>> = vec![None; num_shards];
-        let mut claimed = vec![false; num_shards];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        let mut covered = vec![false; num_shards];
         for s in own.clone() {
-            claimed[s] = true;
+            covered[s] = true;
         }
         for (i, spec) in specs.iter().enumerate() {
             if spec.shards.end > num_shards {
@@ -195,18 +381,11 @@ impl RemoteShards {
                 )));
             }
             for s in spec.shards.clone() {
-                if claimed[s] {
-                    return Err(ServeError::Open(format!(
-                        "ownership map overlap: shard {s} claimed by peer {spec} is \
-                         already owned (own range {}..{} or an earlier peer)",
-                        own.start, own.end
-                    )));
-                }
-                claimed[s] = true;
-                by_shard[s] = Some(i);
+                covered[s] = true;
+                by_shard[s].push(i);
             }
         }
-        if let Some(gap) = claimed.iter().position(|&c| !c) {
+        if let Some(gap) = covered.iter().position(|&c| !c) {
             return Err(ServeError::Open(format!(
                 "ownership map incomplete: shard {gap} is neither resident \
                  (own range {}..{}) nor assigned to any --peers entry",
@@ -219,10 +398,12 @@ impl RemoteShards {
                 .map(|spec| RemotePeer {
                     spec: spec.clone(),
                     pool: Mutex::new(Vec::new()),
+                    health: PeerHealth::new(),
                 })
                 .collect(),
             by_shard,
             timeout,
+            rr: AtomicUsize::new(0),
         })
     }
 
@@ -231,17 +412,84 @@ impl RemoteShards {
         self.peers.iter().map(|p| p.spec.clone()).collect()
     }
 
-    /// Fetch the adjacency row of `v` from the peer owning `shard`.
+    /// The `/stats` `peers` array: one object per `--peers` entry with
+    /// its claim and health counters, in `--peers` order.
+    pub(crate) fn peer_stats(&self) -> Json {
+        Json::Arr(
+            self.peers
+                .iter()
+                .map(|p| {
+                    let mut fields = vec![
+                        ("peer", Json::str(&p.spec.addr)),
+                        (
+                            "shards",
+                            Json::Arr(vec![
+                                Json::num(p.spec.shards.start),
+                                Json::num(p.spec.shards.end),
+                            ]),
+                        ),
+                    ];
+                    fields.extend(p.health.stats_fields());
+                    Json::obj(fields)
+                })
+                .collect(),
+        )
+    }
+
+    /// Fetch the adjacency row of `v` in `shard` from one of the shard's
+    /// replicas, failing over on transport errors.
     pub(crate) fn fetch(&self, shard: usize, v: u64) -> Result<Arc<[u64]>, ServeError> {
-        let peer = &self.peers[self.by_shard[shard]
-            .expect("fetch() is only called for shards the table maps to a peer")];
+        let replicas = &self.by_shard[shard];
+        assert!(
+            !replicas.is_empty(),
+            "fetch() is only called for shards the table maps to peers"
+        );
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        let mut failures: Vec<String> = Vec::new();
+        for k in 0..replicas.len() {
+            let peer = &self.peers[replicas[(start + k) % replicas.len()]];
+            match peer.health.gate() {
+                Gate::Up => {}
+                Gate::ProbeDue => {
+                    if probe_healthz(&peer.spec.addr, self.timeout) {
+                        peer.health.record_success();
+                    } else {
+                        peer.health.record_probe_failure();
+                        failures.push(format!("peer {}: down (probe failed)", peer.spec));
+                        continue;
+                    }
+                }
+                Gate::Skip => {
+                    failures.push(format!("peer {}: down (awaiting probe)", peer.spec));
+                    continue;
+                }
+            }
+            match self.try_fetch(peer, shard, v) {
+                Ok(row) => {
+                    peer.health.record_success();
+                    peer.health.record_served();
+                    return Ok(row);
+                }
+                Err(Attempt::Transport(detail)) => {
+                    peer.health.record_failure();
+                    failures.push(detail);
+                }
+                Err(Attempt::Skew(e)) => return Err(e),
+            }
+        }
+        Err(ServeError::Remote(format!(
+            "all replicas failed for /row shard {shard} v {v}: {}",
+            failures.join("; ")
+        )))
+    }
+
+    /// One fetch attempt against one replica: pool/dial, retry a stale
+    /// pooled connection once, classify the outcome for the failover
+    /// loop.
+    fn try_fetch(&self, peer: &RemotePeer, shard: usize, v: u64) -> Result<Arc<[u64]>, Attempt> {
         let path = format!("/row?shard={shard}&v={v}");
-        let fail = |detail: String| {
-            ServeError::Remote(format!(
-                "peer {} (/row shard {shard} v {v}): {detail}",
-                peer.spec
-            ))
-        };
+        let fail =
+            |detail: String| format!("peer {} (/row shard {shard} v {v}): {detail}", peer.spec);
         // Pop a pooled keep-alive connection or dial a fresh one; retry a
         // transport failure once on a fresh dial (a pooled connection may
         // have gone stale across a peer restart).
@@ -250,37 +498,48 @@ impl RemoteShards {
         let mut client = match pooled {
             Some(c) => c,
             None => Client::connect_timeout(peer.spec.addr.as_str(), self.timeout)
-                .map_err(|e| fail(format!("connect: {e}")))?,
+                .map_err(|e| Attempt::Transport(fail(format!("connect: {e}"))))?,
         };
         let (status, body) = match client.get_bytes(&path) {
             Ok(r) => r,
             Err(first) => {
                 drop(client); // stale — never pool it again
                 if !had_pooled {
-                    return Err(fail(format!("fetch: {first}")));
+                    return Err(Attempt::Transport(fail(format!("fetch: {first}"))));
                 }
-                client = Client::connect_timeout(peer.spec.addr.as_str(), self.timeout)
-                    .map_err(|e| fail(format!("reconnect after {first}: {e}")))?;
+                client = Client::connect_timeout(peer.spec.addr.as_str(), self.timeout).map_err(
+                    |e| Attempt::Transport(fail(format!("reconnect after {first}: {e}"))),
+                )?;
                 client
                     .get_bytes(&path)
-                    .map_err(|e| fail(format!("fetch (retried): {e}")))?
+                    .map_err(|e| Attempt::Transport(fail(format!("fetch (retried): {e}"))))?
             }
         };
         // The connection framed a full response either way — reusable.
         peer.pool.lock().unwrap().push(client);
-        if status != 200 {
-            // the peer's text/plain error body explains (not owned here /
-            // out of range / malformed) — config skew between nodes
-            return Err(fail(format!(
+        if status >= 500 {
+            // the replica answered but could not serve — fail over
+            return Err(Attempt::Transport(fail(format!(
                 "status {status}: {}",
                 String::from_utf8_lossy(&body).trim()
-            )));
+            ))));
+        }
+        if status != 200 {
+            // the peer's text/plain error body explains (not owned here /
+            // out of range / malformed) — config skew between nodes; a
+            // deterministic answer every replica would repeat, so no
+            // failover
+            return Err(Attempt::Skew(ServeError::Remote(fail(format!(
+                "status {status}: {}",
+                String::from_utf8_lossy(&body).trim()
+            )))));
         }
         if body.len() % 8 != 0 {
-            return Err(fail(format!(
+            // a torn/corrupted stream — another replica may frame it right
+            return Err(Attempt::Transport(fail(format!(
                 "body of {} bytes is not a whole number of u64 words",
                 body.len()
-            )));
+            ))));
         }
         Ok(body
             .chunks_exact(8)
@@ -321,24 +580,96 @@ mod tests {
     }
 
     #[test]
-    fn ownership_map_must_tile_disjointly() {
+    fn replica_claims_may_overlap_but_must_cover() {
         let t = DEFAULT_PEER_TIMEOUT;
         let spec = |s: &str| PeerSpec::parse(s).unwrap();
-        // complete: own 0..2, peers cover 2..6
+        // complete, disjoint: own 0..2, peers cover 2..6
         assert!(RemoteShards::new(&[spec("2..4=a:1"), spec("4..6=b:1")], 0..2, 6, t).is_ok());
-        // gap: shard 5 unowned
+        // overlap with the own range is a replica, not an error
+        assert!(RemoteShards::new(&[spec("1..6=a:1")], 0..2, 6, t).is_ok());
+        // overlap between peers: shards 4..5 have two replicas
+        let r = RemoteShards::new(&[spec("2..5=a:1"), spec("4..6=b:1")], 0..2, 6, t).unwrap();
+        assert_eq!(r.by_shard[4], vec![0, 1]);
+        assert_eq!(r.by_shard[3], vec![0]);
+        // duplicate peer entries are two replicas of the same address
+        assert!(RemoteShards::new(&[spec("2..6=a:1"), spec("2..6=a:1")], 0..2, 6, t).is_ok());
+        // gap: shard 5 uncovered — named in the rejection
         let err = RemoteShards::new(&[spec("2..5=a:1")], 0..2, 6, t).unwrap_err();
         assert!(err.to_string().contains("incomplete"), "{err}");
         assert!(err.to_string().contains("shard 5"), "{err}");
-        // overlap with own range
-        let err = RemoteShards::new(&[spec("1..6=a:1")], 0..2, 6, t).unwrap_err();
-        assert!(err.to_string().contains("overlap"), "{err}");
-        // overlap between peers
-        let err = RemoteShards::new(&[spec("2..5=a:1"), spec("4..6=b:1")], 0..2, 6, t).unwrap_err();
-        assert!(err.to_string().contains("overlap"), "{err}");
         // beyond the run
         let err = RemoteShards::new(&[spec("2..9=a:1")], 0..2, 6, t).unwrap_err();
         assert!(err.to_string().contains("only 6 shards"), "{err}");
+    }
+
+    /// Fuzz the replica-table validation: randomized claim sets with
+    /// gaps, partial overlaps, duplicate peers, and the single-replica
+    /// degenerate case must be accepted iff coverage is complete, and a
+    /// rejection must name the **first** uncovered shard.
+    #[test]
+    fn replica_table_fuzz_accepts_iff_coverage_complete() {
+        let t = DEFAULT_PEER_TIMEOUT;
+        let mut state = 0x243F_6A88_85A3_08D3u64; // deterministic LCG
+        let mut rnd = |m: usize| -> usize {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m.max(1)
+        };
+        let addrs = ["a:1", "b:1", "a:1", "c:1"]; // duplicates on purpose
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        for _ in 0..400 {
+            let num_shards = 1 + rnd(8);
+            let own_lo = rnd(num_shards);
+            let own_hi = own_lo + 1 + rnd(num_shards - own_lo);
+            let n_peers = rnd(4);
+            let specs: Vec<PeerSpec> = (0..n_peers)
+                .map(|_| {
+                    let lo = rnd(num_shards);
+                    let hi = lo + 1 + rnd(num_shards - lo);
+                    PeerSpec {
+                        shards: lo..hi,
+                        addr: addrs[rnd(addrs.len())].to_string(),
+                    }
+                })
+                .collect();
+            let mut covered = vec![false; num_shards];
+            covered[own_lo..own_hi].fill(true);
+            for spec in &specs {
+                for s in spec.shards.clone() {
+                    covered[s] = true;
+                }
+            }
+            let first_gap = covered.iter().position(|&c| !c);
+            let result = RemoteShards::new(&specs, own_lo..own_hi, num_shards, t);
+            match (first_gap, result) {
+                (None, Ok(r)) => {
+                    accepted += 1;
+                    // every shard resolves: resident or ≥ 1 replica
+                    for s in 0..num_shards {
+                        assert!(
+                            (own_lo..own_hi).contains(&s) || !r.by_shard[s].is_empty(),
+                            "shard {s} unresolvable in an accepted table"
+                        );
+                    }
+                }
+                (Some(gap), Err(e)) => {
+                    rejected += 1;
+                    let msg = e.to_string();
+                    assert!(msg.contains("incomplete"), "{msg}");
+                    assert!(
+                        msg.contains(&format!("shard {gap} ")),
+                        "rejection must name the first uncovered shard {gap}: {msg}"
+                    );
+                }
+                (None, Err(e)) => panic!("complete coverage rejected: {e}"),
+                (Some(gap), Ok(_)) => panic!("gap at shard {gap} accepted"),
+            }
+        }
+        // the generator must actually exercise both outcomes
+        assert!(accepted > 20, "only {accepted} accepted cases");
+        assert!(rejected > 20, "only {rejected} rejected cases");
     }
 
     #[test]
@@ -354,5 +685,21 @@ mod tests {
         let err = remote.fetch(1, 5).unwrap_err();
         assert!(matches!(err, ServeError::Remote(_)), "{err}");
         assert!(err.to_string().contains("127.0.0.1:1"), "{err}");
+        assert!(err.to_string().contains("all replicas failed"), "{err}");
+    }
+
+    #[test]
+    fn health_ejection_and_probe_backoff_sequence() {
+        let h = PeerHealth::new();
+        assert_eq!(h.gate(), Gate::Up);
+        h.record_failure();
+        h.record_failure();
+        assert!(h.is_up(), "two failures must not eject yet");
+        h.record_failure();
+        assert!(!h.is_up(), "third consecutive failure ejects");
+        assert_eq!(h.gate(), Gate::Skip, "backoff starts at 500 ms");
+        h.record_success();
+        assert_eq!(h.gate(), Gate::Up, "success restores the peer");
+        assert_eq!(h.failovers(), 3);
     }
 }

@@ -357,8 +357,8 @@ impl ServeEngine {
     ///
     /// [`ServeError::Open`] for a directory that fails the requested
     /// validation depth, an impossible `cross-check:0` rate, or an
-    /// incomplete/overlapping cluster ownership map
-    /// (subset + peers must tile every shard exactly once);
+    /// incomplete cluster ownership map (subset + peers must cover every
+    /// shard; overlapping claims are replicas and are legal);
     /// [`ServeError::Oracle`] when an oracle-loading source finds the
     /// factor copies missing or stale.
     pub fn open_with(dir: &Path, opts: &OpenOptions) -> Result<ServeEngine, ServeError> {
@@ -377,8 +377,8 @@ impl ServeEngine {
             (Some(s), false) => ShardSet::open_subset(dir, s.clone())?,
         };
         // A partial subset (or any configured peers) needs the full
-        // ownership map up front: every non-resident shard must have
-        // exactly one serving peer, and no peer may claim a resident one.
+        // ownership map up front: every non-resident shard must have at
+        // least one serving replica (overlapping claims are replicas).
         let remote = if !set.is_complete() || !opts.peers.is_empty() {
             Some(RemoteShards::new(
                 &opts.peers,
@@ -487,6 +487,12 @@ impl ServeEngine {
     /// `--peers` order (empty on a single-node engine).
     pub fn remote_peers(&self) -> Vec<PeerSpec> {
         self.remote.as_ref().map_or_else(Vec::new, |r| r.specs())
+    }
+
+    /// The peer table (`None` on a single-node engine) — the server's
+    /// `/stats` surfaces its per-replica health counters.
+    pub(crate) fn remote(&self) -> Option<&RemoteShards> {
+        self.remote.as_ref()
     }
 
     /// Product vertex count `n_C`.

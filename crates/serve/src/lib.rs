@@ -42,10 +42,13 @@
 //! * [`cluster`] — multi-node serving (`kron serve --shards a..b
 //!   --peers …`): each node memory-maps only its claimed shard subset
 //!   ([`kron_stream::ShardSet::open_subset`]) and fetches non-resident
-//!   rows from the owning peer over the internal `GET /row` endpoint
-//!   (through the [`RowCache`], which caches remote rows too), while
-//!   serving the *unchanged* single-node wire protocol — including
-//!   cross-checking answers assembled from peers' bytes;
+//!   rows from a peer over the internal `GET /row` endpoint (through
+//!   the [`RowCache`], which caches remote rows too), while serving the
+//!   *unchanged* single-node wire protocol — including cross-checking
+//!   answers assembled from peers' bytes. Overlapping claims are
+//!   **replicas**: fetches rotate round-robin, fail over on transport
+//!   errors, and eject unhealthy peers until a `/healthz` probe
+//!   succeeds;
 //! * **analytics jobs** — the server also runs [`kron_analyze`]
 //!   whole-graph kernels asynchronously: `POST /jobs` submits a kernel
 //!   spec and returns an id immediately, `GET /jobs/<id>` polls
@@ -57,9 +60,11 @@
 //!   with the mismatch report attached;
 //! * [`Router`] — the stateless forwarding front end (`kron route`):
 //!   discovers each node's claim via `GET /shards`, forwards `/query`
-//!   and `/batch` to the owning node by vertex range (answers
+//!   and `/batch` by vertex range over each vertex's replicas with the
+//!   same failover/ejection semantics as the nodes (answers
 //!   byte-identical to a single node over the whole run directory),
-//!   and merges `/stats` across the cluster.
+//!   merges `/stats` across the cluster, and — with `--rediscover` —
+//!   re-runs discovery periodically so nodes can join/leave live.
 //!
 //! Semantics match the in-memory oracles exactly: degrees exclude self
 //! loops, triangles ignore loops (the paper's Rem. 3), and every answer

@@ -4,23 +4,38 @@
 //!
 //! `kron route --peers ADDR,ADDR,… --listen ADDR` owns no shards, opens
 //! no run directory, and keeps no query state — it learns each peer's
-//! claimed vertex range once at startup (`GET /shards`), validates that
-//! the claims tile the whole product disjointly, and then:
+//! claimed vertex range at startup (`GET /shards`), validates that the
+//! claims **cover** the whole product (overlapping claims are
+//! **replicas**), and then:
 //!
-//! * forwards `GET /query` to the node owning the query's routing vertex
-//!   ([`crate::Query::routing_vertex`]) and relays the answer verbatim;
+//! * forwards `GET /query` to a node owning the query's routing vertex
+//!   ([`crate::Query::routing_vertex`]), rotating round-robin over the
+//!   vertex's replicas, and relays the answer verbatim;
 //! * splits `POST /batch` bodies into per-node sub-batches, forwards them,
 //!   and reassembles the answer lines **in input order** — byte-identical
 //!   to what one node serving the whole run directory would produce;
 //! * merges `GET /stats` across peers (per-peer documents plus summed
-//!   totals; see `ARCHITECTURE.md` § "Cluster serving" for the normative
-//!   merge rules);
+//!   totals and per-replica health; see `ARCHITECTURE.md` § "Cluster
+//!   serving" for the normative merge rules);
 //! * fans `GET /healthz` out to every peer (`ok` only when all are).
 //!
-//! A peer failure surfaces as `502 Bad Gateway` naming the peer — the
-//! router never invents an answer. Parse errors (`400`) are produced by
-//! the router itself with the same messages a node would emit, so clients
-//! cannot tell a router from a node on the error path either.
+//! A failed forward (connect error, timeout, 5xx, short sub-batch
+//! response) transparently **fails over** to the next replica; per-peer
+//! consecutive-failure counters drive health ejection exactly as on the
+//! nodes (down after 3 consecutive failures, probed via `GET /healthz`
+//! on a doubling backoff, restored on success). Only when *every* replica of a vertex has failed does
+//! the client see an error: a single `502 Bad Gateway` naming each
+//! replica tried — the router never invents an answer. Parse errors
+//! (`400`) are produced by the router itself with the same messages a
+//! node would emit, so clients cannot tell a router from a node on the
+//! error path either.
+//!
+//! With `--rediscover SECS` ([`Router::set_rediscover`]) the router
+//! re-runs discovery on a timer, so nodes can join/leave a live cluster:
+//! a returning node is restored the moment it answers `/shards`, a
+//! vanished one keeps its last-known claim (health-ejected until it
+//! probes healthy), and a table that would leave a shard uncovered is
+//! rejected, keeping the last good one.
 //!
 //! ## Example
 //!
@@ -29,12 +44,13 @@
 //! use std::sync::atomic::AtomicBool;
 //! use std::time::Duration;
 //!
-//! // Two nodes already serve shard subsets at these addresses.
-//! let router = Router::discover(
-//!     &["10.0.0.1:8080".into(), "10.0.0.2:8080".into()],
+//! // Three nodes already serve (overlapping) shard subsets.
+//! let mut router = Router::discover(
+//!     &["10.0.0.1:8080".into(), "10.0.0.2:8080".into(), "10.0.0.3:8080".into()],
 //!     Duration::from_secs(5),
 //! )
 //! .unwrap();
+//! router.set_rediscover(Duration::from_secs(10));
 //! let front = Server::bind("0.0.0.0:8080").unwrap();
 //! let stop = AtomicBool::new(false);
 //! let report = router
@@ -44,23 +60,88 @@
 //! ```
 
 use crate::batch::{self, Query};
+use crate::cluster::{probe_healthz, Gate, PeerHealth};
 use crate::event_loop::serve_connections;
 use crate::http::{self, encode_query_component, Client};
 use crate::server::{LoopCounters, Server, ServerOptions, MAX_BATCH_RESPONSE};
 use kron_stream::json::Json;
 use std::io;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-/// One discovered peer: its address, its claim, and a pool of idle
-/// keep-alive connections.
+/// One peer's parsed `GET /shards` answer: its shard claim, vertex
+/// span, the run shape `(shards, num_vertices)`, and the connection the
+/// exchange left open (seeded into the peer's pool).
+type Discovered = (Range<usize>, Range<u64>, (u64, u64), Client);
+
+/// One discovered peer: its address, its claim, a pool of idle
+/// keep-alive connections, and its health state.
 struct RouterPeer {
     addr: String,
     shards: Range<usize>,
     vertices: Range<u64>,
     pool: Mutex<Vec<Client>>,
+    health: PeerHealth,
+}
+
+/// Idle connections kept per peer; re-discovery seeds one per tick, so
+/// the pool is capped to stop a long-lived router accumulating sockets.
+const POOL_CAP: usize = 8;
+
+impl RouterPeer {
+    fn pool_push(&self, client: Client) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_CAP {
+            pool.push(client);
+        }
+    }
+}
+
+/// One immutable routing table: the discovered peers of one
+/// (re-)discovery round. Handlers snapshot it per request, so a
+/// concurrent re-discovery swap never tears a request in half.
+struct RouterTable {
+    /// Ascending by claim (then address) — the `/stats` peer order.
+    peers: Vec<Arc<RouterPeer>>,
+    num_vertices: u64,
+    num_shards: usize,
+}
+
+impl RouterTable {
+    /// Indices of the peers whose claim contains `v` — the vertex's
+    /// replicas. Out-of-range vertices go to the replicas of the first
+    /// vertex range: their engines produce the exact out-of-range error a
+    /// single-node server would, keeping the client-visible bytes
+    /// identical. `/query` and `/batch` both route through here, so the
+    /// policy cannot diverge between them.
+    fn candidates_for(&self, v: u64) -> Vec<usize> {
+        let own: Vec<usize> = self
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.vertices.contains(&v))
+            .map(|(i, _)| i)
+            .collect();
+        if !own.is_empty() {
+            return own;
+        }
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.vertices.start == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn addr_list(&self) -> String {
+        self.peers
+            .iter()
+            .map(|p| p.addr.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
 }
 
 /// Totals of one router run, returned by [`Router::run`] after shutdown.
@@ -73,17 +154,20 @@ pub struct RouterReport {
     /// Query lines forwarded to peers (each `/query`, plus each line of
     /// every `/batch`).
     pub queries: u64,
-    /// Forwards that failed (unreachable peer, non-200 upstream answer
-    /// where one was required, short sub-batch response).
+    /// Forwards that failed on **every** replica (the client saw a 502).
     pub forward_errors: u64,
+    /// Single-replica failures that moved a forward on to the next
+    /// replica (the client saw nothing).
+    pub failovers: u64,
 }
 
 impl std::fmt::Display for RouterReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests ({} malformed), {} queries forwarded, {} forward errors",
-            self.requests, self.bad_requests, self.queries, self.forward_errors
+            "{} requests ({} malformed), {} queries forwarded, {} failovers, \
+             {} forward errors",
+            self.requests, self.bad_requests, self.queries, self.failovers, self.forward_errors
         )
     }
 }
@@ -97,128 +181,211 @@ struct RouterState<'r> {
     forward_errors: AtomicU64,
 }
 
-/// A stateless query router over a set of shard-subset nodes.
+/// A replica-aware query router over a set of shard-subset nodes.
 ///
-/// Build one with [`Router::discover`], then drive it with
+/// Build one with [`Router::discover`], optionally enable periodic
+/// re-discovery with [`Router::set_rediscover`], then drive it with
 /// [`Router::run`] over a bound [`Server`] listener.
 pub struct Router {
-    peers: Vec<RouterPeer>,
-    num_vertices: u64,
-    num_shards: usize,
+    table: RwLock<Arc<RouterTable>>,
+    /// The `--peers` list as given — re-discovery re-contacts these.
+    peer_addrs: Vec<String>,
     timeout: Duration,
+    rediscover: Option<Duration>,
+    /// Round-robin cursor over replicas.
+    rr: AtomicUsize,
+    /// Failovers survive table swaps (per-peer counters reset when a
+    /// peer's claim changes), so `/stats` never under-reports them.
+    failovers: AtomicU64,
+    rediscoveries: AtomicU64,
 }
 
 impl std::fmt::Debug for Router {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Router")
             .field("peers", &self.peer_summary())
-            .field("num_vertices", &self.num_vertices)
+            .field("num_vertices", &self.num_vertices())
             .finish()
     }
 }
 
 impl Router {
     /// Contact every peer's `GET /shards` once and build the routing
-    /// table. Peers may be listed in any order; their claims are sorted
-    /// by vertex range and must tile the whole product disjointly.
+    /// table. Peers may be listed in any order; their claims must
+    /// **cover** the whole product — overlapping claims are replicas.
     ///
     /// # Errors
     ///
     /// A message naming the offending peer when one is unreachable,
-    /// answers malformed JSON, disagrees with the others on the run's
-    /// shape (`shards` / `num_vertices`), or leaves a gap/overlap in the
-    /// claimed ranges.
+    /// answers malformed JSON, or disagrees with the others on the run's
+    /// shape (`shards` / `num_vertices`); or naming the first uncovered
+    /// shard when the claims leave a gap.
     pub fn discover(peer_addrs: &[String], timeout: Duration) -> Result<Router, String> {
+        let table = Self::build_table(peer_addrs, timeout, None)?;
+        Ok(Router {
+            table: RwLock::new(Arc::new(table)),
+            peer_addrs: peer_addrs.to_vec(),
+            timeout,
+            rediscover: None,
+            rr: AtomicUsize::new(0),
+            failovers: AtomicU64::new(0),
+            rediscoveries: AtomicU64::new(0),
+        })
+    }
+
+    /// Re-run discovery every `every` during [`Router::run`], so nodes
+    /// can join/leave the cluster without a router restart.
+    pub fn set_rediscover(&mut self, every: Duration) {
+        self.rediscover = Some(every);
+    }
+
+    /// Completed re-discovery rounds (table swaps).
+    pub fn rediscoveries(&self) -> u64 {
+        self.rediscoveries.load(Ordering::Relaxed)
+    }
+
+    /// One peer's `GET /shards` exchange, parsed.
+    fn discover_one(addr: &str, timeout: Duration) -> Result<Discovered, String> {
+        let fail = |detail: String| format!("peer {addr}: {detail}");
+        let mut client =
+            Client::connect_timeout(addr, timeout).map_err(|e| fail(format!("connect: {e}")))?;
+        let (status, body) = client
+            .get("/shards")
+            .map_err(|e| fail(format!("GET /shards: {e}")))?;
+        if status != 200 {
+            return Err(fail(format!("GET /shards answered {status}")));
+        }
+        let doc = Json::parse(&body).map_err(|e| fail(format!("/shards JSON: {e}")))?;
+        let num = |key: &str| -> Result<u64, String> {
+            doc.req(key)
+                .and_then(|v| v.as_u64().ok_or_else(|| format!("{key} is not an integer")))
+                .map_err(|e| fail(format!("/shards: {e}")))
+        };
+        let subset = doc
+            .req("subset")
+            .ok()
+            .and_then(Json::as_arr)
+            .filter(|a| a.len() == 2)
+            .and_then(|a| Some((a[0].as_usize()?, a[1].as_usize()?)))
+            .ok_or_else(|| fail("/shards: subset is not [lo, hi]".into()))?;
+        let shape = (num("shards")?, num("num_vertices")?);
+        Ok((
+            subset.0..subset.1,
+            num("vertex_lo")?..num("vertex_hi")?,
+            shape,
+            client,
+        ))
+    }
+
+    /// Build a routing table from `peer_addrs`. At startup (`prev` is
+    /// `None`) every peer must answer; during re-discovery an unreachable
+    /// peer keeps its last-known claim (still health-ejected) and a
+    /// never-seen one is skipped, so a flapping node cannot take the
+    /// router down with it.
+    fn build_table(
+        peer_addrs: &[String],
+        timeout: Duration,
+        prev: Option<&RouterTable>,
+    ) -> Result<RouterTable, String> {
         if peer_addrs.is_empty() {
             return Err("router needs at least one peer".into());
         }
-        let mut peers = Vec::with_capacity(peer_addrs.len());
-        let mut shape: Option<(u64, u64)> = None; // (shards, num_vertices)
+        let mut peers: Vec<Arc<RouterPeer>> = Vec::with_capacity(peer_addrs.len());
+        let mut shape: Option<(u64, u64)> = prev.map(|t| (t.num_shards as u64, t.num_vertices));
         for addr in peer_addrs {
-            let fail = |detail: String| format!("peer {addr}: {detail}");
-            let mut client = Client::connect_timeout(addr.as_str(), timeout)
-                .map_err(|e| fail(format!("connect: {e}")))?;
-            let (status, body) = client
-                .get("/shards")
-                .map_err(|e| fail(format!("GET /shards: {e}")))?;
-            if status != 200 {
-                return Err(fail(format!("GET /shards answered {status}")));
-            }
-            let doc = Json::parse(&body).map_err(|e| fail(format!("/shards JSON: {e}")))?;
-            let num = |key: &str| -> Result<u64, String> {
-                doc.req(key)
-                    .and_then(|v| v.as_u64().ok_or_else(|| format!("{key} is not an integer")))
-                    .map_err(|e| fail(format!("/shards: {e}")))
-            };
-            let subset = doc
-                .req("subset")
-                .ok()
-                .and_then(Json::as_arr)
-                .filter(|a| a.len() == 2)
-                .and_then(|a| Some((a[0].as_usize()?, a[1].as_usize()?)))
-                .ok_or_else(|| fail("/shards: subset is not [lo, hi]".into()))?;
-            // All peers must describe the same run.
-            let this_shape = (num("shards")?, num("num_vertices")?);
-            match shape {
-                None => shape = Some(this_shape),
-                Some(expect) if expect != this_shape => {
-                    return Err(fail(format!(
-                        "serves a different run ({} shards / {} vertices, \
-                         expected {} / {})",
-                        this_shape.0, this_shape.1, expect.0, expect.1
-                    )))
+            match Self::discover_one(addr, timeout) {
+                Ok((shards, vertices, this_shape, client)) => {
+                    match shape {
+                        None => shape = Some(this_shape),
+                        Some(expect) if expect != this_shape => {
+                            return Err(format!(
+                                "peer {addr}: serves a different run ({} shards / {} \
+                                 vertices, expected {} / {})",
+                                this_shape.0, this_shape.1, expect.0, expect.1
+                            ))
+                        }
+                        Some(_) => {}
+                    }
+                    // An unchanged claim keeps its pool, health, and
+                    // counters; answering /shards is also proof of life,
+                    // restoring an ejected peer.
+                    let reused = prev.and_then(|t| {
+                        t.peers
+                            .iter()
+                            .find(|p| {
+                                p.addr == *addr && p.shards == shards && p.vertices == vertices
+                            })
+                            .cloned()
+                    });
+                    match reused {
+                        Some(p) => {
+                            p.health.record_success();
+                            p.pool_push(client);
+                            peers.push(p);
+                        }
+                        None => peers.push(Arc::new(RouterPeer {
+                            addr: addr.clone(),
+                            shards,
+                            vertices,
+                            pool: Mutex::new(vec![client]),
+                            health: PeerHealth::new(),
+                        })),
+                    }
                 }
-                Some(_) => {}
+                Err(e) => {
+                    let carried =
+                        prev.and_then(|t| t.peers.iter().find(|p| p.addr == *addr).cloned());
+                    match carried {
+                        Some(p) => peers.push(p),
+                        None if prev.is_none() => return Err(e),
+                        None => {} // a joining node that is not up yet
+                    }
+                }
             }
-            peers.push(RouterPeer {
-                addr: addr.clone(),
-                shards: subset.0..subset.1,
-                vertices: num("vertex_lo")?..num("vertex_hi")?,
-                pool: Mutex::new(vec![client]),
-            });
         }
-        let (num_shards, num_vertices) = shape.expect("at least one peer");
-        // The claims must tile the run disjointly and completely.
-        peers.sort_by_key(|p| p.shards.start);
-        let mut next_shard = 0usize;
-        let mut next_vertex = 0u64;
-        for p in &peers {
-            if p.shards.start != next_shard {
+        let (num_shards, num_vertices) =
+            shape.ok_or_else(|| "no peer answered GET /shards".to_string())?;
+        let num_shards = num_shards as usize;
+        peers.sort_by(|a, b| {
+            (a.shards.start, a.shards.end, &a.addr).cmp(&(b.shards.start, b.shards.end, &b.addr))
+        });
+        // The claims must cover the run; overlap is replication.
+        for s in 0..num_shards {
+            if !peers.iter().any(|p| p.shards.contains(&s)) {
                 return Err(format!(
-                    "peer {} claims shards {}..{}, but the next unclaimed shard \
-                     is {next_shard} (gap or overlap in the cluster's ownership map)",
-                    p.addr, p.shards.start, p.shards.end
+                    "cluster ownership map incomplete: shard {s} is not claimed \
+                     by any --peers node (a node is missing from --peers)"
                 ));
             }
-            if p.vertices.start != next_vertex {
-                return Err(format!(
-                    "peer {} claims vertices {}..{}, expected the range to start \
-                     at {next_vertex}",
-                    p.addr, p.vertices.start, p.vertices.end
-                ));
-            }
-            next_shard = p.shards.end;
-            next_vertex = p.vertices.end;
         }
-        if next_shard as u64 != num_shards || next_vertex != num_vertices {
-            return Err(format!(
-                "peers claim shards 0..{next_shard} / vertices 0..{next_vertex}, \
-                 run has {num_shards} shards / {num_vertices} vertices \
-                 (a node is missing from --peers)"
-            ));
-        }
-        Ok(Router {
+        Ok(RouterTable {
             peers,
             num_vertices,
-            num_shards: num_shards as usize,
-            timeout,
+            num_shards,
         })
+    }
+
+    /// Current table snapshot (cheap: one `Arc` clone under a read lock).
+    fn table(&self) -> Arc<RouterTable> {
+        self.table.read().unwrap().clone()
+    }
+
+    /// One re-discovery round: build a fresh table from the configured
+    /// peers and swap it in; on failure (a shape conflict, or coverage
+    /// lost) the last good table stays.
+    fn rediscover_tick(&self) {
+        let prev = self.table();
+        if let Ok(next) = Self::build_table(&self.peer_addrs, self.timeout, Some(&prev)) {
+            *self.table.write().unwrap() = Arc::new(next);
+            self.rediscoveries.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// One `addr → shards a..b, vertices x..y` line per peer, for startup
     /// narration.
     pub fn peer_summary(&self) -> Vec<String> {
-        self.peers
+        self.table()
+            .peers
             .iter()
             .map(|p| {
                 format!(
@@ -231,30 +398,33 @@ impl Router {
 
     /// Product vertex count of the routed run.
     pub fn num_vertices(&self) -> u64 {
-        self.num_vertices
+        self.table().num_vertices
     }
 
-    /// Index of the peer owning `v`'s row. Out-of-range vertices go to
-    /// the first peer: its engine produces the exact out-of-range error
-    /// a single-node server would, keeping the client-visible bytes
-    /// identical. `/query` and `/batch` both route through here, so the
-    /// policy cannot diverge between them.
-    fn peer_index_for(&self, v: u64) -> usize {
-        let i = self.peers.partition_point(|p| p.vertices.end <= v);
-        if i < self.peers.len() {
-            i
-        } else {
-            0
+    /// Health-gate one peer before a forward: an up peer passes, a down
+    /// one is probed when its backoff has elapsed and skipped otherwise.
+    fn admit(&self, peer: &RouterPeer, failures: &mut Vec<String>) -> bool {
+        match peer.health.gate() {
+            Gate::Up => true,
+            Gate::ProbeDue => {
+                if probe_healthz(&peer.addr, self.timeout) {
+                    peer.health.record_success();
+                    true
+                } else {
+                    peer.health.record_probe_failure();
+                    failures.push(format!("peer {}: down (probe failed)", peer.addr));
+                    false
+                }
+            }
+            Gate::Skip => {
+                failures.push(format!("peer {}: down (awaiting probe)", peer.addr));
+                false
+            }
         }
     }
 
-    /// The peer owning `v`'s row (see [`Router::peer_index_for`]).
-    fn peer_for(&self, v: u64) -> &RouterPeer {
-        &self.peers[self.peer_index_for(v)]
-    }
-
-    /// Forward one request to `peer`, pooling connections and retrying a
-    /// stale pooled connection once, like the engine's row fetches.
+    /// Forward one request to one peer, pooling connections and retrying
+    /// a stale pooled connection once, like the engine's row fetches.
     fn forward(
         &self,
         peer: &RouterPeer,
@@ -288,15 +458,61 @@ impl Router {
                 do_req(&mut client).map_err(|e| fail(format!("{method} {path} (retried): {e}")))?
             }
         };
-        peer.pool.lock().unwrap().push(client);
+        peer.pool_push(client);
         Ok(resp)
+    }
+
+    /// Forward with failover: rotate round-robin over `candidates`,
+    /// moving on when a replica is down, unreachable, or answers 5xx.
+    /// Any other answer is relayed verbatim — it is deterministic, and
+    /// every replica of a consistent cluster would repeat it.
+    fn forward_failover(
+        &self,
+        table: &RouterTable,
+        candidates: &[usize],
+        method: &'static str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, String), String> {
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        let mut failures: Vec<String> = Vec::new();
+        for k in 0..candidates.len() {
+            let peer = &table.peers[candidates[(start + k) % candidates.len()]];
+            if !self.admit(peer, &mut failures) {
+                continue;
+            }
+            match self.forward(peer, method, path, body) {
+                Ok((status, resp)) if status >= 500 => {
+                    peer.health.record_failure();
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                    failures.push(format!(
+                        "peer {}: {method} answered {status}: {}",
+                        peer.addr,
+                        resp.trim()
+                    ));
+                }
+                Ok(resp) => {
+                    peer.health.record_success();
+                    peer.health.record_served();
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    peer.health.record_failure();
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                    failures.push(e);
+                }
+            }
+        }
+        Err(format!("all replicas failed: {}", failures.join("; ")))
     }
 
     /// Route until `shutdown` becomes `true`, accepting on the bound
     /// `front` listener, then return the run's totals. Mirrors
     /// [`Server::run`]'s connection model and shutdown contract exactly;
     /// the router itself records no mismatches (those live on the
-    /// nodes — see `/stats`).
+    /// nodes — see `/stats`). When re-discovery is enabled
+    /// ([`Router::set_rediscover`]) a timer thread re-runs discovery at
+    /// that interval until shutdown.
     ///
     /// # Errors
     ///
@@ -315,46 +531,66 @@ impl Router {
             queries: AtomicU64::new(0),
             forward_errors: AtomicU64::new(0),
         };
-        serve_connections(
-            front.listener(),
-            &opts.loop_config(),
-            "kron route",
-            shutdown,
-            &state.http,
-            &|req| route(&state, req),
-        );
+        std::thread::scope(|s| {
+            let timer = self.rediscover.map(|every| {
+                s.spawn(move || {
+                    let mut last = Instant::now();
+                    while !shutdown.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(25));
+                        if last.elapsed() >= every {
+                            self.rediscover_tick();
+                            last = Instant::now();
+                        }
+                    }
+                })
+            });
+            serve_connections(
+                front.listener(),
+                &opts.loop_config(),
+                "kron route",
+                shutdown,
+                &state.http,
+                &|req| route(&state, req),
+            );
+            if let Some(t) = timer {
+                t.join().unwrap();
+            }
+        });
         Ok(RouterReport {
             requests: state.http.requests.load(Ordering::Relaxed),
             bad_requests: state.http.bad_requests.load(Ordering::Relaxed),
             queries: state.queries.load(Ordering::Relaxed),
             forward_errors: state.forward_errors.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
         })
     }
 }
 
 /// A peer's slot in a [`fan_out`] round: `None` when the peer was
 /// skipped, otherwise the forward's outcome.
-type FanOutSlot<'r> = (&'r RouterPeer, Option<Result<(u16, String), String>>);
+type FanOutSlot<'t> = (&'t Arc<RouterPeer>, Option<Result<(u16, String), String>>);
 
-/// Forward `method path` to every peer concurrently — a hung peer costs
-/// the caller one timeout, not one per peer. `body_of(i)` returns the
-/// body for peer `i`, or `None` to skip it (a batch with no queries for
-/// a node must not fail on that node being unreachable). Results come
-/// back in peer order, `None` for skipped peers.
-fn fan_out<'r>(
-    r: &'r Router,
+/// Forward `method path` to every peer of `table` concurrently — a hung
+/// peer costs the caller one timeout, not one per peer. `body_of(i)`
+/// returns the body for peer `i`, or `None` to skip it (a batch with no
+/// queries for a node must not fail on that node being unreachable).
+/// Results come back in peer order, `None` for skipped peers.
+fn fan_out<'t, 'b>(
+    r: &Router,
+    table: &'t RouterTable,
     method: &'static str,
     path: &str,
-    body_of: &(impl Fn(usize) -> Option<&'r [u8]> + Sync),
-) -> Vec<FanOutSlot<'r>> {
+    body_of: &(impl Fn(usize) -> Option<&'b [u8]> + Sync),
+) -> Vec<FanOutSlot<'t>> {
     std::thread::scope(|s| {
-        let handles: Vec<_> = r
+        let handles: Vec<_> = table
             .peers
             .iter()
             .enumerate()
             .map(|(i, p)| body_of(i).map(|body| s.spawn(move || r.forward(p, method, path, body))))
             .collect();
-        r.peers
+        table
+            .peers
             .iter()
             .zip(handles)
             .map(|(p, h)| (p, h.map(|h| h.join().unwrap())))
@@ -374,10 +610,13 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
     };
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
+            let table = r.table();
             // Probe every peer concurrently: one hung node must cost the
             // probe one timeout, not one per peer — monitoring timeouts
-            // are usually shorter than peers × 5 s.
-            for (p, res) in fan_out(r, "GET", "/healthz", &|_| Some(&[][..])) {
+            // are usually shorter than peers × 5 s. Health state is not
+            // consulted or updated here: a monitoring probe reports the
+            // cluster as it is right now.
+            for (p, res) in fan_out(r, &table, "GET", "/healthz", &|_| Some(&[][..])) {
                 match res.expect("healthz skips no peer") {
                     Ok((200, _)) => {}
                     Ok((status, _)) => {
@@ -401,11 +640,13 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
                 Err(e) => (400, TEXT, format!("error: {e}\n").into_bytes()),
                 Ok(query) => {
                     state.queries.fetch_add(1, Ordering::Relaxed);
-                    let peer = r.peer_for(query.routing_vertex());
+                    let table = r.table();
+                    let candidates = table.candidates_for(query.routing_vertex());
                     let path = format!("/query?q={}", encode_query_component(&query.to_string()));
-                    match r.forward(peer, "GET", &path, b"") {
-                        // relay the node's answer verbatim, whatever its
-                        // status — the router adds nothing on this path
+                    match r.forward_failover(&table, &candidates, "GET", &path, b"") {
+                        // relay the winning node's answer verbatim,
+                        // whatever its (non-5xx) status — the router adds
+                        // nothing on this path
                         Ok((status, body)) => (status, TEXT, body.into_bytes()),
                         Err(e) => gateway_err(e),
                     }
@@ -427,61 +668,116 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
                     // (wall clock tracks the slowest node, not the sum),
                     // then reassemble the answer lines by original index —
                     // byte-identical to a single node walking the batch in
-                    // order.
-                    let mut by_peer: Vec<(Vec<usize>, String)> = r
-                        .peers
-                        .iter()
-                        .map(|_| (Vec::new(), String::new()))
-                        .collect();
-                    for (i, q) in queries.iter().enumerate() {
-                        let peer_idx = r.peer_index_for(q.routing_vertex());
-                        by_peer[peer_idx].0.push(i);
-                        by_peer[peer_idx].1.push_str(&format!("{q}\n"));
-                    }
-                    let responses = fan_out(r, "POST", "/batch", &|i: usize| {
-                        let (indices, body) = &by_peer[i];
-                        (!indices.is_empty()).then_some(body.as_bytes())
-                    });
+                    // order. A failed sub-batch (transport, 5xx, short
+                    // response) returns its queries to the pool and the
+                    // next round re-assigns them to surviving replicas;
+                    // the loop is bounded because every retry round
+                    // excludes at least one more peer.
+                    let table = r.table();
+                    let rr_base = r.rr.fetch_add(1, Ordering::Relaxed);
                     let mut lines: Vec<Option<String>> = vec![None; queries.len()];
+                    let mut excluded: Vec<bool> = vec![false; table.peers.len()];
                     let mut total_len = 0usize;
-                    for ((peer, res), (indices, _)) in responses.into_iter().zip(&by_peer) {
-                        let Some(res) = res else {
-                            continue; // no queries route to this peer
-                        };
-                        let (status, resp) = match res {
-                            Ok(x) => x,
-                            Err(e) => return gateway_err(e),
-                        };
-                        if status != 200 {
-                            return gateway_err(format!(
-                                "peer {}: /batch answered {status}: {}",
-                                peer.addr,
-                                resp.trim()
-                            ));
+                    loop {
+                        let remaining: Vec<usize> =
+                            (0..queries.len()).filter(|&i| lines[i].is_none()).collect();
+                        if remaining.is_empty() {
+                            break;
                         }
-                        let answer_lines: Vec<&str> = resp.lines().collect();
-                        if answer_lines.len() != indices.len() {
-                            return gateway_err(format!(
-                                "peer {}: /batch returned {} lines for {} queries",
-                                peer.addr,
-                                answer_lines.len(),
-                                indices.len()
-                            ));
+                        // Gate each peer once per round (probing down
+                        // peers whose backoff elapsed), not once per query.
+                        let mut probe_failures = Vec::new();
+                        let usable: Vec<bool> = table
+                            .peers
+                            .iter()
+                            .enumerate()
+                            .map(|(i, p)| !excluded[i] && r.admit(p, &mut probe_failures))
+                            .collect();
+                        let mut by_peer: Vec<(Vec<usize>, String)> = table
+                            .peers
+                            .iter()
+                            .map(|_| (Vec::new(), String::new()))
+                            .collect();
+                        for &i in &remaining {
+                            let cands: Vec<usize> = table
+                                .candidates_for(queries[i].routing_vertex())
+                                .into_iter()
+                                .filter(|&c| usable[c])
+                                .collect();
+                            if cands.is_empty() {
+                                return gateway_err(format!(
+                                    "all replicas failed for batch query {:?} (peers: {})",
+                                    queries[i].to_string(),
+                                    table.addr_list()
+                                ));
+                            }
+                            let pick = cands[(rr_base + i) % cands.len()];
+                            by_peer[pick].0.push(i);
+                            by_peer[pick].1.push_str(&format!("{}\n", queries[i]));
                         }
-                        for (&i, line) in indices.iter().zip(answer_lines) {
-                            total_len += line.len() + 1;
-                            lines[i] = Some(line.to_string());
-                        }
-                        if total_len > MAX_BATCH_RESPONSE {
-                            return (
-                                413,
-                                TEXT,
-                                format!(
-                                    "error: batch response exceeds {MAX_BATCH_RESPONSE} \
-                                     bytes — split the batch\n"
-                                )
-                                .into_bytes(),
-                            );
+                        let responses = fan_out(r, &table, "POST", "/batch", &|i: usize| {
+                            let (indices, body) = &by_peer[i];
+                            (!indices.is_empty()).then_some(body.as_bytes())
+                        });
+                        for (idx, ((peer, res), (indices, _))) in
+                            responses.into_iter().zip(&by_peer).enumerate()
+                        {
+                            let Some(res) = res else {
+                                continue; // no queries route to this peer
+                            };
+                            // Transport failures, 5xx, and short responses
+                            // fail over; any other non-200 is deterministic
+                            // and surfaces (a retry would repeat it).
+                            let failure = match res {
+                                Err(e) => Some(e),
+                                Ok((status, resp)) if status >= 500 => Some(format!(
+                                    "peer {}: /batch answered {status}: {}",
+                                    peer.addr,
+                                    resp.trim()
+                                )),
+                                Ok((status, resp)) if status != 200 => {
+                                    return gateway_err(format!(
+                                        "peer {}: /batch answered {status}: {}",
+                                        peer.addr,
+                                        resp.trim()
+                                    ));
+                                }
+                                Ok((_, resp)) => {
+                                    let answer_lines: Vec<&str> = resp.lines().collect();
+                                    if answer_lines.len() != indices.len() {
+                                        Some(format!(
+                                            "peer {}: /batch returned {} lines for {} queries",
+                                            peer.addr,
+                                            answer_lines.len(),
+                                            indices.len()
+                                        ))
+                                    } else {
+                                        peer.health.record_success();
+                                        peer.health.record_served();
+                                        for (&i, line) in indices.iter().zip(answer_lines) {
+                                            total_len += line.len() + 1;
+                                            lines[i] = Some(line.to_string());
+                                        }
+                                        None
+                                    }
+                                }
+                            };
+                            if failure.is_some() {
+                                peer.health.record_failure();
+                                r.failovers.fetch_add(1, Ordering::Relaxed);
+                                excluded[idx] = true;
+                            }
+                            if total_len > MAX_BATCH_RESPONSE {
+                                return (
+                                    413,
+                                    TEXT,
+                                    format!(
+                                        "error: batch response exceeds {MAX_BATCH_RESPONSE} \
+                                         bytes — split the batch\n"
+                                    )
+                                    .into_bytes(),
+                                );
+                            }
                         }
                     }
                     let mut out = String::with_capacity(total_len);
@@ -495,11 +791,17 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
         }
         ("GET", "/stats") => {
             // Merge rule (normative in ARCHITECTURE.md): per-peer docs
-            // verbatim under `peers` (ascending vertex range), the named
-            // counters summed under `totals`, the router's own counters
-            // at the top level. Any peer failing makes the whole merge a
-            // 502 — a partial cluster total would silently under-count.
-            let mut peer_docs = Vec::with_capacity(r.peers.len());
+            // verbatim under `peers` (ascending claim) with the peer's
+            // replica-health fields beside them, the named counters
+            // summed under `totals`, the router's own counters at the
+            // top level. An unreachable peer reports `"up":false` and
+            // `"stats":null` and is left out of the totals — the per-peer
+            // nulls make the partiality visible, and a cluster running
+            // degraded must still be observable (a down node taking
+            // `/stats` down with it would blind monitoring exactly when
+            // it matters).
+            let table = r.table();
+            let mut peer_docs = Vec::with_capacity(table.peers.len());
             let mut totals = [0u64; 6];
             const KEYS: [&str; 6] = [
                 "queries",
@@ -509,22 +811,22 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
                 "mismatch_count",
                 "rows_served",
             ];
-            for p in &r.peers {
-                let (status, body) = match r.forward(p, "GET", "/stats", b"") {
-                    Ok(x) => x,
-                    Err(e) => return gateway_err(e),
+            let responses = fan_out(r, &table, "GET", "/stats", &|i: usize| {
+                // don't pay a timeout per /stats call for a known-down
+                // peer; it reports up:false, stats:null below
+                table.peers[i].health.is_up().then_some(&[][..])
+            });
+            for (p, res) in responses {
+                let stats = match res {
+                    Some(Ok((200, body))) => Json::parse(&body).ok(),
+                    _ => None,
                 };
-                if status != 200 {
-                    return gateway_err(format!("peer {}: /stats answered {status}", p.addr));
+                if let Some(doc) = &stats {
+                    for (i, key) in KEYS.iter().enumerate() {
+                        totals[i] += doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    }
                 }
-                let doc = match Json::parse(&body) {
-                    Ok(d) => d,
-                    Err(e) => return gateway_err(format!("peer {}: /stats JSON: {e}", p.addr)),
-                };
-                for (i, key) in KEYS.iter().enumerate() {
-                    totals[i] += doc.get(key).and_then(Json::as_u64).unwrap_or(0);
-                }
-                peer_docs.push(Json::obj(vec![
+                let mut fields = vec![
                     ("peer", Json::str(&p.addr)),
                     (
                         "shards",
@@ -532,8 +834,10 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
                     ),
                     ("vertex_lo", Json::num(p.vertices.start)),
                     ("vertex_hi", Json::num(p.vertices.end)),
-                    ("stats", doc),
-                ]));
+                ];
+                fields.extend(p.health.stats_fields());
+                fields.push(("stats", stats.unwrap_or(Json::Null)));
+                peer_docs.push(Json::obj(fields));
             }
             let doc = Json::obj(vec![
                 ("role", Json::str("router")),
@@ -554,6 +858,11 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
                     "forward_errors",
                     Json::num(state.forward_errors.load(Ordering::Relaxed)),
                 ),
+                ("failovers", Json::num(r.failovers.load(Ordering::Relaxed))),
+                (
+                    "rediscoveries",
+                    Json::num(r.rediscoveries.load(Ordering::Relaxed)),
+                ),
                 ("connections", state.http.conns.to_json()),
                 (
                     "totals",
@@ -571,15 +880,16 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
         ("GET", "/shards") => {
             // The cluster presents as one complete node — a router (or a
             // router of routers) in front of it needs nothing else.
+            let table = r.table();
             let doc = Json::obj(vec![
-                ("shards", Json::num(r.num_shards)),
+                ("shards", Json::num(table.num_shards)),
                 (
                     "subset",
-                    Json::Arr(vec![Json::num(0), Json::num(r.num_shards)]),
+                    Json::Arr(vec![Json::num(0), Json::num(table.num_shards)]),
                 ),
                 ("vertex_lo", Json::num(0)),
-                ("vertex_hi", Json::num(r.num_vertices)),
-                ("num_vertices", Json::num(r.num_vertices)),
+                ("vertex_hi", Json::num(table.num_vertices)),
+                ("num_vertices", Json::num(table.num_vertices)),
             ]);
             (200, JSON, format!("{doc}\n").into_bytes())
         }

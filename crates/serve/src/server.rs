@@ -273,7 +273,7 @@ impl ServerState<'_> {
             self.started.elapsed(),
             self.wedge_checks.load(Ordering::Relaxed),
         );
-        Json::obj(vec![
+        let mut fields = vec![
             ("source", Json::str(&self.engine.source().to_string())),
             (
                 "uptime_secs",
@@ -302,18 +302,24 @@ impl ServerState<'_> {
             ("connections", self.http.conns.to_json()),
             ("recent", window.to_json()),
             ("routing", self.engine.routing().to_json()),
-            ("jobs", self.jobs.stats_json()),
-            (
-                "mismatches",
-                Json::Arr(
-                    self.engine
-                        .mismatches()
-                        .iter()
-                        .map(|m| m.to_json())
-                        .collect(),
-                ),
+        ];
+        // Cluster nodes add per-replica health under `peers`; single-node
+        // engines omit the key (ARCHITECTURE.md § "Cluster serving").
+        if let Some(remote) = self.engine.remote() {
+            fields.push(("peers", remote.peer_stats()));
+        }
+        fields.push(("jobs", self.jobs.stats_json()));
+        fields.push((
+            "mismatches",
+            Json::Arr(
+                self.engine
+                    .mismatches()
+                    .iter()
+                    .map(|m| m.to_json())
+                    .collect(),
             ),
-        ])
+        ));
+        Json::obj(fields)
     }
 }
 

@@ -1,0 +1,240 @@
+//! Fault-injection TCP proxy for failover tests.
+//!
+//! A [`FaultProxy`] sits between a cluster client (a node's remote-row
+//! fetches, or the router's forwards) and one upstream server, forwarding
+//! raw bytes in both directions. Its [`Fault`] mode is runtime-togglable
+//! ([`FaultProxy::set_mode`]), so a test can turn a healthy peer into a
+//! dead, hung, slow, or corrupting one *mid-request* — making
+//! kill-a-node, flappy-peer, and slow-peer scenarios deterministic
+//! in-tree tests instead of smoke-script luck.
+//!
+//! The proxy works strictly below HTTP: it never parses what it
+//! forwards, so it exercises exactly the transport failures the failover
+//! path classifies (connect errors, timeouts, torn streams, garbage
+//! bytes).
+//!
+//! Included by several test crates (via `mod fault;` or `#[path]`), each
+//! using a different subset of the modes.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The proxy's current behaviour. Mode changes apply to new connections
+/// *and* to in-flight ones (pumps re-check the mode on every chunk).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward bytes untouched (a healthy peer).
+    Forward,
+    /// Sever new and in-flight connections immediately (a SIGKILLed
+    /// process: connects are accepted by the still-bound listener but
+    /// closed before any byte flows, so clients see an abrupt EOF).
+    Drop,
+    /// Accept and read, but never forward or answer (a hung process:
+    /// clients block until their read timeout).
+    Blackhole,
+    /// Close both directions abruptly as soon as the next chunk flows
+    /// (a connection reset mid-stream).
+    Reset,
+    /// Hold every upstream→client chunk for this long (a slow peer).
+    Delay(Duration),
+    /// Forward this many upstream→client bytes untouched, then flip
+    /// every bit of the rest (a corrupting link).
+    CorruptAfter(usize),
+}
+
+/// A live proxy listening on an ephemeral loopback port; dropping it
+/// stops the accept loop and severs every in-flight connection.
+pub struct FaultProxy {
+    addr: String,
+    mode: Arc<Mutex<Fault>>,
+    stop: Arc<AtomicBool>,
+    /// Connections accepted so far (all modes).
+    accepted: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Start a proxy forwarding to `upstream` (e.g. `127.0.0.1:9001`),
+    /// initially in [`Fault::Forward`] mode.
+    pub fn spawn(upstream: &str) -> FaultProxy {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy listener");
+        let addr = listener.local_addr().expect("proxy addr").to_string();
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let mode = Arc::new(Mutex::new(Fault::Forward));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let (mode, stop, accepted) = (mode.clone(), stop.clone(), accepted.clone());
+            let upstream = upstream.to_string();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                            let current = *mode.lock().unwrap();
+                            if current == Fault::Drop {
+                                drop(client); // sever before any byte flows
+                                continue;
+                            }
+                            let (mode, stop, upstream) =
+                                (mode.clone(), stop.clone(), upstream.clone());
+                            std::thread::spawn(move || serve_conn(client, &upstream, &mode, &stop));
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        FaultProxy {
+            addr,
+            mode,
+            stop,
+            accepted,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    /// The proxy's own `host:port` — hand this to `--peers` / discovery
+    /// in place of the upstream's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Switch behaviour; applies to new and in-flight connections.
+    pub fn set_mode(&self, mode: Fault) {
+        *self.mode.lock().unwrap() = mode;
+    }
+
+    /// Connections accepted so far (any mode) — lets a test assert that
+    /// traffic actually flowed through the proxy.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+/// Serve one proxied connection: two pump threads copy bytes in each
+/// direction, each re-checking the fault mode per chunk.
+fn serve_conn(client: TcpStream, upstream: &str, mode: &Arc<Mutex<Fault>>, stop: &Arc<AtomicBool>) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        return; // upstream itself is down: client sees EOF
+    };
+    let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let up = {
+        let (mode, stop) = (mode.clone(), stop.clone());
+        std::thread::spawn(move || pump(client, server, &mode, &stop, Direction::ClientToServer))
+    };
+    pump(server2, client2, mode, stop, Direction::ServerToClient);
+    up.join().ok();
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    ClientToServer,
+    /// Delay and corruption apply to response bytes only, so a request
+    /// always reaches the upstream intact — the interesting failures are
+    /// the ones the client has to *detect*, not ones the server rejects.
+    ServerToClient,
+}
+
+/// Copy `from` → `to` until EOF, error, or a fault mode says otherwise.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    mode: &Mutex<Fault>,
+    stop: &AtomicBool,
+    dir: Direction,
+) {
+    // Short read timeout so mode/stop changes take effect on idle
+    // connections too, not only when bytes flow.
+    from.set_read_timeout(Some(Duration::from_millis(20))).ok();
+    let sever = |a: &TcpStream, b: &TcpStream| {
+        a.shutdown(Shutdown::Both).ok();
+        b.shutdown(Shutdown::Both).ok();
+    };
+    let mut forwarded = 0usize;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            sever(&from, &to);
+            return;
+        }
+        match *mode.lock().unwrap() {
+            Fault::Drop | Fault::Reset => {
+                // Reset differs from Drop only in intent (it is meant to
+                // be flipped mid-stream); both sever abruptly.
+                sever(&from, &to);
+                return;
+            }
+            _ => {}
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => {
+                // EOF: propagate the half-close and stop this pump.
+                to.shutdown(Shutdown::Write).ok();
+                return;
+            }
+            Ok(n) => n,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                sever(&from, &to);
+                return;
+            }
+        };
+        // Re-read the mode after the read: a test may flip it while the
+        // upstream is mid-response.
+        let current = *mode.lock().unwrap();
+        match current {
+            Fault::Drop | Fault::Reset => {
+                sever(&from, &to);
+                return;
+            }
+            Fault::Blackhole => {
+                // swallow the chunk; keep reading so the peer never
+                // blocks on a full socket buffer, but forward nothing
+                continue;
+            }
+            Fault::Delay(d) if dir == Direction::ServerToClient => {
+                std::thread::sleep(d);
+            }
+            Fault::CorruptAfter(clean) if dir == Direction::ServerToClient => {
+                for (i, byte) in buf[..n].iter_mut().enumerate() {
+                    if forwarded + i >= clean {
+                        *byte = !*byte;
+                    }
+                }
+            }
+            _ => {}
+        }
+        forwarded += n;
+        if to.write_all(&buf[..n]).is_err() {
+            sever(&from, &to);
+            return;
+        }
+    }
+}

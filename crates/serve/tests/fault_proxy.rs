@@ -1,0 +1,145 @@
+//! The fault-injection proxy's own contract, proved against a minimal
+//! HTTP upstream: every [`fault::Fault`] mode must produce exactly the
+//! transport behaviour the failover path classifies, and modes must be
+//! togglable at runtime — the failover integration tests lean on all of
+//! it.
+
+mod fault;
+
+use fault::{Fault, FaultProxy};
+use kron_serve::http::Client;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// A minimal keep-alive HTTP upstream answering every request with
+/// `200` and `body`. Runs until the test process exits.
+fn http_upstream(body: &'static str) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+    let addr = listener.local_addr().expect("upstream addr").to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { continue };
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    let Ok(n) = conn.read(&mut chunk) else { return };
+                    if n == 0 {
+                        return;
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                    // one response per request head (GETs carry no body)
+                    while let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                        buf.drain(..end + 4);
+                        let resp = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{}",
+                            body.len(),
+                            body
+                        );
+                        if conn.write_all(resp.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+const TIMEOUT: Duration = Duration::from_millis(500);
+
+#[test]
+fn forward_mode_is_transparent() {
+    let upstream = http_upstream("hello\n");
+    let proxy = FaultProxy::spawn(&upstream);
+    let mut client = Client::connect_timeout(proxy.addr(), TIMEOUT).unwrap();
+    let (status, body) = client.get("/x").unwrap();
+    assert_eq!((status, body.as_str()), (200, "hello\n"));
+    // keep-alive through the proxy works too
+    let (status, _) = client.get("/y").unwrap();
+    assert_eq!(status, 200);
+    assert!(proxy.accepted() >= 1);
+}
+
+#[test]
+fn drop_severs_in_flight_and_new_connections_until_restored() {
+    let upstream = http_upstream("hello\n");
+    let proxy = FaultProxy::spawn(&upstream);
+    let mut client = Client::connect_timeout(proxy.addr(), TIMEOUT).unwrap();
+    assert_eq!(client.get("/x").unwrap().0, 200);
+
+    proxy.set_mode(Fault::Drop);
+    // the established (kept-alive) connection is severed...
+    std::thread::sleep(Duration::from_millis(60)); // let the pumps notice
+    assert!(client.get("/x").is_err(), "in-flight connection must die");
+    // ...and a fresh one is accepted then closed before any byte flows
+    // (the connect itself may already fail — equally dead)
+    if let Ok(mut fresh) = Client::connect_timeout(proxy.addr(), TIMEOUT) {
+        assert!(fresh.get("/x").is_err(), "dropped peer must not answer");
+    }
+
+    // runtime toggle back: the peer is alive again
+    proxy.set_mode(Fault::Forward);
+    let mut revived = Client::connect_timeout(proxy.addr(), TIMEOUT).unwrap();
+    assert_eq!(revived.get("/x").unwrap().0, 200);
+}
+
+#[test]
+fn blackhole_hangs_until_the_client_timeout() {
+    let upstream = http_upstream("hello\n");
+    let proxy = FaultProxy::spawn(&upstream);
+    proxy.set_mode(Fault::Blackhole);
+    let t0 = Instant::now();
+    let mut client = Client::connect_timeout(proxy.addr(), TIMEOUT).unwrap();
+    let err = client.get("/x").unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "a blackholed fetch must time out, got {err}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(400) && elapsed < Duration::from_secs(5),
+        "timeout must be bounded by the client's read timeout, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn delay_slows_responses_without_breaking_them() {
+    let upstream = http_upstream("hello\n");
+    let proxy = FaultProxy::spawn(&upstream);
+    proxy.set_mode(Fault::Delay(Duration::from_millis(80)));
+    let mut client = Client::connect_timeout(proxy.addr(), TIMEOUT).unwrap();
+    let t0 = Instant::now();
+    let (status, body) = client.get("/x").unwrap();
+    assert_eq!((status, body.as_str()), (200, "hello\n"));
+    assert!(
+        t0.elapsed() >= Duration::from_millis(80),
+        "the response must have been held back"
+    );
+}
+
+#[test]
+fn corrupt_after_n_bytes_flips_the_tail() {
+    let upstream = http_upstream("hello\n");
+    let proxy = FaultProxy::spawn(&upstream);
+    // The upstream's head is exactly this long for a 6-byte body; leave
+    // it clean so the response still frames, and corrupt the body.
+    let head = "HTTP/1.1 200 OK\r\nContent-Length: 6\r\n\r\n";
+    proxy.set_mode(Fault::CorruptAfter(head.len()));
+    let mut client = Client::connect_timeout(proxy.addr(), TIMEOUT).unwrap();
+    let (status, body) = client.get_bytes("/x").unwrap();
+    assert_eq!(status, 200);
+    let flipped: Vec<u8> = b"hello\n".iter().map(|b| !b).collect();
+    assert_eq!(body, flipped, "every body byte must be bit-flipped");
+
+    // Corrupting from byte 0 garbles the status line itself: the client
+    // must reject the response as unparseable (a transport failure).
+    proxy.set_mode(Fault::CorruptAfter(0));
+    let mut client = Client::connect_timeout(proxy.addr(), TIMEOUT).unwrap();
+    assert!(client.get("/x").is_err(), "garbled head must not parse");
+}

@@ -2,9 +2,13 @@
 # End-to-end smoke of the cluster path: generate a CSR run directory,
 # serve it three ways at once — one whole-run server, and a 2-node
 # shard-subset cluster behind a `kron route` front end — and assert the
-# routed answers are byte-identical to the single node's. Finishes with
-# graceful shutdowns and the cluster's cross-check certification (node 0
-# audits every answer it assembles, remote rows included).
+# routed answers are byte-identical to the single node's. Then the
+# failover leg: a 3-node cluster with every shard on two replicas gets
+# one node SIGKILLed mid-/batch, and the answers must stay
+# byte-identical with zero client-visible errors and failovers > 0 in
+# the router's /stats. Finishes with graceful shutdowns and the
+# clusters' cross-check certifications (the auditing nodes check every
+# answer they assemble, remote rows included).
 # Run from the repo root; CI calls it after the release build.
 set -euo pipefail
 
@@ -91,12 +95,64 @@ echo "$stats" | grep -q '"mismatch_count":0'
 echo "$stats" | grep -vq '"rows_served":0}' \
     || { echo "no /row traffic — the cluster never clustered"; exit 1; }
 
-echo "== graceful shutdowns (router, then nodes, then the reference)"
+echo "== replicated cluster: 3 nodes, every shard on two replicas"
+PA=$((P0 + 2)); PB=$((P0 + 3)); PC=$((P0 + 4))
+# A and B split the run and each list TWO replicas for the far half (the
+# other splitter, plus C); C serves the whole run. Killing C leaves every
+# shard with exactly one live replica.
+start nodeA serve "$work/run" --listen "127.0.0.1:$PA" --shards 0..2 \
+    --peers "2..4=127.0.0.1:$PB,2..4=127.0.0.1:$PC" --source cross-check:4 --cache 1024
+start nodeB serve "$work/run" --listen "127.0.0.1:$PB" --shards 2..4 \
+    --peers "0..2=127.0.0.1:$PA,0..2=127.0.0.1:$PC"
+start nodeC serve "$work/run" --listen "127.0.0.1:$PC"
+start router2 route --peers "127.0.0.1:$PA,127.0.0.1:$PB,127.0.0.1:$PC" \
+    --listen 127.0.0.1:0 --rediscover 1
+
+echo "== SIGKILL one replica mid-/batch: clients must not notice"
+: > "$work/grid.txt"
+for v in $(seq 0 1599); do
+    {
+        echo "degree $v"
+        echo "neighbors $v"
+        echo "tri_vertex $v"
+        echo "has_edge $v $(( (v + 3) % 1600 ))"
+        echo "tri_edge $v $(( (v + 1) % 1600 ))"
+    } >> "$work/grid.txt"
+done
+curl -fsS --data-binary @"$work/grid.txt" "http://$single_addr/batch" > "$work/grid_single.txt"
+curl -fsS --data-binary @"$work/grid.txt" "http://$router2_addr/batch" > "$work/grid_mid.txt" &
+curl_pid=$!
+sleep 0.05
+kill -9 "$nodeC_pid"
+wait "$curl_pid" || { echo "mid-kill /batch errored"; exit 1; }
+diff "$work/grid_single.txt" "$work/grid_mid.txt" \
+    || { echo "mid-kill /batch diverged from the single node"; exit 1; }
+# with the replica gone for good, a full whole-grid batch still matches
+curl -fsS --data-binary @"$work/grid.txt" "http://$router2_addr/batch" > "$work/grid_after.txt" \
+    || { echo "post-kill /batch errored"; exit 1; }
+diff "$work/grid_single.txt" "$work/grid_after.txt" \
+    || { echo "post-kill /batch diverged from the single node"; exit 1; }
+# the router's /stats tells the story: failovers happened, the killed
+# replica is down, and the tolerant merge still answers 200
+stats2=$(curl -fsS "http://$router2_addr/stats")
+failovers=$(echo "$stats2" | grep -o '"failovers":[0-9]*' | head -1 | cut -d: -f2)
+[ "${failovers:-0}" -gt 0 ] || { echo "router never failed over: $stats2"; exit 1; }
+echo "$stats2" | grep -q '"up":false' \
+    || { echo "killed replica not marked down: $stats2"; exit 1; }
+echo "$stats2" | grep -q '"mismatch_count":0' \
+    || { echo "failover must not poison cross-check: $stats2"; exit 1; }
+
+echo "== graceful shutdowns (routers, then nodes, then the reference)"
 stop router
+stop router2
 stop node0
 grep -q 'cross-check: 0 mismatches' "$work/node0.err" \
     || { echo "node 0 did not certify its cross-checked run"; cat "$work/node0.err"; exit 1; }
 stop node1
+stop nodeA
+grep -q 'cross-check: 0 mismatches' "$work/nodeA.err" \
+    || { echo "node A did not certify its cross-checked run"; cat "$work/nodeA.err"; exit 1; }
+stop nodeB
 stop single
 pids=()
 echo "cluster smoke OK"

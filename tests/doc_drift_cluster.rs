@@ -10,7 +10,9 @@
 
 use kron::KronProduct;
 use kron_graph::Graph;
+use kron_serve::http::Client;
 use kron_serve::{OpenOptions, PeerSpec, ServeEngine, Server, ServerOptions};
+use kron_stream::json::Json;
 use kron_stream::{stream_product, OutputFormat, StreamConfig};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -162,6 +164,67 @@ fn documented_row_and_shards_examples_match_the_server_verbatim() {
 
         stop.store(true, Ordering::SeqCst);
         drop(stream);
+        run.join().unwrap().unwrap();
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `peers` health array documented in § "Per-peer health in
+/// `/stats`" is pinned too: start exactly the documented node and
+/// byte-compare the live `/stats` `peers` value (re-rendered through the
+/// same canonical JSON writer the server uses) against the fence.
+#[test]
+fn documented_peer_health_example_matches_the_server_verbatim() {
+    let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/ARCHITECTURE.md"))
+        .expect("read ARCHITECTURE.md");
+    let sec = section(&md, "#### Per-peer health in `/stats`");
+    let pinned = fenced(sec, "json")
+        .into_iter()
+        .next()
+        .expect("the peer-health section pins a json example");
+
+    // The same run directory and node as the /row example: the triangle
+    // squared, 3 shards, --shards 1..2, two dummy replicas (never
+    // dialed, so their counters stay at the documented zeros).
+    let a = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+    let c = KronProduct::new(a.clone(), a);
+    let dir = std::env::temp_dir().join(format!("kron_doc_drift_peers_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+    cfg.shards = 3;
+    stream_product(&c, &cfg).unwrap();
+    let engine = ServeEngine::open_with(
+        &dir,
+        &OpenOptions {
+            shard_subset: Some(1..2),
+            peers: vec![
+                PeerSpec::parse("0..1=127.0.0.1:1").unwrap(),
+                PeerSpec::parse("2..3=127.0.0.1:1").unwrap(),
+            ],
+            ..OpenOptions::default()
+        },
+    )
+    .unwrap();
+
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(&engine, &ServerOptions::default(), &stop));
+        let mut client = Client::connect(addr).unwrap();
+        let (status, stats) = client.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&stats).unwrap();
+        let live = doc
+            .req("peers")
+            .expect("a cluster node's /stats carries a peers array")
+            .to_string();
+        assert_eq!(
+            live, pinned,
+            "the live peers health array diverged from the documented bytes"
+        );
+        stop.store(true, Ordering::SeqCst);
+        drop(client);
         run.join().unwrap().unwrap();
     });
     std::fs::remove_dir_all(&dir).ok();

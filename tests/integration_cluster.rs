@@ -294,17 +294,20 @@ fn node_rejects_incomplete_ownership_maps_at_open() {
             },
         )
     };
-    // a subset with no peers for the rest: gap
+    // a subset with no peers for the rest: gap, naming the first
+    // uncovered shard
     let err = open(0..2, &[]).unwrap_err();
     assert!(err.to_string().contains("incomplete"), "{err}");
-    // overlap between the claim and a peer
-    let err = open(0..2, &["1..4=x:1"]).unwrap_err();
-    assert!(err.to_string().contains("overlap"), "{err}");
+    assert!(err.to_string().contains("shard 2"), "{err}");
+    // overlap between the claim and a peer is replication, not an error
+    assert!(open(0..2, &["1..4=x:1"]).is_ok());
     // a claim the run's manifests do not cover
     let err = open(2..6, &["0..2=x:1"]).unwrap_err();
     assert!(err.to_string().contains("not covered"), "{err}");
     // complete map: opens fine (peers are contacted lazily)
     assert!(open(0..2, &["2..4=x:1"]).is_ok());
+    // two replicas of the non-resident range: also fine
+    assert!(open(0..2, &["2..4=x:1", "2..4=y:1"]).is_ok());
     std::fs::remove_dir_all(&dir).ok();
 }
 
