@@ -138,7 +138,7 @@ fn push_round(
             let mut out = Vec::new();
             for &v in slice {
                 check_stop(stop)?;
-                for &u in resident_row(set, v)? {
+                for &u in &*resident_row(set, v)? {
                     if u >= n {
                         return Err(AnalyzeError::Corrupt(format!(
                             "row {v} names vertex {u}, but the product has only {n}"

@@ -76,7 +76,7 @@ pub(crate) fn run(set: &ShardSet, stop: &AtomicBool) -> Result<CcResult, Analyze
                         continue;
                     }
                     let mut m = labels[v as usize];
-                    for &u in row {
+                    for &u in &*row {
                         if u >= n {
                             return Err(AnalyzeError::Corrupt(format!(
                                 "row {v} names vertex {u}, but the product has only {n}"

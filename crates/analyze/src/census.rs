@@ -58,9 +58,9 @@ pub(crate) fn run(set: &ShardSet, stop: &AtomicBool) -> Result<CensusResult, Ana
                     AnalyzeError::Corrupt(format!("shard {shard} is missing row {v}"))
                 })?;
                 p.entries += row.len() as u128;
-                let degree = row.len() as u64 - u64::from(contains_sorted(row, v));
+                let degree = row.len() as u64 - u64::from(contains_sorted(&row, v));
                 *p.deg.entry(degree).or_insert(0) += 1;
-                let (t, checks) = vertex_triangles_rows(row, v, |u| set.row(u)).map_err(|u| {
+                let (t, checks) = vertex_triangles_rows(&row, v, |u| set.row(u)).map_err(|u| {
                     AnalyzeError::Corrupt(format!("row {v} names vertex {u}, which no shard owns"))
                 })?;
                 *p.tri.entry(t).or_insert(0) += 1;

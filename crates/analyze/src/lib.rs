@@ -44,7 +44,7 @@ mod pagerank;
 
 use kron::KronProduct;
 use kron_stream::json::Json;
-use kron_stream::ShardSet;
+use kron_stream::{RowRef, ShardSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The whole-graph kernels `kron analyze` and the server job API run.
@@ -345,7 +345,7 @@ pub(crate) fn row_chunks(set: &ShardSet) -> Vec<(usize, std::ops::Range<u64>)> {
 /// The resident row of `v`, or [`AnalyzeError::Corrupt`]: on a complete
 /// set every in-range vertex must resolve.
 #[inline]
-pub(crate) fn resident_row(set: &ShardSet, v: u64) -> Result<&[u64], AnalyzeError> {
+pub(crate) fn resident_row<'a>(set: &'a ShardSet, v: u64) -> Result<RowRef<'a>, AnalyzeError> {
     set.row(v).ok_or_else(|| {
         AnalyzeError::Corrupt(format!("vertex {v} has no resident row in a complete set"))
     })

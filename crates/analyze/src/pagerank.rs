@@ -134,7 +134,7 @@ pub(crate) fn run(
                         AnalyzeError::Corrupt(format!("shard {shard} is missing row {v}"))
                     })?;
                     let mut s = 0.0;
-                    for &u in row {
+                    for &u in &*row {
                         if u >= n {
                             return Err(AnalyzeError::Corrupt(format!(
                                 "row {v} names vertex {u}, but the product has only {n}"

@@ -4,7 +4,7 @@
 //! hot-row workload exercising the artifact path's LRU.
 //!
 //! ```text
-//! bench_serve [--n N] [--shards S] [--queries Q] [--cache ROWS]
+//! bench_serve [--n N] [--shards S] [--queries Q] [--cache BYTES]
 //!             [--conns C] [--json]
 //! ```
 //!
@@ -13,6 +13,12 @@
 //! across PRs (the generation-side counterpart is `BENCH_stream.json`).
 //! The `oracle_speedup` block records how many times faster the
 //! closed-form oracle answers triangle point queries than the shard walk.
+//!
+//! The `row_wire` block streams a csr2 twin of the run, times its
+//! checksum-verified cold open against the v1 open, and compares total
+//! `/row` body bytes for the same rows served raw (LE u64, the v1 wire
+//! encoding) vs `enc=vd` (varint delta) over a live loopback server —
+//! the bench fails unless vd cuts wire bytes by at least 1.5×.
 //!
 //! The `server`/`concurrency_*` rows drive the event-loop server with
 //! 100 / 1000 / 10000 concurrent keep-alive connections (capped by
@@ -110,7 +116,9 @@ fn main() {
     let q: usize = opt("--queries")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
-    let cache_rows: usize = opt("--cache").and_then(|v| v.parse().ok()).unwrap_or(4096);
+    let cache_bytes: u64 = opt("--cache")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4 << 20);
     let conns_cap: usize = opt("--conns")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
@@ -136,13 +144,13 @@ fn main() {
 
     // Checksums were verified once above; the other engines reuse the same
     // artifacts structurally and differ only in answer source / cache.
-    let open = |source: AnswerSource, row_cache: usize| -> ServeEngine {
+    let open = |source: AnswerSource, row_cache_bytes: u64| -> ServeEngine {
         ServeEngine::open_with(
             &dir,
             &OpenOptions {
                 verify_checksums: false,
                 source,
-                row_cache,
+                row_cache_bytes,
                 ..OpenOptions::default()
             },
         )
@@ -174,7 +182,7 @@ fn main() {
     }
 
     // Skewed hot-vertex load: artifact path with and without the row LRU.
-    let cached = open(AnswerSource::Artifact, cache_rows);
+    let cached = open(AnswerSource::Artifact, cache_bytes);
     let hot = skewed_mix(&artifact, q);
     for (label, engine) in [("artifact", &artifact), ("artifact+cache", &cached)] {
         let out = run_batch(engine, &hot);
@@ -184,6 +192,65 @@ fn main() {
     }
     let cache_report = cached.routing();
     eprintln!("hot-row cache: {cache_report}");
+
+    // Format comparison: stream a csr2 twin of the same product, time a
+    // fully checksum-verified cold open of each format, then serve the
+    // csr2 run and fetch one stride-sampled sweep of `/row`s twice —
+    // raw LE u64 (the v1 wire encoding) and `enc=vd` (the varint delta
+    // encoding cluster peers negotiate) — and compare total body bytes.
+    let dir2 = std::env::temp_dir().join(format!("kron_bench_serve_csr2_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir2);
+    let mut cfg2 = StreamConfig::new(&dir2, OutputFormat::Csr2);
+    cfg2.shards = shards;
+    stream_product(&prod, &cfg2).expect("stream csr2 shards");
+    let t0 = Instant::now();
+    let artifact2 = ServeEngine::open_verified(&dir2).expect("open + verify csr2 shard set");
+    let csr2_open_secs = t0.elapsed().as_secs_f64();
+    eprintln!("cold open + checksum verify: csr {open_secs:.2}s, csr2 {csr2_open_secs:.2}s");
+    let (wire_rows, raw_wire_bytes, vd_wire_bytes) = {
+        use kron_serve::http::Client;
+        use kron_serve::{Server, ServerOptions};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let server = Server::bind("127.0.0.1:0").expect("bind wire-bytes server");
+        let addr = server.local_addr().expect("wire-bytes local addr");
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let run = s.spawn(|| server.run(&artifact2, &ServerOptions::default(), &stop));
+            let mut client = Client::connect(addr).expect("connect wire-bytes server");
+            let set = artifact2.shard_set();
+            let per_shard = (2048 / set.num_shards()).max(1);
+            let (mut rows, mut raw, mut vd) = (0u64, 0u64, 0u64);
+            for shard in 0..set.num_shards() {
+                let span = set.shard_vertices(shard).expect("shard span");
+                let step = ((span.end - span.start) / per_shard as u64).max(1);
+                for v in span.clone().step_by(step as usize) {
+                    for (enc, total) in [("", &mut raw), ("&enc=vd", &mut vd)] {
+                        let (status, _ctype, body) = client
+                            .get_bytes_typed(&format!("/row?shard={shard}&v={v}{enc}"))
+                            .expect("GET /row");
+                        assert_eq!(status, 200, "wire-bytes sweep must not fail");
+                        *total += body.len() as u64;
+                    }
+                    rows += 1;
+                }
+            }
+            drop(client);
+            stop.store(true, Ordering::SeqCst);
+            run.join().unwrap().expect("wire-bytes server run");
+            (rows, raw, vd)
+        })
+    };
+    let wire_ratio = raw_wire_bytes as f64 / vd_wire_bytes.max(1) as f64;
+    println!(
+        "/row wire bytes over {wire_rows} rows: raw {raw_wire_bytes}, \
+         vd {vd_wire_bytes} ({wire_ratio:.2}x fewer)"
+    );
+    assert!(
+        wire_ratio >= 1.5,
+        "varint delta rows must cut /row wire bytes by at least 1.5x \
+         (got {wire_ratio:.2}x)"
+    );
+    let _ = std::fs::remove_dir_all(&dir2);
 
     // Loopback HTTP server workload: the same degree mix, answered by a
     // live `kron serve --listen`-style server over real TCP — measures
@@ -340,7 +407,7 @@ fn main() {
                 &dir,
                 &OpenOptions {
                     verify_checksums: false,
-                    row_cache: cache_rows,
+                    row_cache_bytes: cache_bytes,
                     shard_subset: Some(subset),
                     peers,
                     ..OpenOptions::default()
@@ -457,8 +524,18 @@ fn main() {
             ("shards", Json::num(shards)),
             ("product_entries", Json::num(prod.nnz())),
             ("open_verified_secs", Json::num(open_secs)),
+            ("csr2_open_verified_secs", Json::num(csr2_open_secs)),
             ("oracle_open_secs", Json::num(oracle_open_secs)),
-            ("cache_rows", Json::num(cache_rows)),
+            (
+                "row_wire",
+                Json::obj(vec![
+                    ("rows", Json::num(wire_rows)),
+                    ("raw_bytes", Json::num(raw_wire_bytes)),
+                    ("vd_bytes", Json::num(vd_wire_bytes)),
+                    ("raw_over_vd", Json::num(wire_ratio)),
+                ]),
+            ),
+            ("cache_bytes", Json::num(cache_bytes)),
             ("cache_hit_rate", Json::num(cache_report.hit_rate())),
             (
                 "oracle_speedup",

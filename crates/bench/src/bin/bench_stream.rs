@@ -20,6 +20,21 @@ struct Row {
     threads: usize,
     entries: u128,
     secs: f64,
+    artifact_bytes: u64,
+}
+
+/// Bytes of shard artifacts in a run directory (manifests excluded, so
+/// csr vs csr2 totals compare the column payloads themselves).
+fn artifact_bytes(dir: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x != "json"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|md| md.len())
+        .sum()
 }
 
 fn main() {
@@ -57,6 +72,7 @@ fn main() {
                 ("count", OutputFormat::Count),
                 ("edges", OutputFormat::Edges),
                 ("csr", OutputFormat::Csr),
+                ("csr2", OutputFormat::Csr2),
             ] {
                 let _ = std::fs::remove_dir_all(&dir);
                 let cfg = StreamConfig {
@@ -69,9 +85,10 @@ fn main() {
                 let t0 = Instant::now();
                 let run = stream_product(&prod, &cfg).expect("stream run");
                 let secs = t0.elapsed().as_secs_f64();
+                let bytes = artifact_bytes(&dir);
                 println!(
                     "{sink:<6} shards={shards:<3} threads={threads:<3} \
-                     {:.3}s  {:.3e} edges/s",
+                     {:.3}s  {:.3e} edges/s  {bytes} artifact bytes",
                     secs,
                     run.total_entries as f64 / secs
                 );
@@ -81,17 +98,31 @@ fn main() {
                     threads,
                     entries: run.total_entries,
                     secs,
+                    artifact_bytes: bytes,
                 });
             }
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
 
+    // How much smaller the varint delta artifacts are than raw u64 CSR,
+    // summed across every (shards, threads) configuration measured.
+    let sum_bytes = |sink: &str| -> u64 {
+        rows.iter()
+            .filter(|r| r.sink == sink)
+            .map(|r| r.artifact_bytes)
+            .sum()
+    };
+    let (csr_bytes, csr2_bytes) = (sum_bytes("csr"), sum_bytes("csr2"));
+    let compression_ratio = csr_bytes as f64 / csr2_bytes.max(1) as f64;
+    println!("csr2 compression ratio vs csr: {compression_ratio:.2}x");
+
     if json_out {
         let doc = Json::obj(vec![
             ("bench", Json::str("stream")),
             ("factor_n", Json::num(n)),
             ("product_entries", Json::num(prod.nnz())),
+            ("csr2_compression_ratio", Json::num(compression_ratio)),
             (
                 "results",
                 Json::Arr(
@@ -103,6 +134,7 @@ fn main() {
                                 ("threads", Json::num(r.threads)),
                                 ("entries", Json::num(r.entries)),
                                 ("secs", Json::num(r.secs)),
+                                ("artifact_bytes", Json::num(r.artifact_bytes)),
                                 (
                                     "edges_per_sec",
                                     Json::num(r.entries as f64 / r.secs.max(1e-12)),

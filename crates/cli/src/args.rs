@@ -75,6 +75,27 @@ impl ParsedArgs {
     }
 }
 
+/// Parse a human byte size: a decimal count with an optional `k`/`m`/
+/// `g`/`t` suffix (binary multiples, case-insensitive) — `512m`, `4g`,
+/// `1048576`. [`ParsedArgs::opt`] goes through `FromStr`, which cannot
+/// carry the suffix, so sized options parse through this instead.
+pub fn parse_byte_size(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 30),
+        Some(b't' | b'T') => (&s[..s.len() - 1], 40),
+        _ => (s, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("cannot parse {s:?} as a byte size (try 512m, 4g, or plain bytes)"))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("byte size {s:?} overflows 64 bits"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +146,21 @@ mod tests {
         let p = parse(&split("egonet a.tsv b.tsv 42")).unwrap();
         assert_eq!(p.pos(2, "vertex").unwrap(), "42");
         assert!(p.pos(3, "missing").is_err());
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_byte_size("0").unwrap(), 0);
+        assert_eq!(parse_byte_size("1048576").unwrap(), 1 << 20);
+        assert_eq!(parse_byte_size("512k").unwrap(), 512 << 10);
+        assert_eq!(parse_byte_size("512M").unwrap(), 512 << 20);
+        assert_eq!(parse_byte_size("4g").unwrap(), 4 << 30);
+        assert_eq!(parse_byte_size("2T").unwrap(), 2 << 40);
+        assert!(parse_byte_size("").is_err());
+        assert!(parse_byte_size("m").is_err());
+        assert!(parse_byte_size("12q").is_err());
+        assert!(parse_byte_size("-5m").is_err());
+        let err = parse_byte_size("999999999999g").unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
     }
 }

@@ -1,6 +1,6 @@
 //! Subcommand implementations.
 
-use crate::args::ParsedArgs;
+use crate::args::{parse_byte_size, ParsedArgs};
 use kron::{human_count, product_truss, validate, KronProduct, ProductStats};
 use kron_gen::deterministic;
 use kron_graph::{read_edge_list_path, write_edge_list_path, Graph};
@@ -8,7 +8,7 @@ use kron_serve::{
     parse_queries, parse_shard_range, run_batch, AnswerSource, OpenOptions, PeerSpec, Router,
     ServeEngine,
 };
-use kron_stream::{stream_product, verify_shards, OutputFormat, StreamConfig};
+use kron_stream::{compact_run, stream_product, verify_shards, OutputFormat, StreamConfig};
 use kron_triangles::count_triangles;
 use std::time::Instant;
 
@@ -39,8 +39,15 @@ USAGE:
       egonet spot checks (default) or full materialized validation (--full)
   kron stream <a.tsv> <b.tsv> --out DIR [--shards N] [--format F]
               [--threads T] [--resume]
-      generate A (x) B as N validated shards (formats: edges | csr | count);
-      every shard gets a JSON manifest with closed-form checksums
+      generate A (x) B as N validated shards (formats: edges | csr |
+      csr2 | count); every shard gets a JSON manifest with closed-form
+      checksums. csr2 is the varint delta-encoded v2 shard format —
+      same queries, same checksums, roughly 4x smaller artifacts
+  kron compact <DIR>
+      convert a --format csr run directory to csr2 in place: every
+      shard is re-encoded (atomically, manifest checksums preserved
+      verbatim), the v1 artifacts are deleted, and run.json flips to
+      csr2 last. Idempotent — re-running resumes a crashed conversion
   kron analyze <DIR> --kernel bfs|cc|pagerank|tri-census [--source V]
                [--depth K] [--tol T] [--iters N] [--top K] [--threads T]
                [--no-validate]
@@ -55,7 +62,7 @@ USAGE:
       check). Results are byte-identical for any --threads. SIGTERM/
       ctrl-c cancels cooperatively: no verdict, exit 0
   kron serve <DIR> --queries FILE [--threads T] [--no-verify]
-             [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
+             [--source artifact|oracle|cross-check[:N]] [--cache BYTES]
       answer a batch of point queries over the CSR run directory DIR;
       query file lines: degree v | neighbors v | has_edge u v |
       tri_vertex v | tri_edge u v  (blank lines and # comments ignored);
@@ -66,10 +73,11 @@ USAGE:
       every answer against the oracle, and exits nonzero on mismatch
       (a live conformance monitor); --source cross-check:N checks 1 in N
       queries (deterministic by query counter — the always-on audit mode
-      at artifact cost). --cache keeps an LRU of ROWS hot rows for the
-      artifact triangle kernels on skewed loads
+      at artifact cost). --cache keeps an LRU of hot decoded rows for
+      the artifact triangle kernels on skewed loads, bounded by a byte
+      budget (plain bytes or 512k / 512m / 4g suffixes)
   kron serve <DIR> --listen ADDR [--threads T] [--jobs J] [--no-verify]
-             [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
+             [--source artifact|oracle|cross-check[:N]] [--cache BYTES]
              [--max-conns N] [--idle-timeout SECS] [--io-timeout SECS]
              [--shards A..B --peers A..B=ADDR[,A..B=ADDR...]]
       long-lived HTTP server over the same engine: open + validate once,
@@ -148,6 +156,7 @@ pub fn run(p: &ParsedArgs) -> Result<(), String> {
         "truss" => cmd_truss(p),
         "validate" => cmd_validate(p),
         "stream" => cmd_stream(p),
+        "compact" => cmd_compact(p),
         "analyze" => cmd_analyze(p),
         "serve" => cmd_serve(p),
         "route" => cmd_route(p),
@@ -513,8 +522,8 @@ fn open_serve_engine(dir: &str, opts: &OpenOptions) -> Result<ServeEngine, Strin
             "not verified"
         },
         opts.source,
-        if opts.row_cache > 0 {
-            format!(", row cache {}", opts.row_cache)
+        if opts.row_cache_bytes > 0 {
+            format!(", row cache {} bytes", opts.row_cache_bytes)
         } else {
             String::new()
         },
@@ -659,7 +668,10 @@ fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
     let opts = OpenOptions {
         verify_checksums: !p.flag("no-verify"),
         source: parse_source(p)?,
-        row_cache: p.opt("cache", 0usize)?,
+        row_cache_bytes: match p.options.get("cache") {
+            Some(s) => parse_byte_size(s).map_err(|e| format!("--cache: {e}"))?,
+            None => 0,
+        },
         shard_subset,
         peers,
         ..OpenOptions::default()
@@ -696,7 +708,7 @@ fn cmd_serve(p: &ParsedArgs) -> Result<(), String> {
     // hit-rate line would describe a cache that does not exist.
     if opts.source != AnswerSource::Oracle {
         let rep = engine.routing();
-        if opts.row_cache > 0 {
+        if opts.row_cache_bytes > 0 {
             eprintln!("{rep}");
         } else {
             eprintln!("{}", rep.shard_summary());
@@ -761,6 +773,24 @@ fn cmd_route(p: &ParsedArgs) -> Result<(), String> {
         .run(&front, &server_opts, shutdown)
         .map_err(|e| e.to_string())?;
     eprintln!("shutdown: {report}");
+    Ok(())
+}
+
+fn cmd_compact(p: &ParsedArgs) -> Result<(), String> {
+    let dir = p.pos(0, "dir")?;
+    let t0 = Instant::now();
+    let report = compact_run(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    println!(
+        "compacted {} shard(s) ({} converted, {} already csr2): \
+         {} -> {} artifact bytes ({:.2}x smaller, {:.2?})",
+        report.shards,
+        report.converted,
+        report.skipped,
+        report.bytes_before,
+        report.bytes_after,
+        report.ratio(),
+        t0.elapsed()
+    );
     Ok(())
 }
 

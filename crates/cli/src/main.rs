@@ -11,13 +11,14 @@
 //! kron truss <a.tsv> <b.tsv>
 //! kron validate <a.tsv> <b.tsv> [--samples N] [--full]
 //! kron stream <a.tsv> <b.tsv> --out DIR [--shards N] [--format F] [--resume]
+//! kron compact <DIR>
 //! kron analyze <DIR> --kernel bfs|cc|pagerank|tri-census [--source V]
 //!              [--depth K] [--tol T] [--iters N] [--top K] [--threads T]
 //!              [--no-validate]
 //! kron serve <DIR> --queries FILE [--threads T] [--no-verify]
-//!            [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
+//!            [--source artifact|oracle|cross-check[:N]] [--cache BYTES]
 //! kron serve <DIR> --listen ADDR [--threads T] [--jobs J] [--no-verify]
-//!            [--source artifact|oracle|cross-check[:N]] [--cache ROWS]
+//!            [--source artifact|oracle|cross-check[:N]] [--cache BYTES]
 //!            [--shards A..B --peers A..B=ADDR,...]
 //! kron route --peers ADDR[,ADDR...] --listen ADDR [--threads T]
 //! kron verify-shards <DIR> [--rehash]

@@ -9,7 +9,9 @@
 //! rows of high-degree hub vertices over and over (every `tri_vertex v`
 //! touches all of `N(v)`, and hubs appear in many neighborhoods), so a
 //! small LRU of owned `Arc<[u64]>` copies pins exactly the rows a skewed
-//! load hammers.
+//! load hammers. The budget is counted in **bytes** of decoded payload
+//! (`--cache 512m`), not rows — one hub row can outweigh thousands of
+//! leaves, so a row count would make the resident footprint unpredictable.
 //!
 //! The cache is striped: keys hash to one of a fixed number of stripes,
 //! each behind its own `RwLock`, and the hit path takes only the *shared*
@@ -31,6 +33,13 @@ use std::sync::{Arc, RwLock};
 /// Number of independently locked stripes.
 const STRIPES: usize = 16;
 
+/// The budget charge for one cached row: its decoded payload, with a
+/// floor of one word so empty rows still count against the budget.
+#[inline]
+fn row_cost(row: &[u64]) -> u64 {
+    (row.len().max(1) as u64) * 8
+}
+
 struct Entry {
     row: Arc<[u64]>,
     /// Last-touch stamp, updated under the *shared* lock on every hit.
@@ -39,8 +48,10 @@ struct Entry {
 
 struct Stripe {
     map: HashMap<u64, Entry>,
-    /// Maximum resident rows in this stripe.
-    cap: usize,
+    /// Maximum resident row **bytes** in this stripe.
+    cap: u64,
+    /// Resident row bytes (sum of [`row_cost`] over the map).
+    bytes: u64,
     /// Monotone touch counter, *per stripe* so concurrent hits on
     /// different stripes never share a contended cache line (relaxed;
     /// exact ordering between racing touches does not matter for an
@@ -48,42 +59,47 @@ struct Stripe {
     clock: AtomicU64,
 }
 
-/// A striped LRU of decoded rows keyed by product vertex.
+/// A striped LRU of decoded rows keyed by product vertex, bounded by a
+/// **byte** budget: each row charges its decoded payload (`row_cost`),
+/// so hub rows with millions of neighbors and empty rows are accounted
+/// at what they actually occupy, not one slot each.
 pub struct RowCache {
     stripes: Vec<RwLock<Stripe>>,
-    capacity: usize,
+    capacity: u64,
 }
 
 impl std::fmt::Debug for RowCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RowCache")
-            .field("capacity", &self.capacity)
+            .field("capacity_bytes", &self.capacity)
+            .field("bytes", &self.bytes())
             .field("len", &self.len())
             .finish()
     }
 }
 
 impl RowCache {
-    /// A cache holding **at most** `capacity` rows (≥ 1; treated as the
-    /// operator's memory budget, so it is a hard bound), striped over up
-    /// to 16 independently locked segments. When `capacity` is not a
-    /// multiple of the stripe count the per-stripe quota rounds *down*,
-    /// trading a few unused slots for never exceeding the bound.
-    pub fn new(capacity: usize) -> RowCache {
-        let capacity = capacity.max(1);
-        let stripes = STRIPES.min(capacity);
-        let per_stripe = capacity / stripes; // ≥ 1 since stripes ≤ capacity
+    /// A cache holding **at most** `budget_bytes` of decoded row payload
+    /// (treated as the operator's memory budget, so it is a hard bound),
+    /// striped over 16 independently locked segments. The per-stripe
+    /// quota rounds *down*, trading a few unused bytes for never
+    /// exceeding the bound; a single row larger than its stripe's quota
+    /// is simply not cached (so a budget below `16 × 8` bytes caches
+    /// nothing at all).
+    pub fn new(budget_bytes: u64) -> RowCache {
+        let per_stripe = budget_bytes / STRIPES as u64;
         RowCache {
-            stripes: (0..stripes)
+            stripes: (0..STRIPES)
                 .map(|_| {
                     RwLock::new(Stripe {
                         map: HashMap::new(),
                         cap: per_stripe,
+                        bytes: 0,
                         clock: AtomicU64::new(0),
                     })
                 })
                 .collect(),
-            capacity,
+            capacity: budget_bytes,
         }
     }
 
@@ -95,8 +111,8 @@ impl RowCache {
         &self.stripes[(z as usize) % self.stripes.len()]
     }
 
-    /// The configured row capacity.
-    pub fn capacity(&self) -> usize {
+    /// The configured byte budget.
+    pub fn capacity(&self) -> u64 {
         self.capacity
     }
 
@@ -106,6 +122,12 @@ impl RowCache {
             .iter()
             .map(|s| s.read().unwrap().map.len())
             .sum()
+    }
+
+    /// Decoded row bytes currently resident (the sum each row charges
+    /// against the budget; never exceeds [`RowCache::capacity`]).
+    pub fn bytes(&self) -> u64 {
+        self.stripes.iter().map(|s| s.read().unwrap().bytes).sum()
     }
 
     /// Whether no rows are resident.
@@ -123,24 +145,37 @@ impl RowCache {
         Some(entry.row.clone())
     }
 
-    /// Insert (or refresh) `v`'s row, evicting the least-recently-touched
-    /// row of its stripe when the stripe is full.
+    /// Insert (or refresh) `v`'s row, evicting least-recently-touched
+    /// rows of its stripe until the new row's bytes fit the stripe's
+    /// budget. A row too large for the whole stripe is dropped rather
+    /// than blowing the bound (any stale copy under the same key is
+    /// still removed).
     pub fn insert(&self, v: u64, row: Arc<[u64]>) {
+        let cost = row_cost(&row);
         let mut s = self.stripe(v).write().unwrap();
         let stamp = s.clock.fetch_add(1, Ordering::Relaxed);
-        if s.map.len() >= s.cap && !s.map.contains_key(&v) {
-            // Evict the stripe's oldest entry. Stripes hold
-            // capacity/STRIPES rows, and inserts only happen on misses,
-            // so the linear scan is off the hit path entirely.
-            if let Some(oldest) = s
+        if let Some(old) = s.map.remove(&v) {
+            s.bytes -= row_cost(&old.row);
+        }
+        if cost > s.cap {
+            return;
+        }
+        // Evict the stripe's oldest entries until the budget holds. The
+        // stripe is small, and inserts only happen on misses, so the
+        // linear min-stamp scans are off the hit path entirely.
+        while s.bytes + cost > s.cap {
+            let Some(oldest) = s
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
                 .map(|(&k, _)| k)
-            {
-                s.map.remove(&oldest);
-            }
+            else {
+                break;
+            };
+            let evicted = s.map.remove(&oldest).expect("key came from the map");
+            s.bytes -= row_cost(&evicted.row);
         }
+        s.bytes += cost;
         s.map.insert(
             v,
             Entry {
@@ -207,6 +242,7 @@ impl RoutingStats {
                 .collect(),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_bytes: 0,
             remote_fetches: self.remote_fetches.load(Ordering::Relaxed),
         }
     }
@@ -224,6 +260,10 @@ pub struct RoutingReport {
     pub cache_hits: u64,
     /// Row fetches that missed the cache (and went to a shard).
     pub cache_misses: u64,
+    /// Decoded row bytes resident in the cache when the snapshot was
+    /// taken (0 when no cache is configured). Filled in by the engine —
+    /// the counters themselves don't know the cache.
+    pub cache_bytes: u64,
     /// Row fetches that crossed the wire to a cluster peer (a subset of
     /// the non-resident shards' `shard_fetches`); 0 on a single node.
     pub remote_fetches: u64,
@@ -264,6 +304,7 @@ impl RoutingReport {
             ("cache_hits", Json::num(self.cache_hits)),
             ("cache_misses", Json::num(self.cache_misses)),
             ("cache_hit_rate", Json::num(self.hit_rate())),
+            ("cache_bytes", Json::num(self.cache_bytes)),
             ("remote_fetches", Json::num(self.remote_fetches)),
         ])
     }
@@ -307,22 +348,23 @@ mod tests {
 
     #[test]
     fn get_returns_what_insert_stored() {
-        let c = RowCache::new(64);
+        let c = RowCache::new(64 * 1024);
         assert!(c.get(7).is_none());
         c.insert(7, row(&[1, 2, 3]));
         assert_eq!(c.get(7).unwrap().as_ref(), &[1, 2, 3]);
         assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 24);
         assert!(!c.is_empty());
     }
 
     #[test]
     fn eviction_prefers_least_recently_used() {
-        let c = RowCache::new(STRIPES); // one row per stripe
+        let c = RowCache::new(STRIPES as u64 * 8); // one 1-word row per stripe
         let keys = same_stripe_keys(3);
         let (a, b, cc) = (keys[0], keys[1], keys[2]);
         c.insert(a, row(&[1]));
         c.insert(b, row(&[2]));
-        // a was least recently used → evicted by b's insert (cap 1/stripe)
+        // a was least recently used → evicted by b's insert (8 B/stripe)
         assert!(c.get(a).is_none());
         assert!(c.get(b).is_some());
         // a later insert evicts b in turn
@@ -333,7 +375,7 @@ mod tests {
 
     #[test]
     fn refresh_on_get_protects_hot_rows() {
-        let c = RowCache::new(STRIPES * 2); // two rows per stripe
+        let c = RowCache::new(STRIPES as u64 * 16); // two 1-word rows per stripe
         let keys = same_stripe_keys(3);
         let (a, b, cc) = (keys[0], keys[1], keys[2]);
         c.insert(a, row(&[1]));
@@ -345,27 +387,56 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_a_hard_bound() {
-        // including awkward capacities: tiny, sub-stripe-count, and
-        // non-multiples of the stripe count
-        for cap in [1usize, 3, STRIPES - 1, STRIPES, STRIPES + 5, STRIPES * 4] {
+    fn byte_budget_is_a_hard_bound() {
+        // including awkward budgets: tiny (caches nothing), sub-word,
+        // and non-multiples of the stripe count — with rows of very
+        // different sizes
+        for cap in [1u64, 24, 8 * STRIPES as u64, 1000, 64 * 1024] {
             let c = RowCache::new(cap);
-            for k in 0..10_000u64 {
-                c.insert(k, row(&[k]));
+            for k in 0..2_000u64 {
+                let vals: Vec<u64> = (0..(k % 70)).collect();
+                c.insert(k, vals.into());
             }
             assert!(
-                c.len() <= c.capacity(),
-                "len {} must never exceed capacity {}",
-                c.len(),
+                c.bytes() <= c.capacity(),
+                "bytes {} must never exceed budget {}",
+                c.bytes(),
                 c.capacity()
             );
-            assert!(!c.is_empty());
         }
     }
 
     #[test]
+    fn one_oversized_row_is_dropped_not_admitted() {
+        let c = RowCache::new(STRIPES as u64 * 16); // 16 B per stripe
+        let big: Vec<u64> = (0..100).collect();
+        c.insert(5, big.into());
+        assert!(c.get(5).is_none(), "row larger than its stripe's budget");
+        assert_eq!(c.bytes(), 0);
+        // replacing a resident row with an oversized one removes the
+        // stale copy instead of serving it
+        c.insert(9, row(&[1]));
+        assert_eq!(c.get(9).unwrap().as_ref(), &[1]);
+        let big: Vec<u64> = (0..100).collect();
+        c.insert(9, big.into());
+        assert!(c.get(9).is_none(), "stale small copy must not survive");
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn empty_rows_still_charge_the_budget() {
+        let c = RowCache::new(STRIPES as u64 * 8); // one empty row per stripe
+        let keys = same_stripe_keys(2);
+        c.insert(keys[0], row(&[]));
+        assert_eq!(c.bytes(), 8);
+        c.insert(keys[1], row(&[]));
+        assert!(c.get(keys[0]).is_none(), "empty rows evict each other");
+        assert!(c.get(keys[1]).unwrap().is_empty());
+    }
+
+    #[test]
     fn concurrent_hits_and_inserts_stay_consistent() {
-        let c = std::sync::Arc::new(RowCache::new(64));
+        let c = std::sync::Arc::new(RowCache::new(64 * 1024));
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let c = c.clone();
@@ -380,7 +451,7 @@ mod tests {
                 });
             }
         });
-        assert!(c.len() <= c.capacity());
+        assert!(c.bytes() <= c.capacity());
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! ([`kron_stream::ShardSet::open_subset`]) of the same run directory and
 //! serves every query it receives — local rows zero-copy off its own
 //! mappings, non-resident rows fetched from a peer over the internal
-//! `GET /row?shard=S&v=V` endpoint (a raw little-endian `u64` row; see
-//! `ARCHITECTURE.md` § "Cluster serving" for the normative wire format).
+//! `GET /row?shard=S&v=V&enc=vd` endpoint. The fetcher asks for the
+//! varint delta encoding and decodes by the response's `Content-Type`
+//! (`application/kron-row-vd` → varint, `application/octet-stream` → raw
+//! little-endian `u64` words), so either side may be older without
+//! corrupting a row; see `ARCHITECTURE.md` § "Cluster serving" for the
+//! normative wire format.
 //!
 //! The **ownership map** has two layers, both static:
 //!
@@ -487,7 +491,10 @@ impl RemoteShards {
     /// pooled connection once, classify the outcome for the failover
     /// loop.
     fn try_fetch(&self, peer: &RemotePeer, shard: usize, v: u64) -> Result<Arc<[u64]>, Attempt> {
-        let path = format!("/row?shard={shard}&v={v}");
+        // Ask for the varint delta encoding; the answer's Content-Type —
+        // not the request — decides how to decode, so an older peer that
+        // ignores `enc` and answers raw words still decodes correctly.
+        let path = format!("/row?shard={shard}&v={v}&enc=vd");
         let fail =
             |detail: String| format!("peer {} (/row shard {shard} v {v}): {detail}", peer.spec);
         // Pop a pooled keep-alive connection or dial a fresh one; retry a
@@ -500,7 +507,7 @@ impl RemoteShards {
             None => Client::connect_timeout(peer.spec.addr.as_str(), self.timeout)
                 .map_err(|e| Attempt::Transport(fail(format!("connect: {e}"))))?,
         };
-        let (status, body) = match client.get_bytes(&path) {
+        let (status, ctype, body) = match client.get_bytes_typed(&path) {
             Ok(r) => r,
             Err(first) => {
                 drop(client); // stale — never pool it again
@@ -511,7 +518,7 @@ impl RemoteShards {
                     |e| Attempt::Transport(fail(format!("reconnect after {first}: {e}"))),
                 )?;
                 client
-                    .get_bytes(&path)
+                    .get_bytes_typed(&path)
                     .map_err(|e| Attempt::Transport(fail(format!("fetch (retried): {e}"))))?
             }
         };
@@ -533,6 +540,18 @@ impl RemoteShards {
                 "status {status}: {}",
                 String::from_utf8_lossy(&body).trim()
             )))));
+        }
+        if ctype == crate::http::ROW_VD_CONTENT_TYPE {
+            let mut row = Vec::new();
+            if !kron_stream::decode_row_vd(&body, &mut row) {
+                // a torn/corrupted stream — another replica may frame it
+                // right
+                return Err(Attempt::Transport(fail(format!(
+                    "body of {} bytes is not a well-formed varint delta row",
+                    body.len()
+                ))));
+            }
+            return Ok(row.into());
         }
         if body.len() % 8 != 0 {
             // a torn/corrupted stream — another replica may frame it right

@@ -5,7 +5,7 @@
 use crate::cache::{RoutingReport, RoutingStats, RowCache};
 use crate::cluster::{PeerSpec, RemoteShards};
 use crate::oracle::FactorOracle;
-use kron_stream::{ShardSet, StreamError};
+use kron_stream::{RowRef, ShardSet, StreamError};
 use kron_triangles::slice;
 use std::borrow::Cow;
 use std::path::Path;
@@ -200,10 +200,12 @@ pub struct OpenOptions {
     /// [`AnswerSource::CrossCheckSampled`] load the factor copies at open
     /// and fail if they are missing or stale.
     pub source: AnswerSource,
-    /// Capacity (in rows) of the LRU over hot decoded rows consulted by
-    /// the artifact triangle kernels; `0` disables it (pure zero-copy).
-    /// In a cluster, remote rows flow through the same LRU.
-    pub row_cache: usize,
+    /// Byte budget of the LRU over hot decoded rows consulted by the
+    /// artifact triangle kernels (each row charges its decoded payload,
+    /// 8 bytes per entry); `0` disables it (pure zero-copy). In a
+    /// cluster, remote rows flow through the same LRU. The CLI accepts
+    /// `--cache 512m`-style sizes.
+    pub row_cache_bytes: u64,
     /// Open only this contiguous shard range (`kron serve --shards a..b`):
     /// the multi-node case. `None` (the default) opens every shard. A
     /// partial subset requires [`OpenOptions::peers`] covering every
@@ -224,7 +226,7 @@ impl Default for OpenOptions {
         OpenOptions {
             verify_checksums: true,
             source: AnswerSource::Artifact,
-            row_cache: 0,
+            row_cache_bytes: 0,
             shard_subset: None,
             peers: Vec::new(),
             peer_timeout: crate::cluster::DEFAULT_PEER_TIMEOUT,
@@ -250,7 +252,7 @@ enum QueryPath {
 /// from a resident shard mapping, or an owned copy (out of the row cache
 /// or fetched from a peer).
 enum FetchedRow<'a> {
-    Mapped(&'a [u64]),
+    Mapped(RowRef<'a>),
     Cached(Arc<[u64]>),
 }
 
@@ -400,7 +402,7 @@ impl ServeEngine {
             set,
             source: opts.source,
             oracle,
-            cache: (opts.row_cache > 0).then(|| RowCache::new(opts.row_cache)),
+            cache: (opts.row_cache_bytes > 0).then(|| RowCache::new(opts.row_cache_bytes)),
             remote,
             routing,
             mismatch_count: AtomicU64::new(0),
@@ -478,9 +480,12 @@ impl ServeEngine {
         self.mismatch_log.lock().unwrap().clone()
     }
 
-    /// Snapshot of the per-shard routing and row-cache counters.
+    /// Snapshot of the per-shard routing and row-cache counters,
+    /// including the cache's resident bytes at snapshot time.
     pub fn routing(&self) -> RoutingReport {
-        self.routing.report()
+        let mut report = self.routing.report();
+        report.cache_bytes = self.cache.as_ref().map_or(0, RowCache::bytes);
+        report
     }
 
     /// The cluster peers this engine fetches non-resident rows from, in
@@ -646,7 +651,8 @@ impl ServeEngine {
     pub fn neighbors(&self, v: u64) -> Result<Cow<'_, [u64]>, ServeError> {
         fn as_cow(row: FetchedRow<'_>) -> Cow<'_, [u64]> {
             match row {
-                FetchedRow::Mapped(r) => Cow::Borrowed(r),
+                FetchedRow::Mapped(RowRef::Mapped(r)) => Cow::Borrowed(r),
+                FetchedRow::Mapped(RowRef::Decoded(r)) => Cow::Owned(r),
                 FetchedRow::Cached(r) => Cow::Owned(r.to_vec()),
             }
         }
@@ -1000,7 +1006,7 @@ mod tests {
         let e = ServeEngine::open_with(
             &dir,
             &OpenOptions {
-                row_cache: 8,
+                row_cache_bytes: 64 * 1024,
                 ..OpenOptions::default()
             },
         )
@@ -1018,6 +1024,10 @@ mod tests {
         assert!(rep.cache_hits > 0, "repeat load must hit the cache: {rep}");
         assert!(rep.cache_misses > 0);
         assert!(rep.total_fetches() > 0);
+        assert!(
+            rep.cache_bytes > 0 && rep.cache_bytes <= 64 * 1024,
+            "resident bytes must be counted and bounded: {rep}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -19,6 +19,13 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// The `Content-Type` of a varint delta-encoded `/row` body (the v2
+/// shard format's row encoding, served when the fetcher asks with
+/// `enc=vd`). A raw row is `application/octet-stream`; the fetcher must
+/// decode by the *declared* type, so an old node answering raw to a new
+/// node's `enc=vd` request stays correct across version skew.
+pub const ROW_VD_CONTENT_TYPE: &str = "application/kron-row-vd";
+
 /// Hard cap on a request head (request line + headers).
 pub const MAX_HEAD: usize = 64 * 1024;
 
@@ -461,7 +468,22 @@ impl Client {
     ///
     /// Same as [`Client::get`].
     pub fn get_bytes(&mut self, path: &str) -> io::Result<(u16, Vec<u8>)> {
-        self.request("GET", path, b"")
+        let (status, _ct, body) = self.request_typed("GET", path, b"")?;
+        Ok((status, body))
+    }
+
+    /// `GET path` → `(status, content-type, raw body bytes)` — for
+    /// binary endpoints whose body *encoding* is negotiated and declared
+    /// in `Content-Type` (the cluster's `/row` answers raw little-endian
+    /// words or the varint delta stream depending on what the fetching
+    /// node asked for, and the fetcher must decode by the declared type,
+    /// not by what it requested — that keeps version skew safe).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::get`].
+    pub fn get_bytes_typed(&mut self, path: &str) -> io::Result<(u16, String, Vec<u8>)> {
+        self.request_typed("GET", path, b"")
     }
 
     /// `POST path` with a body → `(status, body)`.
@@ -485,6 +507,16 @@ impl Client {
     }
 
     fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let (status, _ct, resp) = self.request_typed(method, path, body)?;
+        Ok((status, resp))
+    }
+
+    fn request_typed(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<(u16, String, Vec<u8>)> {
         write!(
             self.stream,
             "{method} {path} HTTP/1.1\r\nHost: kron\r\nContent-Length: {}\r\n\r\n",
@@ -495,7 +527,7 @@ impl Client {
         self.read_response()
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, Vec<u8>)> {
+    fn read_response(&mut self) -> io::Result<(u16, String, Vec<u8>)> {
         let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
         loop {
             if let Some(head_end) = find_head_end(&self.buf) {
@@ -509,6 +541,7 @@ impl Client {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
                 let mut content_length = 0usize;
+                let mut content_type = String::new();
                 for line in lines {
                     if let Some((name, value)) = line.split_once(':') {
                         if name.trim().eq_ignore_ascii_case("content-length") {
@@ -516,6 +549,8 @@ impl Client {
                                 .trim()
                                 .parse()
                                 .map_err(|_| bad(format!("bad Content-Length {value:?}")))?;
+                        } else if name.trim().eq_ignore_ascii_case("content-type") {
+                            content_type = value.trim().to_string();
                         }
                     }
                 }
@@ -523,7 +558,7 @@ impl Client {
                 if self.buf.len() >= total {
                     let body = self.buf[head_end + 4..total].to_vec();
                     self.buf.drain(..total);
-                    return Ok((status, body));
+                    return Ok((status, content_type, body));
                 }
             }
             let mut chunk = [0u8; 8192];

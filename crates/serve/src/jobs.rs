@@ -58,6 +58,23 @@ pub(crate) struct JobEntry {
 }
 
 impl JobEntry {
+    /// One line of the `GET /jobs` listing: id, kernel, and state only.
+    /// Result and error documents stay behind `GET /jobs/<id>` — a
+    /// listing that inlined every finished PageRank would grow without
+    /// bound.
+    pub(crate) fn summary_json(&self) -> Json {
+        let state = match &*self.state.lock().unwrap() {
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed { .. } => "failed",
+        };
+        Json::obj(vec![
+            ("id", Json::num(self.id)),
+            ("kernel", Json::str(self.kernel)),
+            ("state", Json::str(state)),
+        ])
+    }
+
     /// The poll document — the `GET /jobs/<id>` body without its
     /// trailing newline.
     pub(crate) fn to_json(&self) -> Json {
@@ -170,6 +187,16 @@ impl JobRegistry {
 
     pub(crate) fn validation_failures(&self) -> u64 {
         self.validation_failures.load(Ordering::Relaxed)
+    }
+
+    /// The `GET /jobs` body (without its trailing newline): every job
+    /// ever submitted, in submission order (= ascending id).
+    pub(crate) fn list_json(&self) -> Json {
+        let jobs = self.jobs.lock().unwrap();
+        Json::obj(vec![(
+            "jobs",
+            Json::Arr(jobs.iter().map(|j| j.summary_json()).collect()),
+        )])
     }
 
     /// The `"jobs"` object merged into `/stats`.

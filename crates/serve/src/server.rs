@@ -143,6 +143,10 @@ pub struct ServerReport {
     pub query_errors: u64,
     /// Raw adjacency rows served to cluster peers over `GET /row`.
     pub rows_served: u64,
+    /// Body bytes those `/row` responses carried, across both encodings.
+    /// Compared against `rows_served * 8 * mean row length` this shows
+    /// what the varint wire encoding (`enc=vd`) saved.
+    pub row_wire_bytes: u64,
     /// Queries that ran both answer paths (see
     /// [`ServeEngine::sampled_checks`]).
     pub sampled_checks: u64,
@@ -169,13 +173,15 @@ impl std::fmt::Display for ServerReport {
         write!(
             f,
             "{} requests ({} malformed), {} queries ({} errors), \
-             {} rows served to peers, {} sampled cross-checks, {} mismatches, \
+             {} rows served to peers ({} wire bytes), {} sampled cross-checks, \
+             {} mismatches, \
              {} jobs ({} failed, {} cancelled, {} validation failures)",
             self.requests,
             self.bad_requests,
             self.queries,
             self.query_errors,
             self.rows_served,
+            self.row_wire_bytes,
             self.sampled_checks,
             self.mismatches,
             self.jobs_submitted,
@@ -216,6 +222,7 @@ struct ServerState<'e> {
     queries: AtomicU64,
     query_errors: AtomicU64,
     rows_served: AtomicU64,
+    row_wire_bytes: AtomicU64,
     wedge_checks: AtomicU64,
     /// Rolling window of the most recent per-query latencies; `/stats`
     /// derives its percentile block from this.
@@ -249,6 +256,7 @@ impl ServerState<'_> {
             queries: self.queries.load(Ordering::Relaxed),
             query_errors: self.query_errors.load(Ordering::Relaxed),
             rows_served: self.rows_served.load(Ordering::Relaxed),
+            row_wire_bytes: self.row_wire_bytes.load(Ordering::Relaxed),
             sampled_checks: self.engine.sampled_checks(),
             mismatches: self.engine.mismatch_count(),
             jobs_submitted: self.jobs.submitted(),
@@ -296,6 +304,10 @@ impl ServerState<'_> {
             (
                 "rows_served",
                 Json::num(self.rows_served.load(Ordering::Relaxed)),
+            ),
+            (
+                "row_wire_bytes",
+                Json::num(self.row_wire_bytes.load(Ordering::Relaxed)),
             ),
             ("sampled_checks", Json::num(self.engine.sampled_checks())),
             ("mismatch_count", Json::num(self.engine.mismatch_count())),
@@ -393,6 +405,7 @@ impl Server {
             queries: AtomicU64::new(0),
             query_errors: AtomicU64::new(0),
             rows_served: AtomicU64::new(0),
+            row_wire_bytes: AtomicU64::new(0),
             wedge_checks: AtomicU64::new(0),
             recent: Mutex::new(Vec::new()),
             jobs: crate::jobs::JobRegistry::new(opts.max_jobs()),
@@ -517,15 +530,39 @@ fn route<'s>(
                 );
             }
             // in range of a validated resident shard ⇒ the row exists
-            let Some(row) = open.reader.row(v) else {
-                return (500, TEXT, b"error: resident row unavailable\n".to_vec());
+            let (ctype, body): (&'static str, Vec<u8>) = if req.query_param("enc") == Some("vd") {
+                // Varint delta body. A csr2 shard hands its encoded bytes
+                // out zero-copy; a v1 shard encodes on the fly, so the
+                // wire saving holds regardless of the on-disk format. Any
+                // other `enc` value (or none) falls through to raw words,
+                // which keeps old fetchers working unchanged.
+                let body = match open.reader.row_bytes_vd(v) {
+                    Some(bytes) => bytes.to_vec(),
+                    None => {
+                        let Some(row) = open.reader.row(v) else {
+                            return (500, TEXT, b"error: resident row unavailable\n".to_vec());
+                        };
+                        let mut out = Vec::new();
+                        kron_stream::encode_row_vd(&row, &mut out);
+                        out
+                    }
+                };
+                (http::ROW_VD_CONTENT_TYPE, body)
+            } else {
+                let Some(row) = open.reader.row(v) else {
+                    return (500, TEXT, b"error: resident row unavailable\n".to_vec());
+                };
+                let mut body = Vec::with_capacity(row.len() * 8);
+                for &w in &*row {
+                    body.extend_from_slice(&w.to_le_bytes());
+                }
+                (OCTETS, body)
             };
             state.rows_served.fetch_add(1, Ordering::Relaxed);
-            let mut body = Vec::with_capacity(row.len() * 8);
-            for w in row {
-                body.extend_from_slice(&w.to_le_bytes());
-            }
-            (200, OCTETS, body)
+            state
+                .row_wire_bytes
+                .fetch_add(body.len() as u64, Ordering::Relaxed);
+            (200, ctype, body)
         }
         ("GET", "/shards") => {
             // The node's slice of the ownership map — what a router (or a
@@ -586,6 +623,16 @@ fn route<'s>(
             }
         }
         ("GET", "/stats") => (200, JSON, format!("{}\n", state.stats_json()).into_bytes()),
+        ("GET", "/jobs") => {
+            // The listing: every job ever submitted, in submission order,
+            // as {id, kernel, state} summaries. Poll `/jobs/<id>` for
+            // result documents.
+            (
+                200,
+                JSON,
+                format!("{}\n", state.jobs.list_json()).into_bytes(),
+            )
+        }
         ("POST", "/jobs") => {
             let Ok(text) = std::str::from_utf8(&req.body) else {
                 return (400, TEXT, b"error: body is not UTF-8\n".to_vec());
@@ -830,6 +877,25 @@ mod tests {
                 .collect();
             assert_eq!(row, c.neighbors(v));
 
+            // /row with enc=vd: same row, varint delta body, declared by
+            // Content-Type, never larger than the raw words
+            let (status, ctype, vd) = client
+                .get_bytes_typed(&format!("/row?shard=0&v={v}&enc=vd"))
+                .unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(ctype, http::ROW_VD_CONTENT_TYPE);
+            let mut decoded = Vec::new();
+            assert!(kron_stream::decode_row_vd(&vd, &mut decoded));
+            assert_eq!(decoded, c.neighbors(v));
+            assert!(vd.len() <= bytes.len(), "{} > {}", vd.len(), bytes.len());
+
+            // an unknown encoding falls back to raw words
+            let (status, ctype, raw) = client
+                .get_bytes_typed(&format!("/row?shard=0&v={v}&enc=zstd"))
+                .unwrap();
+            assert_eq!((status, ctype.as_str()), (200, "application/octet-stream"));
+            assert_eq!(raw, bytes);
+
             // non-resident shard → 404; out-of-shard vertex → 422;
             // malformed → 400; unknown shard → 404
             let (status, body) = client.get(&format!("/row?shard=1&v={}", span.end)).unwrap();
@@ -848,7 +914,12 @@ mod tests {
             stop.store(true, Ordering::SeqCst);
             run.join().unwrap().unwrap()
         });
-        assert_eq!(report.rows_served, 1, "only the 200 fetch counts");
+        assert_eq!(report.rows_served, 3, "only the 200 fetches count");
+        assert!(
+            report.row_wire_bytes >= 3 * c.neighbors(span.start).len() as u64,
+            "wire bytes cover three bodies: {}",
+            report.row_wire_bytes
+        );
         assert_eq!(report.queries, 0, "/row is not a query");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -149,6 +149,15 @@ fn jobs_run_to_done_and_results_carry_validation() {
         assert_eq!(jobs.req("done").unwrap().as_u64(), Some(2));
         assert_eq!(jobs.req("running").unwrap().as_u64(), Some(0));
         assert_eq!(jobs.req("failed").unwrap().as_u64(), Some(0));
+
+        // GET /jobs lists both, in submission (= id) order, as
+        // summaries only — no result documents
+        let (status, body) = client.get("/jobs").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            body.trim(),
+            r#"{"jobs":[{"id":1,"kernel":"tri-census","state":"done"},{"id":2,"kernel":"bfs","state":"done"}]}"#
+        );
     });
     assert_eq!(report.jobs_submitted, 2);
     assert_eq!(report.jobs_failed, 0);
@@ -306,8 +315,11 @@ fn job_wire_rejects_malformed_requests_with_the_pinned_statuses() {
         assert_eq!(status, 404);
         let (status, _) = client.get("/jobs/xyz").unwrap();
         assert_eq!(status, 400);
-        let (status, _) = client.get("/jobs").unwrap();
-        assert_eq!(status, 405);
+        // the collection answers GET with a listing (empty so far);
+        // other methods stay 405
+        let (status, body) = client.get("/jobs").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.trim(), r#"{"jobs":[]}"#);
         let (status, _) = client.delete("/jobs").unwrap();
         assert_eq!(status, 405);
 

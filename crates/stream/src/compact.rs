@@ -1,0 +1,305 @@
+//! In-place conversion of a v1 (`csr`) run directory to v2 (`csr2`).
+//!
+//! `kron compact <DIR>` re-encodes every shard's raw `u64` column array
+//! as the varint delta-encoded v2 stream, rewrites each manifest
+//! (`format`, `version`, `file`, `file_bytes`), deletes the v1 artifact,
+//! and finally rewrites `run.json`. The closed-form statistics and the
+//! order-independent content checksum are **preserved verbatim** — the
+//! entries are identical, so [`crate::StreamHash`] is too, and a
+//! checksum-verified open of the compacted run proves the conversion
+//! byte-exact.
+//!
+//! The conversion is crash-safe and idempotent: each shard commits its
+//! v2 artifact atomically (`.tmp` + rename) *before* its manifest is
+//! rewritten, and `run.json` flips to `csr2` only after every shard has.
+//! Re-running `compact` on a partially converted directory finishes the
+//! job — already-converted shards are skipped (and their stale v1
+//! artifact, if a crash left one behind, is removed).
+
+use crate::csr::{file_size_checked, CsrReader};
+use crate::driver::{load_manifest, RUN_FILE};
+use crate::manifest::{manifest_name, write_json_atomic, OutputFormat};
+use crate::sink::{Csr2Sink, EdgeSink};
+use crate::{read_json, RunSummary, StreamError};
+use std::path::Path;
+
+/// Outcome of [`compact_run`].
+#[derive(Clone, Debug)]
+pub struct CompactReport {
+    /// Shards in the run.
+    pub shards: usize,
+    /// Shards converted by this invocation.
+    pub converted: usize,
+    /// Shards that were already csr2 (a resumed conversion).
+    pub skipped: usize,
+    /// Artifact bytes in v1 form (closed-form size for shards already
+    /// converted before this invocation).
+    pub bytes_before: u64,
+    /// Artifact bytes in v2 form.
+    pub bytes_after: u64,
+}
+
+impl CompactReport {
+    /// Compression ratio `v1 bytes / v2 bytes` (how many times smaller
+    /// the run became); 1.0 for an empty run.
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_after == 0 {
+            1.0
+        } else {
+            self.bytes_before as f64 / self.bytes_after as f64
+        }
+    }
+}
+
+fn shard_err(shard: usize, msg: String) -> StreamError {
+    StreamError::Shard(shard, msg)
+}
+
+/// Convert a v1 (`csr`) run directory to v2 (`csr2`) in place.
+///
+/// Safe to re-run: already-converted shards are skipped, a crashed
+/// conversion resumes where it stopped, and a fully-csr2 directory is a
+/// no-op that just reports sizes.
+///
+/// # Errors
+///
+/// [`StreamError::Config`] when the run's format is not `csr` or `csr2`
+/// (edge lists and count runs have nothing to compact);
+/// [`StreamError::Shard`] naming the first shard whose artifact is
+/// missing, malformed, or fails to convert; any manifest/summary error
+/// from reading the directory.
+pub fn compact_run(dir: &Path) -> Result<CompactReport, StreamError> {
+    let run_path = dir.join(RUN_FILE);
+    let run_doc = read_json(&run_path).map_err(|e| StreamError::Io(e.to_string()))?;
+    let mut run = RunSummary::from_json(&run_doc)
+        .map_err(|e| StreamError::Manifest(format!("{}: {e}", run_path.display())))?;
+    if !matches!(run.format, OutputFormat::Csr | OutputFormat::Csr2) {
+        return Err(StreamError::Config(format!(
+            "{}: run format is {:?}; only csr runs can be compacted",
+            dir.display(),
+            run.format.as_str()
+        )));
+    }
+
+    let mut report = CompactReport {
+        shards: run.shards,
+        converted: 0,
+        skipped: 0,
+        bytes_before: 0,
+        bytes_after: 0,
+    };
+    for index in 0..run.shards {
+        let m = load_manifest(dir, index)?;
+        if m.shard != index {
+            return Err(shard_err(index, format!("manifest says shard {}", m.shard)));
+        }
+        match m.format {
+            OutputFormat::Csr2 => {
+                // Already converted (this run resumed). The artifact must
+                // still be there and the right size.
+                let name = m
+                    .file
+                    .as_deref()
+                    .ok_or_else(|| shard_err(index, "csr2 shard has no file".into()))?;
+                let len = std::fs::metadata(dir.join(name))
+                    .map(|md| md.len())
+                    .map_err(|e| shard_err(index, format!("{name}: {e}")))?;
+                if len != m.file_bytes {
+                    return Err(shard_err(
+                        index,
+                        format!(
+                            "{name}: {len} bytes on disk, manifest says {}",
+                            m.file_bytes
+                        ),
+                    ));
+                }
+                // A crash between manifest rewrite and v1 deletion can
+                // leave the old artifact behind; finish the job.
+                if let Some(old) = OutputFormat::Csr.artifact_name(index) {
+                    let _ = std::fs::remove_file(dir.join(old));
+                }
+                let rows = m.vertices.end - m.vertices.start;
+                let v1_size = u64::try_from(m.entries)
+                    .ok()
+                    .and_then(|nnz| file_size_checked(rows, nnz))
+                    .ok_or_else(|| shard_err(index, "manifest dimensions overflow".into()))?;
+                report.skipped += 1;
+                report.bytes_before += v1_size;
+                report.bytes_after += len;
+            }
+            OutputFormat::Csr => {
+                let name = m
+                    .file
+                    .as_deref()
+                    .ok_or_else(|| shard_err(index, "csr shard has no file".into()))?;
+                let old_path = dir.join(name);
+                let reader =
+                    CsrReader::open(&old_path).map_err(|e| shard_err(index, e.to_string()))?;
+                if reader.vertex_lo() != m.vertices.start
+                    || reader.num_rows() != m.vertices.end - m.vertices.start
+                    || u128::from(reader.nnz()) != m.entries
+                {
+                    return Err(shard_err(
+                        index,
+                        format!("{name}: mapped header disagrees with manifest"),
+                    ));
+                }
+                let name2 = OutputFormat::Csr2
+                    .artifact_name(index)
+                    .expect("csr2 names artifacts");
+                // Row lengths come straight from the v1 offset array —
+                // no factors needed, so compact works on a bare run.
+                let offsets = reader.offsets();
+                let lengths = offsets.windows(2).map(|w| w[1] - w[0]);
+                let mut sink = Csr2Sink::create(dir, &name2, reader.vertex_lo(), lengths)
+                    .map_err(|e| shard_err(index, e.to_string()))?;
+                for (p, q) in reader.entries() {
+                    sink.push(p, q)
+                        .map_err(|e| shard_err(index, e.to_string()))?;
+                }
+                let (file, bytes) = sink
+                    .finish()
+                    .map_err(|e| shard_err(index, e.to_string()))?
+                    .expect("csr2 sink commits a file");
+                // Entries are identical, so the stream hash and every
+                // closed-form statistic carry over untouched.
+                let mut m2 = m.clone();
+                m2.format = OutputFormat::Csr2;
+                m2.file = Some(file);
+                m2.file_bytes = bytes;
+                write_json_atomic(dir, &manifest_name(index), &m2.to_json())
+                    .map_err(|e| shard_err(index, e.to_string()))?;
+                drop(reader);
+                std::fs::remove_file(&old_path)
+                    .map_err(|e| shard_err(index, format!("{name}: {e}")))?;
+                report.converted += 1;
+                report.bytes_before += m.file_bytes;
+                report.bytes_after += bytes;
+            }
+            other => {
+                return Err(shard_err(
+                    index,
+                    format!(
+                        "manifest format is {}, expected csr or csr2",
+                        other.as_str()
+                    ),
+                ));
+            }
+        }
+    }
+
+    if run.format != OutputFormat::Csr2 {
+        run.format = OutputFormat::Csr2;
+        write_json_atomic(dir, RUN_FILE, &run.to_json())
+            .map_err(|e| StreamError::Io(e.to_string()))?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{stream_product, StreamConfig};
+    use crate::{verify_shards, ShardSet};
+    use kron::KronProduct;
+    use kron_graph::Graph;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kron_compact_test_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn product() -> KronProduct {
+        let a = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 4), (5, 5)]);
+        let b = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 3), (0, 0)]);
+        KronProduct::new(a, b)
+    }
+
+    #[test]
+    fn compact_converts_in_place_preserving_checksums_and_answers() {
+        let dir = tmpdir("roundtrip");
+        let c = product();
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+        cfg.shards = 3;
+        stream_product(&c, &cfg).unwrap();
+        let before: Vec<_> = (0..3).map(|i| load_manifest(&dir, i).unwrap()).collect();
+
+        let report = compact_run(&dir).unwrap();
+        assert_eq!(report.converted, 3);
+        assert_eq!(report.skipped, 0);
+        assert!(
+            report.bytes_after < report.bytes_before,
+            "compaction must shrink: {report:?}"
+        );
+        assert!(report.ratio() > 1.0);
+
+        // manifests: format flipped, stats and checksums untouched
+        for (i, old) in before.iter().enumerate() {
+            let m = load_manifest(&dir, i).unwrap();
+            assert_eq!(m.format, OutputFormat::Csr2);
+            assert_eq!(m.hash, old.hash, "shard {i} checksum must be preserved");
+            assert_eq!(m.entries, old.entries);
+            assert_eq!(m.triangle_sum, old.triangle_sum);
+            assert!(!dir.join(old.file.as_deref().unwrap()).exists());
+        }
+        // the compacted run passes full verification and answers rows
+        verify_shards(&dir, true).unwrap();
+        let set = ShardSet::open_verified(&dir).unwrap();
+        assert_eq!(set.run().format, OutputFormat::Csr2);
+        for v in 0..c.num_vertices() {
+            assert_eq!(&*set.row(v).unwrap(), c.neighbors(v).as_slice(), "row {v}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_resumes_partial_conversions() {
+        let dir = tmpdir("resume");
+        let c = product();
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+        cfg.shards = 3;
+        stream_product(&c, &cfg).unwrap();
+        compact_run(&dir).unwrap();
+        // a second run is a no-op that still reports sizes
+        let again = compact_run(&dir).unwrap();
+        assert_eq!(again.converted, 0);
+        assert_eq!(again.skipped, 3);
+        assert!(again.bytes_before > again.bytes_after);
+
+        // simulate a crash mid-conversion: regenerate as csr, convert,
+        // then put shard 1's *old* state back (csr manifest + artifact)
+        let dir2 = tmpdir("resume_partial");
+        let mut cfg2 = StreamConfig::new(&dir2, OutputFormat::Csr);
+        cfg2.shards = 3;
+        stream_product(&c, &cfg2).unwrap();
+        let m1 = load_manifest(&dir2, 1).unwrap();
+        let v1_name = m1.file.as_deref().unwrap().to_string();
+        let v1_bytes = std::fs::read(dir2.join(&v1_name)).unwrap();
+        compact_run(&dir2).unwrap();
+        std::fs::write(dir2.join(&v1_name), &v1_bytes).unwrap();
+        write_json_atomic(&dir2, &manifest_name(1), &m1.to_json()).unwrap();
+        // run.json already says csr2, but shard 1 is back to csr — the
+        // rerun must convert exactly that one and heal the directory
+        let heal = compact_run(&dir2).unwrap();
+        assert_eq!(heal.converted, 1);
+        assert_eq!(heal.skipped, 2);
+        verify_shards(&dir2, false).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn compact_rejects_non_csr_runs() {
+        let dir = tmpdir("edges");
+        let c = product();
+        let mut cfg = StreamConfig::new(&dir, OutputFormat::Edges);
+        cfg.shards = 2;
+        stream_product(&c, &cfg).unwrap();
+        let err = compact_run(&dir).unwrap_err();
+        assert!(matches!(err, StreamError::Config(_)), "{err}");
+        assert!(err.to_string().contains("only csr runs"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

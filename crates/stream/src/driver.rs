@@ -6,7 +6,7 @@ use crate::manifest::{
     StreamHash,
 };
 use crate::plan::{ShardPlan, ShardSpec};
-use crate::sink::{CountSink, CsrSink, EdgeListSink, EdgeSink};
+use crate::sink::{CountSink, Csr2Sink, CsrSink, EdgeListSink, EdgeSink};
 use crate::StreamError;
 use kron::KronProduct;
 use std::path::{Path, PathBuf};
@@ -144,6 +144,15 @@ fn make_sink<'a>(
             )
             .map_err(io_err)?,
         ),
+        OutputFormat::Csr2 => Box::new(
+            Csr2Sink::create(
+                dir,
+                &named()?,
+                spec.stats.vertices.start,
+                product.row_lengths_in_rows(spec.stats.rows.clone()),
+            )
+            .map_err(io_err)?,
+        ),
     })
 }
 
@@ -175,6 +184,7 @@ fn remove_stale_shard_files(
     let keep_ext = match format {
         OutputFormat::Edges => Some("edges"),
         OutputFormat::Csr => Some("csr"),
+        OutputFormat::Csr2 => Some("csr2"),
         OutputFormat::Count => None,
     };
     for entry in std::fs::read_dir(dir)? {
@@ -192,7 +202,7 @@ fn remove_stale_shard_files(
         };
         let stale = match ext {
             "json" => index >= shards,
-            "edges" | "csr" => index >= shards || keep_ext != Some(ext),
+            "edges" | "csr" | "csr2" => index >= shards || keep_ext != Some(ext),
             _ if ext.ends_with("tmp") => true,
             _ => false,
         };

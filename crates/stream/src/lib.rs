@@ -14,7 +14,11 @@
 //!   ([`MemorySink`]), a buffered binary edge-list writer
 //!   ([`EdgeListSink`], fixed-width little-endian `u64` pairs), a two-pass
 //!   on-disk CSR writer ([`CsrSink`]) with an mmap-backed zero-copy reader
-//!   ([`CsrReader`]), or a statistics-only counter ([`CountSink`]);
+//!   ([`CsrReader`]), its varint delta-encoded v2 sibling ([`Csr2Sink`] /
+//!   [`Csr2Reader`], roughly 4× smaller on sorted rows, unified behind
+//!   [`CsrMap`] + [`RowRef`]), or a statistics-only counter
+//!   ([`CountSink`]); [`compact_run`] converts a v1 run to v2 in place
+//!   with checksums preserved;
 //! * [`ShardManifest`] — per-shard JSON recording the shard's range, entry
 //!   count, closed-form checksums (degree sum, triangle-participation sum)
 //!   and an order-independent content hash, so every shard is
@@ -48,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+mod compact;
 pub mod csr;
 mod driver;
 pub mod json;
@@ -58,14 +63,15 @@ mod plan;
 mod sink;
 mod verify;
 
-pub use csr::CsrReader;
+pub use compact::{compact_run, CompactReport};
+pub use csr::{decode_row_vd, encode_row_vd, Csr2Reader, CsrMap, CsrReader, RowRef};
 pub use driver::{
     load_manifest, run_shard, stream_product, StreamConfig, FACTOR_A_FILE, FACTOR_B_FILE, RUN_FILE,
 };
-pub use manifest::{manifest_name, OutputFormat, RunSummary, ShardManifest, StreamHash};
+pub use manifest::{manifest_name, read_json, OutputFormat, RunSummary, ShardManifest, StreamHash};
 pub use open::{OpenShard, ShardSet};
 pub use plan::{ShardPlan, ShardSpec, MAX_SHARDS};
-pub use sink::{CountSink, CsrSink, EdgeListSink, EdgeSink, MemorySink};
+pub use sink::{CountSink, Csr2Sink, CsrSink, EdgeListSink, EdgeSink, MemorySink};
 pub use verify::{verify_shards, VerifyReport};
 
 /// Errors of the streaming subsystem.

@@ -11,8 +11,10 @@ use std::path::Path;
 pub enum OutputFormat {
     /// Binary edge list: fixed-width little-endian `u64` pairs.
     Edges,
-    /// On-disk CSR (see [`crate::csr`]).
+    /// On-disk CSR, raw `u64` columns (see [`crate::csr`]).
     Csr,
+    /// On-disk CSR v2, varint delta-encoded columns (see [`crate::csr`]).
+    Csr2,
     /// No artifact — manifests and closed-form statistics only.
     Count,
 }
@@ -23,6 +25,7 @@ impl OutputFormat {
         match self {
             OutputFormat::Edges => "edges",
             OutputFormat::Csr => "csr",
+            OutputFormat::Csr2 => "csr2",
             OutputFormat::Count => "count",
         }
     }
@@ -31,14 +34,15 @@ impl OutputFormat {
     ///
     /// # Errors
     ///
-    /// A message naming the unrecognized format.
+    /// A message naming the unrecognized format and the accepted set.
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "edges" => Ok(OutputFormat::Edges),
             "csr" => Ok(OutputFormat::Csr),
+            "csr2" => Ok(OutputFormat::Csr2),
             "count" => Ok(OutputFormat::Count),
             other => Err(format!(
-                "unknown format {other:?} (expected edges, csr, or count)"
+                "unknown format {other:?} (expected edges, csr, csr2, or count)"
             )),
         }
     }
@@ -48,7 +52,19 @@ impl OutputFormat {
         match self {
             OutputFormat::Edges => Some(format!("shard_{shard:05}.edges")),
             OutputFormat::Csr => Some(format!("shard_{shard:05}.csr")),
+            OutputFormat::Csr2 => Some(format!("shard_{shard:05}.csr2")),
             OutputFormat::Count => None,
+        }
+    }
+
+    /// On-disk format version declared in manifests: 2 for [`Csr2`],
+    /// 1 for everything else.
+    ///
+    /// [`Csr2`]: OutputFormat::Csr2
+    pub fn version(self) -> u64 {
+        match self {
+            OutputFormat::Csr2 => 2,
+            _ => 1,
         }
     }
 }
@@ -174,6 +190,7 @@ impl ShardManifest {
             ("vertex_lo", Json::num(self.vertices.start)),
             ("vertex_hi", Json::num(self.vertices.end)),
             ("format", Json::str(self.format.as_str())),
+            ("version", Json::num(self.format.version())),
             (
                 "file",
                 match &self.file {
@@ -209,6 +226,18 @@ impl ShardManifest {
         };
         let format =
             OutputFormat::parse(j.req("format")?.as_str().ok_or("format is not a string")?)?;
+        // `version` arrived with csr2; manifests written before it are
+        // implicitly version 1. When present it must agree with `format`.
+        if let Some(v) = j.get("version") {
+            let v = v.as_u64().ok_or("version is not an integer")?;
+            if v != format.version() {
+                return Err(format!(
+                    "version {v} contradicts format {:?} (expected {})",
+                    format.as_str(),
+                    format.version()
+                ));
+            }
+        }
         let file = match j.req("file")? {
             Json::Null => None,
             v => Some(v.as_str().ok_or("file is not a string")?.to_string()),
@@ -466,15 +495,55 @@ mod tests {
 
     #[test]
     fn format_parse_roundtrip() {
-        for f in [OutputFormat::Edges, OutputFormat::Csr, OutputFormat::Count] {
+        for f in [
+            OutputFormat::Edges,
+            OutputFormat::Csr,
+            OutputFormat::Csr2,
+            OutputFormat::Count,
+        ] {
             assert_eq!(OutputFormat::parse(f.as_str()).unwrap(), f);
         }
-        assert!(OutputFormat::parse("parquet").is_err());
+        let err = OutputFormat::parse("parquet").unwrap_err();
+        assert!(
+            err.contains("edges, csr, csr2, or count"),
+            "error must name the accepted set: {err}"
+        );
         assert_eq!(
             OutputFormat::Edges.artifact_name(7).unwrap(),
             "shard_00007.edges"
         );
+        assert_eq!(
+            OutputFormat::Csr2.artifact_name(7).unwrap(),
+            "shard_00007.csr2"
+        );
         assert_eq!(OutputFormat::Count.artifact_name(7), None);
         assert_eq!(manifest_name(7), "shard_00007.json");
+        assert_eq!(OutputFormat::Csr.version(), 1);
+        assert_eq!(OutputFormat::Csr2.version(), 2);
+    }
+
+    #[test]
+    fn manifest_version_tracks_format_and_rejects_contradiction() {
+        let m = sample();
+        let j = m.to_json();
+        assert_eq!(j.get("version").and_then(Json::as_u64), Some(1));
+        // a pre-version manifest (no `version` key) still parses
+        let mut pairs = match Json::parse(&j.to_string()).unwrap() {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        pairs.retain(|(k, _)| k != "version");
+        assert_eq!(ShardManifest::from_json(&Json::Obj(pairs)).unwrap(), m);
+        // a version that contradicts the format is rejected
+        let mut j = m.to_json();
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "version" {
+                    *v = Json::num(2u64);
+                }
+            }
+        }
+        let err = ShardManifest::from_json(&j).unwrap_err();
+        assert!(err.contains("version 2 contradicts"), "{err}");
     }
 }

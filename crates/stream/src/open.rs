@@ -5,7 +5,11 @@
 //! once, cross-checks each mapped header against its manifest, and then
 //! routes product vertices to shards by the plan's contiguous vertex
 //! ranges. After a successful open, every adjacency row of the product is
-//! reachable as a zero-copy `&[u64]` slice without loading the graph.
+//! reachable as a [`RowRef`] — a zero-copy `&[u64]` slice for v1 (`csr`)
+//! shards, a decoded-on-demand buffer for v2 (`csr2`) shards — without
+//! loading the graph. Both formats travel every path above this module
+//! identically; a run may even mix them per shard (the state a
+//! `kron compact` conversion passes through).
 //!
 //! Two levels of validation are offered:
 //!
@@ -30,7 +34,7 @@
 //! at all (only the small JSON manifests must); a run directory whose
 //! manifests do not cover the claimed range is rejected at open.
 
-use crate::csr::CsrReader;
+use crate::csr::{CsrMap, RowRef};
 use crate::driver::{load_manifest, RUN_FILE};
 use crate::manifest::{read_json, OutputFormat, RunSummary, ShardManifest, StreamHash};
 use crate::StreamError;
@@ -40,8 +44,9 @@ use std::path::{Path, PathBuf};
 pub struct OpenShard {
     /// The shard's manifest, as read from `shard_NNNNN.json`.
     pub manifest: ShardManifest,
-    /// The mmap-backed zero-copy reader over the shard's CSR artifact.
-    pub reader: CsrReader,
+    /// The mmap-backed reader over the shard's CSR artifact (either
+    /// format, dispatched on the file magic).
+    pub reader: CsrMap,
 }
 
 impl std::fmt::Debug for OpenShard {
@@ -148,14 +153,16 @@ impl ShardSet {
         verify: bool,
         subset: Option<std::ops::Range<usize>>,
     ) -> Result<ShardSet, StreamError> {
-        let run_doc = read_json(&dir.join(RUN_FILE)).map_err(|e| StreamError::Io(e.to_string()))?;
-        let run = RunSummary::from_json(&run_doc).map_err(StreamError::Manifest)?;
+        let run_path = dir.join(RUN_FILE);
+        let run_doc = read_json(&run_path).map_err(|e| StreamError::Io(e.to_string()))?;
+        let run = RunSummary::from_json(&run_doc)
+            .map_err(|e| StreamError::Manifest(format!("{}: {e}", run_path.display())))?;
         crate::driver::check_shard_count(run.shards)
             .map_err(|e| StreamError::Manifest(format!("run.json: {e}")))?;
-        if run.format != OutputFormat::Csr {
+        if !matches!(run.format, OutputFormat::Csr | OutputFormat::Csr2) {
             return Err(StreamError::Config(format!(
-                "{}: run format is {:?}; only csr shards are queryable in place \
-                 (regenerate with --format csr)",
+                "{}: run format is {:?}; only csr or csr2 shards are queryable in place \
+                 (regenerate with --format csr2)",
                 dir.display(),
                 run.format.as_str()
             )));
@@ -199,11 +206,14 @@ impl ShardSet {
                     format!("manifest says shard {}", manifest.shard),
                 ));
             }
-            if manifest.format != OutputFormat::Csr {
+            // A shard may individually be csr or csr2 — a run mid-way
+            // through `kron compact` mixes both, and each artifact's
+            // reader is picked per shard — but never a non-CSR format.
+            if !matches!(manifest.format, OutputFormat::Csr | OutputFormat::Csr2) {
                 return Err(StreamError::Shard(
                     index,
                     format!(
-                        "manifest format is {}, run is csr",
+                        "manifest format is {}, expected csr or csr2",
                         manifest.format.as_str()
                     ),
                 ));
@@ -232,7 +242,17 @@ impl ShardSet {
                 .ok_or_else(|| StreamError::Shard(index, "csr shard has no file".into()))?;
             let path = dir.join(name);
             let reader =
-                CsrReader::open(&path).map_err(|e| StreamError::Shard(index, e.to_string()))?;
+                CsrMap::open(&path).map_err(|e| StreamError::Shard(index, e.to_string()))?;
+            if reader.is_v2() != (manifest.format == OutputFormat::Csr2) {
+                return Err(StreamError::Shard(
+                    index,
+                    format!(
+                        "{name}: artifact magic says {}, manifest says {}",
+                        if reader.is_v2() { "csr2" } else { "csr" },
+                        manifest.format.as_str()
+                    ),
+                ));
+            }
             if reader.vertex_lo() != manifest.vertices.start
                 || reader.num_rows() != manifest.vertices.end - manifest.vertices.start
                 || u128::from(reader.nnz()) != manifest.entries
@@ -363,24 +383,25 @@ impl ShardSet {
         (i < self.ranges.len() && self.ranges[i].contains(&v)).then_some(i)
     }
 
-    /// The adjacency row of product vertex `v` as a zero-copy slice into
-    /// the owning shard's mapping (sorted ascending, self loop included),
-    /// or `None` if `v` is outside every shard **or its shard is not
-    /// resident in this set's subset**.
-    pub fn row(&self, v: u64) -> Option<&[u64]> {
+    /// The adjacency row of product vertex `v` (sorted ascending, self
+    /// loop included) as a [`RowRef`] — zero-copy into the owning shard's
+    /// mapping for v1, decoded on demand for v2 — or `None` if `v` is
+    /// outside every shard **or its shard is not resident in this set's
+    /// subset**.
+    pub fn row(&self, v: u64) -> Option<RowRef<'_>> {
         let shard = self.route(v)?;
         self.local(shard)?.reader.row(v)
     }
 
     /// Iterate `(vertex, row)` pairs of the resident shard with run-wide
     /// index `shard`, in ascending vertex order, or `None` when that
-    /// shard is not in the claimed subset. Rows are zero-copy sorted
-    /// slices into the shard's mapping.
+    /// shard is not in the claimed subset. Rows arrive as sorted
+    /// [`RowRef`]s (zero-copy for v1 shards, decoded for v2).
     ///
     /// This is the shard-ordered traversal the whole-graph kernels in
     /// `kron-analyze` stream over: one call per shard of the plan, each
     /// walking its vertex range without touching the routing table.
-    pub fn shard_rows(&self, shard: usize) -> Option<impl Iterator<Item = (u64, &[u64])> + '_> {
+    pub fn shard_rows(&self, shard: usize) -> Option<impl Iterator<Item = (u64, RowRef<'_>)> + '_> {
         self.local(shard).map(|o| o.reader.rows())
     }
 }
@@ -407,7 +428,11 @@ mod tests {
     }
 
     fn streamed(dir: &Path, c: &KronProduct, shards: usize) {
-        let mut cfg = StreamConfig::new(dir, OutputFormat::Csr);
+        streamed_fmt(dir, c, shards, OutputFormat::Csr);
+    }
+
+    fn streamed_fmt(dir: &Path, c: &KronProduct, shards: usize, format: OutputFormat) {
+        let mut cfg = StreamConfig::new(dir, format);
         cfg.shards = shards;
         stream_product(c, &cfg).unwrap();
     }
@@ -425,7 +450,7 @@ mod tests {
         for v in 0..c.num_vertices() {
             let shard = set.route(v).expect("in range");
             assert!(set.shards()[shard].manifest.vertices.contains(&v));
-            assert_eq!(set.row(v).unwrap(), c.neighbors(v).as_slice(), "row {v}");
+            assert_eq!(&*set.row(v).unwrap(), c.neighbors(v).as_slice(), "row {v}");
         }
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -462,7 +487,7 @@ mod tests {
             .count();
         assert!(empty > 0, "plan should contain empty shards");
         for v in 0..c.num_vertices() {
-            assert_eq!(set.row(v).unwrap(), c.neighbors(v).as_slice());
+            assert_eq!(&*set.row(v).unwrap(), c.neighbors(v).as_slice());
         }
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -546,7 +571,7 @@ mod tests {
             );
             // …but only claimed rows are resident
             if span.contains(&v) {
-                assert_eq!(set.row(v).unwrap(), c.neighbors(v).as_slice());
+                assert_eq!(&*set.row(v).unwrap(), c.neighbors(v).as_slice());
                 assert!(set.local(shard).is_some());
             } else {
                 assert!(set.row(v).is_none());
@@ -568,7 +593,7 @@ mod tests {
         let mut seen = Vec::new();
         for shard in set.subset() {
             for (v, row) in set.shard_rows(shard).unwrap() {
-                assert_eq!(row, c.neighbors(v).as_slice(), "vertex {v}");
+                assert_eq!(&*row, c.neighbors(v).as_slice(), "vertex {v}");
                 seen.push(v);
             }
         }
@@ -603,7 +628,7 @@ mod tests {
         std::fs::remove_file(dir.join(other.file.as_deref().unwrap())).unwrap();
         let set = ShardSet::open_subset_verified(&dir, 0..2).unwrap();
         for v in set.subset_vertices() {
-            assert_eq!(set.row(v).unwrap(), c.neighbors(v).as_slice());
+            assert_eq!(&*set.row(v).unwrap(), c.neighbors(v).as_slice());
         }
         // …but a *claimed* artifact must be present and valid
         assert!(ShardSet::open_subset(&dir, 2..3).is_err());
@@ -628,6 +653,100 @@ mod tests {
         let err = ShardSet::open_subset_verified(&dir, 1..3).unwrap_err();
         assert!(matches!(err, StreamError::Shard(2, _)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csr2_run_opens_verified_and_answers_like_csr() {
+        let dir = tmpdir("v2_route");
+        let dir1 = tmpdir("v2_route_twin");
+        let c = product();
+        streamed_fmt(&dir, &c, 3, OutputFormat::Csr2);
+        streamed(&dir1, &c, 3);
+        let set = ShardSet::open_verified(&dir).unwrap();
+        let twin = ShardSet::open_verified(&dir1).unwrap();
+        assert_eq!(set.num_shards(), 3);
+        assert!(
+            set.mapped_bytes() < twin.mapped_bytes(),
+            "csr2 must be smaller: {} vs {}",
+            set.mapped_bytes(),
+            twin.mapped_bytes()
+        );
+        for (s, t) in set.shards().iter().zip(twin.shards()) {
+            // identical entries ⇒ identical order-independent checksums
+            assert_eq!(s.manifest.hash, t.manifest.hash);
+            assert_eq!(s.manifest.format, OutputFormat::Csr2);
+        }
+        for v in 0..c.num_vertices() {
+            assert_eq!(&*set.row(v).unwrap(), c.neighbors(v).as_slice(), "row {v}");
+        }
+        for shard in set.subset() {
+            for ((v, row), (tv, trow)) in set
+                .shard_rows(shard)
+                .unwrap()
+                .zip(twin.shard_rows(shard).unwrap())
+            {
+                assert_eq!(v, tv);
+                assert_eq!(&*row, &*trow, "vertex {v}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir1).ok();
+    }
+
+    #[test]
+    fn open_verified_detects_tampered_csr2_stream() {
+        let dir = tmpdir("v2_tamper");
+        let c = product();
+        streamed_fmt(&dir, &c, 2, OutputFormat::Csr2);
+        // flip a byte in shard 1's varint column stream (past the byte
+        // offsets, preserving size and offset structure)
+        let m = load_manifest(&dir, 1).unwrap();
+        let path = dir.join(m.file.as_deref().unwrap());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let rows = (m.vertices.end - m.vertices.start) as usize;
+        let stream0 = 32 + 8 * (rows + 1);
+        bytes[stream0] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            ShardSet::open(&dir).is_ok(),
+            "structural open cannot see it"
+        );
+        let err = ShardSet::open_verified(&dir).unwrap_err();
+        assert!(matches!(err, StreamError::Shard(1, _)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_format_shards_open_but_renamed_artifacts_do_not() {
+        // The state `kron compact` passes through: some shards already
+        // csr2, the rest still csr. Both must serve.
+        let dir = tmpdir("mixed");
+        let dir2 = tmpdir("mixed_v2");
+        let c = product();
+        streamed(&dir, &c, 2);
+        streamed_fmt(&dir2, &c, 2, OutputFormat::Csr2);
+        // graft shard 1 (artifact + manifest) from the csr2 twin run
+        let m2 = load_manifest(&dir2, 1).unwrap();
+        let name2 = m2.file.as_deref().unwrap();
+        std::fs::copy(dir2.join(name2), dir.join(name2)).unwrap();
+        crate::manifest::write_json_atomic(&dir, &crate::manifest_name(1), &m2.to_json()).unwrap();
+        let set = ShardSet::open_verified(&dir).unwrap();
+        for v in 0..c.num_vertices() {
+            assert_eq!(&*set.row(v).unwrap(), c.neighbors(v).as_slice(), "row {v}");
+        }
+        // …but a manifest whose format contradicts the artifact magic is
+        // rejected, not silently misread
+        let m1 = load_manifest(&dir, 1).unwrap();
+        let mut lied = m1.clone();
+        lied.format = OutputFormat::Csr;
+        crate::manifest::write_json_atomic(&dir, &crate::manifest_name(1), &lied.to_json())
+            .unwrap();
+        let err = ShardSet::open(&dir).unwrap_err();
+        assert!(matches!(err, StreamError::Shard(1, _)), "{err}");
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
     }
 
     #[test]

@@ -12,13 +12,17 @@
 //! * [`CsrSink`] — two-pass on-disk CSR: pass 1 writes the header and the
 //!   closed-form row offsets, pass 2 appends column ids as entries stream
 //!   through. See [`crate::csr`] for the layout.
+//! * [`Csr2Sink`] — the varint delta-encoded v2 format: column gaps
+//!   stream through a LEB128 encoder while a second handle trails behind
+//!   filling in the byte-offset table as each row closes — still O(1)
+//!   memory. See [`crate::csr`] for the layout.
 //!
 //! File-backed sinks write to `<name>.tmp` and rename on
 //! [`EdgeSink::finish`], so a crashed run never leaves a plausible-looking
 //! partial artifact — resume logic treats a missing final file as "redo".
 
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Destination of one shard's adjacency-entry stream.
@@ -251,6 +255,181 @@ impl<I: Iterator<Item = u64>> EdgeSink for CsrSink<I> {
         debug_assert_eq!(
             Some(bytes),
             crate::csr::file_size_checked(self.num_rows, self.nnz)
+        );
+        Ok(Some((self.name.clone(), bytes)))
+    }
+}
+
+/// Streaming writer for the v2 (varint delta-encoded) CSR format.
+///
+/// Pass 1 at construction writes the header and zero-fills the byte-offset
+/// table from the closed-form row count. The streaming pass appends each
+/// column as a LEB128 varint gap to the main handle while a **second**
+/// handle, parked at the offset table, fills in the real byte offsets as
+/// each row closes — so like [`CsrSink`] the writer holds O(1) memory no
+/// matter how many rows the shard has. Columns within a row must arrive
+/// strictly ascending (the format stores gaps); the generator's row-major
+/// sorted stream satisfies this by construction.
+pub struct Csr2Sink<I: Iterator<Item = u64>> {
+    dir: PathBuf,
+    name: String,
+    tmp: PathBuf,
+    /// Appends the column stream past the offset table.
+    writer: BufWriter<File>,
+    /// Trails behind, overwriting the zero-filled offset table.
+    offsets: BufWriter<File>,
+    vertex_lo: u64,
+    num_rows: u64,
+    nnz: u64,
+    /// Entries written so far (must end at `nnz`).
+    written: u64,
+    /// Lengths of the rows after the current one (validation source).
+    lengths: I,
+    /// Row currently being filled (local index; meaningless when
+    /// `num_rows == 0`).
+    current_row: u64,
+    /// Entries the current row still accepts.
+    remaining: u64,
+    /// Column-stream bytes emitted so far (the next row boundary).
+    stream_bytes: u64,
+    /// Last column written to the current row, if any.
+    prev_col: Option<u64>,
+}
+
+impl<I: Iterator<Item = u64> + Clone> Csr2Sink<I> {
+    /// Write header + zeroed offset table (pass 1) and open the trailing
+    /// offset handle. Same contract as [`CsrSink::create`]: `row_lengths`
+    /// yields closed-form row lengths and is walked three times.
+    pub fn create(
+        dir: &Path,
+        name: &str,
+        vertex_lo: u64,
+        row_lengths: I,
+    ) -> io::Result<Csr2Sink<I>> {
+        let (tmp, mut writer) = tmp_writer(dir, name)?;
+        let (mut num_rows, mut nnz) = (0u64, 0u64);
+        for len in row_lengths.clone() {
+            num_rows += 1;
+            nnz = nnz
+                .checked_add(len)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "shard nnz > u64"))?;
+        }
+        writer.write_all(crate::csr::MAGIC2)?;
+        writer.write_all(&vertex_lo.to_le_bytes())?;
+        writer.write_all(&num_rows.to_le_bytes())?;
+        writer.write_all(&nnz.to_le_bytes())?;
+        for _ in 0..=num_rows {
+            writer.write_all(&0u64.to_le_bytes())?;
+        }
+        // The main handle must be fully flushed before the trailing
+        // offset handle starts overwriting the table, or a late flush of
+        // buffered zeros could clobber real offsets.
+        writer.flush()?;
+        let mut offsets_file = std::fs::OpenOptions::new().write(true).open(&tmp)?;
+        offsets_file.seek(SeekFrom::Start(crate::csr::HEADER))?;
+        let mut offsets = BufWriter::with_capacity(1 << 16, offsets_file);
+        offsets.write_all(&0u64.to_le_bytes())?; // offsets[0]
+        let mut lengths = row_lengths;
+        let remaining = lengths.next().unwrap_or(0);
+        Ok(Csr2Sink {
+            dir: dir.to_path_buf(),
+            name: name.to_string(),
+            tmp,
+            writer,
+            offsets,
+            vertex_lo,
+            num_rows,
+            nnz,
+            written: 0,
+            lengths,
+            current_row: 0,
+            remaining,
+            stream_bytes: 0,
+            prev_col: None,
+        })
+    }
+}
+
+impl<I: Iterator<Item = u64>> EdgeSink for Csr2Sink<I> {
+    fn push(&mut self, p: u64, q: u64) -> io::Result<()> {
+        let local = p.checked_sub(self.vertex_lo).filter(|&l| l < self.num_rows);
+        let local = local.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("vertex {p} outside shard starting at {}", self.vertex_lo),
+            )
+        })?;
+        // advance over rows already complete (possibly empty rows)
+        while self.current_row < local && self.remaining == 0 {
+            self.offsets.write_all(&self.stream_bytes.to_le_bytes())?;
+            self.prev_col = None;
+            self.current_row += 1;
+            self.remaining = self.lengths.next().unwrap_or(0);
+        }
+        if local != self.current_row || self.remaining == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "entry for vertex {p} out of row-major order or exceeds its closed-form row length"
+                ),
+            ));
+        }
+        let gap = match self.prev_col {
+            None => q,
+            Some(prev) if q > prev => q - prev,
+            Some(prev) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "columns of vertex {p} not strictly ascending ({q} after {prev}); \
+                         csr2 stores gaps and requires sorted rows"
+                    ),
+                ));
+            }
+        };
+        let mut buf = [0u8; 10];
+        let mut len = 0;
+        let mut x = gap;
+        while x >= 0x80 {
+            buf[len] = (x as u8 & 0x7f) | 0x80;
+            len += 1;
+            x >>= 7;
+        }
+        buf[len] = x as u8;
+        len += 1;
+        self.writer.write_all(&buf[..len])?;
+        self.stream_bytes += len as u64;
+        self.prev_col = Some(q);
+        self.remaining -= 1;
+        self.written += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<Option<(String, u64)>> {
+        if self.written != self.nnz {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "CSR shard incomplete: wrote {} of {} entries",
+                    self.written, self.nnz
+                ),
+            ));
+        }
+        // close every remaining row (all empty once nnz entries landed)
+        let open_rows = if self.num_rows == 0 {
+            0
+        } else {
+            self.num_rows - self.current_row
+        };
+        for _ in 0..open_rows {
+            self.offsets.write_all(&self.stream_bytes.to_le_bytes())?;
+        }
+        self.offsets.flush()?;
+        self.offsets.get_ref().sync_all()?;
+        let bytes = commit(&self.dir, &self.name, &self.tmp, &mut self.writer)?;
+        debug_assert_eq!(
+            Some(bytes),
+            crate::csr::file_size2_checked(self.num_rows, self.stream_bytes)
         );
         Ok(Some((self.name.clone(), bytes)))
     }

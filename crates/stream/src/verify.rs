@@ -2,7 +2,7 @@
 //! shard is re-checked against the closed-form factor statistics and its
 //! on-disk artifact.
 
-use crate::csr::CsrReader;
+use crate::csr::CsrMap;
 use crate::driver::{load_manifest, RUN_FILE};
 use crate::manifest::{read_json, OutputFormat, RunSummary, StreamHash};
 use crate::plan::ShardPlan;
@@ -46,8 +46,10 @@ fn shard_err(shard: usize, msg: String) -> StreamError {
 /// The first failing check, always naming the offending manifest or
 /// artifact file and the shard index.
 pub fn verify_shards(dir: &Path, rehash: bool) -> Result<VerifyReport, StreamError> {
-    let run_doc = read_json(&dir.join(RUN_FILE)).map_err(|e| StreamError::Io(e.to_string()))?;
-    let run = RunSummary::from_json(&run_doc).map_err(StreamError::Manifest)?;
+    let run_path = dir.join(RUN_FILE);
+    let run_doc = read_json(&run_path).map_err(|e| StreamError::Io(e.to_string()))?;
+    let run = RunSummary::from_json(&run_doc)
+        .map_err(|e| StreamError::Manifest(format!("{}: {e}", run_path.display())))?;
     crate::driver::check_shard_count(run.shards)
         .map_err(|e| StreamError::Manifest(format!("run.json: {e}")))?;
 
@@ -151,14 +153,26 @@ pub fn verify_shards(dir: &Path, rehash: bool) -> Result<VerifyReport, StreamErr
                     ));
                 }
             }
-            OutputFormat::Csr => {
-                let name = m
-                    .file
-                    .as_deref()
-                    .ok_or_else(|| shard_err(spec.index, "csr shard has no file".into()))?;
+            OutputFormat::Csr | OutputFormat::Csr2 => {
+                let name = m.file.as_deref().ok_or_else(|| {
+                    shard_err(
+                        spec.index,
+                        format!("{} shard has no file", m.format.as_str()),
+                    )
+                })?;
                 let path = dir.join(name);
                 let reader =
-                    CsrReader::open(&path).map_err(|e| shard_err(spec.index, e.to_string()))?;
+                    CsrMap::open(&path).map_err(|e| shard_err(spec.index, e.to_string()))?;
+                if reader.is_v2() != (m.format == OutputFormat::Csr2) {
+                    return Err(shard_err(
+                        spec.index,
+                        format!(
+                            "{name}: artifact magic says {}, manifest says {}",
+                            if reader.is_v2() { "csr2" } else { "csr" },
+                            m.format.as_str()
+                        ),
+                    ));
+                }
                 if reader.vertex_lo() != spec.stats.vertices.start
                     || reader.num_rows() != spec.stats.vertices.end - spec.stats.vertices.start
                     || reader.nnz() as u128 != m.entries
@@ -172,33 +186,34 @@ pub fn verify_shards(dir: &Path, rehash: bool) -> Result<VerifyReport, StreamErr
                     return Err(shard_err(spec.index, format!("{name}: size mismatch")));
                 }
                 artifact_bytes += m.file_bytes;
-                // per-row lengths must equal the closed form
-                let offsets = reader.offsets();
-                for (r, want) in product
-                    .row_lengths_in_rows(spec.stats.rows.clone())
-                    .enumerate()
-                {
-                    let got = offsets[r + 1] - offsets[r];
-                    if got != want {
+                // one pass over the rows of either format: per-row
+                // lengths against the closed form, strict column order
+                // (for v2 this also proves every varint decodes), and
+                // the content checksum
+                let mut hash = StreamHash::default();
+                let mut lengths = product.row_lengths_in_rows(spec.stats.rows.clone());
+                for (p, row) in reader.rows() {
+                    let want = lengths.next().unwrap_or(0);
+                    if row.len() as u64 != want {
                         return Err(shard_err(
                             spec.index,
-                            format!("{name}: row {r} has {got} entries, closed form says {want}"),
+                            format!(
+                                "{name}: row {p} has {} entries, closed form says {want}",
+                                row.len()
+                            ),
                         ));
                     }
-                }
-                let mut hash = StreamHash::default();
-                let mut prev: Option<(u64, u64)> = None;
-                for (p, q) in reader.entries() {
-                    if let Some((pp, pq)) = prev {
-                        if pp == p && pq >= q {
+                    let mut prev: Option<u64> = None;
+                    for &q in row.iter() {
+                        if prev.is_some_and(|pq| pq >= q) {
                             return Err(shard_err(
                                 spec.index,
                                 format!("{name}: row {p} columns not strictly ascending"),
                             ));
                         }
+                        prev = Some(q);
+                        hash.update(p, q);
                     }
-                    prev = Some((p, q));
-                    hash.update(p, q);
                 }
                 if hash != m.hash {
                     return Err(shard_err(

@@ -94,6 +94,20 @@ fn documented_row_and_shards_examples_match_the_server_verbatim() {
         "the documented /row head contradicts its own body"
     );
 
+    let vd_sec = section(&md, "#### `GET /row?enc=vd` wire example");
+    let vd_http = fenced(vd_sec, "http");
+    assert_eq!(
+        vd_http.len(),
+        2,
+        "/row?enc=vd example needs request + response head"
+    );
+    let vd_body = parse_hex(&fenced(vd_sec, "hex")[0]);
+    assert_eq!(
+        declared_length(&vd_http[1]),
+        vd_body.len(),
+        "the documented /row?enc=vd head contradicts its own body"
+    );
+
     let shards_sec = section(&md, "#### `GET /shards` wire example");
     let shards_http = fenced(shards_sec, "http");
     assert_eq!(shards_http.len(), 2);
@@ -158,8 +172,9 @@ fn documented_row_and_shards_examples_match_the_server_verbatim() {
                 String::from_utf8_lossy(&got)
             );
         };
-        // both exchanges on one keep-alive connection, like a real peer
+        // all exchanges on one keep-alive connection, like a real peer
         replay(&row_http[0], &row_http[1], &row_body);
+        replay(&vd_http[0], &vd_http[1], &vd_body);
         replay(&shards_http[0], &shards_http[1], &shards_body);
 
         stop.store(true, Ordering::SeqCst);

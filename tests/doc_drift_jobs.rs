@@ -117,6 +117,7 @@ fn documented_job_exchanges_match_the_server_verbatim() {
         .expect("read ARCHITECTURE.md");
     let post = exchange(&md, "#### `POST /jobs` wire example", true);
     let get = exchange(&md, "#### `GET /jobs/1` wire example", false);
+    let list = exchange(&md, "#### `GET /jobs` wire example", false);
     let delete = exchange(&md, "#### `DELETE /jobs/1` wire example", false);
 
     // Exactly the documented run directory: the 3-vertex triangle
@@ -177,6 +178,7 @@ fn documented_job_exchanges_match_the_server_verbatim() {
             std::thread::sleep(Duration::from_millis(5));
         }
         replay(&get);
+        replay(&list);
         replay(&delete);
 
         stop.store(true, Ordering::SeqCst);

@@ -338,19 +338,19 @@ fn large_scale_serving_sources_and_cache() {
         cfg.shards = 8;
         stream_product(&c, &cfg).unwrap();
     }
-    let open = |source, row_cache| {
+    let open = |source, row_cache_bytes| {
         ServeEngine::open_with(
             &dir,
             &OpenOptions {
                 verify_checksums: false,
                 source,
-                row_cache,
+                row_cache_bytes,
                 ..OpenOptions::default()
             },
         )
         .unwrap()
     };
-    let artifact = open(AnswerSource::Artifact, 4096);
+    let artifact = open(AnswerSource::Artifact, 32 << 20);
     let oracle = open(AnswerSource::Oracle, 0);
     let crosscheck = open(AnswerSource::CrossCheck, 0);
 
