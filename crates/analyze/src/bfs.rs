@@ -22,6 +22,40 @@ use std::sync::atomic::AtomicBool;
 /// Pull once the frontier exceeds n/PULL_DIVISOR vertices.
 const PULL_DIVISOR: u64 = 20;
 
+/// One push-direction frontier expansion over an arbitrary row source.
+///
+/// For each frontier vertex `v` (in slice order) the row is fetched via
+/// `row_of` and every neighbor `u` is handed to `emit(v, u)` in row
+/// order, so callers observe a deterministic discovery sequence. Strict
+/// about columns: a neighbor id `>= num_vertices` aborts with
+/// `bad_column(v, u)` — on a checksummed artifact that can only mean
+/// corruption.
+///
+/// This is the kernel shared between the analytics BFS ([`push_round`]
+/// runs it chunk-parallel over resident shards) and `kron-serve`'s
+/// traversal endpoints, whose row source transparently mixes zero-copy
+/// mapped rows with rows fetched from cluster peers.
+pub fn frontier_step<R, E>(
+    frontier: &[u64],
+    num_vertices: u64,
+    row_of: &mut dyn FnMut(u64) -> Result<R, E>,
+    bad_column: &dyn Fn(u64, u64) -> E,
+    emit: &mut dyn FnMut(u64, u64),
+) -> Result<(), E>
+where
+    R: std::ops::Deref<Target = [u64]>,
+{
+    for &v in frontier {
+        for &u in &*row_of(v)? {
+            if u >= num_vertices {
+                return Err(bad_column(v, u));
+            }
+            emit(v, u);
+        }
+    }
+    Ok(())
+}
+
 /// The deterministic outcome of one BFS run.
 pub(crate) struct BfsResult {
     pub source: u64,
@@ -136,19 +170,24 @@ fn push_round(
         .into_par_iter()
         .map(|slice| {
             let mut out = Vec::new();
-            for &v in slice {
-                check_stop(stop)?;
-                for &u in &*resident_row(set, v)? {
-                    if u >= n {
-                        return Err(AnalyzeError::Corrupt(format!(
-                            "row {v} names vertex {u}, but the product has only {n}"
-                        )));
-                    }
+            frontier_step(
+                slice,
+                n,
+                &mut |v| {
+                    check_stop(stop)?;
+                    resident_row(set, v)
+                },
+                &|v, u| {
+                    AnalyzeError::Corrupt(format!(
+                        "row {v} names vertex {u}, but the product has only {n}"
+                    ))
+                },
+                &mut |_, u| {
                     if !visited.test(u) {
                         out.push(u);
                     }
-                }
-            }
+                },
+            )?;
             Ok(out)
         })
         .collect();

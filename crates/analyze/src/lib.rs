@@ -42,6 +42,8 @@ mod cc;
 mod census;
 mod pagerank;
 
+pub use bfs::frontier_step;
+
 use kron::KronProduct;
 use kron_stream::json::Json;
 use kron_stream::{RowRef, ShardSet};

@@ -292,6 +292,73 @@ fn main() {
         results.push(("server".to_string(), "degree_http", stats));
     }
 
+    // Traversal loopback workload: `/path` and `/khop` over a live
+    // server on the cached artifact engine. One traversal fans out into
+    // many neighbor-row fetches, so the record is not just latency: the
+    // routing counters say how many rows each workload pulled and what
+    // the hot-row cache absorbed.
+    let (traversal_reqs, traversal_rows_fetched, traversal_hit_rate) = {
+        use kron_serve::http::Client;
+        use kron_serve::{Server, ServerOptions};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let server = Server::bind("127.0.0.1:0").expect("bind traversal server");
+        let addr = server.local_addr().expect("traversal local addr");
+        let stop = AtomicBool::new(false);
+        let mut rng = StdRng::seed_from_u64(1018);
+        let per_kind = (q / 20).max(16);
+        let path_reqs: Vec<String> = (0..per_kind)
+            .map(|_| {
+                format!(
+                    "/path?from={}&to={}",
+                    rng.gen_range(0..n_c),
+                    rng.gen_range(0..n_c)
+                )
+            })
+            .collect();
+        let khop_reqs: Vec<String> = (0..per_kind)
+            .map(|_| format!("/khop?v={}&k=2", rng.gen_range(0..n_c)))
+            .collect();
+        let before = cached.routing();
+        std::thread::scope(|s| {
+            let run = s.spawn(|| server.run(&cached, &ServerOptions::default(), &stop));
+            let mut client = Client::connect(addr).expect("connect traversal server");
+            for (kind, reqs) in [("path_http", &path_reqs), ("khop_http", &khop_reqs)] {
+                let t0 = Instant::now();
+                let mut lats = Vec::with_capacity(reqs.len());
+                let mut errors = 0usize;
+                for path in reqs.iter() {
+                    let q0 = Instant::now();
+                    let (status, _body) = client.get(path).expect("GET traversal");
+                    lats.push(q0.elapsed());
+                    errors += usize::from(status != 200);
+                }
+                let stats =
+                    QueryStats::from_samples(AnswerSource::Artifact, lats, errors, 0, 1, t0.elapsed(), 0);
+                assert_eq!(stats.errors, 0, "server/{kind}: traversals must not fail");
+                print_row("server", kind, &stats);
+                results.push(("server".to_string(), kind, stats));
+            }
+            drop(client);
+            stop.store(true, Ordering::SeqCst);
+            run.join().unwrap().expect("traversal server run");
+        });
+        let after = cached.routing();
+        let touched = (after.cache_hits + after.cache_misses)
+            .saturating_sub(before.cache_hits + before.cache_misses);
+        let hits = after.cache_hits.saturating_sub(before.cache_hits);
+        let hit_rate = if touched > 0 {
+            hits as f64 / touched as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "traversals: {} requests fetched {touched} rows, cache hit rate {:.2}",
+            2 * per_kind,
+            hit_rate
+        );
+        (2 * per_kind, touched, hit_rate)
+    };
+
     // Concurrency sweep: the event-loop server under 100 / 1000 / 10000
     // concurrent keep-alive connections, driven by the `stress_serve`
     // sibling binary as a child process (10K sockets per side want
@@ -545,6 +612,14 @@ fn main() {
                 ]),
             ),
             ("cache_speedup_tri_vertex_hot", Json::num(speedup_hot_cache)),
+            (
+                "traversal",
+                Json::obj(vec![
+                    ("requests", Json::num(traversal_reqs)),
+                    ("rows_fetched", Json::num(traversal_rows_fetched)),
+                    ("cache_hit_rate", Json::num(traversal_hit_rate)),
+                ]),
+            ),
             (
                 "results",
                 Json::Arr(

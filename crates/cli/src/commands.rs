@@ -82,8 +82,10 @@ USAGE:
              [--shards A..B --peers A..B=ADDR[,A..B=ADDR...]]
       long-lived HTTP server over the same engine: open + validate once,
       then answer GET /query?q=<query-line>, POST /batch (body = query
-      file), GET /stats (JSON counters + latency window + routing +
-      connection gauges + mismatch log), GET /healthz. ADDR like
+      file), GET /path?from=F&to=T[&max_depth=K] (bidirectional-BFS
+      shortest path), GET /khop?v=V&k=K (k-hop neighborhood), GET
+      /stats (JSON counters + latency window + routing + connection
+      gauges + mismatch log), GET /healthz. ADDR like
       127.0.0.1:8080 (port 0 binds an ephemeral port; the bound address
       is printed on stdout as `listening on http://…`). Connections ride
       a poll(2) event loop on one thread — --threads sizes the request
@@ -115,12 +117,26 @@ USAGE:
       failover and health ejection on fetch errors). Nodes also answer
       GET /shards (their claim) and the internal GET /row?shard=S&v=V
       row fetch
+  kron path <DIR> --from F --to T [--max-depth K]
+            [--source artifact|oracle|cross-check[:N]] [--cache BYTES]
+      bidirectional-BFS shortest path between two product vertices over
+      the CSR run directory DIR: prints the vertex sequence (space
+      separated) or `unreachable` on stdout, hop count and timing on
+      stderr. --max-depth bounds the search to K hops (a longer path
+      reports unreachable). The traversal walks the artifact rows
+      regardless of --source; under --source cross-check every returned
+      path is additionally re-certified edge-by-edge against the
+      artifact and the closed-form oracle, and any disagreement exits
+      nonzero. The same traversal is served over HTTP as GET
+      /path?from=F&to=T[&max_depth=K] and GET /khop?v=V&k=K on `kron
+      serve --listen` nodes, and forwarded by `kron route`
   kron route --peers ADDR[,ADDR...] --listen ADDR [--threads T]
              [--max-conns N] [--idle-timeout SECS] [--io-timeout SECS]
              [--rediscover SECS]
       stateless front end for a cluster of `kron serve --shards` nodes:
       learns each peer's claim from GET /shards at startup, then
-      forwards /query and /batch by vertex range, rotating round-robin
+      forwards /query, /batch, /path, and /khop by vertex range
+      (traversals route on their first vertex), rotating round-robin
       over the replicas of each vertex and failing over on connect
       errors, timeouts, and 5xx answers (answers byte-identical to a
       single node serving the whole run; a peer is ejected after 3
@@ -160,6 +176,7 @@ pub fn run(p: &ParsedArgs) -> Result<(), String> {
         "analyze" => cmd_analyze(p),
         "serve" => cmd_serve(p),
         "route" => cmd_route(p),
+        "path" => cmd_path(p),
         "verify-shards" => cmd_verify_shards(p),
         "help" | "--help" => {
             println!("{USAGE}");
@@ -350,6 +367,81 @@ fn cmd_query_shards(p: &ParsedArgs, dir: &str) -> Result<(), String> {
         match engine.edge_triangles(pv, qv).map_err(err)? {
             Some(d) => println!("  edge ({pv},{qv}): Δ_C = {d}"),
             None => println!("  ({pv},{qv}) is not an edge of C"),
+        }
+    }
+    if matches!(
+        source,
+        AnswerSource::CrossCheck | AnswerSource::CrossCheckSampled(_)
+    ) {
+        crosscheck_verdict(&engine)?;
+    }
+    Ok(())
+}
+
+/// `kron path <DIR> --from F --to T [--max-depth K]` — the traversal
+/// endpoints' bidirectional BFS, answered in-process over the run
+/// directory. Structural open like the shard-dir `kron query` (point
+/// traversals re-read only the rows they touch; `kron verify-shards`
+/// owns whole-artifact hashing).
+fn cmd_path(p: &ParsedArgs) -> Result<(), String> {
+    let dir = p.pos(0, "dir")?;
+    let from = parse_vertex(
+        p.options
+            .get("from")
+            .ok_or("missing required option --from V")?,
+    )?;
+    let to = parse_vertex(
+        p.options
+            .get("to")
+            .ok_or("missing required option --to V")?,
+    )?;
+    let max_depth = match p.options.get("max-depth") {
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| "--max-depth: hop count must be an integer".to_string())?,
+        ),
+        None => None,
+    };
+    let source = parse_source(p)?;
+    let opts = OpenOptions {
+        verify_checksums: false,
+        source,
+        row_cache_bytes: match p.options.get("cache") {
+            Some(s) => parse_byte_size(s).map_err(|e| format!("--cache: {e}"))?,
+            None => 0,
+        },
+        ..OpenOptions::default()
+    };
+    let engine = open_serve_engine(dir, &opts)?;
+    let t0 = Instant::now();
+    let answer = kron_serve::PathFinder::new(&engine)
+        .shortest_path(from, to, max_depth)
+        .map_err(|e| e.to_string())?;
+    match &answer.path {
+        Some(path) => {
+            eprintln!(
+                "path {from} -> {to}: {} hop(s) in {:.2?}",
+                path.len() - 1,
+                t0.elapsed()
+            );
+            println!(
+                "{}",
+                path.iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        None => {
+            eprintln!(
+                "path {from} -> {to}: unreachable{} in {:.2?}",
+                match max_depth {
+                    Some(k) => format!(" within {k} hop(s)"),
+                    None => String::new(),
+                },
+                t0.elapsed()
+            );
+            println!("unreachable");
         }
     }
     if matches!(

@@ -251,7 +251,7 @@ enum QueryPath {
 /// A row fetched for an artifact-path query: either borrowed straight
 /// from a resident shard mapping, or an owned copy (out of the row cache
 /// or fetched from a peer).
-enum FetchedRow<'a> {
+pub(crate) enum FetchedRow<'a> {
     Mapped(RowRef<'a>),
     Cached(Arc<[u64]>),
 }
@@ -259,7 +259,7 @@ enum FetchedRow<'a> {
 /// Why a row fetch failed: no shard owns the vertex (out of range — or
 /// corruption, when the vertex came from a mapped row), or the owning
 /// peer could not produce it.
-enum RowFetch {
+pub(crate) enum RowFetch {
     Unrouted,
     Failed(ServeError),
 }
@@ -587,13 +587,43 @@ impl ServeEngine {
     /// Fetch a neighbor row for intersection: through the LRU when one is
     /// configured, zero-copy from the mapping otherwise, over the wire
     /// for non-resident shards.
-    fn neighbor_row(&self, u: u64) -> Result<FetchedRow<'_>, RowFetch> {
+    pub(crate) fn neighbor_row(&self, u: u64) -> Result<FetchedRow<'_>, RowFetch> {
         self.fetch_row(u, true)
+    }
+
+    /// The adjacency row of `v` for traversal frontier expansion
+    /// (`/path`, `/khop`): through the hot-row LRU like a neighbor
+    /// fetch — repeated frontier expansion re-touches the same rows —
+    /// with unrouted vertices mapped to the out-of-range error a
+    /// primary read would produce.
+    pub(crate) fn traversal_row(&self, v: u64) -> Result<FetchedRow<'_>, ServeError> {
+        self.neighbor_row(v).map_err(|e| match e {
+            RowFetch::Unrouted => ServeError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.set.num_vertices(),
+            },
+            RowFetch::Failed(e) => e,
+        })
+    }
+
+    /// Account one traversal query (`/path`, `/khop`) on the query
+    /// counter. Traversals bypass [`Self::path`]'s per-query sampling:
+    /// their certification policy (certify every returned path under a
+    /// cross-check source) lives in [`crate::path`].
+    pub(crate) fn count_traversal_query(&self) {
+        self.query_counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one certified path on the sampled-check counter, so
+    /// `/stats` and the CLI verdict report traversal certifications the
+    /// same way they report scalar double-path checks.
+    pub(crate) fn count_certified(&self) {
+        self.sampled.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one cross-check disagreement: bump the counter, and keep
     /// rendered detail up to the log cap.
-    fn note_mismatch(&self, query: String, artifact: String, oracle: String) {
+    pub(crate) fn note_mismatch(&self, query: String, artifact: String, oracle: String) {
         self.mismatch_count.fetch_add(1, Ordering::Relaxed);
         let mut log = self.mismatch_log.lock().unwrap();
         if log.len() < MISMATCH_LOG_CAP {
@@ -730,7 +760,7 @@ impl ServeEngine {
         }
     }
 
-    fn has_edge_artifact(&self, u: u64, v: u64) -> Result<bool, ServeError> {
+    pub(crate) fn has_edge_artifact(&self, u: u64, v: u64) -> Result<bool, ServeError> {
         let row = self.row(u)?;
         if v >= self.set.num_vertices() {
             return Err(ServeError::VertexOutOfRange {

@@ -58,6 +58,15 @@
 //!   never crowds out point-query latency; job counters ride along in
 //!   `/stats`, and a job whose result contradicts the closed forms fails
 //!   with the mismatch report attached;
+//! * **traversal serving** — [`PathFinder`] answers `GET
+//!   /path?from=&to=` (bidirectional-BFS shortest paths, `kron path` on
+//!   the CLI) and `GET /khop?v=&k=` (k-hop neighborhoods with per-level
+//!   counts) through the same row-fetch path as everything else, so a
+//!   cluster node traverses the whole product while holding only its
+//!   claimed shards — remote rows ride `GET /row?enc=vd` and the
+//!   hot-row cache. Under a cross-check source, [`PathCertifier`]
+//!   re-verifies every returned path edge-by-edge against the artifact
+//!   and the closed-form oracle;
 //! * [`Router`] — the stateless forwarding front end (`kron route`):
 //!   discovers each node's claim via `GET /shards`, forwards `/query`
 //!   and `/batch` by vertex range over each vertex's replicas with the
@@ -124,6 +133,7 @@ mod event_loop;
 pub mod http;
 mod jobs;
 mod oracle;
+mod path;
 #[cfg(unix)]
 mod poll;
 pub mod router;
@@ -134,5 +144,6 @@ pub use cache::{RoutingReport, RowCache};
 pub use cluster::{parse_shard_range, PeerSpec};
 pub use engine::{AnswerSource, Mismatch, OpenOptions, ServeEngine, ServeError};
 pub use oracle::FactorOracle;
+pub use path::{KhopAnswer, PathAnswer, PathCertifier, PathFinder, MAX_KHOP_VERTICES};
 pub use router::{Router, RouterReport};
 pub use server::{Server, ServerOptions, ServerReport};

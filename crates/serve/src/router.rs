@@ -653,6 +653,47 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
                 }
             }
         }
+        ("GET", "/path") => {
+            // Parse locally first (identical 400s to a node), then
+            // forward the canonical form to a replica of `from`'s shard
+            // — the node traverses cross-shard through its own /row
+            // fetches, so any node holding the first row can answer.
+            match crate::path::parse_path_params(req) {
+                Err(e) => (400, TEXT, format!("error: {e}\n").into_bytes()),
+                Ok((from, to, max_depth)) => {
+                    state.queries.fetch_add(1, Ordering::Relaxed);
+                    let table = r.table();
+                    let candidates = table.candidates_for(from);
+                    let mut path = format!("/path?from={from}&to={to}");
+                    if let Some(k) = max_depth {
+                        path.push_str(&format!("&max_depth={k}"));
+                    }
+                    match r.forward_failover(&table, &candidates, "GET", &path, b"") {
+                        Ok((status, body)) => {
+                            (status, if status == 200 { JSON } else { TEXT }, body.into_bytes())
+                        }
+                        Err(e) => gateway_err(e),
+                    }
+                }
+            }
+        }
+        ("GET", "/khop") => {
+            match crate::path::parse_khop_params(req) {
+                Err(e) => (400, TEXT, format!("error: {e}\n").into_bytes()),
+                Ok((v, k)) => {
+                    state.queries.fetch_add(1, Ordering::Relaxed);
+                    let table = r.table();
+                    let candidates = table.candidates_for(v);
+                    let path = format!("/khop?v={v}&k={k}");
+                    match r.forward_failover(&table, &candidates, "GET", &path, b"") {
+                        Ok((status, body)) => {
+                            (status, if status == 200 { JSON } else { TEXT }, body.into_bytes())
+                        }
+                        Err(e) => gateway_err(e),
+                    }
+                }
+            }
+        }
         ("POST", "/batch") => {
             let Ok(text) = std::str::from_utf8(&req.body) else {
                 return (400, TEXT, b"error: body is not UTF-8\n".to_vec());
@@ -898,7 +939,10 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
             TEXT,
             b"error: the router serves no rows (fetch from the owning node)\n".to_vec(),
         ),
-        (_, "/healthz" | "/query" | "/batch" | "/stats" | "/row" | "/shards") => (
+        (
+            _,
+            "/healthz" | "/query" | "/batch" | "/path" | "/khop" | "/stats" | "/row" | "/shards",
+        ) => (
             405,
             TEXT,
             b"error: method not allowed for this endpoint\n".to_vec(),
@@ -912,7 +956,7 @@ fn route(state: &RouterState<'_>, req: &http::Request) -> (u16, &'static str, Ve
             501,
             JSON,
             b"{\"error\":\"not implemented by the router\",\
-              \"supported\":[\"/healthz\",\"/query\",\"/batch\",\"/stats\",\"/shards\"],\
+              \"supported\":[\"/healthz\",\"/query\",\"/batch\",\"/path\",\"/khop\",\"/stats\",\"/shards\"],\
               \"note\":\"/jobs is node-local: submit to a node, not the router\"}\n"
                 .to_vec(),
         ),

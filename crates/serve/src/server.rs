@@ -474,6 +474,31 @@ fn route<'s>(
                 }
             }
         }
+        ("GET", "/path") => match crate::path::parse_path_params(req) {
+            Err(e) => (400, TEXT, format!("error: {e}\n").into_bytes()),
+            Ok((from, to, max_depth)) => {
+                let t0 = Instant::now();
+                let res = crate::path::PathFinder::new(state.engine)
+                    .shortest_path(from, to, max_depth);
+                state.record_query(t0.elapsed(), res.is_err(), 0);
+                match res {
+                    Ok(a) => (200, JSON, format!("{}\n", a.to_json()).into_bytes()),
+                    Err(e) => (error_status(&e), TEXT, format!("error: {e}\n").into_bytes()),
+                }
+            }
+        },
+        ("GET", "/khop") => match crate::path::parse_khop_params(req) {
+            Err(e) => (400, TEXT, format!("error: {e}\n").into_bytes()),
+            Ok((v, k)) => {
+                let t0 = Instant::now();
+                let res = crate::path::PathFinder::new(state.engine).khop(v, k);
+                state.record_query(t0.elapsed(), res.is_err(), 0);
+                match res {
+                    Ok(a) => (200, JSON, format!("{}\n", a.to_json()).into_bytes()),
+                    Err(e) => (error_status(&e), TEXT, format!("error: {e}\n").into_bytes()),
+                }
+            }
+        },
         ("GET", "/row") => {
             // The cluster-internal row fetch: raw little-endian u64 words
             // of one resident adjacency row, straight off the mapping.
@@ -699,12 +724,23 @@ fn route<'s>(
                 ),
             }
         }
-        (_, "/healthz" | "/query" | "/batch" | "/stats" | "/row" | "/shards" | "/jobs") => (
+        (
+            _,
+            "/healthz" | "/query" | "/batch" | "/path" | "/khop" | "/stats" | "/row" | "/shards"
+            | "/jobs",
+        ) => (
             405,
             TEXT,
             b"error: method not allowed for this endpoint\n".to_vec(),
         ),
-        _ => (404, TEXT, b"error: no such endpoint\n".to_vec()),
+        // 501 with the endpoint inventory, mirroring the router's
+        // catch-all, so a client can tell a typo from a wrong tier.
+        _ => (
+            501,
+            JSON,
+            b"{\"error\":\"not implemented by this node\",\"supported\":[\"/healthz\",\"/query\",\"/batch\",\"/path\",\"/khop\",\"/stats\",\"/row\",\"/shards\",\"/jobs\"]}\n"
+                .to_vec(),
+        ),
     }
 }
 
@@ -783,9 +819,12 @@ mod tests {
             assert!(doc.req("recent").unwrap().get("p99_us").is_some());
             assert!(doc.req("routing").unwrap().get("shard_fetches").is_some());
 
-            let (status, _) = client.get("/nope").unwrap();
-            assert_eq!(status, 404);
+            let (status, body) = client.get("/nope").unwrap();
+            assert_eq!(status, 501, "unknown paths get the endpoint inventory");
+            assert!(body.contains("\"/path\"") && body.contains("\"/khop\""));
             let (status, _) = client.post("/healthz", b"").unwrap();
+            assert_eq!(status, 405);
+            let (status, _) = client.post("/path", b"").unwrap();
             assert_eq!(status, 405);
 
             stop.store(true, Ordering::SeqCst);

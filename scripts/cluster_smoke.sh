@@ -86,6 +86,24 @@ for addr in "$single_addr" "$router_addr"; do
     [ "$code" = 422 ] || { echo "$addr: expected 422, got $code"; exit 1; }
 done
 
+echo "== routed traversals must be byte-identical to the single node's"
+# sources and targets on both sides of the shard split, so the executing
+# node pulls real cross-node rows; plus a bounded search that comes back
+# unreachable in-band
+for req in 'path?from=0&to=1599' 'path?from=1599&to=0' 'path?from=7&to=801' \
+           'path?from=0&to=1599&max_depth=1' 'khop?v=57&k=2' 'khop?v=801&k=1'; do
+    one=$(curl -fsS "http://$single_addr/$req")
+    routed=$(curl -fsS "http://$router_addr/$req")
+    [ "$one" = "$routed" ] || { echo "routed /$req diverged: $one vs $routed"; exit 1; }
+done
+# out-of-range vertices are 422, garbage parameters 400 — through both tiers
+for addr in "$single_addr" "$router_addr"; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/path?from=0&to=9999999")
+    [ "$code" = 422 ] || { echo "$addr: /path oob expected 422, got $code"; exit 1; }
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/khop?v=0&k=abc")
+    [ "$code" = 400 ] || { echo "$addr: /khop garbage expected 400, got $code"; exit 1; }
+done
+
 echo "== cluster health and merged stats"
 [ "$(curl -fsS "http://$router_addr/healthz")" = "ok" ]
 stats=$(curl -fsS "http://$router_addr/stats")
@@ -132,6 +150,13 @@ curl -fsS --data-binary @"$work/grid.txt" "http://$router2_addr/batch" > "$work/
     || { echo "post-kill /batch errored"; exit 1; }
 diff "$work/grid_single.txt" "$work/grid_after.txt" \
     || { echo "post-kill /batch diverged from the single node"; exit 1; }
+# traversals survive the kill too: the executing node fails its row
+# fetches over to the surviving replica
+for req in 'path?from=0&to=1599' 'khop?v=57&k=2'; do
+    one=$(curl -fsS "http://$single_addr/$req")
+    routed=$(curl -fsS "http://$router2_addr/$req")
+    [ "$one" = "$routed" ] || { echo "post-kill /$req diverged: $one vs $routed"; exit 1; }
+done
 # the router's /stats tells the story: failovers happened, the killed
 # replica is down, and the tolerant merge still answers 200
 stats2=$(curl -fsS "http://$router2_addr/stats")

@@ -1,0 +1,150 @@
+//! Doc-drift guard for ARCHITECTURE.md § "Traversal serving".
+//!
+//! The `/path` and `/khop` wire examples in the spec are normative:
+//! this test re-reads them **out of the markdown**, rebuilds exactly
+//! the run directory they describe (the 3-vertex triangle squared,
+//! 3 CSR shards), replays the documented request bytes against a live
+//! whole-run node, and asserts the full responses — head and body —
+//! byte for byte. Editing the spec without changing the server (or
+//! vice versa) fails here, the same pattern `tests/doc_drift_cluster.rs`
+//! pins the `/row` and `/shards` examples with.
+
+use kron::KronProduct;
+use kron_graph::Graph;
+use kron_serve::{ServeEngine, Server, ServerOptions};
+use kron_stream::{stream_product, OutputFormat, StreamConfig};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// The markdown between `heading` and the next heading of any level.
+fn section<'a>(md: &'a str, heading: &str) -> &'a str {
+    let start = md.find(heading).unwrap_or_else(|| {
+        panic!("ARCHITECTURE.md lost its {heading:?} section — the doc-drift pin needs it")
+    });
+    let rest = &md[start + heading.len()..];
+    let end = rest
+        .find("\n#### ")
+        .or_else(|| rest.find("\n### "))
+        .or_else(|| rest.find("\n## "))
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+/// Contents of every ```` ```lang ```` fence in `md`, in order.
+fn fenced(md: &str, lang: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = md;
+    let opener = format!("```{lang}\n");
+    while let Some(at) = rest.find(&opener) {
+        let body = &rest[at + opener.len()..];
+        let end = body.find("\n```").expect("unterminated fence");
+        out.push(body[..end].to_string());
+        rest = &body[end..];
+    }
+    out
+}
+
+/// A documented head block (`HTTP/1.1 200 OK` + header lines) as the
+/// exact bytes the server writes: CRLF line endings, blank line.
+fn wire(block: &str) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for line in block.lines() {
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.extend_from_slice(b"\r\n");
+    }
+    bytes.extend_from_slice(b"\r\n");
+    bytes
+}
+
+/// The `Content-Length:` a documented head declares.
+fn declared_length(block: &str) -> usize {
+    block
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("documented head has no Content-Length")
+        .parse()
+        .expect("documented Content-Length is not a number")
+}
+
+#[test]
+fn documented_path_and_khop_examples_match_the_server_verbatim() {
+    let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/ARCHITECTURE.md"))
+        .expect("read ARCHITECTURE.md");
+
+    // The two documented exchanges: (request, response head, json body
+    // — the spec calls out the trailing newline of each body).
+    let path_sec = section(&md, "#### `GET /path` wire example");
+    let path_http = fenced(path_sec, "http");
+    assert_eq!(
+        path_http.len(),
+        2,
+        "/path example needs request + response head"
+    );
+    let path_body = format!("{}\n", fenced(path_sec, "json")[0]).into_bytes();
+    assert_eq!(
+        declared_length(&path_http[1]),
+        path_body.len(),
+        "the documented /path head contradicts its own body"
+    );
+
+    let khop_sec = section(&md, "#### `GET /khop` wire example");
+    let khop_http = fenced(khop_sec, "http");
+    assert_eq!(
+        khop_http.len(),
+        2,
+        "/khop example needs request + response head"
+    );
+    let khop_body = format!("{}\n", fenced(khop_sec, "json")[0]).into_bytes();
+    assert_eq!(
+        declared_length(&khop_http[1]),
+        khop_body.len(),
+        "the documented /khop head contradicts its own body"
+    );
+
+    // Exactly the documented run directory: the 3-vertex triangle
+    // squared, streamed as 3 CSR shards, served whole by one node.
+    let a = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+    let c = KronProduct::new(a.clone(), a);
+    let dir = std::env::temp_dir().join(format!("kron_doc_drift_path_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+    cfg.shards = 3;
+    stream_product(&c, &cfg).unwrap();
+    let engine = ServeEngine::open_verified(&dir).unwrap();
+
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(&engine, &ServerOptions::default(), &stop));
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut replay = |request: &str, head: &str, body: &[u8]| {
+            stream.write_all(&wire(request)).unwrap();
+            let mut want = wire(head);
+            want.extend_from_slice(body);
+            let mut got = vec![0u8; want.len()];
+            stream.read_exact(&mut got).unwrap();
+            assert_eq!(
+                got,
+                want,
+                "server response diverged from the documented bytes for {:?} \
+                 (got {:?})",
+                request.lines().next().unwrap(),
+                String::from_utf8_lossy(&got)
+            );
+        };
+        // both exchanges on one keep-alive connection, like a real client
+        replay(&path_http[0], &path_http[1], &path_body);
+        replay(&khop_http[0], &khop_http[1], &khop_body);
+
+        stop.store(true, Ordering::SeqCst);
+        drop(stream);
+        run.join().unwrap().unwrap();
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -231,6 +231,163 @@ fn killed_replica_mid_batch_is_invisible_to_clients() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The traversal leg of the same story: a replica dying mid-`/path` on a
+/// 3-node cluster is invisible to clients. Traversals are the most
+/// replica-hungry requests we serve — one `/path` fans out into many
+/// `/row` fetches on the executing node — so both failover layers fire:
+/// the router re-picks the front node, and the surviving splitters
+/// re-pick their row replicas. Every path and k-hop answer must stay
+/// byte-identical to a single server, with `failovers > 0` and zero
+/// client-visible errors.
+#[test]
+fn killed_replica_mid_path_is_invisible_to_clients() {
+    let dir = tmpdir("kill_mid_path");
+    let c = cluster_product(33);
+    let mut cfg = StreamConfig::new(&dir, OutputFormat::Csr);
+    cfg.shards = 4;
+    stream_product(&c, &cfg).unwrap();
+    let n = c.num_vertices();
+
+    let single_srv = Server::bind("127.0.0.1:0").unwrap();
+    let a_srv = Server::bind("127.0.0.1:0").unwrap();
+    let b_srv = Server::bind("127.0.0.1:0").unwrap();
+    let c_srv = Server::bind("127.0.0.1:0").unwrap();
+    let front = Server::bind("127.0.0.1:0").unwrap();
+    let (addr_single, addr_a, addr_b, addr_c, addr_front) = (
+        single_srv.local_addr().unwrap(),
+        a_srv.local_addr().unwrap(),
+        b_srv.local_addr().unwrap(),
+        c_srv.local_addr().unwrap(),
+        front.local_addr().unwrap(),
+    );
+    let proxy = FaultProxy::spawn(&addr_c.to_string());
+
+    let single = ServeEngine::open_verified(&dir).unwrap();
+    let node = |subset: std::ops::Range<usize>, far: std::ops::Range<usize>, other: &str| {
+        ServeEngine::open_with(
+            &dir,
+            &OpenOptions {
+                shard_subset: Some(subset),
+                peers: vec![
+                    PeerSpec {
+                        shards: far.clone(),
+                        addr: other.to_string(),
+                    },
+                    PeerSpec {
+                        shards: far,
+                        addr: proxy.addr().to_string(),
+                    },
+                ],
+                source: kron_serve::AnswerSource::CrossCheckSampled(4),
+                ..OpenOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let node_a = node(0..2, 2..4, &addr_b.to_string());
+    let node_b = node(2..4, 0..2, &addr_a.to_string());
+    let node_c = ServeEngine::open_verified(&dir).unwrap();
+
+    // The traversal grid: source vertices across both halves of the run,
+    // each with a far target (long paths cross the shard split several
+    // times) plus a k-hop probe.
+    let mut reqs: Vec<String> = Vec::new();
+    for from in (0..n).step_by(3) {
+        reqs.push(format!("/path?from={from}&to={}", (from + n / 2) % n));
+        reqs.push(format!("/khop?v={from}&k=2"));
+    }
+
+    let stop = AtomicBool::new(false);
+    let opts = ServerOptions::default();
+    let (a_rep, b_rep, router_rep) = std::thread::scope(|s| {
+        let h_single = s.spawn(|| single_srv.run(&single, &opts, &stop).unwrap());
+        let h_a = s.spawn(|| a_srv.run(&node_a, &opts, &stop).unwrap());
+        let h_b = s.spawn(|| b_srv.run(&node_b, &opts, &stop).unwrap());
+        let h_c = s.spawn(|| c_srv.run(&node_c, &opts, &stop).unwrap());
+        let router = Router::discover(
+            &[
+                addr_a.to_string(),
+                addr_b.to_string(),
+                proxy.addr().to_string(),
+            ],
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let (stop_ref, opts_ref, front_ref) = (&stop, &opts, &front);
+        let h_router = s.spawn(move || router.run(front_ref, opts_ref, stop_ref).unwrap());
+
+        let mut one = Client::connect(addr_single).unwrap();
+        let mut routed = Client::connect(addr_front).unwrap();
+
+        // Healthy cluster: the whole traversal grid is byte-identical.
+        let wants: Vec<(u16, String)> = reqs.iter().map(|p| one.get(p).unwrap()).collect();
+        for (p, want) in reqs.iter().zip(&wants) {
+            assert_eq!(want.0, 200, "single-node {p} failed: {}", want.1);
+            let got = routed.get(p).unwrap();
+            assert_eq!(&got, want, "healthy traversal diverged on {p}");
+        }
+
+        // Kill replica C while the traversal grid is in flight: every
+        // path must still come back whole and byte-identical.
+        let (mid_reqs, mid_wants) = (reqs.clone(), wants.clone());
+        let walker = s.spawn(move || {
+            let mut mid = Client::connect(addr_front).unwrap();
+            for (p, want) in mid_reqs.iter().zip(&mid_wants) {
+                let got = mid.get(p).unwrap();
+                assert_eq!(&got, want, "mid-kill traversal diverged on {p}");
+            }
+        });
+        std::thread::sleep(Duration::from_millis(1));
+        proxy.set_mode(Fault::Drop);
+        walker.join().unwrap();
+
+        // C stays dead: the grid keeps answering identically.
+        for (p, want) in reqs.iter().zip(&wants) {
+            let got = routed.get(p).unwrap();
+            assert_eq!(&got, want, "post-kill traversal diverged on {p}");
+        }
+
+        // The kill is visible only where it should be: failovers in the
+        // router's /stats, the dead replica marked down — never a client
+        // error, never a cross-check verdict.
+        let (status, stats) = routed.get("/stats").unwrap();
+        assert_eq!(status, 200, "router /stats must survive a dead peer");
+        let doc = Json::parse(&stats).unwrap();
+        assert!(
+            doc.req("failovers").unwrap().as_u64().unwrap() > 0,
+            "router must have failed over: {stats}"
+        );
+        let dead = doc
+            .req("peers")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|p| p.req("peer").unwrap().as_str() == Some(proxy.addr()))
+            .expect("dead replica listed")
+            .clone();
+        assert_eq!(dead.req("up").unwrap().as_bool(), Some(false), "{stats}");
+        let totals = doc.req("totals").unwrap();
+        assert_eq!(totals.req("mismatch_count").unwrap().as_u64(), Some(0));
+
+        stop.store(true, Ordering::SeqCst);
+        drop((one, routed));
+        h_single.join().unwrap();
+        h_c.join().unwrap();
+        (
+            h_a.join().unwrap(),
+            h_b.join().unwrap(),
+            h_router.join().unwrap(),
+        )
+    });
+
+    assert_eq!(router_rep.forward_errors, 0, "{router_rep}");
+    assert_eq!(router_rep.bad_requests, 0, "{router_rep}");
+    assert!(router_rep.failovers > 0, "{router_rep}");
+    assert_eq!(a_rep.mismatches + b_rep.mismatches, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A flappy replica (node-level): three consecutive fetch failures eject
 /// it, queries then fail fast while its probe backoff pends, and one
 /// successful `/healthz` probe after it comes back re-admits it — with
